@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/kds"
+	"revelio/internal/measure"
+	"revelio/internal/sev"
+)
+
+// testEvidence spins up a KDS and produces a serialized report.
+func testEvidence(t *testing.T) (kdsURL string, reportRaw []byte, golden measure.Measurement) {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("attest-cli-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := mfr.MintProcessor([]byte("chip"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := chip.LaunchStart(0, 0)
+	if err := chip.LaunchUpdate(h, measure.PageNormal, 0, []byte("fw"), "ovmf"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := chip.LaunchFinish(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, err := chip.GuestChannel(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := guest.Report(sev.ReportData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := report.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(kds.NewServer(mfr))
+	t.Cleanup(server.Close)
+	return server.URL, raw, m
+}
+
+func TestAttestValidReport(t *testing.T) {
+	kdsURL, raw, golden := testEvidence(t)
+	var out bytes.Buffer
+	err := run([]string{"-kds", kdsURL, "-golden", golden.String()},
+		bytes.NewReader(raw), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "report OK") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestAttestWrongGolden(t *testing.T) {
+	kdsURL, raw, _ := testEvidence(t)
+	var wrong measure.Measurement
+	wrong[0] = 0xFF
+	err := run([]string{"-kds", kdsURL, "-golden", wrong.String()},
+		bytes.NewReader(raw), &bytes.Buffer{})
+	if err == nil {
+		t.Error("wrong golden accepted")
+	}
+}
+
+func TestAttestNoPolicyNote(t *testing.T) {
+	kdsURL, raw, _ := testEvidence(t)
+	var out bytes.Buffer
+	if err := run([]string{"-kds", kdsURL}, bytes.NewReader(raw), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "policy not checked") {
+		t.Errorf("missing policy note: %q", out.String())
+	}
+}
+
+func TestAttestArgValidation(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing -kds accepted")
+	}
+	if err := run([]string{"-kds", "http://x", "-golden", "zz"},
+		strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("bad golden hex accepted")
+	}
+	kdsURL, _, _ := testEvidence(t)
+	if err := run([]string{"-kds", kdsURL}, strings.NewReader("junk"), &bytes.Buffer{}); err == nil {
+		t.Error("junk report accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Command revelio-bench regenerates the paper's evaluation tables and
+// figures (§6.2–§6.4) under paper-scale network conditions.
+//
+// Usage:
+//
+//	revelio-bench                 # run everything
+//	revelio-bench -table 1        # just Table 1
+//	revelio-bench -figure 5       # just Fig 5
+//	revelio-bench -ablations      # just the ablation sweeps
+//	revelio-bench -quick          # scaled-down sizes and latencies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"revelio/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "revelio-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("revelio-bench", flag.ContinueOnError)
+	tableNum := fs.Int("table", 0, "run only this table (1, 2 or 3)")
+	figureNum := fs.Int("figure", 0, "run only this figure (5 or 6)")
+	ablations := fs.Bool("ablations", false, "run only the ablation sweeps")
+	quick := fs.Bool("quick", false, "scaled-down sizes and latencies")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected := func(table, figure int) bool {
+		if *ablations {
+			return false
+		}
+		if *tableNum == 0 && *figureNum == 0 {
+			return true
+		}
+		return (table != 0 && table == *tableNum) || (figure != 0 && figure == *figureNum)
+	}
+
+	if selected(1, 0) {
+		res, err := bench.RunTable1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if selected(0, 5) {
+		sizes := bench.DefaultFig5Sizes
+		if *quick {
+			sizes = []int64{4 * bench.KiB, 64 * bench.KiB, 1 * bench.MiB, 16 * bench.MiB}
+		}
+		res, err := bench.RunFig5(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if selected(0, 6) {
+		sizes := bench.DefaultFig6Sizes
+		if *quick {
+			sizes = []int64{64 * bench.KiB, 1 * bench.MiB, 8 * bench.MiB}
+		}
+		res, err := bench.RunFig6(sizes, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if selected(2, 0) {
+		cfg := bench.DefaultTable2Config()
+		if *quick {
+			cfg = bench.Table2Config{SPNetRTT: time.Millisecond, CARTT: 25 * time.Millisecond}
+		}
+		res, err := bench.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if selected(3, 0) {
+		cfg := bench.DefaultTable3Config()
+		if *quick {
+			cfg = bench.Table3Config{BrowserRTT: time.Millisecond, KDSRTT: 20 * time.Millisecond}
+		}
+		res, err := bench.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if selected(0, 0) && *tableNum == 0 && *figureNum == 0 {
+		scal, err := bench.RunScalability([]int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(scal.Render())
+	}
+	if *ablations || (*tableNum == 0 && *figureNum == 0) {
+		verity, err := bench.RunAblationVerityBlockSize(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(verity.Render())
+		iters := []int{100, 1000, 10000, 100000}
+		if *quick {
+			iters = []int{100, 1000, 10000}
+		}
+		pbkdf, err := bench.RunAblationPBKDF2(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pbkdf.Render())
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := [][]string{
+		{"-quick", "-table", "1"},
+		{"-quick", "-table", "2"},
+		{"-quick", "-figure", "6"},
+		{"-quick", "-ablations"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

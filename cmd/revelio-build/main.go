@@ -1,0 +1,91 @@
+// Command revelio-build runs the reproducible image build for a profile
+// and prints the artifact manifest and the golden launch measurement an
+// auditor would publish.
+//
+// Usage:
+//
+//	revelio-build -profile bn|cp [-firmware 2023.05] [-check]
+//
+// With -check the build runs twice and the binary exits non-zero if the
+// two builds are not bit-identical (the F5 reproducibility property).
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"revelio/internal/firmware"
+	"revelio/internal/hypervisor"
+	"revelio/internal/imagebuild"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "revelio-build:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("revelio-build", flag.ContinueOnError)
+	profile := fs.String("profile", "cp", "image profile: bn (boundary node) or cp (cryptpad)")
+	fwVersion := fs.String("firmware", "2023.05", "OVMF build version for the golden measurement")
+	check := fs.Bool("check", false, "rebuild and verify bit-identical output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	var spec imagebuild.Spec
+	switch *profile {
+	case "bn":
+		spec = imagebuild.BoundaryNodeSpec(base)
+	case "cp":
+		spec = imagebuild.CryptpadSpec(base)
+	default:
+		return fmt.Errorf("unknown profile %q (want bn or cp)", *profile)
+	}
+
+	builder := imagebuild.NewBuilder(reg)
+	img, err := builder.Build(spec)
+	if err != nil {
+		return err
+	}
+
+	m := img.Manifest
+	fmt.Printf("image:        %s %s\n", m.Name, m.Version)
+	fmt.Printf("kernel:       sha256:%s\n", hex.EncodeToString(m.KernelSHA256[:]))
+	fmt.Printf("initrd:       sha256:%s\n", hex.EncodeToString(m.InitrdSHA256[:]))
+	fmt.Printf("cmdline:      sha256:%s\n", hex.EncodeToString(m.CmdlineSHA256[:]))
+	fmt.Printf("rootfs:       sha256:%s\n", hex.EncodeToString(m.RootfsSHA256[:]))
+	fmt.Printf("verity root:  %s\n", hex.EncodeToString(m.RootHash[:]))
+	fmt.Printf("disk size:    %d bytes\n", img.Disk.Size())
+
+	golden, err := hypervisor.ExpectedMeasurement(firmware.NewOVMF(*fwVersion), hypervisor.BootBlobs{
+		Kernel: img.Kernel, Initrd: img.Initrd, Cmdline: img.Cmdline,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("golden measurement (OVMF %s):\n  %s\n", *fwVersion, golden)
+
+	if *check {
+		img2, err := builder.Build(spec)
+		if err != nil {
+			return fmt.Errorf("rebuild: %w", err)
+		}
+		if img.RootHash != img2.RootHash ||
+			!bytes.Equal(img.Disk.Snapshot(), img2.Disk.Snapshot()) ||
+			!bytes.Equal(img.Kernel, img2.Kernel) ||
+			!bytes.Equal(img.Initrd, img2.Initrd) ||
+			img.Cmdline != img2.Cmdline {
+			return fmt.Errorf("REPRODUCIBILITY FAILURE: rebuild differs")
+		}
+		fmt.Println("reproducibility check: OK (rebuild is bit-identical)")
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunProfiles(t *testing.T) {
+	for _, profile := range []string{"bn", "cp"} {
+		if err := run([]string{"-profile", profile, "-check"}); err != nil {
+			t.Errorf("run(-profile %s -check): %v", profile, err)
+		}
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run([]string{"-profile", "nope"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command revelio-kds runs the simulated AMD Key Distribution Server and
+// mints a demonstration chip, printing everything a verifier needs to use
+// the endpoint (chip id, TCB, and a sample report for revelio-attest).
+//
+// Usage:
+//
+//	revelio-kds [-addr 127.0.0.1:8080] [-seed manufacturer-seed]
+package main
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/kds"
+	"revelio/internal/measure"
+	"revelio/internal/sev"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "revelio-kds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("revelio-kds", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	seed := fs.String("seed", "revelio-demo", "manufacturer seed (key hierarchy derives from it)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mfr, err := amdsp.NewManufacturer([]byte(*seed))
+	if err != nil {
+		return err
+	}
+	chip, err := mfr.MintProcessor([]byte("demo-chip"), 7)
+	if err != nil {
+		return err
+	}
+
+	// Launch a demo guest and emit a sample report so revelio-attest has
+	// something to chew on.
+	h := chip.LaunchStart(0x30000, 1)
+	if err := chip.LaunchUpdate(h, measure.PageNormal, 0xFFC00000, []byte("demo firmware"), "ovmf"); err != nil {
+		return err
+	}
+	m, err := chip.LaunchFinish(h)
+	if err != nil {
+		return err
+	}
+	guest, err := chip.GuestChannel(h)
+	if err != nil {
+		return err
+	}
+	report, err := guest.Report(sev.ReportData{})
+	if err != nil {
+		return err
+	}
+	raw, err := report.MarshalBinary()
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("KDS listening on http://%s\n", ln.Addr())
+	chipID := chip.ChipID()
+	fmt.Printf("demo chip id:  %s\n", hex.EncodeToString(chipID[:]))
+	fmt.Printf("demo tcb:      %d\n", chip.TCB())
+	fmt.Printf("demo golden:   %s\n", m)
+	fmt.Printf("demo report (base64, pipe through `base64 -d` into revelio-attest):\n%s\n",
+		base64.StdEncoding.EncodeToString(raw))
+	fmt.Printf("try: curl http://%s%s\n", ln.Addr(), kds.CertChainPath)
+
+	server := &http.Server{Handler: kds.NewServer(mfr), ReadHeaderTimeout: 10 * time.Second}
+	return server.Serve(ln)
+}

@@ -1,0 +1,12 @@
+// Package revelio is a pure-Go reproduction of "Trustworthy confidential
+// virtual machines for the masses" (MIDDLEWARE 2023): end-to-end
+// attestable, SEV-SNP-protected web services, rebuilt on software
+// substrates so the full system — hardware root of trust, measured direct
+// boot, integrity-protected storage, certificate management, and
+// browser-side attestation — runs on a laptop.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory, examples/ for runnable entry points, and cmd/revelio-bench
+// for the experiment harness that regenerates the paper's tables and
+// figures.
+package revelio

@@ -1,0 +1,153 @@
+// Auditor example (paper §3.4.7): delegated verification for end-users
+// who cannot rebuild images themselves.
+//
+// The flow:
+//
+//  1. The service provider publishes the image *sources* (the build
+//     spec) and deploys the service.
+//  2. An independent auditor rebuilds the image from sources — the
+//     reproducible build guarantees a bit-identical result — computes
+//     the golden measurement, and proposes it to the community-governed
+//     trusted registry, where voters approve it.
+//  3. End-users' extensions consult the registry instead of holding
+//     hard-coded values.
+//  4. When the provider rolls out v2, the auditor supersedes v1 — and a
+//     rollback to the old (now revoked) image is caught even though its
+//     report is perfectly authentic (§6.1.4).
+//
+// Run with: go run ./examples/auditor
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"revelio/internal/attest"
+	"revelio/internal/certmgr"
+	"revelio/internal/core"
+	"revelio/internal/firmware"
+	"revelio/internal/hypervisor"
+	"revelio/internal/imagebuild"
+	"revelio/internal/registry"
+)
+
+const domain = "audited.example.org"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "auditor example:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The community's trusted registry: three voters, two must agree.
+	trusted := registry.New(2)
+	for _, voter := range []string{"auditor-gmbh", "university-lab", "dao-member"} {
+		trusted.AddVoter(voter)
+	}
+
+	// --- Service provider: publish sources, deploy v1 ---------------------
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	specV1 := imagebuild.CryptpadSpec(base)
+
+	deployment, err := core.New(core.Config{
+		Spec:          specV1,
+		Registry:      reg,
+		Nodes:         1,
+		Domain:        domain,
+		TrustRegistry: trusted,
+	})
+	if err != nil {
+		return err
+	}
+	defer deployment.Close()
+
+	// Provisioning fails while nothing is trusted yet — the SP node
+	// itself consults the registry.
+	if _, err := deployment.ProvisionCertificates(context.Background()); !errors.Is(err, certmgr.ErrNodeRejected) {
+		return fmt.Errorf("expected rejection before any votes, got %v", err)
+	}
+	fmt.Println("before any audit: provisioning rejected (no trusted measurement)")
+
+	// --- Auditor: rebuild from sources, compute the golden value ----------
+	auditorImg, err := imagebuild.NewBuilder(reg).Build(specV1) // independent rebuild
+	if err != nil {
+		return err
+	}
+	goldenV1, err := hypervisor.ExpectedMeasurement(
+		firmware.NewOVMF("2023.05"),
+		hypervisor.BootBlobs{
+			Kernel:  auditorImg.Kernel,
+			Initrd:  auditorImg.Initrd,
+			Cmdline: auditorImg.Cmdline,
+		})
+	if err != nil {
+		return err
+	}
+	if goldenV1 != deployment.Golden {
+		return fmt.Errorf("auditor rebuild diverged — reproducibility broken")
+	}
+	fmt.Printf("auditor reproduced the measurement from sources:\n  %s\n", goldenV1)
+
+	if err := trusted.Propose(goldenV1, "cryptpad-server 1.0.0 (audited)"); err != nil {
+		return err
+	}
+	if err := trusted.Vote("auditor-gmbh", goldenV1); err != nil {
+		return err
+	}
+	if trusted.IsTrusted(goldenV1) {
+		return fmt.Errorf("trusted below threshold")
+	}
+	if err := trusted.Vote("university-lab", goldenV1); err != nil {
+		return err
+	}
+	fmt.Println("community voted: measurement is now a golden value")
+
+	// --- With the registry populated, everything proceeds ------------------
+	if _, err := deployment.ProvisionCertificates(context.Background()); err != nil {
+		return fmt.Errorf("provisioning after votes: %w", err)
+	}
+	fmt.Println("provisioning succeeded under the community-approved value")
+
+	// --- Rollout of v2 supersedes v1 (rollback defence, §6.1.4) ------------
+	specV2 := specV1
+	specV2.Version = "1.1.0" // security fix
+	v2Img, err := imagebuild.NewBuilder(reg).Build(specV2)
+	if err != nil {
+		return err
+	}
+	goldenV2, err := hypervisor.ExpectedMeasurement(
+		firmware.NewOVMF("2023.05"),
+		hypervisor.BootBlobs{Kernel: v2Img.Kernel, Initrd: v2Img.Initrd, Cmdline: v2Img.Cmdline})
+	if err != nil {
+		return err
+	}
+	if err := trusted.Supersede(goldenV1, goldenV2, "cryptpad-server 1.1.0 (audited, fixes CVE)"); err != nil {
+		return err
+	}
+	if err := trusted.Vote("auditor-gmbh", goldenV2); err != nil {
+		return err
+	}
+	if err := trusted.Vote("dao-member", goldenV2); err != nil {
+		return err
+	}
+
+	// The still-running v1 node now fails verification — a provider
+	// keeping (or rolling back to) the vulnerable version is caught.
+	rep, err := deployment.Nodes[0].VM.Report([64]byte{})
+	if err != nil {
+		return err
+	}
+	verifier := attest.NewVerifier(deployment.KDSClient, trusted)
+	if _, err := verifier.VerifyReport(context.Background(), rep); !errors.Is(err, attest.ErrUntrustedMeasurement) {
+		return fmt.Errorf("rollback not caught: %v", err)
+	}
+	fmt.Println("after the v2 rollout, the old image is revoked: rollback attempt rejected")
+
+	fmt.Println("\nauditor example OK")
+	return nil
+}

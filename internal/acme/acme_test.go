@@ -1,0 +1,317 @@
+package acme
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newCSR(t *testing.T, domain string) ([]byte, *ecdsa.PrivateKey) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := x509.CreateCertificateRequest(rand.Reader, &x509.CertificateRequest{
+		Subject:  pkix.Name{CommonName: domain},
+		DNSNames: []string{domain},
+	}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return der, key
+}
+
+func TestObtainCertificateHappyPath(t *testing.T) {
+	zone := NewZone()
+	ca, err := NewCA(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, key := newCSR(t, "service.example.org")
+	certDER, err := NewClient(ca, zone).ObtainCertificate("service.example.org", csr)
+	if err != nil {
+		t.Fatalf("ObtainCertificate: %v", err)
+	}
+	cert, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Subject.CommonName != "service.example.org" {
+		t.Errorf("CN = %q", cert.Subject.CommonName)
+	}
+	// The issued cert binds the CSR's public key.
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok || !pub.Equal(&key.PublicKey) {
+		t.Error("issued cert does not carry the CSR public key")
+	}
+	// And chains to the CA root.
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.RootCert())
+	if _, err := cert.Verify(x509.VerifyOptions{Roots: roots}); err != nil {
+		t.Errorf("chain: %v", err)
+	}
+	// Challenge record cleaned up.
+	if got := zone.LookupTXT("_acme-challenge.service.example.org"); len(got) != 0 {
+		t.Errorf("challenge TXT left behind: %v", got)
+	}
+}
+
+func TestChallengeFailsWithoutDNSControl(t *testing.T) {
+	zone := NewZone()
+	ca, err := NewCA(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, _ := newCSR(t, "victim.example.org")
+	order, err := ca.NewOrder("victim.example.org", csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker never publishes the TXT record (no DNS credentials).
+	if _, err := ca.Finalize(order); !errors.Is(err, ErrChallengeFailed) {
+		t.Errorf("err = %v, want ErrChallengeFailed", err)
+	}
+	// Publishing a wrong value also fails.
+	zone.SetTXT("_acme-challenge.victim.example.org", "wrong")
+	if _, err := ca.Finalize(order); !errors.Is(err, ErrChallengeFailed) {
+		t.Errorf("wrong TXT: err = %v, want ErrChallengeFailed", err)
+	}
+}
+
+func TestCSRValidation(t *testing.T) {
+	zone := NewZone()
+	ca, err := NewCA(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.NewOrder("a.example.org", []byte("garbage")); !errors.Is(err, ErrBadCSR) {
+		t.Errorf("garbage CSR: err = %v, want ErrBadCSR", err)
+	}
+	// Domain mismatch between order and CSR.
+	csr, _ := newCSR(t, "b.example.org")
+	if _, err := ca.NewOrder("a.example.org", csr); !errors.Is(err, ErrBadCSR) {
+		t.Errorf("domain mismatch: err = %v, want ErrBadCSR", err)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	zone := NewZone()
+	clock := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	ca, err := NewCA(zone,
+		WithRateLimit(3, 24*time.Hour),
+		WithClock(func() time.Time { return clock }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ca, zone)
+	csr, _ := newCSR(t, "busy.example.org")
+	for i := 0; i < 3; i++ {
+		if _, err := client.ObtainCertificate("busy.example.org", csr); err != nil {
+			t.Fatalf("issuance %d: %v", i, err)
+		}
+	}
+	if _, err := client.ObtainCertificate("busy.example.org", csr); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("4th issuance: err = %v, want ErrRateLimited", err)
+	}
+	// Another domain is unaffected (per-domain limit).
+	otherCSR, _ := newCSR(t, "calm.example.org")
+	if _, err := client.ObtainCertificate("calm.example.org", otherCSR); err != nil {
+		t.Errorf("other domain: %v", err)
+	}
+	// The window slides: a day later issuance works again.
+	clock = clock.Add(25 * time.Hour)
+	if _, err := client.ObtainCertificate("busy.example.org", csr); err != nil {
+		t.Errorf("after window: %v", err)
+	}
+}
+
+// TestSharedCertificateAvoidsRateLimit demonstrates §3.4.6: N nodes
+// sharing one certificate consume one issuance; per-node certificates
+// consume N and trip the limit.
+func TestSharedCertificateAvoidsRateLimit(t *testing.T) {
+	zone := NewZone()
+	ca, err := NewCA(zone, WithRateLimit(5, 24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ca, zone)
+	const nodes = 20
+
+	// Shared scheme: one CSR, one cert, distributed to all nodes.
+	sharedCSR, _ := newCSR(t, "svc.example.org")
+	if _, err := client.ObtainCertificate("svc.example.org", sharedCSR); err != nil {
+		t.Fatalf("shared issuance: %v", err)
+	}
+
+	// Per-node scheme: each node requests its own — hits the limit.
+	var limited bool
+	for i := 0; i < nodes; i++ {
+		csr, _ := newCSR(t, "pernode.example.org")
+		if _, err := client.ObtainCertificate("pernode.example.org", csr); err != nil {
+			if !errors.Is(err, ErrRateLimited) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Error("per-node issuance never hit the rate limit")
+	}
+}
+
+func TestHTTPProtocolRoundTrip(t *testing.T) {
+	zone := NewZone()
+	ca, err := NewCA(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(NewHTTPServer(ca))
+	defer server.Close()
+
+	client := NewHTTPClient(server.URL, zone, nil)
+	csr, key := newCSR(t, "wire.example.org")
+	certDER, err := client.ObtainCertificate("wire.example.org", csr)
+	if err != nil {
+		t.Fatalf("ObtainCertificate over HTTP: %v", err)
+	}
+	cert, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok || !pub.Equal(&key.PublicKey) {
+		t.Error("issued cert does not carry the CSR key")
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.RootCert())
+	if _, err := cert.Verify(x509.VerifyOptions{Roots: roots}); err != nil {
+		t.Errorf("chain: %v", err)
+	}
+	// Challenge record cleaned up.
+	if got := zone.LookupTXT("_acme-challenge.wire.example.org"); len(got) != 0 {
+		t.Errorf("challenge TXT left behind: %v", got)
+	}
+}
+
+func TestHTTPProtocolErrors(t *testing.T) {
+	zone := NewZone()
+	ca, err := NewCA(zone, WithRateLimit(1, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(NewHTTPServer(ca))
+	defer server.Close()
+
+	// An attacker without DNS credentials (their client writes to a
+	// different zone) fails the challenge.
+	attackerZone := NewZone()
+	attacker := NewHTTPClient(server.URL, attackerZone, nil)
+	csr, _ := newCSR(t, "victim.example.org")
+	if _, err := attacker.ObtainCertificate("victim.example.org", csr); !errors.Is(err, ErrChallengeFailed) {
+		t.Errorf("no DNS control: err = %v, want ErrChallengeFailed", err)
+	}
+
+	// Garbage CSR is rejected at new-order.
+	legit := NewHTTPClient(server.URL, zone, nil)
+	if _, err := legit.ObtainCertificate("victim.example.org", []byte("junk")); err == nil {
+		t.Error("junk CSR accepted over HTTP")
+	}
+
+	// Rate limit surfaces as ErrRateLimited across the wire.
+	goodCSR, _ := newCSR(t, "busy.example.org")
+	if _, err := legit.ObtainCertificate("busy.example.org", goodCSR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legit.ObtainCertificate("busy.example.org", goodCSR); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("rate limit over HTTP: err = %v, want ErrRateLimited", err)
+	}
+
+	// Unknown order.
+	resp, err := http.Post(server.URL+FinalizePath, "application/json",
+		bytes.NewReader([]byte(`{"orderId":"nope"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown order: status %d", resp.StatusCode)
+	}
+
+	// Orders are single-use: finalizing twice fails.
+	order, err := legit.newOrder("busy2.example.org", mustCSR(t, "busy2.example.org"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone.SetTXT("_acme-challenge.busy2.example.org", challengeValue(order.Token))
+	if _, err := legit.finalize(order.OrderID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legit.finalize(order.OrderID); !errors.Is(err, ErrUnknownOrder) {
+		t.Errorf("double finalize: err = %v, want ErrUnknownOrder", err)
+	}
+}
+
+func mustCSR(t *testing.T, domain string) []byte {
+	t.Helper()
+	csr, _ := newCSR(t, domain)
+	return csr
+}
+
+func TestDirectoryAndRootEndpoints(t *testing.T) {
+	zone := NewZone()
+	ca, err := NewCA(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(NewHTTPServer(ca))
+	defer server.Close()
+
+	resp, err := http.Get(server.URL + DirectoryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dir struct {
+		NewOrder string `json:"newOrder"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dir); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if dir.NewOrder != NewOrderPath {
+		t.Errorf("directory newOrder = %q", dir.NewOrder)
+	}
+
+	resp2, err := http.Get(server.URL + RootCertPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes, err := io.ReadAll(resp2.Body)
+	_ = resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, _ := pem.Decode(pemBytes)
+	if block == nil {
+		t.Fatal("root endpoint returned no PEM")
+	}
+	root, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Equal(ca.RootCert()) {
+		t.Error("served root differs from CA root")
+	}
+}

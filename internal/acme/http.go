@@ -1,0 +1,236 @@
+package acme
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// HTTP endpoints of the wire protocol (a simplified ACME: the order flow
+// without JWS account signatures, which Revelio does not depend on).
+const (
+	DirectoryPath = "/acme/directory"
+	NewOrderPath  = "/acme/new-order"
+	FinalizePath  = "/acme/finalize"
+	RootCertPath  = "/acme/root"
+)
+
+// ErrUnknownOrder reports finalization of an order the server never
+// issued (or that was already consumed).
+var ErrUnknownOrder = errors.New("acme: unknown order")
+
+// directoryDoc is the discovery document.
+type directoryDoc struct {
+	NewOrder string `json:"newOrder"`
+	Finalize string `json:"finalize"`
+	RootCert string `json:"rootCert"`
+}
+
+type newOrderRequest struct {
+	Domain string `json:"domain"`
+	CSRDER []byte `json:"csrDer"`
+}
+
+type newOrderResponse struct {
+	OrderID string `json:"orderId"`
+	// Token is the DNS-01 token the client must publish at
+	// _acme-challenge.{domain}.
+	Token string `json:"token"`
+}
+
+type finalizeRequest struct {
+	OrderID string `json:"orderId"`
+}
+
+// Server exposes a CA over HTTP.
+type Server struct {
+	ca  *CA
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	orders map[string]*Order
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewHTTPServer wraps ca in the wire protocol.
+func NewHTTPServer(ca *CA) *Server {
+	s := &Server{ca: ca, mux: http.NewServeMux(), orders: make(map[string]*Order)}
+	s.mux.HandleFunc("GET "+DirectoryPath, s.handleDirectory)
+	s.mux.HandleFunc("POST "+NewOrderPath, s.handleNewOrder)
+	s.mux.HandleFunc("POST "+FinalizePath, s.handleFinalize)
+	s.mux.HandleFunc("GET "+RootCertPath, s.handleRoot)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleDirectory(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, directoryDoc{NewOrder: NewOrderPath, Finalize: FinalizePath, RootCert: RootCertPath})
+}
+
+func (s *Server) handleRoot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-pem-file")
+	_ = pem.Encode(w, &pem.Block{Type: "CERTIFICATE", Bytes: s.ca.RootCert().Raw})
+}
+
+func (s *Server) handleNewOrder(w http.ResponseWriter, r *http.Request) {
+	var req newOrderRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	order, err := s.ca.NewOrder(req.Domain, req.CSRDER)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	idBytes := make([]byte, 16)
+	if _, err := rand.Read(idBytes); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	id := hex.EncodeToString(idBytes)
+	s.mu.Lock()
+	s.orders[id] = order
+	s.mu.Unlock()
+	writeJSON(w, newOrderResponse{OrderID: id, Token: order.Token})
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	var req finalizeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	order, ok := s.orders[req.OrderID]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, ErrUnknownOrder.Error(), http.StatusNotFound)
+		return
+	}
+	certDER, err := s.ca.Finalize(order)
+	if err != nil {
+		status := http.StatusForbidden
+		if errors.Is(err, ErrRateLimited) {
+			status = http.StatusTooManyRequests
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.mu.Lock()
+	delete(s.orders, req.OrderID) // orders are single-use
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/pkix-cert")
+	_, _ = w.Write(certDER)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// HTTPClient drives the wire protocol with DNS credentials for zone —
+// certbot talking to a remote CA instead of an in-process one.
+type HTTPClient struct {
+	base  string
+	zone  *Zone
+	httpc *http.Client
+}
+
+// NewHTTPClient creates a client for the CA at base. A nil httpc selects
+// http.DefaultClient.
+func NewHTTPClient(base string, zone *Zone, httpc *http.Client) *HTTPClient {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &HTTPClient{base: base, zone: zone, httpc: httpc}
+}
+
+// ObtainCertificate runs new-order → publish TXT → finalize and returns
+// the DER certificate. It satisfies the same contract as Client.
+func (c *HTTPClient) ObtainCertificate(domain string, csrDER []byte) ([]byte, error) {
+	orderResp, err := c.newOrder(domain, csrDER)
+	if err != nil {
+		return nil, err
+	}
+	c.zone.SetTXT(challengeName(domain), challengeValue(orderResp.Token))
+	defer c.zone.SetTXT(challengeName(domain)) // clean up like certbot
+
+	certDER, err := c.finalize(orderResp.OrderID)
+	if err != nil {
+		return nil, err
+	}
+	return certDER, nil
+}
+
+func (c *HTTPClient) newOrder(domain string, csrDER []byte) (*newOrderResponse, error) {
+	body, err := json.Marshal(newOrderRequest{Domain: domain, CSRDER: csrDER})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.post(NewOrderPath, body)
+	if err != nil {
+		return nil, err
+	}
+	var out newOrderResponse
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return nil, fmt.Errorf("acme: decode order: %w", err)
+	}
+	if out.OrderID == "" || out.Token == "" {
+		return nil, errors.New("acme: incomplete order response")
+	}
+	return &out, nil
+}
+
+func (c *HTTPClient) finalize(orderID string) ([]byte, error) {
+	body, err := json.Marshal(finalizeRequest{OrderID: orderID})
+	if err != nil {
+		return nil, err
+	}
+	return c.post(FinalizePath, body)
+}
+
+func (c *HTTPClient) post(path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("acme: post %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(bytes.TrimSpace(payload))
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			return nil, fmt.Errorf("%w: %s", ErrRateLimited, msg)
+		case http.StatusForbidden:
+			return nil, fmt.Errorf("%w: %s", ErrChallengeFailed, msg)
+		case http.StatusNotFound:
+			return nil, fmt.Errorf("%w: %s", ErrUnknownOrder, msg)
+		default:
+			return nil, fmt.Errorf("acme: %s: status %d: %s", path, resp.StatusCode, msg)
+		}
+	}
+	return payload, nil
+}

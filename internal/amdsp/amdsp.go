@@ -1,0 +1,399 @@
+// Package amdsp is the software stand-in for the AMD Secure Processor and
+// the manufacturer key hierarchy behind it.
+//
+// A Manufacturer models AMD: it owns the ARK (root) and ASK (intermediate)
+// signing keys and mints SecureProcessors, each with a unique ChipID and a
+// Versioned Chip Endorsement Key (VCEK) derived from the manufacturer
+// secret, the chip identity and the TCB version — so a TCB update rotates
+// the VCEK exactly as on real silicon. The Manufacturer also issues the
+// ARK→ASK→VCEK X.509 chain that internal/kds serves.
+//
+// A SecureProcessor executes guest launches: LaunchStart/Update/Finish
+// maintain the measurement ledger, and the post-launch guest channel hands
+// out VCEK-signed attestation reports and measurement-derived sealing keys
+// — the two primitives everything in Revelio builds on.
+package amdsp
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha512"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"revelio/internal/kdf"
+	"revelio/internal/measure"
+	"revelio/internal/sev"
+)
+
+var (
+	// ErrUnknownLaunch reports a launch handle that does not exist.
+	ErrUnknownLaunch = errors.New("amdsp: unknown launch handle")
+	// ErrLaunchNotFinalized reports use of the guest channel before
+	// LaunchFinish.
+	ErrLaunchNotFinalized = errors.New("amdsp: launch not finalized")
+	// ErrLaunchFinalized reports an update to an already finalized launch.
+	ErrLaunchFinalized = errors.New("amdsp: launch already finalized")
+	// ErrUnknownChip reports a VCEK request for a chip the manufacturer
+	// never minted.
+	ErrUnknownChip = errors.New("amdsp: unknown chip id")
+)
+
+// OID arcs for the VCEK certificate extensions carrying the chip identity
+// and TCB version (stand-ins for AMD's KDS extension OIDs).
+var (
+	OIDChipID = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 56789, 1, 1}
+	OIDTCB    = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 56789, 1, 2}
+)
+
+// certValidity is the fixed validity window of simulated certificates;
+// generous so tests never race expiry.
+const certValidity = 20 * 365 * 24 * time.Hour
+
+// deriveECDSAKey deterministically derives a P-384 key pair from secret
+// material and a context label.
+func deriveECDSAKey(secret []byte, context string) (*ecdsa.PrivateKey, error) {
+	curve := elliptic.P384()
+	params := curve.Params()
+	okm, err := kdf.Derive(sha512.New384, secret, nil, []byte("ecdsa-p384:"+context), 56)
+	if err != nil {
+		return nil, fmt.Errorf("amdsp: derive key material: %w", err)
+	}
+	// d = okm mod (N-1) + 1; the tiny bias is irrelevant for a simulator.
+	d := new(big.Int).SetBytes(okm)
+	d.Mod(d, new(big.Int).Sub(params.N, big.NewInt(1)))
+	d.Add(d, big.NewInt(1))
+
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.PublicKey.Curve = curve
+	priv.PublicKey.X, priv.PublicKey.Y = curve.ScalarBaseMult(d.Bytes())
+	return priv, nil
+}
+
+func deterministicSerial(parts ...[]byte) *big.Int {
+	h := sha512.New384()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return new(big.Int).SetBytes(h.Sum(nil)[:16])
+}
+
+// Manufacturer models AMD's signing infrastructure.
+type Manufacturer struct {
+	secret []byte
+	arkKey *ecdsa.PrivateKey
+	askKey *ecdsa.PrivateKey
+	arkDER []byte
+	askDER []byte
+	ark    *x509.Certificate
+	ask    *x509.Certificate
+	notBef time.Time
+	mu     sync.Mutex
+	minted map[sev.ChipID][]byte // chipID -> chip secret
+}
+
+// NewManufacturer creates a manufacturer whose entire key hierarchy is
+// deterministically derived from seed.
+func NewManufacturer(seed []byte) (*Manufacturer, error) {
+	if len(seed) == 0 {
+		return nil, errors.New("amdsp: empty manufacturer seed")
+	}
+	m := &Manufacturer{
+		secret: append([]byte(nil), seed...),
+		notBef: time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+		minted: make(map[sev.ChipID][]byte),
+	}
+	var err error
+	if m.arkKey, err = deriveECDSAKey(m.secret, "ark"); err != nil {
+		return nil, err
+	}
+	if m.askKey, err = deriveECDSAKey(m.secret, "ask"); err != nil {
+		return nil, err
+	}
+
+	arkTmpl := &x509.Certificate{
+		SerialNumber:          deterministicSerial(m.secret, []byte("ark")),
+		Subject:               pkix.Name{CommonName: "ARK-SIM", Organization: []string{"AMD-SIM"}},
+		NotBefore:             m.notBef,
+		NotAfter:              m.notBef.Add(certValidity),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign,
+	}
+	m.arkDER, err = x509.CreateCertificate(rand.Reader, arkTmpl, arkTmpl, &m.arkKey.PublicKey, m.arkKey)
+	if err != nil {
+		return nil, fmt.Errorf("amdsp: create ark cert: %w", err)
+	}
+	if m.ark, err = x509.ParseCertificate(m.arkDER); err != nil {
+		return nil, fmt.Errorf("amdsp: parse ark cert: %w", err)
+	}
+
+	askTmpl := &x509.Certificate{
+		SerialNumber:          deterministicSerial(m.secret, []byte("ask")),
+		Subject:               pkix.Name{CommonName: "ASK-SIM", Organization: []string{"AMD-SIM"}},
+		NotBefore:             m.notBef,
+		NotAfter:              m.notBef.Add(certValidity),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign,
+	}
+	m.askDER, err = x509.CreateCertificate(rand.Reader, askTmpl, m.ark, &m.askKey.PublicKey, m.arkKey)
+	if err != nil {
+		return nil, fmt.Errorf("amdsp: create ask cert: %w", err)
+	}
+	if m.ask, err = x509.ParseCertificate(m.askDER); err != nil {
+		return nil, fmt.Errorf("amdsp: parse ask cert: %w", err)
+	}
+	return m, nil
+}
+
+// ARKCertDER returns the DER-encoded root certificate.
+func (m *Manufacturer) ARKCertDER() []byte { return append([]byte(nil), m.arkDER...) }
+
+// ASKCertDER returns the DER-encoded intermediate certificate.
+func (m *Manufacturer) ASKCertDER() []byte { return append([]byte(nil), m.askDER...) }
+
+// chipSecret derives per-chip secret material.
+func (m *Manufacturer) chipSecret(chipSeed []byte) []byte {
+	h := sha512.New()
+	h.Write(m.secret)
+	h.Write([]byte("chip-secret"))
+	h.Write(chipSeed)
+	return h.Sum(nil)
+}
+
+func (m *Manufacturer) vcekKey(chipID sev.ChipID, tcb uint64) (*ecdsa.PrivateKey, error) {
+	var tcbBytes [8]byte
+	binary.LittleEndian.PutUint64(tcbBytes[:], tcb)
+	return deriveECDSAKey(m.secret, "vcek:"+string(chipID[:])+":"+string(tcbBytes[:]))
+}
+
+// MintProcessor fabricates a SecureProcessor with an identity derived from
+// chipSeed running SNP firmware at the given TCB version.
+func (m *Manufacturer) MintProcessor(chipSeed []byte, tcb uint64) (*SecureProcessor, error) {
+	secret := m.chipSecret(chipSeed)
+	var chipID sev.ChipID
+	copy(chipID[:], secret) // 64 bytes of SHA-512 output
+
+	vcek, err := m.vcekKey(chipID, tcb)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.minted[chipID] = secret
+	m.mu.Unlock()
+	return &SecureProcessor{
+		chipID:   chipID,
+		tcb:      tcb,
+		vcek:     vcek,
+		sealRoot: secret,
+		launches: make(map[LaunchHandle]*launch),
+	}, nil
+}
+
+// VCEKCertDER issues the VCEK certificate for a minted chip at a TCB
+// version, signed by the ASK. This is what the KDS serves.
+func (m *Manufacturer) VCEKCertDER(chipID sev.ChipID, tcb uint64) ([]byte, error) {
+	m.mu.Lock()
+	_, ok := m.minted[chipID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownChip
+	}
+	vcek, err := m.vcekKey(chipID, tcb)
+	if err != nil {
+		return nil, err
+	}
+	var tcbBytes [8]byte
+	binary.BigEndian.PutUint64(tcbBytes[:], tcb)
+	tmpl := &x509.Certificate{
+		SerialNumber: deterministicSerial(chipID[:], tcbBytes[:]),
+		Subject:      pkix.Name{CommonName: "VCEK-SIM", Organization: []string{"AMD-SIM"}},
+		NotBefore:    m.notBef,
+		NotAfter:     m.notBef.Add(certValidity),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtraExtensions: []pkix.Extension{
+			{Id: OIDChipID, Value: chipID[:]},
+			{Id: OIDTCB, Value: tcbBytes[:]},
+		},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, m.ask, &vcek.PublicKey, m.askKey)
+	if err != nil {
+		return nil, fmt.Errorf("amdsp: create vcek cert: %w", err)
+	}
+	return der, nil
+}
+
+// VCEKIdentity extracts the ChipID and TCB version embedded in a VCEK
+// certificate.
+func VCEKIdentity(cert *x509.Certificate) (sev.ChipID, uint64, error) {
+	var (
+		chipID  sev.ChipID
+		tcb     uint64
+		gotChip bool
+		gotTCB  bool
+	)
+	for _, ext := range cert.Extensions {
+		switch {
+		case ext.Id.Equal(OIDChipID):
+			if len(ext.Value) != sev.ChipIDSize {
+				return chipID, 0, fmt.Errorf("amdsp: chip id extension is %d bytes", len(ext.Value))
+			}
+			copy(chipID[:], ext.Value)
+			gotChip = true
+		case ext.Id.Equal(OIDTCB):
+			if len(ext.Value) != 8 {
+				return chipID, 0, fmt.Errorf("amdsp: tcb extension is %d bytes", len(ext.Value))
+			}
+			tcb = binary.BigEndian.Uint64(ext.Value)
+			gotTCB = true
+		}
+	}
+	if !gotChip || !gotTCB {
+		return chipID, 0, errors.New("amdsp: certificate lacks chip identity extensions")
+	}
+	return chipID, tcb, nil
+}
+
+// LaunchHandle identifies an in-progress or finished guest launch.
+type LaunchHandle uint64
+
+type launch struct {
+	ledger      *measure.Ledger
+	measurement measure.Measurement
+	policy      uint64
+	guestSVN    uint32
+	finalized   bool
+}
+
+// SecureProcessor models one chip's AMD-SP firmware.
+type SecureProcessor struct {
+	chipID   sev.ChipID
+	tcb      uint64
+	vcek     *ecdsa.PrivateKey
+	sealRoot []byte
+
+	mu       sync.Mutex
+	next     LaunchHandle
+	launches map[LaunchHandle]*launch
+}
+
+// ChipID returns the unique processor identifier.
+func (sp *SecureProcessor) ChipID() sev.ChipID { return sp.chipID }
+
+// TCB returns the SNP firmware TCB version.
+func (sp *SecureProcessor) TCB() uint64 { return sp.tcb }
+
+// VCEKPublic returns the chip's current VCEK public key.
+func (sp *SecureProcessor) VCEKPublic() *ecdsa.PublicKey { return &sp.vcek.PublicKey }
+
+// LaunchStart opens a new guest launch context with the given guest policy
+// and SVN.
+func (sp *SecureProcessor) LaunchStart(policy uint64, guestSVN uint32) LaunchHandle {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.next++
+	h := sp.next
+	sp.launches[h] = &launch{ledger: measure.NewLedger(), policy: policy, guestSVN: guestSVN}
+	return h
+}
+
+func (sp *SecureProcessor) launchFor(h LaunchHandle) (*launch, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	l, ok := sp.launches[h]
+	if !ok {
+		return nil, ErrUnknownLaunch
+	}
+	return l, nil
+}
+
+// LaunchUpdate measures one page of guest contents into the launch digest.
+func (sp *SecureProcessor) LaunchUpdate(h LaunchHandle, t measure.PageType, gpa uint64, data []byte, label string) error {
+	l, err := sp.launchFor(h)
+	if err != nil {
+		return err
+	}
+	if l.finalized {
+		return ErrLaunchFinalized
+	}
+	return l.ledger.Extend(t, gpa, data, label)
+}
+
+// LaunchFinish finalizes the measurement and unlocks the guest channel.
+func (sp *SecureProcessor) LaunchFinish(h LaunchHandle) (measure.Measurement, error) {
+	l, err := sp.launchFor(h)
+	if err != nil {
+		return measure.Measurement{}, err
+	}
+	if l.finalized {
+		return measure.Measurement{}, ErrLaunchFinalized
+	}
+	l.measurement = l.ledger.Finalize()
+	l.finalized = true
+	return l.measurement, nil
+}
+
+// GuestChannel returns the protected guest-to-AMD-SP channel for a
+// finalized launch.
+func (sp *SecureProcessor) GuestChannel(h LaunchHandle) (*GuestChannel, error) {
+	l, err := sp.launchFor(h)
+	if err != nil {
+		return nil, err
+	}
+	if !l.finalized {
+		return nil, ErrLaunchNotFinalized
+	}
+	return &GuestChannel{sp: sp, l: l}, nil
+}
+
+// GuestChannel is the trusted path between a running guest and the AMD-SP
+// (§2.1.1, §2.1.3 of the paper).
+type GuestChannel struct {
+	sp *SecureProcessor
+	l  *launch
+}
+
+// Measurement returns the guest's launch measurement.
+func (g *GuestChannel) Measurement() measure.Measurement { return g.l.measurement }
+
+// Report produces a VCEK-signed attestation report with the given
+// REPORT_DATA bound into it.
+func (g *GuestChannel) Report(data sev.ReportData) (*sev.Report, error) {
+	r := &sev.Report{
+		Version:     sev.ReportVersion,
+		GuestSVN:    g.l.guestSVN,
+		Policy:      g.l.policy,
+		TCBVersion:  g.sp.tcb,
+		Measurement: g.l.measurement,
+		ReportData:  data,
+		ChipID:      g.sp.chipID,
+	}
+	digest := sha512.Sum384(r.SignedBytes())
+	sig, err := ecdsa.SignASN1(rand.Reader, g.sp.vcek, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("amdsp: sign report: %w", err)
+	}
+	r.Signature = sig
+	return r, nil
+}
+
+// SealingKey derives a 32-byte key bound to this chip and this guest's
+// measurement (§2.1.3): a guest with a different measurement — or on a
+// different chip — derives a different key.
+func (g *GuestChannel) SealingKey(context string) ([]byte, error) {
+	key, err := kdf.Derive(sha512.New384, g.sp.sealRoot, g.l.measurement[:],
+		[]byte("sealing:"+context), 32)
+	if err != nil {
+		return nil, fmt.Errorf("amdsp: derive sealing key: %w", err)
+	}
+	return key, nil
+}

@@ -1,0 +1,285 @@
+package amdsp
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"errors"
+	"testing"
+
+	"revelio/internal/measure"
+	"revelio/internal/sev"
+)
+
+func newTestSetup(t *testing.T) (*Manufacturer, *SecureProcessor) {
+	t.Helper()
+	mfr, err := NewManufacturer([]byte("test-manufacturer-seed"))
+	if err != nil {
+		t.Fatalf("NewManufacturer: %v", err)
+	}
+	sp, err := mfr.MintProcessor([]byte("chip-0"), 5)
+	if err != nil {
+		t.Fatalf("MintProcessor: %v", err)
+	}
+	return mfr, sp
+}
+
+func launchGuest(t *testing.T, sp *SecureProcessor, pages ...string) *GuestChannel {
+	t.Helper()
+	h := sp.LaunchStart(0x30000, 1)
+	for i, p := range pages {
+		if err := sp.LaunchUpdate(h, measure.PageNormal, uint64(i)*0x1000, []byte(p), p); err != nil {
+			t.Fatalf("LaunchUpdate: %v", err)
+		}
+	}
+	if _, err := sp.LaunchFinish(h); err != nil {
+		t.Fatalf("LaunchFinish: %v", err)
+	}
+	g, err := sp.GuestChannel(h)
+	if err != nil {
+		t.Fatalf("GuestChannel: %v", err)
+	}
+	return g
+}
+
+func TestManufacturerDeterminism(t *testing.T) {
+	m1, err := NewManufacturer([]byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManufacturer([]byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp1, err := m1.MintProcessor([]byte("c"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := m2.MintProcessor([]byte("c"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp1.ChipID() != sp2.ChipID() {
+		t.Error("same seeds produced different chip IDs")
+	}
+	if sp1.VCEKPublic().X.Cmp(sp2.VCEKPublic().X) != 0 {
+		t.Error("same seeds produced different VCEKs")
+	}
+	if _, err := NewManufacturer(nil); err == nil {
+		t.Error("empty seed accepted")
+	}
+}
+
+func TestVCEKRotatesWithTCB(t *testing.T) {
+	mfr, _ := newTestSetup(t)
+	spOld, err := mfr.MintProcessor([]byte("chip-1"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spNew, err := mfr.MintProcessor([]byte("chip-1"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spOld.ChipID() != spNew.ChipID() {
+		t.Fatal("TCB update changed the chip ID")
+	}
+	if spOld.VCEKPublic().X.Cmp(spNew.VCEKPublic().X) == 0 {
+		t.Error("TCB update did not rotate the VCEK")
+	}
+}
+
+func TestLaunchMeasurementAndReport(t *testing.T) {
+	_, sp := newTestSetup(t)
+	g := launchGuest(t, sp, "ovmf", "hashtable")
+
+	var data sev.ReportData
+	copy(data[:], "hash-of-public-key")
+	report, err := g.Report(data)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if report.Measurement != g.Measurement() {
+		t.Error("report measurement differs from launch measurement")
+	}
+	if report.ChipID != sp.ChipID() || report.TCBVersion != sp.TCB() {
+		t.Error("report chip identity mismatch")
+	}
+	if report.ReportData != data {
+		t.Error("report data not bound")
+	}
+	if err := report.Verify(sp.VCEKPublic()); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestLaunchLifecycleErrors(t *testing.T) {
+	_, sp := newTestSetup(t)
+	h := sp.LaunchStart(0, 0)
+	if _, err := sp.GuestChannel(h); !errors.Is(err, ErrLaunchNotFinalized) {
+		t.Errorf("GuestChannel before finish: err = %v, want ErrLaunchNotFinalized", err)
+	}
+	if _, err := sp.LaunchFinish(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.LaunchUpdate(h, measure.PageNormal, 0, []byte("x"), ""); !errors.Is(err, ErrLaunchFinalized) {
+		t.Errorf("update after finish: err = %v, want ErrLaunchFinalized", err)
+	}
+	if _, err := sp.LaunchFinish(h); !errors.Is(err, ErrLaunchFinalized) {
+		t.Errorf("double finish: err = %v, want ErrLaunchFinalized", err)
+	}
+	if err := sp.LaunchUpdate(LaunchHandle(999), measure.PageNormal, 0, nil, ""); !errors.Is(err, ErrUnknownLaunch) {
+		t.Errorf("unknown handle: err = %v, want ErrUnknownLaunch", err)
+	}
+}
+
+func TestSealingKeyBoundToMeasurement(t *testing.T) {
+	_, sp := newTestSetup(t)
+	gGood := launchGuest(t, sp, "kernel-v1")
+	gGood2 := launchGuest(t, sp, "kernel-v1")
+	gBad := launchGuest(t, sp, "kernel-evil")
+
+	k1, err := gGood.SealingKey("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := gGood2.SealingKey("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := gBad.SealingKey("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Error("identical launches derived different sealing keys")
+	}
+	if bytes.Equal(k1, k3) {
+		t.Error("different measurement derived the same sealing key")
+	}
+	kCtx, err := gGood.SealingKey("tls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, kCtx) {
+		t.Error("different context derived the same sealing key")
+	}
+}
+
+func TestSealingKeyBoundToChip(t *testing.T) {
+	mfr, sp0 := newTestSetup(t)
+	sp1, err := mfr.MintProcessor([]byte("chip-other"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := launchGuest(t, sp0, "same-image")
+	g1 := launchGuest(t, sp1, "same-image")
+	k0, err := g0.SealingKey("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := g1.SealingKey("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k0, k1) {
+		t.Error("sealing key identical across chips")
+	}
+}
+
+func TestVCEKCertChainValidates(t *testing.T) {
+	mfr, sp := newTestSetup(t)
+	der, err := mfr.VCEKCertDER(sp.ChipID(), sp.TCB())
+	if err != nil {
+		t.Fatalf("VCEKCertDER: %v", err)
+	}
+	vcekCert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	roots := x509.NewCertPool()
+	ark, err := x509.ParseCertificate(mfr.ARKCertDER())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots.AddCert(ark)
+	inters := x509.NewCertPool()
+	ask, err := x509.ParseCertificate(mfr.ASKCertDER())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inters.AddCert(ask)
+
+	if _, err := vcekCert.Verify(x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inters,
+		CurrentTime:   ark.NotBefore.AddDate(1, 0, 0),
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		t.Errorf("VCEK chain verification: %v", err)
+	}
+
+	chipID, tcb, err := VCEKIdentity(vcekCert)
+	if err != nil {
+		t.Fatalf("VCEKIdentity: %v", err)
+	}
+	if chipID != sp.ChipID() || tcb != sp.TCB() {
+		t.Error("VCEK certificate identity mismatch")
+	}
+
+	// The cert's public key must match the key that signs reports.
+	g := launchGuest(t, sp, "fw")
+	report, err := g.Report(sev.ReportData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, ok := vcekCert.PublicKey.(*ecdsa.PublicKey)
+	if !ok || !pub.Equal(sp.VCEKPublic()) {
+		t.Error("VCEK cert public key differs from report signing key")
+	}
+	if err := report.Verify(sp.VCEKPublic()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVCEKCertUnknownChip(t *testing.T) {
+	mfr, _ := newTestSetup(t)
+	var bogus sev.ChipID
+	bogus[0] = 0xFF
+	if _, err := mfr.VCEKCertDER(bogus, 1); !errors.Is(err, ErrUnknownChip) {
+		t.Errorf("unknown chip: err = %v, want ErrUnknownChip", err)
+	}
+}
+
+func TestVCEKIdentityMissingExtensions(t *testing.T) {
+	mfr, _ := newTestSetup(t)
+	ark, err := x509.ParseCertificate(mfr.ARKCertDER())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := VCEKIdentity(ark); err == nil {
+		t.Error("ARK cert accepted as VCEK identity")
+	}
+}
+
+// TestCrossManufacturerIsolation: a report signed by one manufacturer's
+// chip must not verify under another's VCEK.
+func TestCrossManufacturerIsolation(t *testing.T) {
+	_, spA := newTestSetup(t)
+	mfrB, err := NewManufacturer([]byte("other-manufacturer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB, err := mfrB.MintProcessor([]byte("chip-0"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := launchGuest(t, spA, "fw")
+	report, err := g.Report(sev.ReportData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Verify(spB.VCEKPublic()); err == nil {
+		t.Error("report verified under a different manufacturer's key")
+	}
+}

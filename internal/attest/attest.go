@@ -1,0 +1,235 @@
+// Package attest is Revelio's verifier library: everything a relying
+// party (the SP node, the web extension, an auditor) does with an
+// attestation report (§5.3, §5.3.2).
+//
+// Verification is the five-step pipeline the paper describes: fetch the
+// ARK/ASK chain and the VCEK from the KDS, validate the certificate
+// chain, check the VCEK's embedded chip identity against the report,
+// verify the report's signature, and finally judge the measurement
+// against a trust policy (hard-coded golden values or a trusted
+// registry). Bundles add the REPORT_DATA binding between a report and a
+// payload (public key or CSR).
+package attest
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/kds"
+	"revelio/internal/measure"
+	"revelio/internal/sev"
+)
+
+var (
+	// ErrUntrustedMeasurement reports a valid report whose measurement no
+	// trust policy accepts.
+	ErrUntrustedMeasurement = errors.New("attest: measurement not trusted")
+	// ErrChipNotAllowed reports a report from a chip outside the
+	// allow-list (the SP node's impersonation defence, §5.3.1).
+	ErrChipNotAllowed = errors.New("attest: chip not in allow-list")
+	// ErrChainInvalid reports a VCEK that does not chain to the ARK.
+	ErrChainInvalid = errors.New("attest: VCEK certificate chain invalid")
+	// ErrIdentityMismatch reports a VCEK certificate whose embedded chip
+	// identity disagrees with the report.
+	ErrIdentityMismatch = errors.New("attest: VCEK identity does not match report")
+	// ErrReportDataMismatch reports a bundle whose payload hash is not
+	// the report's REPORT_DATA.
+	ErrReportDataMismatch = errors.New("attest: REPORT_DATA does not bind payload")
+	// ErrTCBTooOld reports a platform running SNP firmware below the
+	// verifier's floor — the firmware-level rollback defence.
+	ErrTCBTooOld = errors.New("attest: platform TCB below required minimum")
+)
+
+// TrustPolicy decides whether a measurement is a golden value.
+// *registry.Registry implements it; StaticGolden is the hard-coded
+// alternative (§5.3: "hard-coded values planted on the VMs at build
+// time").
+type TrustPolicy interface {
+	IsTrusted(m measure.Measurement) bool
+}
+
+// StaticGolden is a fixed set of golden measurements.
+type StaticGolden map[measure.Measurement]struct{}
+
+var _ TrustPolicy = StaticGolden(nil)
+
+// NewStaticGolden builds a policy from measurements.
+func NewStaticGolden(ms ...measure.Measurement) StaticGolden {
+	g := make(StaticGolden, len(ms))
+	for _, m := range ms {
+		g[m] = struct{}{}
+	}
+	return g
+}
+
+// IsTrusted implements TrustPolicy.
+func (g StaticGolden) IsTrusted(m measure.Measurement) bool {
+	_, ok := g[m]
+	return ok
+}
+
+// Verifier validates attestation reports end to end.
+type Verifier struct {
+	kds    *kds.Client
+	policy TrustPolicy
+	chips  map[sev.ChipID]struct{} // nil = any chip
+	minTCB uint64
+	now    func() time.Time
+}
+
+// Option configures a Verifier.
+type Option func(*Verifier)
+
+// WithChipAllowList restricts acceptable chips.
+func WithChipAllowList(ids ...sev.ChipID) Option {
+	return func(v *Verifier) {
+		v.chips = make(map[sev.ChipID]struct{}, len(ids))
+		for _, id := range ids {
+			v.chips[id] = struct{}{}
+		}
+	}
+}
+
+// WithClock injects a test clock for certificate validity checks.
+func WithClock(now func() time.Time) Option { return func(v *Verifier) { v.now = now } }
+
+// WithMinTCB sets a floor on the platform's SNP firmware version: reports
+// from chips whose TCB is older are rejected even if everything else
+// checks out. A verifier raises the floor after AMD ships a firmware fix,
+// closing the platform-level rollback window that golden-measurement
+// revocation alone cannot (the VM image can be current while the
+// firmware underneath it is not).
+func WithMinTCB(tcb uint64) Option { return func(v *Verifier) { v.minTCB = tcb } }
+
+// NewVerifier creates a verifier fetching certificates from kdsClient and
+// judging measurements with policy.
+func NewVerifier(kdsClient *kds.Client, policy TrustPolicy, opts ...Option) *Verifier {
+	v := &Verifier{kds: kdsClient, policy: policy, now: time.Now}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Result is a successfully verified report plus the evidence used.
+type Result struct {
+	Report *sev.Report
+	VCEK   *x509.Certificate
+}
+
+// VerifyReport runs the full verification pipeline on a parsed report.
+func (v *Verifier) VerifyReport(ctx context.Context, report *sev.Report) (*Result, error) {
+	ask, ark, err := v.kds.CertChain(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("attest: fetch cert chain: %w", err)
+	}
+	vcekCert, err := v.kds.VCEK(ctx, report.ChipID, report.TCBVersion)
+	if err != nil {
+		return nil, fmt.Errorf("attest: fetch vcek: %w", err)
+	}
+
+	roots := x509.NewCertPool()
+	roots.AddCert(ark)
+	inters := x509.NewCertPool()
+	inters.AddCert(ask)
+	if _, err := vcekCert.Verify(x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inters,
+		CurrentTime:   v.now(),
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrChainInvalid, err)
+	}
+
+	chipID, tcb, err := amdsp.VCEKIdentity(vcekCert)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIdentityMismatch, err)
+	}
+	if chipID != report.ChipID || tcb != report.TCBVersion {
+		return nil, ErrIdentityMismatch
+	}
+
+	pub, ok := vcekCert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: VCEK key type %T", ErrChainInvalid, vcekCert.PublicKey)
+	}
+	if err := report.Verify(pub); err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+
+	if report.TCBVersion < v.minTCB {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTCBTooOld, report.TCBVersion, v.minTCB)
+	}
+	if v.chips != nil {
+		if _, ok := v.chips[report.ChipID]; !ok {
+			return nil, ErrChipNotAllowed
+		}
+	}
+	if v.policy != nil && !v.policy.IsTrusted(report.Measurement) {
+		return nil, fmt.Errorf("%w: %s", ErrUntrustedMeasurement, report.Measurement)
+	}
+	return &Result{Report: report, VCEK: vcekCert}, nil
+}
+
+// VerifyRaw parses and verifies a serialized report.
+func (v *Verifier) VerifyRaw(ctx context.Context, raw []byte) (*Result, error) {
+	var report sev.Report
+	if err := report.UnmarshalBinary(raw); err != nil {
+		return nil, err
+	}
+	return v.VerifyReport(ctx, &report)
+}
+
+// Bundle is the report-plus-payload unit Revelio's protocols ship over
+// HTTP: the payload (a public key, a CSR, an encrypted TLS key) is bound
+// to the report via REPORT_DATA = SHA-512(payload).
+type Bundle struct {
+	ReportRaw []byte `json:"report"`
+	Payload   []byte `json:"payload"`
+}
+
+// NewBundle serializes a report around its payload.
+func NewBundle(report *sev.Report, payload []byte) (*Bundle, error) {
+	raw, err := report.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{ReportRaw: raw, Payload: payload}, nil
+}
+
+// Encode renders the bundle as JSON for transport.
+func (b *Bundle) Encode() ([]byte, error) {
+	out, err := json.Marshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("attest: encode bundle: %w", err)
+	}
+	return out, nil
+}
+
+// DecodeBundle parses a JSON bundle.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("attest: decode bundle: %w", err)
+	}
+	return &b, nil
+}
+
+// VerifyBundle verifies the bundle's report and the REPORT_DATA binding
+// to its payload, returning the verification result.
+func (v *Verifier) VerifyBundle(ctx context.Context, b *Bundle, hashOf func([]byte) sev.ReportData) (*Result, error) {
+	var report sev.Report
+	if err := report.UnmarshalBinary(b.ReportRaw); err != nil {
+		return nil, err
+	}
+	if report.ReportData != hashOf(b.Payload) {
+		return nil, ErrReportDataMismatch
+	}
+	return v.VerifyReport(ctx, &report)
+}

@@ -1,0 +1,256 @@
+package attest
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/kds"
+	"revelio/internal/measure"
+	"revelio/internal/registry"
+	"revelio/internal/sev"
+	"revelio/internal/vm"
+)
+
+type rig struct {
+	mfr    *amdsp.Manufacturer
+	sp     *amdsp.SecureProcessor
+	guest  *amdsp.GuestChannel
+	client *kds.Client
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("attest-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mfr.MintProcessor([]byte("chip"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sp.LaunchStart(0, 0)
+	if err := sp.LaunchUpdate(h, measure.PageNormal, 0, []byte("fw"), "ovmf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.LaunchFinish(h); err != nil {
+		t.Fatal(err)
+	}
+	guest, err := sp.GuestChannel(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(kds.NewServer(mfr))
+	t.Cleanup(server.Close)
+	return &rig{mfr: mfr, sp: sp, guest: guest, client: kds.NewClient(server.URL, nil)}
+}
+
+func (r *rig) report(t *testing.T, data sev.ReportData) *sev.Report {
+	t.Helper()
+	rep, err := r.guest.Report(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestVerifyReportHappyPath(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{1})
+	v := NewVerifier(r.client, NewStaticGolden(rep.Measurement))
+	res, err := v.VerifyReport(context.Background(), rep)
+	if err != nil {
+		t.Fatalf("VerifyReport: %v", err)
+	}
+	if res.Report != rep || res.VCEK == nil {
+		t.Error("incomplete result")
+	}
+}
+
+func TestVerifyRawRoundTrip(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{2})
+	raw, err := rep.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(r.client, NewStaticGolden(rep.Measurement))
+	if _, err := v.VerifyRaw(context.Background(), raw); err != nil {
+		t.Fatalf("VerifyRaw: %v", err)
+	}
+	if _, err := v.VerifyRaw(context.Background(), []byte("junk")); !errors.Is(err, sev.ErrBadReport) {
+		t.Errorf("junk: err = %v, want ErrBadReport", err)
+	}
+}
+
+func TestUntrustedMeasurementRejected(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{})
+	var other measure.Measurement
+	other[0] = 0xEE
+	v := NewVerifier(r.client, NewStaticGolden(other))
+	if _, err := v.VerifyReport(context.Background(), rep); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Errorf("err = %v, want ErrUntrustedMeasurement", err)
+	}
+}
+
+func TestNilPolicySkipsMeasurementCheck(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{})
+	v := NewVerifier(r.client, nil)
+	if _, err := v.VerifyReport(context.Background(), rep); err != nil {
+		t.Errorf("nil policy: %v", err)
+	}
+}
+
+func TestForgedSignatureRejected(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{})
+	rep.Measurement[0] ^= 1 // attacker edits the measurement post-signing
+	v := NewVerifier(r.client, nil)
+	if _, err := v.VerifyReport(context.Background(), rep); !errors.Is(err, sev.ErrBadSignature) {
+		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+// TestImpersonatorWithValidReport is §5.3.1: an authentic report from a
+// chip outside the allow-list is rejected.
+func TestImpersonatorWithValidReport(t *testing.T) {
+	r := newRig(t)
+	impostor, err := r.mfr.MintProcessor([]byte("impostor-chip"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := impostor.LaunchStart(0, 0)
+	if err := impostor.LaunchUpdate(h, measure.PageNormal, 0, []byte("fw"), "ovmf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := impostor.LaunchFinish(h); err != nil {
+		t.Fatal(err)
+	}
+	g, err := impostor.GuestChannel(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Report(sev.ReportData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := NewVerifier(r.client, nil, WithChipAllowList(r.sp.ChipID()))
+	if _, err := v.VerifyReport(context.Background(), rep); !errors.Is(err, ErrChipNotAllowed) {
+		t.Errorf("err = %v, want ErrChipNotAllowed", err)
+	}
+	// The legitimate chip still passes.
+	legit := r.report(t, sev.ReportData{})
+	if _, err := v.VerifyReport(context.Background(), legit); err != nil {
+		t.Errorf("legit chip: %v", err)
+	}
+}
+
+func TestChipIDSpoofRejected(t *testing.T) {
+	// A report claiming a different ChipID fails: either the KDS has no
+	// cert for it, or the signature check fails against the real chip's
+	// VCEK.
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{})
+	rep.ChipID[0] ^= 1
+	v := NewVerifier(r.client, nil)
+	if _, err := v.VerifyReport(context.Background(), rep); err == nil {
+		t.Error("spoofed chip id verified")
+	}
+}
+
+func TestRegistryAsTrustPolicy(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{})
+	reg := registry.New(1)
+	reg.AddVoter("dao")
+	v := NewVerifier(r.client, reg)
+
+	if _, err := v.VerifyReport(context.Background(), rep); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Fatalf("unvoted measurement accepted: %v", err)
+	}
+	if err := reg.Propose(rep.Measurement, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Vote("dao", rep.Measurement); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyReport(context.Background(), rep); err != nil {
+		t.Errorf("voted measurement rejected: %v", err)
+	}
+	// Rollback: revoked → rejected again.
+	if err := reg.Revoke(rep.Measurement); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyReport(context.Background(), rep); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Errorf("revoked measurement accepted: %v", err)
+	}
+}
+
+func TestBundleBinding(t *testing.T) {
+	r := newRig(t)
+	payload := []byte("public-key-der-bytes")
+	rep := r.report(t, vm.HashOf(payload))
+	bundle, err := NewBundle(rep, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := bundle.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBundle(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := NewVerifier(r.client, nil)
+	if _, err := v.VerifyBundle(context.Background(), back, vm.HashOf); err != nil {
+		t.Fatalf("VerifyBundle: %v", err)
+	}
+
+	// Swapped payload breaks the binding.
+	back.Payload = []byte("attacker-key")
+	if _, err := v.VerifyBundle(context.Background(), back, vm.HashOf); !errors.Is(err, ErrReportDataMismatch) {
+		t.Errorf("err = %v, want ErrReportDataMismatch", err)
+	}
+
+	// Corrupt report bytes are rejected structurally.
+	back.ReportRaw = []byte("junk")
+	if _, err := v.VerifyBundle(context.Background(), back, vm.HashOf); !errors.Is(err, sev.ErrBadReport) {
+		t.Errorf("err = %v, want ErrBadReport", err)
+	}
+
+	if _, err := DecodeBundle([]byte("{")); err == nil {
+		t.Error("bad JSON bundle accepted")
+	}
+}
+
+func TestStaticGoldenMultiple(t *testing.T) {
+	var a, b, c measure.Measurement
+	a[0], b[0], c[0] = 1, 2, 3
+	g := NewStaticGolden(a, b)
+	if !g.IsTrusted(a) || !g.IsTrusted(b) || g.IsTrusted(c) {
+		t.Error("StaticGolden membership wrong")
+	}
+}
+
+// TestTCBFloor: a verifier with a raised TCB floor rejects reports from
+// platforms running older SNP firmware (platform-level rollback defence).
+func TestTCBFloor(t *testing.T) {
+	r := newRig(t) // chip TCB = 2
+	rep := r.report(t, sev.ReportData{})
+
+	current := NewVerifier(r.client, nil, WithMinTCB(2))
+	if _, err := current.VerifyReport(context.Background(), rep); err != nil {
+		t.Errorf("TCB at floor rejected: %v", err)
+	}
+	raised := NewVerifier(r.client, nil, WithMinTCB(3))
+	if _, err := raised.VerifyReport(context.Background(), rep); !errors.Is(err, ErrTCBTooOld) {
+		t.Errorf("err = %v, want ErrTCBTooOld", err)
+	}
+}

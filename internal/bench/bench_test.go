@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunTable1(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if len(res.Profiles) != 2 || res.Profiles[0].Name != "BN" || res.Profiles[1].Name != "CP" {
+		t.Fatalf("profiles = %+v", res.Profiles)
+	}
+	for _, p := range res.Profiles {
+		if !p.FirstBoot {
+			t.Errorf("%s: not a first boot", p.Name)
+		}
+		if p.TotalBoot <= 0 {
+			t.Errorf("%s: no total boot time", p.Name)
+		}
+		for _, row := range p.Rows {
+			if row.Latency <= 0 {
+				t.Errorf("%s/%s: zero latency", p.Name, row.Service)
+			}
+			if row.Overhead < 0 || row.Overhead > 1 {
+				t.Errorf("%s/%s: overhead %f out of range", p.Name, row.Service, row.Overhead)
+			}
+		}
+	}
+	// Paper shape: BN boots slower than CP (more services, bigger rootfs).
+	if res.Profiles[0].TotalBoot <= res.Profiles[1].TotalBoot {
+		t.Errorf("BN boot (%v) not slower than CP (%v)",
+			res.Profiles[0].TotalBoot, res.Profiles[1].TotalBoot)
+	}
+	out := res.Render()
+	for _, want := range []string{"dm-crypt setup", "dm-verity verify", "Identity creation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	sizes := []int64{4 * KiB, 64 * KiB, 1 * MiB}
+	res, err := RunFig5(sizes)
+	if err != nil {
+		t.Fatalf("RunFig5: %v", err)
+	}
+	if len(res.Reads) != len(sizes) || len(res.Writes) != len(sizes) {
+		t.Fatalf("points = %d/%d", len(res.Reads), len(res.Writes))
+	}
+	// Paper shape: encryption costs something on the larger transfers.
+	lastRead := res.Reads[len(res.Reads)-1]
+	if lastRead.Crypt <= lastRead.Plain {
+		t.Errorf("1MiB read: crypt (%v) not slower than plain (%v)", lastRead.Crypt, lastRead.Plain)
+	}
+	if !strings.Contains(res.Render(), "dm-crypt") {
+		t.Error("render lacks header")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	sizes := []int64{64 * KiB, 1 * MiB}
+	res, err := RunFig6(sizes, 0)
+	if err != nil {
+		t.Fatalf("RunFig6: %v", err)
+	}
+	if len(res.Points) != len(sizes) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Paper shape: verity reads are strictly slower (hashing per block).
+	for _, p := range res.Points {
+		if p.Slowdown <= 1 {
+			t.Errorf("size %d: slowdown %.2f <= 1", p.SizeBytes, p.Slowdown)
+		}
+	}
+	if res.AvgSlowdown <= 1 {
+		t.Errorf("avg slowdown %.2f <= 1", res.AvgSlowdown)
+	}
+	if !strings.Contains(res.Render(), "average slowdown") {
+		t.Error("render lacks average")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	// In-process latencies: keep the test fast, check structure + that
+	// injected CA latency dominates generation as in the paper.
+	res, err := RunTable2(Table2Config{CARTT: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunTable2: %v", err)
+	}
+	tm := res.Timings
+	if tm.CertGeneration < 60*time.Millisecond {
+		t.Errorf("generation %v < injected 2x30ms", tm.CertGeneration)
+	}
+	// Paper shape: generation dominates the other steps by far.
+	if tm.CertGeneration <= tm.EvidenceRetrieval ||
+		tm.CertGeneration <= tm.EvidenceValidation ||
+		tm.CertGeneration <= tm.CertDistribution {
+		t.Errorf("generation does not dominate: %+v", tm)
+	}
+	if !strings.Contains(res.Render(), "SSL certificate generation") {
+		t.Error("render lacks rows")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	cfg := Table3Config{BrowserRTT: 2 * time.Millisecond, KDSRTT: 30 * time.Millisecond}
+	res, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatalf("RunTable3: %v", err)
+	}
+	// Paper shape:
+	//  network < plain GET < conn-validated GET << attested GET,
+	//  and a warm VCEK cache collapses most of the attestation cost.
+	if res.PlainGET <= res.NetworkLatency {
+		t.Errorf("plain GET %v <= network %v", res.PlainGET, res.NetworkLatency)
+	}
+	if res.GETWithAttestation <= res.PlainGET {
+		t.Errorf("attested GET %v <= plain %v", res.GETWithAttestation, res.PlainGET)
+	}
+	if res.GETWithAttestation <= res.GETWithConnCheck {
+		t.Errorf("attested GET %v <= conn-validated %v", res.GETWithAttestation, res.GETWithConnCheck)
+	}
+	if res.WarmAttestation >= res.GETWithAttestation {
+		t.Errorf("warm attestation %v not faster than cold %v",
+			res.WarmAttestation, res.GETWithAttestation)
+	}
+	if !strings.Contains(res.Render(), "remote attestation") {
+		t.Error("render lacks rows")
+	}
+}
+
+func TestAblationVerityBlockSize(t *testing.T) {
+	res, err := RunAblationVerityBlockSize([]int{4 * KiB, 64 * KiB})
+	if err != nil {
+		t.Fatalf("ablation: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if !strings.Contains(res.Render(), "Block size") {
+		t.Error("render lacks header")
+	}
+}
+
+func TestAblationPBKDF2(t *testing.T) {
+	res, err := RunAblationPBKDF2([]int{10, 1000})
+	if err != nil {
+		t.Fatalf("ablation: %v", err)
+	}
+	if len(res.Unlock) != 2 {
+		t.Fatalf("unlocks = %d", len(res.Unlock))
+	}
+	// More iterations must cost more.
+	if res.Unlock[1] <= res.Unlock[0] {
+		t.Errorf("1000 iters (%v) not slower than 10 (%v)", res.Unlock[1], res.Unlock[0])
+	}
+	if !strings.Contains(res.Render(), "Iterations") {
+		t.Error("render lacks header")
+	}
+}
+
+func TestKDFThroughputMonotone(t *testing.T) {
+	if KDFThroughput(20000) <= KDFThroughput(100) {
+		t.Error("pbkdf2 cost not increasing with iterations")
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	res, err := RunScalability([]int{1, 3})
+	if err != nil {
+		t.Fatalf("RunScalability: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// D3 shape: generation is size-independent (one shared cert);
+	// distribution grows with node count.
+	p1, p3 := res.Points[0], res.Points[1]
+	if p3.Timings.CertDistribution <= p1.Timings.CertDistribution {
+		t.Logf("distribution did not grow (%v vs %v) — timing noise tolerated",
+			p1.Timings.CertDistribution, p3.Timings.CertDistribution)
+	}
+	if p3.Timings.CertGeneration > 10*p1.Timings.CertGeneration+time.Millisecond*100 {
+		t.Errorf("generation scaled with node count: %v vs %v",
+			p1.Timings.CertGeneration, p3.Timings.CertGeneration)
+	}
+	if !strings.Contains(res.Render(), "Scalability") {
+		t.Error("render lacks header")
+	}
+}

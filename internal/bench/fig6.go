@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"revelio/internal/blockdev"
+	"revelio/internal/dmverity"
+)
+
+// Fig6Point is one file size in the dm-verity read sweep.
+type Fig6Point struct {
+	SizeBytes int64
+	Plain     time.Duration
+	Verity    time.Duration
+	Slowdown  float64 // verity/plain
+}
+
+// Fig6Result reproduces Fig 6: read latency of files on the integrity-
+// protected rootfs versus a plain device (the paper reads the BN rootfs,
+// largest file 94.8 MB, and sees a 9.35x average slowdown).
+type Fig6Result struct {
+	Points []Fig6Point
+	// AvgSlowdown is the mean verity/plain ratio across the sweep.
+	AvgSlowdown float64
+	// BlockSize records the verity block size (ablation knob).
+	BlockSize int
+}
+
+// DefaultFig6Sizes approximates the BN rootfs file-size distribution.
+var DefaultFig6Sizes = []int64{4 * KiB, 64 * KiB, 1 * MiB, 8 * MiB, 32 * MiB, 96 * MiB}
+
+// RunFig6 measures cold-cache verity reads: each measurement opens a
+// fresh verity device so the per-read verification (not the memoized
+// hash-block cache) dominates, matching the paper's first-read cost.
+func RunFig6(sizes []int64, blockSize int) (*Fig6Result, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultFig6Sizes
+	}
+	if blockSize == 0 {
+		blockSize = dmverity.DefaultBlockSize
+	}
+	maxSize := sizes[0]
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	// Round the device up to a block multiple.
+	devSize := (maxSize + int64(blockSize) - 1) / int64(blockSize) * int64(blockSize)
+
+	data := make([]byte, devSize)
+	rand.New(rand.NewSource(6)).Read(data)
+	dataDev := blockdev.NewMemFrom(data)
+	hashDev, meta, err := dmverity.Format(dataDev, dmverity.Params{BlockSize: blockSize})
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig6 format: %w", err)
+	}
+
+	res := &Fig6Result{BlockSize: blockSize}
+	var sum float64
+	for _, size := range sizes {
+		buf := make([]byte, size)
+
+		start := time.Now()
+		if err := dataDev.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
+		plain := time.Since(start)
+
+		verityDev, err := dmverity.Open(dataDev, hashDev, meta, meta.RootHash)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if err := verityDev.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
+		verity := time.Since(start)
+
+		slowdown := 0.0
+		if plain > 0 {
+			slowdown = float64(verity) / float64(plain)
+		}
+		sum += slowdown
+		res.Points = append(res.Points, Fig6Point{
+			SizeBytes: size, Plain: plain, Verity: verity, Slowdown: slowdown,
+		})
+	}
+	res.AvgSlowdown = sum / float64(len(res.Points))
+	return res, nil
+}
+
+// Render prints the series.
+func (r *Fig6Result) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			humanSize(p.SizeBytes), fmtMS(p.Plain), fmtMS(p.Verity),
+			fmt.Sprintf("%.2fx", p.Slowdown),
+		})
+	}
+	return fmt.Sprintf("Fig 6: dm-verity read latency (block size %d)\n", r.BlockSize) +
+		table([]string{"File size", "Plain(ms)", "dm-verity(ms)", "Slowdown"}, rows) +
+		fmt.Sprintf("average slowdown: %.2fx\n", r.AvgSlowdown)
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"revelio/internal/certmgr"
+	"revelio/internal/core"
+	"revelio/internal/imagebuild"
+)
+
+// ScalabilityPoint is one cluster size in the D3 sweep.
+type ScalabilityPoint struct {
+	Nodes   int
+	Timings certmgr.Timings
+	Total   time.Duration
+}
+
+// ScalabilityResult measures how certificate provisioning scales with
+// cluster size — the paper's D3 requirement: one shared certificate
+// regardless of node count, so only retrieval/validation/distribution
+// grow (linearly), never the CA-bound generation step.
+type ScalabilityResult struct {
+	Points []ScalabilityPoint
+}
+
+// RunScalability provisions clusters of each size and records the step
+// timings.
+func RunScalability(nodeCounts []int) (*ScalabilityResult, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 4, 8}
+	}
+	res := &ScalabilityResult{}
+	for _, n := range nodeCounts {
+		reg := imagebuild.NewRegistry()
+		base := imagebuild.PublishUbuntuBase(reg)
+		spec := imagebuild.CryptpadSpec(base)
+		d, err := core.New(core.Config{
+			Spec:     spec,
+			Registry: reg,
+			Nodes:    n,
+			Domain:   "svc.example.org",
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scalability n=%d: %w", n, err)
+		}
+		start := time.Now()
+		prov, err := d.ProvisionCertificates(context.Background())
+		total := time.Since(start)
+		d.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: scalability provision n=%d: %w", n, err)
+		}
+		res.Points = append(res.Points, ScalabilityPoint{
+			Nodes: n, Timings: prov.Timings, Total: total,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *ScalabilityResult) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Nodes),
+			fmtMS(p.Timings.EvidenceRetrieval),
+			fmtMS(p.Timings.EvidenceValidation),
+			fmtMS(p.Timings.CertGeneration),
+			fmtMS(p.Timings.CertDistribution),
+			fmtMS(p.Total),
+		})
+	}
+	return "Scalability (D3): certificate provisioning vs cluster size\n" +
+		table([]string{"Nodes", "Retrieve(ms)", "Validate(ms)", "Generate(ms)", "Distribute(ms)", "Total(ms)"}, rows)
+}

@@ -1,0 +1,232 @@
+// Package boundary implements the Internet Computer Boundary Node (§4.2):
+// the protocol-translation proxy that turns ordinary HTTP requests into
+// IC-protocol message exchanges, plus the JavaScript-like service worker
+// it hands to browsers so that subsequent requests are translated — and
+// response certificates verified — on the client side.
+//
+// A malicious Boundary Node can tamper with replies or serve a rigged
+// service worker; both attack hooks exist here because they are exactly
+// what Revelio's attestation of the BN is designed to expose.
+package boundary
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"revelio/internal/ic"
+)
+
+// Paths the Boundary Node serves.
+const (
+	// QueryPathPrefix accepts POSTed query calls:
+	// /api/v2/canister/{id}/query.
+	QueryPathPrefix = "/api/v2/canister/"
+	// ServiceWorkerPath serves the service worker payload.
+	ServiceWorkerPath = "/sw.js"
+)
+
+// ErrTampered reports client-side detection of a Boundary Node that
+// modified a certified response.
+var ErrTampered = errors.New("boundary: certified response tampered")
+
+// CallBody is the JSON body of a query/call POST.
+type CallBody struct {
+	Method string `json:"method"`
+	Arg    []byte `json:"arg"`
+}
+
+// Proxy is the Boundary Node.
+type Proxy struct {
+	net *ic.Network
+	// swVersion is baked into the service worker body; it is part of the
+	// rootfs in a Revelio-protected BN and hence measured.
+	swVersion string
+	// assetCanister, when set, receives plain GETs translated to
+	// "http_request" queries — how dapp frontends are served.
+	assetCanister string
+
+	tamperReplies atomic.Bool
+	tamperWorker  atomic.Bool
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// NewProxy creates a Boundary Node in front of the IC network.
+func NewProxy(network *ic.Network, swVersion string) *Proxy {
+	return &Proxy{net: network, swVersion: swVersion}
+}
+
+// ServeAssetsFrom routes plain GET requests to the named canister's
+// "http_request" query method (the asset-canister translation real BNs
+// perform on the first, pre-service-worker request).
+func (p *Proxy) ServeAssetsFrom(canisterID string) { p.assetCanister = canisterID }
+
+// TamperReplies makes the (malicious) proxy modify canister replies
+// in flight.
+func (p *Proxy) TamperReplies(on bool) { p.tamperReplies.Store(on) }
+
+// TamperServiceWorker makes the proxy serve a rigged service worker.
+func (p *Proxy) TamperServiceWorker(on bool) { p.tamperWorker.Store(on) }
+
+// ServiceWorkerBody returns the canonical worker payload for a version —
+// what an honest BN serves and what the rootfs measurement covers.
+func ServiceWorkerBody(version string) []byte {
+	return []byte("// revelio-ic-service-worker\n// version: " + version +
+		"\n// verifies subnet threshold certificates client-side\n")
+}
+
+// ServeHTTP implements the HTTP→IC translation.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == ServiceWorkerPath:
+		p.serveWorker(w)
+	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, QueryPathPrefix):
+		p.serveCall(w, r)
+	case r.Method == http.MethodGet && p.assetCanister != "":
+		p.serveAsset(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveAsset translates GET {path} into an http_request query on the
+// asset canister and relays the reply body. The direct translation path
+// offers no client-side certificate verification — exactly the trust gap
+// that motivates attesting the BN (§4.2).
+func (p *Proxy) serveAsset(w http.ResponseWriter, r *http.Request) {
+	resp, err := p.net.Submit(ic.Request{
+		CanisterID: p.assetCanister,
+		Method:     "http_request",
+		Arg:        []byte(r.URL.Path),
+		Kind:       ic.KindQuery,
+	})
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ic.ErrNoSuchCanister) || errors.Is(err, ic.ErrNoSuchMethod) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	body := resp.Reply
+	if p.tamperReplies.Load() {
+		body = append([]byte("tampered:"), body...)
+	}
+	_, _ = w.Write(body)
+}
+
+func (p *Proxy) serveWorker(w http.ResponseWriter) {
+	body := ServiceWorkerBody(p.swVersion)
+	if p.tamperWorker.Load() {
+		body = append(body, []byte("// injected: exfiltrate(credentials)\n")...)
+	}
+	w.Header().Set("Content-Type", "application/javascript")
+	_, _ = w.Write(body)
+}
+
+func (p *Proxy) serveCall(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, QueryPathPrefix)
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 {
+		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+	canisterID, callKind := parts[0], parts[1]
+	var kind ic.RequestKind
+	switch callKind {
+	case "query":
+		kind = ic.KindQuery
+	case "call":
+		kind = ic.KindUpdate
+	default:
+		http.Error(w, "bad call kind", http.StatusBadRequest)
+		return
+	}
+	var body CallBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+		http.Error(w, "bad body", http.StatusBadRequest)
+		return
+	}
+
+	resp, err := p.net.Submit(ic.Request{
+		CanisterID: canisterID,
+		Method:     body.Method,
+		Arg:        body.Arg,
+		Kind:       kind,
+	})
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ic.ErrNoSuchCanister) || errors.Is(err, ic.ErrNoSuchMethod) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if p.tamperReplies.Load() {
+		// The malicious BN rewrites the reply but cannot forge subnet
+		// signatures — verifying clients catch this.
+		resp.Reply = append([]byte("tampered:"), resp.Reply...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ServiceWorker is the client-side verifier a browser runs after
+// installing the worker: it translates requests and verifies the subnet
+// certificate on every response.
+type ServiceWorker struct {
+	keys map[string]ic.SubnetPublicKey
+}
+
+// NewServiceWorker creates a verifying worker holding the subnets' public
+// key material (obtained out of band, e.g. from the NNS).
+func NewServiceWorker(keys ...ic.SubnetPublicKey) *ServiceWorker {
+	m := make(map[string]ic.SubnetPublicKey, len(keys))
+	for _, k := range keys {
+		m[k.SubnetID] = k
+	}
+	return &ServiceWorker{keys: m}
+}
+
+// Call posts a request through the Boundary Node at baseURL and verifies
+// the certificate before returning the reply.
+func (sw *ServiceWorker) Call(client *http.Client, baseURL, canisterID string, kind ic.RequestKind, method string, arg []byte) ([]byte, error) {
+	callKind := "query"
+	if kind == ic.KindUpdate {
+		callKind = "call"
+	}
+	body, err := json.Marshal(CallBody{Method: method, Arg: arg})
+	if err != nil {
+		return nil, err
+	}
+	url := baseURL + QueryPathPrefix + canisterID + "/" + callKind
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("boundary: post %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("boundary: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var certified ic.CertifiedResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&certified); err != nil {
+		return nil, fmt.Errorf("boundary: decode response: %w", err)
+	}
+
+	key, ok := sw.keys[certified.Cert.SubnetID]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown subnet %q", ErrTampered, certified.Cert.SubnetID)
+	}
+	if err := key.Verify(&certified); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrTampered, err)
+	}
+	return certified.Reply, nil
+}

@@ -1,0 +1,264 @@
+package boundary
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"revelio/internal/ic"
+)
+
+func echoCanister() *ic.Canister {
+	return ic.NewCanister("echo",
+		map[string]ic.Handler{
+			"greet": func(_ *ic.State, arg []byte) ([]byte, error) {
+				return append([]byte("hello "), arg...), nil
+			},
+		},
+		map[string]ic.Handler{
+			"store": func(s *ic.State, arg []byte) ([]byte, error) {
+				s.Set("value", arg)
+				return []byte("ok"), nil
+			},
+		})
+}
+
+func newStack(t *testing.T) (*ic.Subnet, *Proxy, *httptest.Server) {
+	t.Helper()
+	subnet, err := ic.NewSubnet("subnet-app", 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := ic.NewNetwork()
+	net.AddSubnet(subnet)
+	if err := net.InstallCanister("subnet-app", echoCanister()); err != nil {
+		t.Fatal(err)
+	}
+	proxy := NewProxy(net, "1.2.3")
+	server := httptest.NewServer(proxy)
+	t.Cleanup(server.Close)
+	return subnet, proxy, server
+}
+
+func TestQueryThroughProxy(t *testing.T) {
+	subnet, _, server := newStack(t)
+	sw := NewServiceWorker(subnet.PublicKey())
+	reply, err := sw.Call(server.Client(), server.URL, "echo", ic.KindQuery, "greet", []byte("world"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "hello world" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestUpdateThroughProxy(t *testing.T) {
+	subnet, _, server := newStack(t)
+	sw := NewServiceWorker(subnet.PublicKey())
+	reply, err := sw.Call(server.Client(), server.URL, "echo", ic.KindUpdate, "store", []byte("v"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "ok" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+// TestMaliciousProxyDetected is the §4.2 threat: a Boundary Node that
+// rewrites canister replies is caught by the verifying service worker
+// because it cannot forge the subnet's threshold certificate.
+func TestMaliciousProxyDetected(t *testing.T) {
+	subnet, proxy, server := newStack(t)
+	proxy.TamperReplies(true)
+	sw := NewServiceWorker(subnet.PublicKey())
+	_, err := sw.Call(server.Client(), server.URL, "echo", ic.KindQuery, "greet", []byte("x"))
+	if !errors.Is(err, ErrTampered) {
+		t.Errorf("err = %v, want ErrTampered", err)
+	}
+}
+
+// A non-verifying client (plain browser without the honest service
+// worker) would accept the tampered reply — demonstrating why attesting
+// the BN matters for users who rely on the BN-served worker.
+func TestPlainClientAcceptsTamperedReply(t *testing.T) {
+	_, proxy, server := newStack(t)
+	proxy.TamperReplies(true)
+	resp, err := http.Post(server.URL+QueryPathPrefix+"echo/query", "application/json",
+		bytes.NewReader([]byte(`{"method":"greet","arg":null}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var certified ic.CertifiedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&certified); err != nil {
+		t.Fatal(err)
+	}
+	// The plain client happily takes the tampered reply at face value.
+	if !bytes.HasPrefix(certified.Reply, []byte("tampered:")) {
+		t.Errorf("proxy did not tamper (test setup broken): %q", certified.Reply)
+	}
+}
+
+func TestServiceWorkerContent(t *testing.T) {
+	_, proxy, server := newStack(t)
+	resp, err := http.Get(server.URL + ServiceWorkerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, ServiceWorkerBody("1.2.3")) {
+		t.Error("served worker differs from canonical body")
+	}
+
+	// A malicious BN serves a rigged worker — its bytes differ from the
+	// canonical (measured) body, so an auditor comparing against the
+	// rootfs-measured version catches it.
+	proxy.TamperServiceWorker(true)
+	resp2, err := http.Get(server.URL + ServiceWorkerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := io.ReadAll(resp2.Body)
+	_ = resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(body2, ServiceWorkerBody("1.2.3")) {
+		t.Error("tampered worker identical to canonical body")
+	}
+}
+
+func TestProxyErrorMapping(t *testing.T) {
+	_, _, server := newStack(t)
+	cases := []struct {
+		path string
+		body string
+		want int
+	}{
+		{QueryPathPrefix + "missing/query", `{"method":"greet"}`, http.StatusNotFound},
+		{QueryPathPrefix + "echo/query", `{"method":"missing"}`, http.StatusNotFound},
+		{QueryPathPrefix + "echo/badkind", `{"method":"greet"}`, http.StatusBadRequest},
+		{QueryPathPrefix + "echo/query", `not json`, http.StatusBadRequest},
+		{QueryPathPrefix + "echo", `{}`, http.StatusBadRequest},
+	}
+	for _, tt := range cases {
+		resp, err := http.Post(server.URL+tt.path, "application/json",
+			bytes.NewReader([]byte(tt.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != tt.want {
+			t.Errorf("POST %s %q: status %d, want %d", tt.path, tt.body, resp.StatusCode, tt.want)
+		}
+	}
+	resp, err := http.Get(server.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /other: status %d", resp.StatusCode)
+	}
+}
+
+func TestServiceWorkerUnknownSubnet(t *testing.T) {
+	_, _, server := newStack(t)
+	sw := NewServiceWorker() // holds no subnet keys
+	_, err := sw.Call(server.Client(), server.URL, "echo", ic.KindQuery, "greet", nil)
+	if !errors.Is(err, ErrTampered) {
+		t.Errorf("err = %v, want ErrTampered", err)
+	}
+}
+
+func TestAssetCanisterGETTranslation(t *testing.T) {
+	subnet, err := ic.NewSubnet("subnet-assets", 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := ic.NewNetwork()
+	network.AddSubnet(subnet)
+	assets := ic.NewCanister("frontend",
+		map[string]ic.Handler{
+			"http_request": func(_ *ic.State, arg []byte) ([]byte, error) {
+				switch string(arg) {
+				case "/", "/index.html":
+					return []byte("<html>dapp</html>"), nil
+				default:
+					return nil, errors.New("404")
+				}
+			},
+		}, nil)
+	if err := network.InstallCanister("subnet-assets", assets); err != nil {
+		t.Fatal(err)
+	}
+	proxy := NewProxy(network, "1.0")
+	proxy.ServeAssetsFrom("frontend")
+	server := httptest.NewServer(proxy)
+	t.Cleanup(server.Close)
+
+	resp, err := http.Get(server.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "<html>dapp</html>" {
+		t.Errorf("body = %q", body)
+	}
+
+	// Unknown assets surface as gateway errors, not panics.
+	resp2, err := http.Get(server.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadGateway {
+		t.Errorf("missing asset: status %d", resp2.StatusCode)
+	}
+
+	// The direct GET path has no client-side certificate check: a
+	// tampering BN succeeds silently here (which is the point of
+	// attesting it).
+	proxy.TamperReplies(true)
+	resp3, err := http.Get(server.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, err := io.ReadAll(resp3.Body)
+	_ = resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(body3, []byte("tampered:")) {
+		t.Error("test setup: proxy did not tamper")
+	}
+}
+
+// Without an asset canister configured, plain GETs 404 as before.
+func TestNoAssetCanisterConfigured(t *testing.T) {
+	_, _, server := newStack(t)
+	resp, err := http.Get(server.URL + "/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}

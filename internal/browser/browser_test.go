@@ -1,0 +1,161 @@
+package browser
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"revelio/internal/acme"
+)
+
+// startTLSServer issues a CA-signed certificate for domain and serves
+// handler over TLS on a loopback listener, returning the address.
+func startTLSServer(t *testing.T, ca *acme.CA, zone *acme.Zone, domain string, handler http.Handler) (addr string, pubDER []byte) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := x509.CreateCertificateRequest(rand.Reader, &x509.CertificateRequest{
+		Subject:  pkix.Name{CommonName: domain},
+		DNSNames: []string{domain},
+	}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certDER, err := acme.NewClient(ca, zone).ObtainCertificate(domain, csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsLn := tls.NewListener(ln, &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{certDER}, PrivateKey: key}},
+	})
+	server := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = server.Serve(tlsLn) }()
+	t.Cleanup(func() { _ = server.Close() })
+
+	pubDER, err = x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln.Addr().String(), pubDER
+}
+
+func newTestCA(t *testing.T) (*acme.CA, *acme.Zone, *x509.CertPool) {
+	t.Helper()
+	zone := acme.NewZone()
+	ca, err := acme.NewCA(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.RootCert())
+	return ca, zone, pool
+}
+
+func TestGetCapturesTLSPublicKey(t *testing.T) {
+	ca, zone, pool := newTestCA(t)
+	addr, wantPub := startTLSServer(t, ca, zone, "svc.test",
+		http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("hello"))
+		}))
+
+	b := New(pool, 0)
+	b.Resolve("svc.test", addr)
+	resp, err := b.Get(context.Background(), "svc.test", "/")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "hello" {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if string(resp.TLSPublicKeyDER) != string(wantPub) {
+		t.Error("captured TLS key differs from server key")
+	}
+	connKey, err := b.ConnectionPublicKey("svc.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(connKey) != string(wantPub) {
+		t.Error("connection context key differs")
+	}
+}
+
+func TestUnresolvableDomain(t *testing.T) {
+	_, _, pool := newTestCA(t)
+	b := New(pool, 0)
+	if _, err := b.Get(context.Background(), "nowhere.test", "/"); !errors.Is(err, ErrUnresolvable) {
+		t.Errorf("err = %v, want ErrUnresolvable", err)
+	}
+}
+
+func TestConnectionContextBeforeConnect(t *testing.T) {
+	_, _, pool := newTestCA(t)
+	b := New(pool, 0)
+	if _, err := b.ConnectionPublicKey("svc.test"); !errors.Is(err, ErrNoConnection) {
+		t.Errorf("err = %v, want ErrNoConnection", err)
+	}
+}
+
+func TestCertificateDomainMismatchRejected(t *testing.T) {
+	ca, zone, pool := newTestCA(t)
+	// Certificate for one domain, browser asks for another: the TLS
+	// handshake must fail, as in a real browser.
+	addr, _ := startTLSServer(t, ca, zone, "real.test", http.NotFoundHandler())
+	b := New(pool, 0)
+	b.Resolve("victim.test", addr)
+	if _, err := b.Get(context.Background(), "victim.test", "/"); err == nil {
+		t.Error("Get succeeded with mismatched certificate")
+	}
+}
+
+func TestUntrustedCARejected(t *testing.T) {
+	ca, zone, _ := newTestCA(t)
+	addr, _ := startTLSServer(t, ca, zone, "svc.test", http.NotFoundHandler())
+	// Browser with an empty trust store.
+	b := New(x509.NewCertPool(), 0)
+	b.Resolve("svc.test", addr)
+	if _, err := b.Get(context.Background(), "svc.test", "/"); err == nil {
+		t.Error("Get succeeded with untrusted CA")
+	}
+}
+
+func TestRedirectUpdatesConnectionContext(t *testing.T) {
+	ca, zone, pool := newTestCA(t)
+	addrA, pubA := startTLSServer(t, ca, zone, "svc.test", http.NotFoundHandler())
+	addrB, pubB := startTLSServer(t, ca, zone, "svc.test", http.NotFoundHandler())
+	if string(pubA) == string(pubB) {
+		t.Fatal("servers share a key")
+	}
+	b := New(pool, 0)
+	b.Resolve("svc.test", addrA)
+	if _, err := b.Get(context.Background(), "svc.test", "/"); err != nil {
+		t.Fatal(err)
+	}
+	// Malicious DNS repoints the domain; the connection context follows.
+	b.Resolve("svc.test", addrB)
+	if _, err := b.Get(context.Background(), "svc.test", "/"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ConnectionPublicKey("svc.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(pubB) {
+		t.Error("connection context not updated after redirect")
+	}
+}

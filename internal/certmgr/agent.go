@@ -1,0 +1,438 @@
+// Package certmgr implements Revelio's certificate management protocol
+// (§5.3.1, Fig 4): the SP node attests every guest, picks a leader whose
+// CSR the CA signs, and the nodes acquire the shared TLS private key from
+// the leader over a mutually attested exchange — so the key only ever
+// travels between VMs that have proven their measured state, encrypted to
+// an attested public key, and lands on the sealed persistent volume.
+package certmgr
+
+import (
+	"bytes"
+	"context"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"revelio/internal/attest"
+	"revelio/internal/vm"
+)
+
+// HTTP paths the node agent serves (the nginx+FastCGI CGI scripts of the
+// paper's prototype).
+const (
+	PathCSRBundle   = "/revelio/csr-bundle"
+	PathCertificate = "/revelio/certificate"
+	PathKeyRequest  = "/revelio/key-request"
+	// WellKnownPath serves the attestation bundle end-users fetch
+	// (§5.3.2, "a well-known URL, as in the case of robots.txt").
+	WellKnownPath = "/.well-known/revelio/attestation"
+)
+
+var (
+	// ErrNotReady reports an agent that has not completed provisioning.
+	ErrNotReady = errors.New("certmgr: agent not provisioned yet")
+	// ErrNotLeader reports a key request sent to a non-leader.
+	ErrNotLeader = errors.New("certmgr: this node is not the leader")
+	// ErrPeerRejected reports a peer that failed mutual attestation.
+	ErrPeerRejected = errors.New("certmgr: peer failed attestation")
+	// ErrCertKeyMismatch reports a certificate whose public key does not
+	// match the distributed private key.
+	ErrCertKeyMismatch = errors.New("certmgr: certificate does not match private key")
+)
+
+// certMsg is the SP node's certificate-distribution POST body.
+type certMsg struct {
+	CertDER   []byte `json:"certDer"`
+	LeaderURL string `json:"leaderUrl"`
+}
+
+// Agent runs inside a Revelio VM and participates in the Fig 4 protocol.
+type Agent struct {
+	vm       *vm.VM
+	verifier *attest.Verifier
+	httpc    *http.Client
+
+	mu       sync.Mutex
+	certDER  []byte
+	tlsKey   *ecdsa.PrivateKey
+	isLeader bool
+	ready    bool
+	// servingBundle binds the shared TLS public key to a fresh report,
+	// built once provisioning completes.
+	servingBundle *attest.Bundle
+	// servingPubDER is the shared TLS public key, kept for nonce-bound
+	// freshness challenges.
+	servingPubDER []byte
+}
+
+// NewAgent creates the agent for a booted VM. The verifier carries the
+// golden values planted at build time; httpc is the guest's outbound
+// client (nil selects http.DefaultClient).
+func NewAgent(v *vm.VM, verifier *attest.Verifier, httpc *http.Client) *Agent {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Agent{vm: v, verifier: verifier, httpc: httpc}
+}
+
+// ServeHTTP implements http.Handler for the agent's control endpoints.
+func (a *Agent) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == PathCSRBundle:
+		a.handleCSRBundle(w)
+	case r.Method == http.MethodPost && r.URL.Path == PathCertificate:
+		a.handleCertificate(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == PathKeyRequest:
+		a.handleKeyRequest(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == WellKnownPath:
+		a.handleWellKnown(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+var _ http.Handler = (*Agent)(nil)
+
+func (a *Agent) handleCSRBundle(w http.ResponseWriter) {
+	id := a.vm.Identity()
+	bundle, err := attest.NewBundle(id.CSRReport, id.CSRDER)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, bundle)
+}
+
+func (a *Agent) handleCertificate(w http.ResponseWriter, r *http.Request) {
+	var msg certMsg
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	if err := a.installCertificate(r.Context(), msg); err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// installCertificate implements the node side of distribution: if the
+// certificate matches our own identity key we are the leader; otherwise
+// fetch the shared private key from the leader with mutual attestation.
+func (a *Agent) installCertificate(ctx context.Context, msg certMsg) error {
+	cert, err := x509.ParseCertificate(msg.CertDER)
+	if err != nil {
+		return fmt.Errorf("certmgr: parse certificate: %w", err)
+	}
+	certPub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("certmgr: unexpected cert key type %T", cert.PublicKey)
+	}
+
+	id := a.vm.Identity()
+	if certPub.Equal(&id.Key.PublicKey) {
+		// We are the leader: the cert was issued for our CSR.
+		return a.finishInstall(msg.CertDER, id.Key, true)
+	}
+
+	// Non-leader: request the key from the leader.
+	key, err := a.fetchKeyFromLeader(ctx, msg.LeaderURL)
+	if err != nil {
+		return err
+	}
+	if !certPub.Equal(&key.PublicKey) {
+		return ErrCertKeyMismatch
+	}
+	return a.finishInstall(msg.CertDER, key, false)
+}
+
+func (a *Agent) fetchKeyFromLeader(ctx context.Context, leaderURL string) (*ecdsa.PrivateKey, error) {
+	id := a.vm.Identity()
+	pubDER, err := id.PublicKeyDER()
+	if err != nil {
+		return nil, err
+	}
+	reqBundle, err := attest.NewBundle(id.KeyReport, pubDER)
+	if err != nil {
+		return nil, err
+	}
+	body, err := reqBundle.Encode()
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		leaderURL+PathKeyRequest, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: contact leader: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("certmgr: leader refused key request: status %d", resp.StatusCode)
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	respBundle, err := attest.DecodeBundle(respBody)
+	if err != nil {
+		return nil, err
+	}
+	// Attest the leader before trusting the payload.
+	if _, err := a.verifier.VerifyBundle(ctx, respBundle, vm.HashOf); err != nil {
+		return nil, fmt.Errorf("%w: leader: %w", ErrPeerRejected, err)
+	}
+	keyDER, err := eciesDecrypt(id.Key, respBundle.Payload)
+	if err != nil {
+		return nil, err
+	}
+	key, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: parse distributed key: %w", err)
+	}
+	return key, nil
+}
+
+func (a *Agent) finishInstall(certDER []byte, key *ecdsa.PrivateKey, leader bool) error {
+	// Persist the credentials on the sealed volume before serving
+	// (the paper's encrypted-partition install step).
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return err
+	}
+	if err := a.storePersistentCredentials(keyDER, certDER); err != nil {
+		return err
+	}
+
+	pubDER, err := x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return err
+	}
+	servingReport, err := a.vm.Report(vm.HashOf(pubDER))
+	if err != nil {
+		return err
+	}
+	bundle, err := attest.NewBundle(servingReport, pubDER)
+	if err != nil {
+		return err
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.certDER = append([]byte(nil), certDER...)
+	a.tlsKey = key
+	a.isLeader = leader
+	a.servingBundle = bundle
+	a.servingPubDER = pubDER
+	a.ready = true
+	return nil
+}
+
+// storePersistentCredentials writes length-prefixed key and certificate
+// blobs at the start of the encrypted persistent volume.
+func (a *Agent) storePersistentCredentials(keyDER, certDER []byte) error {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(keyDER)))
+	buf = append(buf, keyDER...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(certDER)))
+	buf = append(buf, certDER...)
+	if err := a.vm.Persist().WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("certmgr: persist credentials: %w", err)
+	}
+	return nil
+}
+
+// ErrNoPersistedCredentials reports an empty or unparseable credential
+// area on the persistent volume.
+var ErrNoPersistedCredentials = errors.New("certmgr: no persisted credentials")
+
+// LoadPersistentCredentials reads what a previous provisioning run stored
+// — the rebooted node's alternative to re-running the Fig 4 protocol.
+// It only succeeds if the VM unsealed the same volume, i.e. booted with
+// the identical measurement.
+func (a *Agent) LoadPersistentCredentials() (*ecdsa.PrivateKey, []byte, error) {
+	readBlob := func(off int64, limit uint32) ([]byte, int64, error) {
+		hdr := make([]byte, 4)
+		if err := a.vm.Persist().ReadAt(hdr, off); err != nil {
+			return nil, 0, err
+		}
+		n := binary.LittleEndian.Uint32(hdr)
+		if n == 0 || n > limit {
+			return nil, 0, ErrNoPersistedCredentials
+		}
+		blob := make([]byte, n)
+		if err := a.vm.Persist().ReadAt(blob, off+4); err != nil {
+			return nil, 0, err
+		}
+		return blob, off + 4 + int64(n), nil
+	}
+	keyDER, next, err := readBlob(0, 4096)
+	if err != nil {
+		return nil, nil, err
+	}
+	key, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: bad key: %v", ErrNoPersistedCredentials, err)
+	}
+	certDER, _, err := readBlob(next, 16384)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := x509.ParseCertificate(certDER); err != nil {
+		return nil, nil, fmt.Errorf("%w: bad certificate: %v", ErrNoPersistedCredentials, err)
+	}
+	return key, certDER, nil
+}
+
+// RestoreFromPersist brings a rebooted node back into service from the
+// sealed volume, without contacting the SP node or the leader. The node
+// resumes as a non-leader (leader election happens at provisioning time);
+// run Provision again to rotate certificates or re-elect.
+func (a *Agent) RestoreFromPersist() error {
+	key, certDER, err := a.LoadPersistentCredentials()
+	if err != nil {
+		return err
+	}
+	return a.finishInstall(certDER, key, false)
+}
+
+func (a *Agent) handleKeyRequest(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	leader, ready, key := a.isLeader, a.ready, a.tlsKey
+	a.mu.Unlock()
+	if !ready {
+		http.Error(w, ErrNotReady.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if !leader {
+		http.Error(w, ErrNotLeader.Error(), http.StatusForbidden)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	reqBundle, err := attest.DecodeBundle(body)
+	if err != nil {
+		http.Error(w, "bad bundle", http.StatusBadRequest)
+		return
+	}
+	// Mutual attestation: the leader validates the requester exactly as
+	// the SP node validated us.
+	if _, err := a.verifier.VerifyBundle(r.Context(), reqBundle, vm.HashOf); err != nil {
+		http.Error(w, ErrPeerRejected.Error(), http.StatusForbidden)
+		return
+	}
+	peerPubAny, err := x509.ParsePKIXPublicKey(reqBundle.Payload)
+	if err != nil {
+		http.Error(w, "bad peer key", http.StatusBadRequest)
+		return
+	}
+	peerPub, ok := peerPubAny.(*ecdsa.PublicKey)
+	if !ok {
+		http.Error(w, "bad peer key type", http.StatusBadRequest)
+		return
+	}
+
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	encKey, err := eciesEncrypt(peerPub, keyDER)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	report, err := a.vm.Report(vm.HashOf(encKey))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	respBundle, err := attest.NewBundle(report, encKey)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, respBundle)
+}
+
+// handleWellKnown serves the attestation bundle. Without a nonce the
+// cached bundle from provisioning time is returned (enough for
+// discovery); with ?nonce=<hex> a *fresh* report is produced whose
+// REPORT_DATA binds both the TLS key and the caller's nonce, defeating
+// replay of recorded bundles.
+func (a *Agent) handleWellKnown(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	bundle := a.servingBundle
+	pubDER := a.servingPubDER
+	a.mu.Unlock()
+	if bundle == nil {
+		http.Error(w, ErrNotReady.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	nonceHex := r.URL.Query().Get("nonce")
+	if nonceHex == "" {
+		writeJSON(w, bundle)
+		return
+	}
+	nonce, err := hex.DecodeString(nonceHex)
+	if err != nil || len(nonce) == 0 || len(nonce) > 64 {
+		http.Error(w, "bad nonce", http.StatusBadRequest)
+		return
+	}
+	report, err := a.vm.Report(vm.HashOfWithNonce(pubDER, nonce))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fresh, err := attest.NewBundle(report, pubDER)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, fresh)
+}
+
+// Ready reports whether provisioning completed.
+func (a *Agent) Ready() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ready
+}
+
+// IsLeader reports whether this agent holds the leader role.
+func (a *Agent) IsLeader() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.isLeader
+}
+
+// TLSCredentials returns the shared certificate and private key once
+// ready — what the HTTPS front end (nginx) is restarted with.
+func (a *Agent) TLSCredentials() (certDER []byte, key *ecdsa.PrivateKey, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.ready {
+		return nil, nil, ErrNotReady
+	}
+	return append([]byte(nil), a.certDER...), a.tlsKey, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,124 @@
+package certmgr
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"revelio/internal/kdf"
+)
+
+// errDecrypt is returned for any malformed or unopenable ECIES blob.
+var errDecrypt = errors.New("certmgr: cannot decrypt key blob")
+
+// eciesEncrypt encrypts plaintext to the holder of pub using an ephemeral
+// ECDH agreement, HKDF-SHA256 key derivation and AES-256-GCM. This is how
+// the leader wraps its TLS private key for an attested peer (Fig 4).
+func eciesEncrypt(pub *ecdsa.PublicKey, plaintext []byte) ([]byte, error) {
+	eph, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: ephemeral key: %w", err)
+	}
+	ephECDH, err := eph.ECDH()
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: ephemeral ecdh: %w", err)
+	}
+	peerECDH, err := pub.ECDH()
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: peer ecdh: %w", err)
+	}
+	secret, err := ephECDH.ECDH(peerECDH)
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: ecdh agree: %w", err)
+	}
+	key, err := kdf.Derive(sha256.New, secret, nil, []byte("revelio-ecies-v1"), 32)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("certmgr: nonce: %w", err)
+	}
+	ephDER, err := x509.MarshalPKIXPublicKey(&eph.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+
+	out := binary.LittleEndian.AppendUint16(nil, uint16(len(ephDER)))
+	out = append(out, ephDER...)
+	out = append(out, nonce...)
+	out = aead.Seal(out, nonce, plaintext, ephDER)
+	return out, nil
+}
+
+// eciesDecrypt reverses eciesEncrypt with the recipient's private key.
+func eciesDecrypt(priv *ecdsa.PrivateKey, blob []byte) ([]byte, error) {
+	if len(blob) < 2 {
+		return nil, errDecrypt
+	}
+	ephLen := int(binary.LittleEndian.Uint16(blob))
+	blob = blob[2:]
+	if len(blob) < ephLen {
+		return nil, errDecrypt
+	}
+	ephDER := blob[:ephLen]
+	blob = blob[ephLen:]
+
+	ephAny, err := x509.ParsePKIXPublicKey(ephDER)
+	if err != nil {
+		return nil, errDecrypt
+	}
+	ephPub, ok := ephAny.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errDecrypt
+	}
+	privECDH, err := priv.ECDH()
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: recipient ecdh: %w", err)
+	}
+	ephECDH, err := ephPub.ECDH()
+	if err != nil {
+		return nil, errDecrypt
+	}
+	secret, err := privECDH.ECDH(ephECDH)
+	if err != nil {
+		return nil, errDecrypt
+	}
+	key, err := kdf.Derive(sha256.New, secret, nil, []byte("revelio-ecies-v1"), 32)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, errDecrypt
+	}
+	nonce := blob[:aead.NonceSize()]
+	ct := blob[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, ephDER)
+	if err != nil {
+		return nil, errDecrypt
+	}
+	return pt, nil
+}

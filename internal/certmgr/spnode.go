@@ -1,0 +1,210 @@
+package certmgr
+
+import (
+	"bytes"
+	"context"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"revelio/internal/acme"
+	"revelio/internal/attest"
+	"revelio/internal/sev"
+	"revelio/internal/vm"
+)
+
+var (
+	// ErrNodeRejected reports a node that failed the SP's attestation.
+	ErrNodeRejected = errors.New("certmgr: node failed attestation")
+	// ErrUnapprovedNode reports a node address or chip outside the SP's
+	// approved set (§5.3.1's impersonation defence).
+	ErrUnapprovedNode = errors.New("certmgr: node not in approved set")
+	// ErrNoNodes reports provisioning with an empty node list.
+	ErrNoNodes = errors.New("certmgr: no nodes to provision")
+)
+
+// Timings decomposes one provisioning run, mirroring Table 2's rows.
+type Timings struct {
+	EvidenceRetrieval  time.Duration
+	EvidenceValidation time.Duration
+	CertGeneration     time.Duration
+	CertDistribution   time.Duration
+}
+
+// ProvisionResult reports a completed run.
+type ProvisionResult struct {
+	LeaderURL string
+	CertDER   []byte
+	Timings   Timings
+}
+
+// CertificateObtainer abstracts the certbot flow: both the in-process
+// acme.Client and the wire-protocol acme.HTTPClient satisfy it.
+type CertificateObtainer interface {
+	ObtainCertificate(domain string, csrDER []byte) ([]byte, error)
+}
+
+var (
+	_ CertificateObtainer = (*acme.Client)(nil)
+	_ CertificateObtainer = (*acme.HTTPClient)(nil)
+)
+
+// SPNode is the service provider's isolated machine: it holds the DNS
+// credentials (through the certbot client), the approved node set, and
+// the golden measurements, and orchestrates certificate issuance and
+// distribution.
+type SPNode struct {
+	verifier *attest.Verifier
+	certbot  CertificateObtainer
+	domain   string
+	approved map[string]sev.ChipID // node base URL -> expected chip
+	httpc    *http.Client
+}
+
+// NewSPNode creates the SP orchestrator. approved maps each node's base
+// URL to the chip it must run on.
+func NewSPNode(verifier *attest.Verifier, certbot CertificateObtainer, domain string,
+	approved map[string]sev.ChipID, httpc *http.Client) *SPNode {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	cp := make(map[string]sev.ChipID, len(approved))
+	for k, v := range approved {
+		cp[k] = v
+	}
+	return &SPNode{verifier: verifier, certbot: certbot, domain: domain, approved: cp, httpc: httpc}
+}
+
+type nodeEvidence struct {
+	url    string
+	bundle *attest.Bundle
+	report *sev.Report
+	csr    *x509.CertificateRequest
+}
+
+// Provision runs the full Fig 4 flow over the given node URLs: retrieve
+// report-CSR bundles, attest every node, obtain the certificate for the
+// leader's CSR, and distribute it (each non-leader then pulls the key
+// from the leader as a side effect of the distribution POST).
+func (sp *SPNode) Provision(ctx context.Context, nodeURLs []string) (*ProvisionResult, error) {
+	if len(nodeURLs) == 0 {
+		return nil, ErrNoNodes
+	}
+
+	// Step 1: retrieve evidence.
+	t0 := time.Now()
+	evidence := make([]nodeEvidence, 0, len(nodeURLs))
+	for _, url := range nodeURLs {
+		bundle, err := sp.fetchCSRBundle(ctx, url)
+		if err != nil {
+			return nil, fmt.Errorf("certmgr: fetch csr bundle from %s: %w", url, err)
+		}
+		evidence = append(evidence, nodeEvidence{url: url, bundle: bundle})
+	}
+	retrieval := time.Since(t0)
+
+	// Step 2: validate evidence — measurement, chain, REPORT_DATA/CSR
+	// binding, and the chip/address allow-list.
+	t0 = time.Now()
+	for i := range evidence {
+		ev := &evidence[i]
+		res, err := sp.verifier.VerifyBundle(ctx, ev.bundle, vm.HashOf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", ErrNodeRejected, ev.url, err)
+		}
+		wantChip, ok := sp.approved[ev.url]
+		if !ok {
+			return nil, fmt.Errorf("%w: address %s", ErrUnapprovedNode, ev.url)
+		}
+		if res.Report.ChipID != wantChip {
+			return nil, fmt.Errorf("%w: %s runs on unexpected chip", ErrUnapprovedNode, ev.url)
+		}
+		csr, err := x509.ParseCertificateRequest(ev.bundle.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: bad csr: %w", ErrNodeRejected, ev.url, err)
+		}
+		if err := csr.CheckSignature(); err != nil {
+			return nil, fmt.Errorf("%w: %s: csr signature: %w", ErrNodeRejected, ev.url, err)
+		}
+		ev.report = res.Report
+		ev.csr = csr
+	}
+	validation := time.Since(t0)
+
+	// Step 3: pick the leader and obtain the certificate for its CSR.
+	leader := evidence[0]
+	t0 = time.Now()
+	certDER, err := sp.certbot.ObtainCertificate(sp.domain, leader.bundle.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("certmgr: obtain certificate: %w", err)
+	}
+	generation := time.Since(t0)
+
+	// Step 4: distribute the certificate (leader first, so it is ready to
+	// answer key requests the moment the others learn its address).
+	t0 = time.Now()
+	for _, ev := range evidence {
+		if err := sp.pushCertificate(ctx, ev.url, certMsg{CertDER: certDER, LeaderURL: leader.url}); err != nil {
+			return nil, fmt.Errorf("certmgr: distribute to %s: %w", ev.url, err)
+		}
+	}
+	distribution := time.Since(t0)
+
+	return &ProvisionResult{
+		LeaderURL: leader.url,
+		CertDER:   certDER,
+		Timings: Timings{
+			EvidenceRetrieval:  retrieval,
+			EvidenceValidation: validation,
+			CertGeneration:     generation,
+			CertDistribution:   distribution,
+		},
+	}, nil
+}
+
+func (sp *SPNode) fetchCSRBundle(ctx context.Context, baseURL string) (*attest.Bundle, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathCSRBundle, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := sp.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return attest.DecodeBundle(body)
+}
+
+func (sp *SPNode) pushCertificate(ctx context.Context, baseURL string, msg certMsg) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+PathCertificate, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sp.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusNoContent {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+// Package core is Revelio's orchestration layer: it wires every substrate
+// — manufacturer, chips, KDS, reproducible image build, measured direct
+// boot, guest lifecycle, certificate management, trusted registry — into
+// a running deployment that examples, tests and the benchmark harness
+// drive through one API.
+//
+// A Deployment owns the full lifecycle: build the image, mint one chip
+// per node, launch and boot each guest, run the agents' control servers,
+// provision the shared certificate through the SP node, and finally bring
+// up the HTTPS front ends end-users connect to.
+package core
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"revelio/internal/acme"
+	"revelio/internal/amdsp"
+	"revelio/internal/attest"
+	"revelio/internal/blockdev"
+	"revelio/internal/certmgr"
+	"revelio/internal/firmware"
+	"revelio/internal/hypervisor"
+	"revelio/internal/imagebuild"
+	"revelio/internal/kds"
+	"revelio/internal/measure"
+	"revelio/internal/netlab"
+	"revelio/internal/registry"
+	"revelio/internal/sev"
+	"revelio/internal/vm"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Spec is the image specification (see imagebuild profiles).
+	Spec imagebuild.Spec
+	// Registry provides the pinned base images; required.
+	Registry *imagebuild.Registry
+	// FirmwareVersion selects the OVMF build.
+	FirmwareVersion string
+	// Nodes is the number of Revelio VMs to run.
+	Nodes int
+	// Domain is the service's web domain.
+	Domain string
+	// KDSRTT injects latency into verifier-side KDS fetches (Table 3's
+	// 427 ms dominates on this path).
+	KDSRTT time.Duration
+	// SPNetRTT injects latency into SP-node-to-guest HTTP calls.
+	SPNetRTT time.Duration
+	// CARTT injects latency into certificate issuance (the paper's ~3 s
+	// Let's Encrypt round trip).
+	CARTT time.Duration
+	// TrustRegistry, if set, is used as the verifier trust policy instead
+	// of the static golden value.
+	TrustRegistry *registry.Registry
+	// RemoteCA runs the CA behind its HTTP wire protocol and has the SP
+	// node obtain certificates over the network, as against a real
+	// Let's Encrypt. Off, the SP calls the CA in process.
+	RemoteCA bool
+	// SkipVerityVerifyPass skips the boot-time full-device verification
+	// (ablation knob; per-read verification always stays on).
+	SkipVerityVerifyPass bool
+}
+
+// Node is one running Revelio VM with its agent and servers.
+type Node struct {
+	VM      *vm.VM
+	Agent   *certmgr.Agent
+	Chip    sev.ChipID
+	Control *httpServer // agent control endpoints (SP-facing)
+	Web     *httpServer // HTTPS front end (user-facing), nil until StartWeb
+
+	chip *amdsp.SecureProcessor
+	disk blockdev.Device
+}
+
+// ControlURL returns the node's control-plane base URL.
+func (n *Node) ControlURL() string { return n.Control.url }
+
+// Disk exposes the node's raw disk — the host-side view an untrusted
+// cloud provider (or the next tenant after decommissioning) has. Security
+// tests scrape it to prove no plaintext leaks outside the TEE.
+func (n *Node) Disk() blockdev.Device { return n.disk }
+
+// WebAddr returns the HTTPS front end address (host:port), or "" before
+// StartWeb.
+func (n *Node) WebAddr() string {
+	if n.Web == nil {
+		return ""
+	}
+	return n.Web.listener.Addr().String()
+}
+
+// Deployment is a complete running Revelio system.
+type Deployment struct {
+	Manufacturer *amdsp.Manufacturer
+	Image        *imagebuild.Image
+	Firmware     *firmware.Firmware
+	Golden       measure.Measurement
+	KDSServer    *httpServer
+	KDSClient    *kds.Client
+	Zone         *acme.Zone
+	CA           *acme.CA
+	CAServer     *httpServer // non-nil when cfg.RemoteCA
+	SP           *certmgr.SPNode
+	Verifier     *attest.Verifier
+	Nodes        []*Node
+
+	cfg        Config
+	appHandler func(n *Node) http.Handler
+	closed     bool
+}
+
+// httpServer is a minimal managed HTTP(S) server on a loopback listener.
+type httpServer struct {
+	listener net.Listener
+	server   *http.Server
+	url      string
+}
+
+func startHTTP(handler http.Handler) (*httpServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: listen: %w", err)
+	}
+	s := &httpServer{
+		listener: ln,
+		server:   &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second},
+		url:      "http://" + ln.Addr().String(),
+	}
+	go func() { _ = s.server.Serve(ln) }()
+	return s, nil
+}
+
+func startHTTPS(handler http.Handler, cert tls.Certificate) (*httpServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: listen: %w", err)
+	}
+	tlsLn := tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})
+	s := &httpServer{
+		listener: ln,
+		server:   &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second},
+		url:      "https://" + ln.Addr().String(),
+	}
+	go func() { _ = s.server.Serve(tlsLn) }()
+	return s, nil
+}
+
+func (s *httpServer) close() {
+	if s == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = s.server.Shutdown(ctx)
+}
+
+// New builds the image, launches the nodes and starts the control plane.
+// Call ProvisionCertificates and StartWeb afterwards, and Close when done.
+func New(cfg Config) (*Deployment, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("core: need at least one node")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("core: nil image registry")
+	}
+	if cfg.Domain == "" {
+		return nil, errors.New("core: empty domain")
+	}
+	if cfg.FirmwareVersion == "" {
+		cfg.FirmwareVersion = "2023.05"
+	}
+	d := &Deployment{cfg: cfg}
+
+	var err error
+	if d.Manufacturer, err = amdsp.NewManufacturer([]byte("revelio-deployment")); err != nil {
+		return nil, err
+	}
+	if d.KDSServer, err = startHTTP(kds.NewServer(d.Manufacturer)); err != nil {
+		return nil, err
+	}
+	d.KDSClient = kds.NewClient(d.KDSServer.url, netlab.Client(cfg.KDSRTT, nil))
+
+	if d.Image, err = imagebuild.NewBuilder(cfg.Registry).Build(cfg.Spec); err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.Firmware = firmware.NewOVMF(cfg.FirmwareVersion)
+	if d.Golden, err = hypervisor.ExpectedMeasurement(d.Firmware, d.bootBlobs()); err != nil {
+		d.Close()
+		return nil, err
+	}
+
+	var policy attest.TrustPolicy = attest.NewStaticGolden(d.Golden)
+	if cfg.TrustRegistry != nil {
+		policy = cfg.TrustRegistry
+	}
+	d.Verifier = attest.NewVerifier(d.KDSClient, policy)
+
+	d.Zone = acme.NewZone()
+	if d.CA, err = acme.NewCA(d.Zone, acme.WithLatency(cfg.CARTT)); err != nil {
+		d.Close()
+		return nil, err
+	}
+
+	approved := make(map[string]sev.ChipID, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		node, err := d.launchNode([]byte{byte(i), byte(i >> 8)})
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("core: launch node %d: %w", i, err)
+		}
+		d.Nodes = append(d.Nodes, node)
+		approved[node.ControlURL()] = node.Chip
+	}
+
+	var certbot certmgr.CertificateObtainer = acme.NewClient(d.CA, d.Zone)
+	if cfg.RemoteCA {
+		caServer, err := startHTTP(acme.NewHTTPServer(d.CA))
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.CAServer = caServer
+		certbot = acme.NewHTTPClient(caServer.url, d.Zone, netlab.Client(cfg.CARTT, nil))
+	}
+	d.SP = certmgr.NewSPNode(d.Verifier, certbot, cfg.Domain, approved,
+		netlab.Client(cfg.SPNetRTT, nil))
+	return d, nil
+}
+
+func (d *Deployment) bootBlobs() hypervisor.BootBlobs {
+	return hypervisor.BootBlobs{
+		Kernel:  d.Image.Kernel,
+		Initrd:  d.Image.Initrd,
+		Cmdline: d.Image.Cmdline,
+	}
+}
+
+// launchNode mints a chip, launches the guest, boots the VM and starts
+// the agent control server.
+func (d *Deployment) launchNode(chipSeed []byte) (*Node, error) {
+	chip, err := d.Manufacturer.MintProcessor(chipSeed, 7)
+	if err != nil {
+		return nil, err
+	}
+	guest, err := hypervisor.New(chip).Launch(hypervisor.Config{
+		Firmware: d.Firmware,
+		Blobs:    d.bootBlobs(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Each node gets a private copy of the disk.
+	disk := blockdev.NewMemFrom(d.Image.Disk.Snapshot())
+	guestVM, err := vm.Boot(guest, vm.BootConfig{
+		Disk:       disk,
+		Table:      d.Image.Table,
+		Domain:     d.cfg.Domain,
+		SkipVerify: d.cfg.SkipVerityVerifyPass,
+	})
+	if err != nil {
+		return nil, err
+	}
+	agent := certmgr.NewAgent(guestVM, d.Verifier, netlab.Client(d.cfg.SPNetRTT, nil))
+	control, err := startHTTP(agent)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		VM:      guestVM,
+		Agent:   agent,
+		Chip:    chip.ChipID(),
+		Control: control,
+		chip:    chip,
+		disk:    disk,
+	}, nil
+}
+
+// RebootNode power-cycles node i: the guest is relaunched on the same
+// chip and the same disk, boots through measured direct boot again, and
+// — because its measurement is unchanged — unseals the persistent volume
+// and restores its TLS credentials without re-running provisioning. Its
+// control and web servers are restarted.
+func (d *Deployment) RebootNode(i int) error {
+	if i < 0 || i >= len(d.Nodes) {
+		return fmt.Errorf("core: no node %d", i)
+	}
+	n := d.Nodes[i]
+	n.Control.close()
+	n.Web.close()
+	hadWeb := n.Web != nil
+	n.Web = nil
+
+	guest, err := hypervisor.New(n.chip).Launch(hypervisor.Config{
+		Firmware: d.Firmware,
+		Blobs:    d.bootBlobs(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: relaunch node %d: %w", i, err)
+	}
+	guestVM, err := vm.Boot(guest, vm.BootConfig{
+		Disk:       n.disk,
+		Table:      d.Image.Table,
+		Domain:     d.cfg.Domain,
+		SkipVerify: d.cfg.SkipVerityVerifyPass,
+	})
+	if err != nil {
+		return fmt.Errorf("core: reboot node %d: %w", i, err)
+	}
+	agent := certmgr.NewAgent(guestVM, d.Verifier, netlab.Client(d.cfg.SPNetRTT, nil))
+	if err := agent.RestoreFromPersist(); err != nil {
+		return fmt.Errorf("core: node %d restore credentials: %w", i, err)
+	}
+	control, err := startHTTP(agent)
+	if err != nil {
+		return err
+	}
+	n.VM = guestVM
+	n.Agent = agent
+	n.Control = control
+	if hadWeb {
+		if err := d.startNodeWeb(n); err != nil {
+			return fmt.Errorf("core: node %d web restart: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ProvisionCertificates runs the SP node's Fig 4 flow across all nodes.
+func (d *Deployment) ProvisionCertificates(ctx context.Context) (*certmgr.ProvisionResult, error) {
+	urls := make([]string, len(d.Nodes))
+	for i, n := range d.Nodes {
+		urls[i] = n.ControlURL()
+	}
+	return d.SP.Provision(ctx, urls)
+}
+
+// StartWeb brings up each node's HTTPS front end with the provisioned
+// shared certificate. appHandler builds the per-node application handler
+// (the CryptPad server, the Boundary Node proxy, ...); the well-known
+// attestation endpoint is always mounted. Inbound access is gated by the
+// image's network policy for port 443.
+func (d *Deployment) StartWeb(appHandler func(n *Node) http.Handler) error {
+	d.appHandler = appHandler
+	for i, n := range d.Nodes {
+		if err := d.startNodeWeb(n); err != nil {
+			return fmt.Errorf("core: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (d *Deployment) startNodeWeb(n *Node) error {
+	certDER, key, err := n.Agent.TLSCredentials()
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(certmgr.WellKnownPath, n.Agent)
+	if d.appHandler != nil {
+		if h := d.appHandler(n); h != nil {
+			mux.Handle("/", h)
+		}
+	}
+	cert := tls.Certificate{Certificate: [][]byte{certDER}, PrivateKey: key}
+	web, err := startHTTPS(mux, cert)
+	if err != nil {
+		return err
+	}
+	n.Web = web
+	return nil
+}
+
+// CARootPool returns the pool browsers trust (the simulated Let's
+// Encrypt root).
+func (d *Deployment) CARootPool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(d.CA.RootCert())
+	return pool
+}
+
+// Close shuts down every server the deployment started.
+func (d *Deployment) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.KDSServer.close()
+	d.CAServer.close()
+	for _, n := range d.Nodes {
+		if n == nil {
+			continue
+		}
+		n.Control.close()
+		n.Web.close()
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"errors"
+	"net/http"
+	"testing"
+
+	"revelio/internal/attest"
+	"revelio/internal/certmgr"
+	"revelio/internal/imagebuild"
+	"revelio/internal/registry"
+)
+
+func testConfig(nodes int) (Config, *imagebuild.Registry) {
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	spec := imagebuild.CryptpadSpec(base)
+	spec.PersistSize = 256 * 1024
+	return Config{
+		Spec:     spec,
+		Registry: reg,
+		Nodes:    nodes,
+		Domain:   "svc.example.org",
+	}, reg
+}
+
+func TestDeploymentLifecycle(t *testing.T) {
+	cfg, _ := testConfig(2)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer d.Close()
+
+	if len(d.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(d.Nodes))
+	}
+	// The golden value computed from sources matches what every node
+	// actually measured.
+	for i, n := range d.Nodes {
+		if n.VM.Measurement() != d.Golden {
+			t.Errorf("node %d measurement differs from golden", i)
+		}
+	}
+
+	res, err := d.ProvisionCertificates(context.Background())
+	if err != nil {
+		t.Fatalf("ProvisionCertificates: %v", err)
+	}
+	if res.Timings.CertGeneration <= 0 {
+		t.Error("missing cert generation timing")
+	}
+	for i, n := range d.Nodes {
+		if !n.Agent.Ready() {
+			t.Errorf("node %d agent not ready", i)
+		}
+	}
+
+	if err := d.StartWeb(nil); err != nil {
+		t.Fatalf("StartWeb: %v", err)
+	}
+	for i, n := range d.Nodes {
+		if n.WebAddr() == "" {
+			t.Errorf("node %d web not started", i)
+		}
+	}
+	// Double close is safe.
+	d.Close()
+	d.Close()
+}
+
+func TestStartWebBeforeProvisionFails(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.StartWeb(nil); !errors.Is(err, certmgr.ErrNotReady) {
+		t.Errorf("err = %v, want ErrNotReady", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg, _ := testConfig(1)
+
+	noNodes := cfg
+	noNodes.Nodes = 0
+	if _, err := New(noNodes); err == nil {
+		t.Error("zero nodes accepted")
+	}
+
+	noReg := cfg
+	noReg.Registry = nil
+	if _, err := New(noReg); err == nil {
+		t.Error("nil registry accepted")
+	}
+
+	noDomain := cfg
+	noDomain.Domain = ""
+	if _, err := New(noDomain); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestTrustRegistryPolicy(t *testing.T) {
+	cfg, _ := testConfig(1)
+	trust := registry.New(1)
+	trust.AddVoter("dao")
+	cfg.TrustRegistry = trust
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Before the community votes, provisioning fails attestation.
+	if _, err := d.ProvisionCertificates(context.Background()); !errors.Is(err, certmgr.ErrNodeRejected) {
+		t.Fatalf("err = %v, want ErrNodeRejected", err)
+	}
+	if err := trust.Propose(d.Golden, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := trust.Vote("dao", d.Golden); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Errorf("after vote: %v", err)
+	}
+}
+
+func TestVerifierSeesNodes(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rep, err := d.Nodes[0].VM.Report([64]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Verifier.VerifyReport(context.Background(), rep); err != nil {
+		t.Errorf("VerifyReport: %v", err)
+	}
+	// A verifier with a different golden rejects.
+	other := attest.NewVerifier(d.KDSClient, attest.NewStaticGolden())
+	if _, err := other.VerifyReport(context.Background(), rep); err == nil {
+		t.Error("empty-golden verifier accepted the report")
+	}
+}
+
+func TestSkipVerityVerifyPass(t *testing.T) {
+	cfg, _ := testConfig(1)
+	cfg.SkipVerityVerifyPass = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Nodes[0].VM.Timings().DmVerityVerify != 0 {
+		t.Error("verify pass ran despite SkipVerityVerifyPass")
+	}
+}
+
+func TestWebServesApp(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartWeb(func(*Node) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("app"))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the well-known endpoint is reachable over the web listener
+	// (TLS verification exercised in webext tests; here we only check
+	// the mux wiring with a permissive client).
+	client := &http.Client{Transport: &http.Transport{TLSClientConfig: insecureTLS()}}
+	resp, err := client.Get("https://" + d.Nodes[0].WebAddr() + certmgr.WellKnownPath)
+	if err != nil {
+		t.Fatalf("get well-known: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("well-known status = %d", resp.StatusCode)
+	}
+}
+
+func insecureTLS() *tls.Config {
+	// Test-only: the TLS trust path is exercised end to end in
+	// internal/webext; this client only checks handler wiring.
+	return &tls.Config{InsecureSkipVerify: true}
+}
+
+// TestRebootNodeRestoresService: a power-cycled node re-boots through
+// measured direct boot, unseals its volume, restores its TLS credentials
+// and serves again — without re-running the Fig 4 protocol.
+func TestRebootNodeRestoresService(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartWeb(nil); err != nil {
+		t.Fatal(err)
+	}
+	certBefore, keyBefore, err := d.Nodes[0].Agent.TLSCredentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.RebootNode(0); err != nil {
+		t.Fatalf("RebootNode: %v", err)
+	}
+	if d.Nodes[0].VM.Timings().FirstBoot {
+		t.Error("rebooted node flagged as first boot")
+	}
+	certAfter, keyAfter, err := d.Nodes[0].Agent.TLSCredentials()
+	if err != nil {
+		t.Fatalf("credentials after reboot: %v", err)
+	}
+	if !bytes.Equal(certBefore, certAfter) || keyBefore.D.Cmp(keyAfter.D) != 0 {
+		t.Error("credentials changed across reboot")
+	}
+	if d.Nodes[0].WebAddr() == "" {
+		t.Error("web front end not restarted")
+	}
+	// The rebooted node still attests under the same golden value.
+	rep, err := d.Nodes[0].VM.Report([64]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Verifier.VerifyReport(context.Background(), rep); err != nil {
+		t.Errorf("rebooted node fails attestation: %v", err)
+	}
+	if err := d.RebootNode(5); err == nil {
+		t.Error("reboot of nonexistent node succeeded")
+	}
+}
+
+func TestRemoteCAProvisioning(t *testing.T) {
+	cfg, _ := testConfig(2)
+	cfg.RemoteCA = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.CAServer == nil {
+		t.Fatal("remote CA server not started")
+	}
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatalf("provision over remote CA: %v", err)
+	}
+	for i, n := range d.Nodes {
+		if !n.Agent.Ready() {
+			t.Errorf("node %d not ready", i)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package cryptpad implements the end-to-end-encrypted collaboration
+// suite of the paper's first use case (§4.1): a pad server that only ever
+// stores ciphertext, and a client that holds the pad key — derived from
+// the share link and never sent to the server.
+//
+// The server alone cannot read or undetectably modify pad content; what
+// it *can* do without Revelio is serve malicious client code or silently
+// drop/reorder updates — which is exactly the residual trust gap
+// Revelio's attestation of the server VM closes.
+package cryptpad
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"revelio/internal/kdf"
+)
+
+var (
+	// ErrNoSuchPad reports a missing pad.
+	ErrNoSuchPad = errors.New("cryptpad: no such pad")
+	// ErrVersionConflict reports a stale optimistic-concurrency write.
+	ErrVersionConflict = errors.New("cryptpad: version conflict")
+	// ErrBadShareLink reports an unparseable share link.
+	ErrBadShareLink = errors.New("cryptpad: bad share link")
+	// ErrDecrypt reports undecryptable pad content (wrong key or
+	// server-side tampering).
+	ErrDecrypt = errors.New("cryptpad: cannot decrypt pad content")
+)
+
+// padRecord is the server-side state: ciphertext only.
+type padRecord struct {
+	ciphertext []byte
+	version    uint64
+}
+
+// Server stores encrypted pads. It implements http.Handler:
+//
+//	GET  /pad/{id}            -> {"version":n,"ciphertext":"base64"}
+//	PUT  /pad/{id}?version=n  -> store if version matches (0 = create)
+type Server struct {
+	mu   sync.Mutex
+	pads map[string]*padRecord
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer creates an empty pad server.
+func NewServer() *Server {
+	return &Server{pads: make(map[string]*padRecord)}
+}
+
+// Get returns the ciphertext and version of a pad.
+func (s *Server) Get(id string) ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.pads[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoSuchPad, id)
+	}
+	return append([]byte(nil), rec.ciphertext...), rec.version, nil
+}
+
+// Put stores ciphertext if expectedVersion matches the current version
+// (0 creates), returning the new version.
+func (s *Server) Put(id string, ciphertext []byte, expectedVersion uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.pads[id]
+	if !ok {
+		if expectedVersion != 0 {
+			return 0, fmt.Errorf("%w: %q", ErrNoSuchPad, id)
+		}
+		s.pads[id] = &padRecord{ciphertext: append([]byte(nil), ciphertext...), version: 1}
+		return 1, nil
+	}
+	if rec.version != expectedVersion {
+		return 0, fmt.Errorf("%w: have %d, got %d", ErrVersionConflict, rec.version, expectedVersion)
+	}
+	rec.ciphertext = append([]byte(nil), ciphertext...)
+	rec.version++
+	return rec.version, nil
+}
+
+// Snapshot serializes all pads (for the sealed persistent volume).
+func (s *Server) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type entry struct {
+		ID         string `json:"id"`
+		Ciphertext []byte `json:"ciphertext"`
+		Version    uint64 `json:"version"`
+	}
+	out := make([]entry, 0, len(s.pads))
+	for id, rec := range s.pads {
+		out = append(out, entry{ID: id, Ciphertext: rec.ciphertext, Version: rec.version})
+	}
+	return json.Marshal(out)
+}
+
+// Restore loads a Snapshot.
+func (s *Server) Restore(data []byte) error {
+	var entries []struct {
+		ID         string `json:"id"`
+		Ciphertext []byte `json:"ciphertext"`
+		Version    uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("cryptpad: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pads = make(map[string]*padRecord, len(entries))
+	for _, e := range entries {
+		s.pads[e.ID] = &padRecord{ciphertext: e.Ciphertext, version: e.Version}
+	}
+	return nil
+}
+
+type padWire struct {
+	Version    uint64 `json:"version"`
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// ServeHTTP implements the pad HTTP API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id, ok := strings.CutPrefix(r.URL.Path, "/pad/")
+	if !ok || id == "" {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		ct, version, err := s.Get(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(padWire{Version: version, Ciphertext: ct})
+	case http.MethodPut:
+		var expected uint64
+		if v := r.URL.Query().Get("version"); v != "" {
+			if _, err := fmt.Sscanf(v, "%d", &expected); err != nil {
+				http.Error(w, "bad version", http.StatusBadRequest)
+				return
+			}
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+		if err != nil {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		version, err := s.Put(id, body, expected)
+		switch {
+		case errors.Is(err, ErrVersionConflict):
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		case errors.Is(err, ErrNoSuchPad):
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]uint64{"version": version})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Pad is a client-side handle: id plus the secret key that never leaves
+// the clients.
+type Pad struct {
+	ID  string
+	key []byte
+}
+
+// NewPad creates a pad handle with a fresh random id and key.
+func NewPad() (*Pad, error) {
+	raw := make([]byte, 16+32)
+	if _, err := rand.Read(raw); err != nil {
+		return nil, fmt.Errorf("cryptpad: entropy: %w", err)
+	}
+	return &Pad{
+		ID:  base64.RawURLEncoding.EncodeToString(raw[:16]),
+		key: raw[16:],
+	}, nil
+}
+
+// ShareLink renders the pad handle as a CryptPad-style link whose key
+// lives in the URL fragment — the part a browser never sends to the
+// server.
+func (p *Pad) ShareLink(host string) string {
+	return "https://" + host + "/pad/" + p.ID + "#" + base64.RawURLEncoding.EncodeToString(p.key)
+}
+
+// ParseShareLink reconstructs a pad handle from a share link.
+func ParseShareLink(link string) (*Pad, error) {
+	hashIdx := strings.IndexByte(link, '#')
+	if hashIdx < 0 {
+		return nil, fmt.Errorf("%w: no fragment", ErrBadShareLink)
+	}
+	key, err := base64.RawURLEncoding.DecodeString(link[hashIdx+1:])
+	if err != nil || len(key) != 32 {
+		return nil, fmt.Errorf("%w: bad key", ErrBadShareLink)
+	}
+	padIdx := strings.Index(link, "/pad/")
+	if padIdx < 0 {
+		return nil, fmt.Errorf("%w: no pad path", ErrBadShareLink)
+	}
+	id := link[padIdx+len("/pad/") : hashIdx]
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty id", ErrBadShareLink)
+	}
+	return &Pad{ID: id, key: key}, nil
+}
+
+// Seal encrypts plaintext content at a version with the pad key
+// (AES-256-GCM; the version is authenticated as associated data, so the
+// server cannot replay old content under a new version).
+func (p *Pad) Seal(plaintext []byte, version uint64) ([]byte, error) {
+	aead, err := p.aead()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("cryptpad: nonce: %w", err)
+	}
+	var ad [8]byte
+	binary.LittleEndian.PutUint64(ad[:], version)
+	out := append([]byte(nil), nonce...)
+	return aead.Seal(out, nonce, plaintext, ad[:]), nil
+}
+
+// Open decrypts ciphertext produced by Seal at the same version.
+func (p *Pad) Open(ciphertext []byte, version uint64) ([]byte, error) {
+	aead, err := p.aead()
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	var ad [8]byte
+	binary.LittleEndian.PutUint64(ad[:], version)
+	pt, err := aead.Open(nil, ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():], ad[:])
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func (p *Pad) aead() (cipher.AEAD, error) {
+	key, err := kdf.Derive(sha256.New, p.key, nil, []byte("cryptpad-content"), 32)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

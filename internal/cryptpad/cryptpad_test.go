@@ -1,0 +1,331 @@
+package cryptpad
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPadRoundTripViaServerAPI(t *testing.T) {
+	server := NewServer()
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("meeting notes: launch on tuesday")
+	ct, err := pad.Seal(content, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, err := server.Put(pad.ID, ct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Errorf("version = %d, want 1", version)
+	}
+
+	// A collaborator with the share link reads the pad.
+	link := pad.ShareLink("pad.example.org")
+	other, err := ParseShareLink(link)
+	if err != nil {
+		t.Fatalf("ParseShareLink: %v", err)
+	}
+	gotCT, gotVersion, err := server.Get(other.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := other.Open(gotCT, gotVersion)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(pt, content) {
+		t.Errorf("decrypted %q, want %q", pt, content)
+	}
+}
+
+func TestServerNeverSeesPlaintext(t *testing.T) {
+	server := NewServer()
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("SECRET-PLAINTEXT-MARKER")
+	ct, err := pad.Seal(secret, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Put(pad.ID, ct, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The honest-but-curious (or malicious) server inspects everything it
+	// stores.
+	stored, _, err := server.Get(pad.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(stored, secret) {
+		t.Error("plaintext visible in server storage")
+	}
+	snap, err := server.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(snap, secret) {
+		t.Error("plaintext visible in snapshot")
+	}
+}
+
+func TestServerTamperDetected(t *testing.T) {
+	server := NewServer()
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := pad.Seal([]byte("v1 content"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Put(pad.ID, ct, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Malicious server flips a ciphertext byte.
+	stored, version, err := server.Get(pad.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored[len(stored)-1] ^= 1
+	if _, err := pad.Open(stored, version); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("err = %v, want ErrDecrypt", err)
+	}
+}
+
+// TestVersionReplayDetected: the server cannot serve stale content under
+// a newer version number because the version is authenticated data.
+func TestVersionReplayDetected(t *testing.T) {
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := pad.Seal([]byte("old"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pad.Open(v1, 2); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("replayed version: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestOptimisticConcurrency(t *testing.T) {
+	server := NewServer()
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct1, err := pad.Seal([]byte("a"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Put(pad.ID, ct1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent writer with a stale version loses.
+	ct2, err := pad.Seal([]byte("b"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Put(pad.ID, ct2, 0); !errors.Is(err, ErrVersionConflict) {
+		t.Errorf("stale write: err = %v, want ErrVersionConflict", err)
+	}
+	if _, err := server.Put(pad.ID, ct2, 1); err != nil {
+		t.Errorf("correct version write: %v", err)
+	}
+	// Updating a non-existent pad with nonzero version fails.
+	if _, err := server.Put("ghost", ct2, 3); !errors.Is(err, ErrNoSuchPad) {
+		t.Errorf("ghost write: err = %v, want ErrNoSuchPad", err)
+	}
+}
+
+func TestWrongKeyCannotRead(t *testing.T) {
+	padA, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	padB, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := padA.Seal([]byte("private"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padB.ID = padA.ID // same pad id, different key
+	if _, err := padB.Open(ct, 1); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("wrong key: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestShareLinkParsing(t *testing.T) {
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := pad.ShareLink("host.example")
+	if !strings.Contains(link, "#") {
+		t.Fatal("share link lacks fragment")
+	}
+	// The key lives only in the fragment.
+	preFragment := link[:strings.IndexByte(link, '#')]
+	if strings.Contains(preFragment, string(pad.key)) {
+		t.Error("key leaked outside fragment")
+	}
+
+	bad := []string{
+		"https://h/pad/x",     // no fragment
+		"https://h/pad/x#!!!", // bad base64
+		"https://h/nothing#" + link[strings.IndexByte(link, '#')+1:], // no pad path
+		"https://h/pad/#" + link[strings.IndexByte(link, '#')+1:],    // empty id
+	}
+	for _, l := range bad {
+		if _, err := ParseShareLink(l); !errors.Is(err, ErrBadShareLink) {
+			t.Errorf("ParseShareLink(%q): err = %v, want ErrBadShareLink", l, err)
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	server := NewServer()
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := pad.Seal([]byte("persisted"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Put(pad.ID, ct, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := server.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewServer()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	gotCT, version, err := restored.Get(pad.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := pad.Open(gotCT, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "persisted" {
+		t.Errorf("restored content = %q", pt)
+	}
+	if err := restored.Restore([]byte("junk")); err == nil {
+		t.Error("garbage restore accepted")
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	server := NewServer()
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	pad, err := NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := pad.Seal([]byte("over http"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PUT (create).
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/pad/"+pad.ID, bytes.NewReader(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+
+	// Stale PUT conflicts.
+	req2, err := http.NewRequest(http.MethodPut, ts.URL+"/pad/"+pad.ID+"?version=0", bytes.NewReader(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("stale PUT status %d, want 409", resp2.StatusCode)
+	}
+
+	// GET returns the ciphertext.
+	resp3, err := http.Get(ts.URL + "/pad/" + pad.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp3.Body)
+	_ = resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("ciphertext")) {
+		t.Errorf("GET body = %s", body)
+	}
+
+	// Unknown pad.
+	resp4, err := http.Get(ts.URL + "/pad/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost GET status %d", resp4.StatusCode)
+	}
+
+	// Method not allowed.
+	resp5, err := http.Post(ts.URL+"/pad/"+pad.ID, "text/plain", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp5.Body.Close()
+	if resp5.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %d", resp5.StatusCode)
+	}
+}
+
+func BenchmarkPadSealOpen64K(b *testing.B) {
+	pad, err := NewPad()
+	if err != nil {
+		b.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("x"), 64*1024)
+	b.SetBytes(int64(len(content)))
+	for i := 0; i < b.N; i++ {
+		ct, err := pad.Seal(content, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pad.Open(ct, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package dmcrypt reimplements the Linux dm-crypt target with a LUKS-like
+// on-disk header: transparent per-sector AES-XTS-plain64 encryption of a
+// block device.
+//
+// Revelio encrypts the guest's persistent-state volume with a key sealed
+// to the VM's measurement (internal/amdsp.DeriveSealingKey): only a VM
+// booted into the identical measured state can unlock the volume, which is
+// the paper's F6 requirement. The header layout mirrors LUKS in spirit —
+// a master volume key wrapped under a PBKDF2-derived key-encryption key —
+// so passphrase rotation never re-encrypts the data area.
+package dmcrypt
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"revelio/internal/blockdev"
+	"revelio/internal/kdf"
+	"revelio/internal/xts"
+)
+
+const (
+	// SectorSize is the encryption granularity (plain64 convention).
+	SectorSize = 512
+
+	// HeaderSectors is the number of sectors reserved at the start of the
+	// device for the header; the data area begins after it.
+	HeaderSectors = 8
+	headerBytes   = HeaderSectors * SectorSize
+
+	// MasterKeySize is two AES-256 keys for XTS.
+	MasterKeySize = 64
+
+	// DefaultPBKDF2Iterations matches the paper's cryptsetup
+	// configuration ("pbkdf2 with 1000 iterations").
+	DefaultPBKDF2Iterations = 1000
+
+	luksMagic   = 0x4c53564b // "KVSL"
+	luksVersion = 1
+)
+
+var (
+	// ErrBadPassphrase reports a passphrase (or sealing key) that fails to
+	// unwrap the master key.
+	ErrBadPassphrase = errors.New("dmcrypt: passphrase does not unlock the volume")
+	// ErrBadHeader reports a missing or corrupt LUKS-like header.
+	ErrBadHeader = errors.New("dmcrypt: bad header")
+	// ErrDeviceTooSmall reports a device that cannot hold the header.
+	ErrDeviceTooSmall = errors.New("dmcrypt: device too small for header")
+)
+
+// Options configures Format.
+type Options struct {
+	// Iterations is the PBKDF2 iteration count; 0 selects
+	// DefaultPBKDF2Iterations.
+	Iterations int
+	// Rand supplies entropy for the master key and salts; nil selects
+	// crypto/rand. Tests inject a deterministic reader.
+	Rand io.Reader
+}
+
+type header struct {
+	iterations uint32
+	salt       [32]byte
+	nonce      [12]byte
+	wrappedKey []byte // AES-256-GCM(KEK, masterKey); includes GCM tag
+	keyDigest  [32]byte
+}
+
+func (h *header) marshal() []byte {
+	buf := make([]byte, 0, headerBytes)
+	b := bytes.NewBuffer(buf)
+	_ = binary.Write(b, binary.LittleEndian, uint32(luksMagic))
+	_ = binary.Write(b, binary.LittleEndian, uint32(luksVersion))
+	_ = binary.Write(b, binary.LittleEndian, h.iterations)
+	b.Write(h.salt[:])
+	b.Write(h.nonce[:])
+	_ = binary.Write(b, binary.LittleEndian, uint32(len(h.wrappedKey)))
+	b.Write(h.wrappedKey)
+	b.Write(h.keyDigest[:])
+	out := make([]byte, headerBytes)
+	copy(out, b.Bytes())
+	return out
+}
+
+func (h *header) unmarshal(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil || magic != luksMagic {
+		return fmt.Errorf("%w: magic", ErrBadHeader)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil || version != luksVersion {
+		return fmt.Errorf("%w: version", ErrBadHeader)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &h.iterations); err != nil || h.iterations == 0 {
+		return fmt.Errorf("%w: iterations", ErrBadHeader)
+	}
+	if _, err := io.ReadFull(r, h.salt[:]); err != nil {
+		return fmt.Errorf("%w: salt", ErrBadHeader)
+	}
+	if _, err := io.ReadFull(r, h.nonce[:]); err != nil {
+		return fmt.Errorf("%w: nonce", ErrBadHeader)
+	}
+	var wrappedLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &wrappedLen); err != nil || wrappedLen > 256 {
+		return fmt.Errorf("%w: wrapped key length", ErrBadHeader)
+	}
+	h.wrappedKey = make([]byte, wrappedLen)
+	if _, err := io.ReadFull(r, h.wrappedKey); err != nil {
+		return fmt.Errorf("%w: wrapped key", ErrBadHeader)
+	}
+	if _, err := io.ReadFull(r, h.keyDigest[:]); err != nil {
+		return fmt.Errorf("%w: key digest", ErrBadHeader)
+	}
+	return nil
+}
+
+// kek derives the key-encryption key from a passphrase.
+func kek(passphrase []byte, salt []byte, iterations int) ([]byte, error) {
+	return kdf.PBKDF2(sha256.New, passphrase, salt, iterations, 32)
+}
+
+func digestKey(masterKey, salt []byte) [32]byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(masterKey)
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Format initializes dev with a fresh master key wrapped under the
+// passphrase and returns the opened device. The device length must leave a
+// positive, sector-aligned data area after the header.
+func Format(dev blockdev.Device, passphrase []byte, opts Options) (*Device, error) {
+	if opts.Iterations == 0 {
+		opts.Iterations = DefaultPBKDF2Iterations
+	}
+	if opts.Iterations < 0 {
+		return nil, fmt.Errorf("dmcrypt: negative iteration count %d", opts.Iterations)
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.Reader
+	}
+	dataLen := dev.Size() - headerBytes
+	if dataLen <= 0 || dataLen%SectorSize != 0 {
+		return nil, fmt.Errorf("%w: size %d", ErrDeviceTooSmall, dev.Size())
+	}
+
+	h := header{iterations: uint32(opts.Iterations)}
+	masterKey := make([]byte, MasterKeySize)
+	if _, err := io.ReadFull(opts.Rand, masterKey); err != nil {
+		return nil, fmt.Errorf("dmcrypt: master key entropy: %w", err)
+	}
+	if _, err := io.ReadFull(opts.Rand, h.salt[:]); err != nil {
+		return nil, fmt.Errorf("dmcrypt: salt entropy: %w", err)
+	}
+	if _, err := io.ReadFull(opts.Rand, h.nonce[:]); err != nil {
+		return nil, fmt.Errorf("dmcrypt: nonce entropy: %w", err)
+	}
+
+	key, err := kek(passphrase, h.salt[:], opts.Iterations)
+	if err != nil {
+		return nil, fmt.Errorf("dmcrypt: derive kek: %w", err)
+	}
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, fmt.Errorf("dmcrypt: kek cipher: %w", err)
+	}
+	h.wrappedKey = aead.Seal(nil, h.nonce[:], masterKey, nil)
+	h.keyDigest = digestKey(masterKey, h.salt[:])
+
+	if err := dev.WriteAt(h.marshal(), 0); err != nil {
+		return nil, fmt.Errorf("dmcrypt: write header: %w", err)
+	}
+	return open(dev, masterKey)
+}
+
+// Open unlocks a previously formatted device with the passphrase.
+func Open(dev blockdev.Device, passphrase []byte) (*Device, error) {
+	if dev.Size() < headerBytes {
+		return nil, ErrDeviceTooSmall
+	}
+	raw := make([]byte, headerBytes)
+	if err := dev.ReadAt(raw, 0); err != nil {
+		return nil, fmt.Errorf("dmcrypt: read header: %w", err)
+	}
+	var h header
+	if err := h.unmarshal(raw); err != nil {
+		return nil, err
+	}
+	key, err := kek(passphrase, h.salt[:], int(h.iterations))
+	if err != nil {
+		return nil, fmt.Errorf("dmcrypt: derive kek: %w", err)
+	}
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, fmt.Errorf("dmcrypt: kek cipher: %w", err)
+	}
+	masterKey, err := aead.Open(nil, h.nonce[:], h.wrappedKey, nil)
+	if err != nil {
+		return nil, ErrBadPassphrase
+	}
+	if digestKey(masterKey, h.salt[:]) != h.keyDigest {
+		return nil, ErrBadPassphrase
+	}
+	return open(dev, masterKey)
+}
+
+func open(dev blockdev.Device, masterKey []byte) (*Device, error) {
+	c, err := xts.NewCipher(masterKey)
+	if err != nil {
+		return nil, fmt.Errorf("dmcrypt: master key: %w", err)
+	}
+	return &Device{inner: dev, cipher: c, dataLen: dev.Size() - headerBytes}, nil
+}
+
+// Device is an opened dm-crypt target: a plaintext view of the encrypted
+// data area. It implements blockdev.Device. Concurrent reads are safe;
+// writes to disjoint sectors are safe (sector updates are read-modify-
+// write within a single sector only).
+type Device struct {
+	inner   blockdev.Device
+	cipher  *xts.Cipher
+	dataLen int64
+}
+
+var _ blockdev.Device = (*Device)(nil)
+
+// Size implements blockdev.Device: the plaintext data-area size.
+func (d *Device) Size() int64 { return d.dataLen }
+
+// ReadAt implements blockdev.Device, decrypting per sector.
+func (d *Device) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.dataLen {
+		return fmt.Errorf("%w: off=%d len=%d size=%d",
+			blockdev.ErrOutOfRange, off, len(p), d.dataLen)
+	}
+	sector := make([]byte, SectorSize)
+	for n := 0; n < len(p); {
+		s := (off + int64(n)) / SectorSize
+		inner := (off + int64(n)) % SectorSize
+		if err := d.readSector(s, sector); err != nil {
+			return err
+		}
+		n += copy(p[n:], sector[inner:])
+	}
+	return nil
+}
+
+// WriteAt implements blockdev.Device, encrypting per sector with
+// read-modify-write at unaligned edges.
+func (d *Device) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.dataLen {
+		return fmt.Errorf("%w: off=%d len=%d size=%d",
+			blockdev.ErrOutOfRange, off, len(p), d.dataLen)
+	}
+	sector := make([]byte, SectorSize)
+	enc := make([]byte, SectorSize)
+	for n := 0; n < len(p); {
+		s := (off + int64(n)) / SectorSize
+		inner := (off + int64(n)) % SectorSize
+		count := SectorSize - int(inner)
+		if count > len(p)-n {
+			count = len(p) - n
+		}
+		if inner != 0 || count != SectorSize {
+			if err := d.readSector(s, sector); err != nil {
+				return err
+			}
+		}
+		copy(sector[inner:], p[n:n+count])
+		if err := d.writeSector(s, sector, enc); err != nil {
+			return err
+		}
+		n += count
+	}
+	return nil
+}
+
+func (d *Device) readSector(s int64, buf []byte) error {
+	if err := d.inner.ReadAt(buf, headerBytes+s*SectorSize); err != nil {
+		return err
+	}
+	return d.cipher.Decrypt(buf, buf, uint64(s))
+}
+
+// writeSector encrypts buf into the caller-provided scratch buffer enc
+// before writing, so bulk writes stay allocation-free per sector.
+func (d *Device) writeSector(s int64, buf, enc []byte) error {
+	if err := d.cipher.Encrypt(enc, buf, uint64(s)); err != nil {
+		return err
+	}
+	return d.inner.WriteAt(enc, headerBytes+s*SectorSize)
+}

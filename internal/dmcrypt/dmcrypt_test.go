@@ -1,0 +1,243 @@
+package dmcrypt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"revelio/internal/blockdev"
+)
+
+const testVolSize = headerBytes + 256*SectorSize
+
+func formatVol(t testing.TB, passphrase string) (*blockdev.Mem, *Device) {
+	t.Helper()
+	raw := blockdev.NewMem(testVolSize)
+	dev, err := Format(raw, []byte(passphrase), Options{Iterations: 10})
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	return raw, dev
+}
+
+func TestFormatOpenRoundTrip(t *testing.T) {
+	raw, dev := formatVol(t, "sealing-key")
+	msg := []byte("revelio persistent state: TLS private key material")
+	if err := dev.WriteAt(msg, 1000); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	reopened, err := Open(raw, []byte("sealing-key"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := reopened.ReadAt(got, 1000); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read %q, want %q", got, msg)
+	}
+}
+
+func TestWrongPassphraseRejected(t *testing.T) {
+	raw, _ := formatVol(t, "correct")
+	if _, err := Open(raw, []byte("wrong")); !errors.Is(err, ErrBadPassphrase) {
+		t.Errorf("Open with wrong passphrase: err = %v, want ErrBadPassphrase", err)
+	}
+}
+
+// TestMeasurementBoundKey models the paper's sealing property: a VM with a
+// different measurement derives a different sealing key and cannot unlock
+// the volume.
+func TestMeasurementBoundKey(t *testing.T) {
+	goodKey := bytes.Repeat([]byte{0x11}, 32) // sealing key of the expected VM
+	badKey := bytes.Repeat([]byte{0x22}, 32)  // sealing key of a tampered VM
+	raw := blockdev.NewMem(testVolSize)
+	dev, err := Format(raw, goodKey, Options{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteAt([]byte("user data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(raw, badKey); !errors.Is(err, ErrBadPassphrase) {
+		t.Errorf("tampered VM unlocked the volume: err = %v", err)
+	}
+	if _, err := Open(raw, goodKey); err != nil {
+		t.Errorf("expected VM failed to unlock: %v", err)
+	}
+}
+
+func TestCiphertextIsNotPlaintext(t *testing.T) {
+	raw, dev := formatVol(t, "pw")
+	plain := bytes.Repeat([]byte("SECRET01"), SectorSize/8)
+	if err := dev.WriteAt(plain, 0); err != nil {
+		t.Fatal(err)
+	}
+	onDisk := make([]byte, SectorSize)
+	if err := raw.ReadAt(onDisk, headerBytes); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(onDisk, []byte("SECRET01")) {
+		t.Error("plaintext visible in the data area")
+	}
+	// Identical plaintext sectors must differ on disk (XTS tweak).
+	if err := dev.WriteAt(plain, SectorSize); err != nil {
+		t.Fatal(err)
+	}
+	second := make([]byte, SectorSize)
+	if err := raw.ReadAt(second, headerBytes+SectorSize); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(onDisk, second) {
+		t.Error("identical sectors encrypt identically")
+	}
+}
+
+func TestUnalignedWritesAndReads(t *testing.T) {
+	_, dev := formatVol(t, "pw")
+	want := make([]byte, int(dev.Size()))
+	// A fresh encrypted volume decrypts to garbage, exactly like real
+	// dm-crypt before mkfs: zero-fill it so the model starts consistent.
+	if err := dev.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	// Scatter random unaligned writes, mirroring into the model.
+	for i := 0; i < 50; i++ {
+		off := rng.Int63n(dev.Size() - 1)
+		n := 1 + rng.Intn(int(dev.Size()-off))
+		if n > 3000 {
+			n = 3000
+		}
+		chunk := make([]byte, n)
+		rng.Read(chunk)
+		if err := dev.WriteAt(chunk, off); err != nil {
+			t.Fatalf("WriteAt(off=%d,n=%d): %v", off, n, err)
+		}
+		copy(want[off:], chunk)
+	}
+	got := make([]byte, len(want))
+	if err := dev.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("device state diverged from model after unaligned writes")
+	}
+}
+
+func TestHeaderTamperDetected(t *testing.T) {
+	raw, _ := formatVol(t, "pw")
+	if err := raw.FlipBit(16, 0); err != nil { // inside the salt
+		t.Fatal(err)
+	}
+	if _, err := Open(raw, []byte("pw")); err == nil {
+		t.Error("Open succeeded with tampered header")
+	}
+}
+
+func TestHeaderGarbage(t *testing.T) {
+	raw := blockdev.NewMem(testVolSize) // all zeros, no header
+	if _, err := Open(raw, []byte("pw")); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("Open on zeroed device: err = %v, want ErrBadHeader", err)
+	}
+	tiny := blockdev.NewMem(SectorSize)
+	if _, err := Open(tiny, []byte("pw")); !errors.Is(err, ErrDeviceTooSmall) {
+		t.Errorf("Open on tiny device: err = %v, want ErrDeviceTooSmall", err)
+	}
+	if _, err := Format(tiny, []byte("pw"), Options{}); !errors.Is(err, ErrDeviceTooSmall) {
+		t.Errorf("Format on tiny device: err = %v, want ErrDeviceTooSmall", err)
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	_, dev := formatVol(t, "pw")
+	if err := dev.ReadAt(make([]byte, 1), dev.Size()); !errors.Is(err, blockdev.ErrOutOfRange) {
+		t.Errorf("read past end: err = %v, want ErrOutOfRange", err)
+	}
+	if err := dev.WriteAt(make([]byte, 2), dev.Size()-1); !errors.Is(err, blockdev.ErrOutOfRange) {
+		t.Errorf("write past end: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestOfflineCorruptionGarblesPlaintext(t *testing.T) {
+	// dm-crypt provides confidentiality, not integrity: a flipped
+	// ciphertext bit decrypts to garbage but does not error. (Integrity is
+	// dm-verity's job; this test documents the split.)
+	raw, dev := formatVol(t, "pw")
+	msg := bytes.Repeat([]byte{0x55}, SectorSize)
+	if err := dev.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.FlipBit(headerBytes+100, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	if err := dev.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after corruption: %v", err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Error("corrupted ciphertext decrypted to original plaintext")
+	}
+}
+
+// Property: arbitrary write/read sequences round-trip.
+func TestWriteReadProperty(t *testing.T) {
+	_, dev := formatVol(t, "prop")
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		o := int64(off) % (dev.Size() - int64(len(data)))
+		if err := dev.WriteAt(data, o); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := dev.ReadAt(got, o); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultIterationsApplied(t *testing.T) {
+	raw := blockdev.NewMem(testVolSize)
+	if _, err := Format(raw, []byte("pw"), Options{}); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	hdr := make([]byte, headerBytes)
+	if err := raw.ReadAt(hdr, 0); err != nil {
+		t.Fatal(err)
+	}
+	var h header
+	if err := h.unmarshal(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if h.iterations != DefaultPBKDF2Iterations {
+		t.Errorf("iterations = %d, want %d", h.iterations, DefaultPBKDF2Iterations)
+	}
+}
+
+func BenchmarkCryptWrite4K(b *testing.B) {
+	raw := blockdev.NewMem(headerBytes + 1<<20)
+	dev, err := Format(raw, []byte("bench"), Options{Iterations: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.WriteAt(buf, int64(i%(1<<20/4096))*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+// Package dmverity reimplements the Linux dm-verity target: transparent,
+// block-level integrity protection of a read-only device using a Merkle
+// tree of salted SHA-256 digests.
+//
+// Revelio uses dm-verity for the guest's root filesystem: the tree is
+// built at image-build time (internal/imagebuild), the root hash travels
+// on the measured kernel command line, the tree itself lives on a
+// designated metadata partition, and the guest's init verifies and mounts
+// the device at boot (internal/vm). Any single-bit change to the data
+// device makes the corresponding read fail with a *MismatchError, which is
+// the property the paper's §6.1.2–§6.1.3 security arguments rest on.
+package dmverity
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"revelio/internal/blockdev"
+)
+
+const (
+	// DefaultBlockSize is the 4 KiB data/hash block size the paper
+	// configures ("sha256 with a data and hash block size of 4kB").
+	DefaultBlockSize = 4096
+
+	// DigestSize is the size of a SHA-256 digest.
+	DigestSize = sha256.Size
+
+	superMagic   = 0x52564d56 // "RVMV"
+	superVersion = 1
+)
+
+var (
+	// ErrRootHashMismatch reports that the top of the hash tree does not
+	// match the trusted root hash (e.g. the one from the kernel cmdline).
+	ErrRootHashMismatch = errors.New("dmverity: root hash mismatch")
+	// ErrBadSuperblock reports unparseable verity metadata.
+	ErrBadSuperblock = errors.New("dmverity: bad superblock")
+)
+
+// MismatchError reports a data or hash block whose digest disagrees with
+// the tree, i.e. on-disk corruption or tampering.
+type MismatchError struct {
+	Level int   // 0 = data blocks, increasing toward the root
+	Block int64 // block index within the level
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("dmverity: digest mismatch at level %d block %d", e.Level, e.Block)
+}
+
+// Params configures tree construction.
+type Params struct {
+	// BlockSize is the data and hash block size in bytes; must be a
+	// multiple of DigestSize and a power of two.
+	BlockSize int
+	// Salt is prepended to every block before hashing (dm-verity v1
+	// semantics). May be empty.
+	Salt []byte
+}
+
+// Metadata describes a built tree: everything the guest needs, besides the
+// trusted root hash, to open the device. It is stored on the integrity-
+// metadata partition and is *untrusted* — all of it is re-checked against
+// the root hash on open.
+type Metadata struct {
+	BlockSize  int
+	Salt       []byte
+	DataBlocks int64
+	// LevelStarts[l] is the byte offset in the hash device of level l.
+	// Level 0 is the widest (digests of data blocks); the last level is a
+	// single block whose digest is the root hash.
+	LevelStarts []int64
+	// LevelBlocks[l] is the number of hash blocks in level l.
+	LevelBlocks []int64
+	// RootHash is the digest of the single top-level hash block.
+	RootHash [DigestSize]byte
+}
+
+func (p Params) validate() error {
+	if p.BlockSize <= 0 || p.BlockSize%DigestSize != 0 || p.BlockSize&(p.BlockSize-1) != 0 {
+		return fmt.Errorf("dmverity: invalid block size %d", p.BlockSize)
+	}
+	return nil
+}
+
+func saltedDigest(salt, data []byte) [DigestSize]byte {
+	h := sha256.New()
+	h.Write(salt)
+	h.Write(data)
+	var out [DigestSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Format builds the Merkle tree for data and returns the hash device
+// holding it plus the resulting metadata. The data device length must be a
+// multiple of the block size.
+func Format(data blockdev.Device, params Params) (*blockdev.Mem, *Metadata, error) {
+	if err := params.validate(); err != nil {
+		return nil, nil, err
+	}
+	bs := int64(params.BlockSize)
+	if data.Size() == 0 || data.Size()%bs != 0 {
+		return nil, nil, fmt.Errorf("dmverity: data size %d not a positive multiple of block size %d",
+			data.Size(), params.BlockSize)
+	}
+	dataBlocks := data.Size() / bs
+	perBlock := int64(params.BlockSize / DigestSize)
+
+	// Compute level digests bottom-up in memory, then lay the levels out
+	// contiguously on a fresh hash device.
+	levels := make([][][DigestSize]byte, 0, 8)
+	cur := make([][DigestSize]byte, dataBlocks)
+	buf := make([]byte, params.BlockSize)
+	for i := int64(0); i < dataBlocks; i++ {
+		if err := data.ReadAt(buf, i*bs); err != nil {
+			return nil, nil, fmt.Errorf("dmverity: read data block %d: %w", i, err)
+		}
+		cur[i] = saltedDigest(params.Salt, buf)
+	}
+
+	for {
+		numBlocks := (int64(len(cur)) + perBlock - 1) / perBlock
+		levels = append(levels, cur)
+		if numBlocks <= 1 && int64(len(cur)) <= perBlock {
+			break
+		}
+		next := make([][DigestSize]byte, numBlocks)
+		for b := int64(0); b < numBlocks; b++ {
+			block := make([]byte, params.BlockSize)
+			for j := int64(0); j < perBlock; j++ {
+				idx := b*perBlock + j
+				if idx >= int64(len(cur)) {
+					break
+				}
+				copy(block[j*DigestSize:], cur[idx][:])
+			}
+			next[b] = saltedDigest(params.Salt, block)
+		}
+		cur = next
+	}
+
+	meta := &Metadata{
+		BlockSize:   params.BlockSize,
+		Salt:        append([]byte(nil), params.Salt...),
+		DataBlocks:  dataBlocks,
+		LevelStarts: make([]int64, len(levels)),
+		LevelBlocks: make([]int64, len(levels)),
+	}
+
+	// Serialize levels to the hash device, packing digests into blocks.
+	var total int64
+	for l, lv := range levels {
+		nb := (int64(len(lv)) + perBlock - 1) / perBlock
+		meta.LevelStarts[l] = total
+		meta.LevelBlocks[l] = nb
+		total += nb * bs
+	}
+	hashDev := blockdev.NewMem(total)
+	for l, lv := range levels {
+		for b := int64(0); b < meta.LevelBlocks[l]; b++ {
+			block := make([]byte, params.BlockSize)
+			for j := int64(0); j < perBlock; j++ {
+				idx := b*perBlock + j
+				if idx >= int64(len(lv)) {
+					break
+				}
+				copy(block[j*DigestSize:], lv[idx][:])
+			}
+			if err := hashDev.WriteAt(block, meta.LevelStarts[l]+b*bs); err != nil {
+				return nil, nil, fmt.Errorf("dmverity: write hash block: %w", err)
+			}
+		}
+	}
+
+	// Root hash: digest of the single block in the top level.
+	top := make([]byte, params.BlockSize)
+	lastLevel := len(levels) - 1
+	if err := hashDev.ReadAt(top, meta.LevelStarts[lastLevel]); err != nil {
+		return nil, nil, fmt.Errorf("dmverity: read top block: %w", err)
+	}
+	meta.RootHash = saltedDigest(params.Salt, top)
+	return hashDev, meta, nil
+}
+
+// Device is an opened verity target: a read-only view of the data device
+// whose every read is verified against the tree. It implements
+// blockdev.Device and is safe for concurrent readers.
+type Device struct {
+	data     blockdev.Device
+	hash     blockdev.Device
+	meta     *Metadata
+	perBlock int64
+
+	mu       sync.Mutex
+	verified map[int64]struct{} // hash-device block offsets proven to chain to the root
+}
+
+var _ blockdev.Device = (*Device)(nil)
+
+// Open creates a verity device over data using the (untrusted) tree on
+// hashDev and the trusted rootHash. The top-level block is verified
+// immediately; everything else is verified lazily on read.
+func Open(data, hashDev blockdev.Device, meta *Metadata, rootHash [DigestSize]byte) (*Device, error) {
+	if meta == nil {
+		return nil, fmt.Errorf("%w: nil metadata", ErrBadSuperblock)
+	}
+	if len(meta.LevelStarts) == 0 || len(meta.LevelStarts) != len(meta.LevelBlocks) {
+		return nil, fmt.Errorf("%w: inconsistent levels", ErrBadSuperblock)
+	}
+	if p := (Params{BlockSize: meta.BlockSize, Salt: meta.Salt}); p.validate() != nil {
+		return nil, fmt.Errorf("%w: block size %d", ErrBadSuperblock, meta.BlockSize)
+	}
+	if data.Size() < meta.DataBlocks*int64(meta.BlockSize) {
+		return nil, fmt.Errorf("%w: data device smaller than metadata claims", ErrBadSuperblock)
+	}
+	d := &Device{
+		data:     data,
+		hash:     hashDev,
+		meta:     meta,
+		perBlock: int64(meta.BlockSize / DigestSize),
+		verified: make(map[int64]struct{}),
+	}
+	top := make([]byte, meta.BlockSize)
+	lastLevel := len(meta.LevelStarts) - 1
+	if err := hashDev.ReadAt(top, meta.LevelStarts[lastLevel]); err != nil {
+		return nil, fmt.Errorf("dmverity: read top hash block: %w", err)
+	}
+	if saltedDigest(meta.Salt, top) != rootHash {
+		return nil, ErrRootHashMismatch
+	}
+	d.markVerified(meta.LevelStarts[lastLevel])
+	return d, nil
+}
+
+func (d *Device) markVerified(off int64) {
+	d.mu.Lock()
+	d.verified[off] = struct{}{}
+	d.mu.Unlock()
+}
+
+func (d *Device) isVerified(off int64) bool {
+	d.mu.Lock()
+	_, ok := d.verified[off]
+	d.mu.Unlock()
+	return ok
+}
+
+// hashBlockFor returns the hash-device byte offset of the block at the
+// given level that covers child index idx, plus the entry offset within it.
+func (d *Device) hashBlockFor(level int, idx int64) (blockOff, entryOff int64) {
+	b := idx / d.perBlock
+	e := idx % d.perBlock
+	return d.meta.LevelStarts[level] + b*int64(d.meta.BlockSize), e * DigestSize
+}
+
+// verifyHashBlock ensures the hash block at level `level` covering child
+// index idx chains up to the (already verified) root, returning its
+// contents.
+func (d *Device) verifyHashBlock(level int, idx int64) ([]byte, error) {
+	blockOff, _ := d.hashBlockFor(level, idx)
+	block := make([]byte, d.meta.BlockSize)
+	if err := d.hash.ReadAt(block, blockOff); err != nil {
+		return nil, fmt.Errorf("dmverity: read hash block: %w", err)
+	}
+	if d.isVerified(blockOff) {
+		return block, nil
+	}
+	// Verify this block against its parent entry (recursively verified).
+	parentIdx := idx / d.perBlock // index of this block within its level
+	parent, err := d.verifyHashBlock(level+1, parentIdx)
+	if err != nil {
+		return nil, err
+	}
+	_, entryOff := d.hashBlockFor(level+1, parentIdx)
+	want := parent[entryOff : entryOff+DigestSize]
+	got := saltedDigest(d.meta.Salt, block)
+	if !bytes.Equal(got[:], want) {
+		return nil, &MismatchError{Level: level, Block: parentIdx}
+	}
+	d.markVerified(blockOff)
+	return block, nil
+}
+
+// verifyDataBlock checks data block i against the tree and returns its
+// contents.
+func (d *Device) verifyDataBlock(i int64, buf []byte) error {
+	bs := int64(d.meta.BlockSize)
+	if err := d.data.ReadAt(buf, i*bs); err != nil {
+		return fmt.Errorf("dmverity: read data block %d: %w", i, err)
+	}
+	level0, err := d.verifyHashBlock(0, i)
+	if err != nil {
+		return err
+	}
+	_, entryOff := d.hashBlockFor(0, i)
+	want := level0[entryOff : entryOff+DigestSize]
+	got := saltedDigest(d.meta.Salt, buf)
+	if !bytes.Equal(got[:], want) {
+		return &MismatchError{Level: 0, Block: i}
+	}
+	return nil
+}
+
+// ReadAt implements blockdev.Device with per-block verification.
+func (d *Device) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > d.Size() {
+		return fmt.Errorf("%w: off=%d len=%d size=%d",
+			blockdev.ErrOutOfRange, off, len(p), d.Size())
+	}
+	bs := int64(d.meta.BlockSize)
+	buf := make([]byte, bs)
+	for n := 0; n < len(p); {
+		i := (off + int64(n)) / bs
+		inner := (off + int64(n)) % bs
+		if err := d.verifyDataBlock(i, buf); err != nil {
+			return err
+		}
+		n += copy(p[n:], buf[inner:])
+	}
+	return nil
+}
+
+// WriteAt implements blockdev.Device by always failing: verity targets are
+// read-only by construction.
+func (d *Device) WriteAt([]byte, int64) error { return blockdev.ErrReadOnly }
+
+// Size implements blockdev.Device.
+func (d *Device) Size() int64 { return d.meta.DataBlocks * int64(d.meta.BlockSize) }
+
+// VerifyAll walks the entire device, verifying every data block. This is
+// the "dm-verity verify" boot service of Table 1.
+func (d *Device) VerifyAll() error {
+	buf := make([]byte, d.meta.BlockSize)
+	for i := int64(0); i < d.meta.DataBlocks; i++ {
+		if err := d.verifyDataBlock(i, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalBinary encodes the metadata as a fixed-layout superblock followed
+// by variable sections, suitable for the integrity-metadata partition.
+func (m *Metadata) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	w := func(v any) { _ = binary.Write(&b, binary.LittleEndian, v) }
+	w(uint32(superMagic))
+	w(uint32(superVersion))
+	w(uint32(m.BlockSize))
+	w(uint32(len(m.Salt)))
+	b.Write(m.Salt)
+	w(m.DataBlocks)
+	w(uint32(len(m.LevelStarts)))
+	for i := range m.LevelStarts {
+		w(m.LevelStarts[i])
+		w(m.LevelBlocks[i])
+	}
+	b.Write(m.RootHash[:])
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a superblock produced by MarshalBinary.
+func (m *Metadata) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic, version, blockSize, saltLen uint32
+	if err := read(&magic); err != nil || magic != superMagic {
+		return fmt.Errorf("%w: magic", ErrBadSuperblock)
+	}
+	if err := read(&version); err != nil || version != superVersion {
+		return fmt.Errorf("%w: version", ErrBadSuperblock)
+	}
+	if err := read(&blockSize); err != nil {
+		return fmt.Errorf("%w: block size", ErrBadSuperblock)
+	}
+	if err := read(&saltLen); err != nil || saltLen > 4096 {
+		return fmt.Errorf("%w: salt length", ErrBadSuperblock)
+	}
+	salt := make([]byte, saltLen)
+	if _, err := r.Read(salt); err != nil && saltLen > 0 {
+		return fmt.Errorf("%w: salt", ErrBadSuperblock)
+	}
+	var dataBlocks int64
+	if err := read(&dataBlocks); err != nil {
+		return fmt.Errorf("%w: data blocks", ErrBadSuperblock)
+	}
+	var numLevels uint32
+	if err := read(&numLevels); err != nil || numLevels == 0 || numLevels > 64 {
+		return fmt.Errorf("%w: level count", ErrBadSuperblock)
+	}
+	starts := make([]int64, numLevels)
+	blocks := make([]int64, numLevels)
+	for i := range starts {
+		if err := read(&starts[i]); err != nil {
+			return fmt.Errorf("%w: level start", ErrBadSuperblock)
+		}
+		if err := read(&blocks[i]); err != nil {
+			return fmt.Errorf("%w: level blocks", ErrBadSuperblock)
+		}
+	}
+	var root [DigestSize]byte
+	if n, err := r.Read(root[:]); err != nil || n != DigestSize {
+		return fmt.Errorf("%w: root hash", ErrBadSuperblock)
+	}
+	m.BlockSize = int(blockSize)
+	m.Salt = salt
+	m.DataBlocks = dataBlocks
+	m.LevelStarts = starts
+	m.LevelBlocks = blocks
+	m.RootHash = root
+	return nil
+}

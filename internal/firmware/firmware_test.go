@@ -1,0 +1,101 @@
+package firmware
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+var (
+	kernel  = []byte("vmlinuz-5.17-snp")
+	initrd  = []byte("initrd-with-verity-setup")
+	cmdline = "root=/dev/dm-0 verity_root_hash=abc123"
+)
+
+func TestVerifyBootHappyPath(t *testing.T) {
+	fw := NewOVMF("2023.05")
+	table := NewHashTable(kernel, initrd, cmdline)
+	if err := fw.VerifyBoot(table, kernel, initrd, cmdline); err != nil {
+		t.Errorf("VerifyBoot: %v", err)
+	}
+}
+
+func TestVerifyBootDetectsEachComponent(t *testing.T) {
+	fw := NewOVMF("2023.05")
+	table := NewHashTable(kernel, initrd, cmdline)
+	tests := []struct {
+		name    string
+		kernel  []byte
+		initrd  []byte
+		cmdline string
+	}{
+		{"kernel swapped", []byte("evil-kernel"), initrd, cmdline},
+		{"initrd swapped", kernel, []byte("evil-initrd"), cmdline},
+		{"cmdline edited", kernel, initrd, cmdline + " verity=off"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := fw.VerifyBoot(table, tt.kernel, tt.initrd, tt.cmdline)
+			if !errors.Is(err, ErrHashMismatch) {
+				t.Errorf("err = %v, want ErrHashMismatch", err)
+			}
+		})
+	}
+}
+
+func TestVerifyBootEmptyTable(t *testing.T) {
+	fw := NewOVMF("2023.05")
+	if err := fw.VerifyBoot(HashTable{}, kernel, initrd, cmdline); !errors.Is(err, ErrNoHashTable) {
+		t.Errorf("err = %v, want ErrNoHashTable", err)
+	}
+}
+
+func TestMaliciousFirmwareSkipsChecksButMeasuresDifferently(t *testing.T) {
+	good := NewOVMF("2023.05")
+	evil := NewMaliciousOVMF("2023.05")
+	table := NewHashTable(kernel, initrd, cmdline)
+
+	// The malicious build happily boots wrong blobs...
+	if err := evil.VerifyBoot(table, []byte("evil"), initrd, cmdline); err != nil {
+		t.Errorf("malicious firmware rejected blobs: %v", err)
+	}
+	// ...but cannot fake the genuine build's measured bytes.
+	if bytes.Equal(good.MeasuredBytes(table), evil.MeasuredBytes(table)) {
+		t.Error("malicious firmware has identical measured bytes")
+	}
+}
+
+func TestMeasuredBytesCoverTable(t *testing.T) {
+	fw := NewOVMF("2023.05")
+	t1 := NewHashTable(kernel, initrd, cmdline)
+	t2 := NewHashTable(kernel, initrd, cmdline+" extra")
+	if bytes.Equal(fw.MeasuredBytes(t1), fw.MeasuredBytes(t2)) {
+		t.Error("hash table contents not reflected in measured bytes")
+	}
+	if bytes.Equal(fw.MeasuredBytes(t1), fw.MeasuredBytes(HashTable{})) {
+		t.Error("empty vs filled table measure identically")
+	}
+}
+
+func TestFirmwareVersionChangesMeasuredBytes(t *testing.T) {
+	table := NewHashTable(kernel, initrd, cmdline)
+	a := NewOVMF("1.0").MeasuredBytes(table)
+	b := NewOVMF("2.0").MeasuredBytes(table)
+	if bytes.Equal(a, b) {
+		t.Error("firmware version not reflected in measured bytes")
+	}
+}
+
+func TestHashTableBytesDeterministic(t *testing.T) {
+	t1 := NewHashTable(kernel, initrd, cmdline)
+	t2 := NewHashTable(kernel, initrd, cmdline)
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Error("hash table serialization not deterministic")
+	}
+	if !t1.Filled() {
+		t.Error("NewHashTable not marked filled")
+	}
+	if (HashTable{}).Filled() {
+		t.Error("zero table marked filled")
+	}
+}

@@ -1,0 +1,149 @@
+// Package hypervisor models the untrusted host virtual-machine monitor
+// (QEMU/KVM) that launches Revelio guests.
+//
+// The hypervisor sits entirely outside the trust boundary: it hands the
+// firmware volume to the AMD-SP for measurement, injects the boot-blob
+// hash table (measured direct boot), and delivers the kernel, initrd and
+// command line over fw_cfg. Because it is untrusted, this package exposes
+// explicit tamper hooks used by the §6.1 security-analysis tests: swapping
+// blobs, lying in the hash table, and replacing the firmware. Every attack
+// must either abort the boot (genuine firmware detects the lie) or surface
+// in the launch measurement (the lie itself gets measured).
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/firmware"
+	"revelio/internal/measure"
+)
+
+// ErrBootFailed wraps firmware boot-verification failures.
+var ErrBootFailed = errors.New("hypervisor: guest boot failed")
+
+// BootBlobs are the direct-boot components the service provider supplies.
+type BootBlobs struct {
+	Kernel  []byte
+	Initrd  []byte
+	Cmdline string
+}
+
+// Clone deep-copies the blobs.
+func (b BootBlobs) Clone() BootBlobs {
+	return BootBlobs{
+		Kernel:  append([]byte(nil), b.Kernel...),
+		Initrd:  append([]byte(nil), b.Initrd...),
+		Cmdline: b.Cmdline,
+	}
+}
+
+// Config describes a guest launch.
+type Config struct {
+	Firmware *firmware.Firmware
+	Blobs    BootBlobs
+	Policy   uint64
+	GuestSVN uint32
+}
+
+// Hypervisor launches guests on one SecureProcessor.
+type Hypervisor struct {
+	sp *amdsp.SecureProcessor
+
+	// Tamper state (attack hooks). declared is what the hash table is
+	// computed from; delivered is what fw_cfg actually hands the guest.
+	// For an honest hypervisor both are the configured blobs.
+	swapDelivered *BootBlobs
+	swapFirmware  *firmware.Firmware
+}
+
+// New creates a hypervisor bound to a secure processor.
+func New(sp *amdsp.SecureProcessor) *Hypervisor {
+	return &Hypervisor{sp: sp}
+}
+
+// TamperDeliverBlobs makes the hypervisor deliver the given blobs over
+// fw_cfg while still computing the hash table from the configured ones —
+// the "fill the expected hashes but pass the wrong kernel" attack.
+func (h *Hypervisor) TamperDeliverBlobs(b BootBlobs) { clone := b.Clone(); h.swapDelivered = &clone }
+
+// TamperReplaceFirmware swaps in a different firmware volume (e.g. one
+// that skips hash verification).
+func (h *Hypervisor) TamperReplaceFirmware(fw *firmware.Firmware) { h.swapFirmware = fw }
+
+// Guest is a launched (booted) confidential VM as the hypervisor sees it:
+// an opaque channel plus the blobs that actually reached the guest.
+type Guest struct {
+	Channel     *amdsp.GuestChannel
+	Measurement measure.Measurement
+	Booted      BootBlobs
+}
+
+// ExpectedMeasurement computes, without any hardware, the launch
+// measurement an honest launch of the given firmware and blobs produces.
+// This is what an auditor (or end-user with the sources) reconstructs on
+// their own premises to obtain the golden value (§3.4.7).
+func ExpectedMeasurement(fw *firmware.Firmware, blobs BootBlobs) (measure.Measurement, error) {
+	table := firmware.NewHashTable(blobs.Kernel, blobs.Initrd, blobs.Cmdline)
+	ledger := measure.NewLedger()
+	if err := ledger.Extend(measure.PageNormal, firmwareGPA, fw.MeasuredBytes(table), firmwareLabel); err != nil {
+		return measure.Measurement{}, err
+	}
+	return ledger.Finalize(), nil
+}
+
+const (
+	firmwareGPA   = 0xFFC00000
+	firmwareLabel = "ovmf"
+)
+
+// Launch performs the full measured direct boot:
+//
+//  1. compute the hash table from the configured blobs and splice it into
+//     the firmware volume,
+//  2. have the AMD-SP measure the firmware volume (code + table),
+//  3. run the firmware's boot verification against the blobs actually
+//     delivered over fw_cfg.
+//
+// A verification failure aborts the boot with ErrBootFailed. A successful
+// boot returns the guest channel; whether the *measurement* is acceptable
+// is the attester's decision, not the hypervisor's.
+func (h *Hypervisor) Launch(cfg Config) (*Guest, error) {
+	if cfg.Firmware == nil {
+		return nil, errors.New("hypervisor: no firmware configured")
+	}
+	fw := cfg.Firmware
+	if h.swapFirmware != nil {
+		fw = h.swapFirmware
+	}
+	declared := cfg.Blobs.Clone()
+	delivered := declared
+	if h.swapDelivered != nil {
+		delivered = h.swapDelivered.Clone()
+	}
+
+	table := firmware.NewHashTable(declared.Kernel, declared.Initrd, declared.Cmdline)
+	measuredVolume := fw.MeasuredBytes(table)
+
+	handle := h.sp.LaunchStart(cfg.Policy, cfg.GuestSVN)
+	if err := h.sp.LaunchUpdate(handle, measure.PageNormal, firmwareGPA, measuredVolume, firmwareLabel); err != nil {
+		return nil, fmt.Errorf("hypervisor: measure firmware: %w", err)
+	}
+	m, err := h.sp.LaunchFinish(handle)
+	if err != nil {
+		return nil, fmt.Errorf("hypervisor: finish launch: %w", err)
+	}
+
+	// The guest now executes the firmware, which verifies fw_cfg blobs
+	// against the measured table.
+	if err := fw.VerifyBoot(table, delivered.Kernel, delivered.Initrd, delivered.Cmdline); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBootFailed, err)
+	}
+
+	ch, err := h.sp.GuestChannel(handle)
+	if err != nil {
+		return nil, fmt.Errorf("hypervisor: guest channel: %w", err)
+	}
+	return &Guest{Channel: ch, Measurement: m, Booted: delivered}, nil
+}

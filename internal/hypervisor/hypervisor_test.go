@@ -1,0 +1,174 @@
+package hypervisor
+
+import (
+	"errors"
+	"testing"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/firmware"
+)
+
+func testSP(t *testing.T) *amdsp.SecureProcessor {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("hv-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mfr.MintProcessor([]byte("chip"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func goodConfig() Config {
+	return Config{
+		Firmware: firmware.NewOVMF("2023.05"),
+		Blobs: BootBlobs{
+			Kernel:  []byte("vmlinuz"),
+			Initrd:  []byte("initrd"),
+			Cmdline: "root=verity:abcd",
+		},
+		Policy:   0x30000,
+		GuestSVN: 1,
+	}
+}
+
+func TestHonestLaunch(t *testing.T) {
+	hv := New(testSP(t))
+	g, err := hv.Launch(goodConfig())
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if g.Channel == nil {
+		t.Fatal("nil guest channel")
+	}
+	if g.Measurement != g.Channel.Measurement() {
+		t.Error("returned measurement differs from channel measurement")
+	}
+	if string(g.Booted.Kernel) != "vmlinuz" {
+		t.Error("wrong blobs delivered")
+	}
+}
+
+func TestLaunchDeterministicMeasurement(t *testing.T) {
+	sp := testSP(t)
+	g1, err := New(sp).Launch(goodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(sp).Launch(goodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Measurement != g2.Measurement {
+		t.Error("identical configs produced different measurements")
+	}
+}
+
+// §6.1.1 case 1: the host passes a different kernel while keeping the
+// hash table honest — boot must fail.
+func TestAttackSwapKernelKeepTable(t *testing.T) {
+	hv := New(testSP(t))
+	cfg := goodConfig()
+	evil := cfg.Blobs.Clone()
+	evil.Kernel = []byte("evil-kernel")
+	hv.TamperDeliverBlobs(evil)
+	if _, err := hv.Launch(cfg); !errors.Is(err, ErrBootFailed) {
+		t.Errorf("err = %v, want ErrBootFailed", err)
+	}
+	if _, err := hv.Launch(cfg); !errors.Is(err, firmware.ErrHashMismatch) {
+		t.Errorf("err chain should include ErrHashMismatch, got %v", err)
+	}
+}
+
+// §6.1.1 case 2: the host instead updates the hash table to match the
+// evil kernel — boot succeeds but the measurement changes, so attestation
+// fails downstream.
+func TestAttackSwapKernelUpdateTable(t *testing.T) {
+	sp := testSP(t)
+	honest, err := New(sp).Launch(goodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evilCfg := goodConfig()
+	evilCfg.Blobs.Kernel = []byte("evil-kernel")
+	evilGuest, err := New(sp).Launch(evilCfg)
+	if err != nil {
+		t.Fatalf("honest-table evil launch should boot: %v", err)
+	}
+	if evilGuest.Measurement == honest.Measurement {
+		t.Error("evil kernel produced the honest measurement")
+	}
+}
+
+// §6.1.1 case 3: the host replaces OVMF with a build that skips hash
+// verification — boot succeeds with wrong blobs, but the measurement
+// betrays the firmware swap.
+func TestAttackMaliciousFirmware(t *testing.T) {
+	sp := testSP(t)
+	honest, err := New(sp).Launch(goodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv := New(sp)
+	hv.TamperReplaceFirmware(firmware.NewMaliciousOVMF("2023.05"))
+	evil := goodConfig().Blobs.Clone()
+	evil.Kernel = []byte("evil-kernel")
+	hv.TamperDeliverBlobs(evil)
+
+	g, err := hv.Launch(goodConfig())
+	if err != nil {
+		t.Fatalf("malicious firmware should boot: %v", err)
+	}
+	if g.Measurement == honest.Measurement {
+		t.Error("malicious firmware produced the honest measurement")
+	}
+}
+
+// Editing the command line (e.g. pointing verity at a different root
+// hash) while keeping the table fails the boot; updating the table
+// changes the measurement.
+func TestAttackCmdlineEdit(t *testing.T) {
+	sp := testSP(t)
+	honest, err := New(sp).Launch(goodConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hv := New(sp)
+	edited := goodConfig().Blobs.Clone()
+	edited.Cmdline = "root=verity:eeee"
+	hv.TamperDeliverBlobs(edited)
+	if _, err := hv.Launch(goodConfig()); !errors.Is(err, ErrBootFailed) {
+		t.Errorf("cmdline edit with honest table: err = %v, want ErrBootFailed", err)
+	}
+
+	cfg := goodConfig()
+	cfg.Blobs.Cmdline = "root=verity:eeee"
+	g, err := New(sp).Launch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Measurement == honest.Measurement {
+		t.Error("edited cmdline produced the honest measurement")
+	}
+}
+
+func TestLaunchRequiresFirmware(t *testing.T) {
+	hv := New(testSP(t))
+	cfg := goodConfig()
+	cfg.Firmware = nil
+	if _, err := hv.Launch(cfg); err == nil {
+		t.Error("launch without firmware succeeded")
+	}
+}
+
+func TestBlobsCloneIsDeep(t *testing.T) {
+	b := BootBlobs{Kernel: []byte{1}, Initrd: []byte{2}, Cmdline: "c"}
+	c := b.Clone()
+	c.Kernel[0] = 9
+	if b.Kernel[0] != 1 {
+		t.Error("Clone aliased kernel bytes")
+	}
+}

@@ -1,0 +1,345 @@
+// Package ic simulates the Internet Computer substrate the Boundary-Node
+// use case depends on (§4.2): canisters (smart contracts) hosted on
+// subnets of replica nodes that execute requests with Byzantine fault
+// tolerance and certify responses with a threshold signature.
+//
+// Substitution note (see DESIGN.md): the production IC uses BLS threshold
+// signatures; this simulation uses an aggregated Ed25519 multi-signature
+// with a t-of-n acceptance rule. The verification code path a client (or
+// service worker) runs — "does this response carry a quorum of valid
+// signatures from the subnet's key material?" — is the same shape.
+package ic
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+var (
+	// ErrNoSuchCanister reports routing to an unknown canister.
+	ErrNoSuchCanister = errors.New("ic: no such canister")
+	// ErrNoSuchMethod reports a call to a method the canister lacks.
+	ErrNoSuchMethod = errors.New("ic: no such method")
+	// ErrNoQuorum reports a request the subnet could not certify (too
+	// many faulty replicas).
+	ErrNoQuorum = errors.New("ic: no certification quorum")
+	// ErrBadCertificate reports a certified response that fails
+	// verification.
+	ErrBadCertificate = errors.New("ic: certificate verification failed")
+)
+
+// Handler executes one canister method: (state, arg) -> (reply, error).
+// Update handlers may mutate state; query handlers must not.
+type Handler func(state *State, arg []byte) ([]byte, error)
+
+// State is a canister's key-value stable memory.
+type State struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// NewState creates empty stable memory.
+func NewState() *State {
+	return &State{data: make(map[string][]byte)}
+}
+
+// Get reads a key (nil if absent).
+func (s *State) Get(key string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.data[key]...)
+}
+
+// Set writes a key.
+func (s *State) Set(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = append([]byte(nil), value...)
+}
+
+// Canister is a deployed smart contract.
+type Canister struct {
+	ID      string
+	queries map[string]Handler
+	updates map[string]Handler
+	state   *State
+}
+
+// NewCanister creates a canister with the given method tables.
+func NewCanister(id string, queries, updates map[string]Handler) *Canister {
+	q := make(map[string]Handler, len(queries))
+	for k, v := range queries {
+		q[k] = v
+	}
+	u := make(map[string]Handler, len(updates))
+	for k, v := range updates {
+		u[k] = v
+	}
+	return &Canister{ID: id, queries: q, updates: u, state: NewState()}
+}
+
+// RequestKind distinguishes reads from state mutations.
+type RequestKind int
+
+// Request kinds.
+const (
+	KindQuery RequestKind = iota + 1
+	KindUpdate
+)
+
+// Request is an IC-protocol message.
+type Request struct {
+	CanisterID string
+	Method     string
+	Arg        []byte
+	Kind       RequestKind
+}
+
+// digest canonically hashes a request/reply pair for signing.
+func digest(req Request, reply []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte(req.CanisterID))
+	h.Write([]byte{0})
+	h.Write([]byte(req.Method))
+	h.Write([]byte{0})
+	var kind [4]byte
+	binary.LittleEndian.PutUint32(kind[:], uint32(req.Kind))
+	h.Write(kind[:])
+	h.Write(req.Arg)
+	h.Write([]byte{0})
+	h.Write(reply)
+	return h.Sum(nil)
+}
+
+// SignatureShare is one replica's signature over a response.
+type SignatureShare struct {
+	ReplicaIndex int    `json:"replicaIndex"`
+	Signature    []byte `json:"signature"`
+}
+
+// Certificate is the threshold-certified proof over a response.
+type Certificate struct {
+	SubnetID string           `json:"subnetId"`
+	Shares   []SignatureShare `json:"shares"`
+}
+
+// CertifiedResponse is what a Boundary Node relays to clients.
+type CertifiedResponse struct {
+	Request Request     `json:"request"`
+	Reply   []byte      `json:"reply"`
+	Cert    Certificate `json:"cert"`
+}
+
+// SubnetPublicKey is the verification material clients hold: the replica
+// public keys and the quorum threshold.
+type SubnetPublicKey struct {
+	SubnetID  string              `json:"subnetId"`
+	Keys      []ed25519.PublicKey `json:"keys"`
+	Threshold int                 `json:"threshold"`
+}
+
+// Verify checks that resp carries at least Threshold valid shares from
+// distinct replicas over the canonical digest.
+func (pk SubnetPublicKey) Verify(resp *CertifiedResponse) error {
+	if resp.Cert.SubnetID != pk.SubnetID {
+		return fmt.Errorf("%w: subnet %q, want %q", ErrBadCertificate, resp.Cert.SubnetID, pk.SubnetID)
+	}
+	msg := digest(resp.Request, resp.Reply)
+	valid := 0
+	seen := make(map[int]struct{}, len(resp.Cert.Shares))
+	for _, share := range resp.Cert.Shares {
+		if share.ReplicaIndex < 0 || share.ReplicaIndex >= len(pk.Keys) {
+			continue
+		}
+		if _, dup := seen[share.ReplicaIndex]; dup {
+			continue
+		}
+		seen[share.ReplicaIndex] = struct{}{}
+		if ed25519.Verify(pk.Keys[share.ReplicaIndex], msg, share.Signature) {
+			valid++
+		}
+	}
+	if valid < pk.Threshold {
+		return fmt.Errorf("%w: %d valid shares, need %d", ErrBadCertificate, valid, pk.Threshold)
+	}
+	return nil
+}
+
+// replica is one subnet node.
+type replica struct {
+	key       ed25519.PrivateKey
+	malicious bool
+}
+
+// Subnet hosts canisters on n replicas tolerating f = (n-1)/3 Byzantine
+// members; responses are certified by 2f+1 shares.
+type Subnet struct {
+	id        string
+	replicas  []*replica
+	threshold int
+
+	mu        sync.Mutex
+	canisters map[string]*Canister
+}
+
+// NewSubnet creates a subnet of n replicas (n must be 3f+1 for some
+// f >= 0) with deterministic keys derived from rng.
+func NewSubnet(id string, n int, rng io.Reader) (*Subnet, error) {
+	if n < 1 || (n-1)%3 != 0 {
+		return nil, fmt.Errorf("ic: subnet size %d is not 3f+1", n)
+	}
+	f := (n - 1) / 3
+	s := &Subnet{
+		id:        id,
+		threshold: 2*f + 1,
+		canisters: make(map[string]*Canister),
+	}
+	for i := 0; i < n; i++ {
+		_, priv, err := ed25519.GenerateKey(rng)
+		if err != nil {
+			return nil, fmt.Errorf("ic: replica key: %w", err)
+		}
+		s.replicas = append(s.replicas, &replica{key: priv})
+	}
+	return s, nil
+}
+
+// ID returns the subnet identifier.
+func (s *Subnet) ID() string { return s.id }
+
+// PublicKey returns the client-side verification material.
+func (s *Subnet) PublicKey() SubnetPublicKey {
+	pk := SubnetPublicKey{SubnetID: s.id, Threshold: s.threshold}
+	for _, r := range s.replicas {
+		pub, ok := r.key.Public().(ed25519.PublicKey)
+		if !ok {
+			continue
+		}
+		pk.Keys = append(pk.Keys, pub)
+	}
+	return pk
+}
+
+// Install deploys a canister on this subnet.
+func (s *Subnet) Install(c *Canister) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.canisters[c.ID] = c
+}
+
+// Corrupt marks replica i Byzantine: it signs a corrupted reply, so its
+// share never validates against the honest digest.
+func (s *Subnet) Corrupt(i int) error {
+	if i < 0 || i >= len(s.replicas) {
+		return fmt.Errorf("ic: no replica %d", i)
+	}
+	s.replicas[i].malicious = true
+	return nil
+}
+
+// Execute runs a request through the subnet: the canister executes once
+// (state machine replication collapses to a single execution in-process),
+// then every replica signs the response — Byzantine replicas sign a
+// corrupted digest. A quorum of 2f+1 honest shares certifies the reply.
+func (s *Subnet) Execute(req Request) (*CertifiedResponse, error) {
+	s.mu.Lock()
+	c, ok := s.canisters[req.CanisterID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchCanister, req.CanisterID)
+	}
+	var handler Handler
+	switch req.Kind {
+	case KindQuery:
+		handler = c.queries[req.Method]
+	case KindUpdate:
+		handler = c.updates[req.Method]
+	default:
+		return nil, fmt.Errorf("ic: bad request kind %d", req.Kind)
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, req.CanisterID, req.Method)
+	}
+	reply, err := handler(c.state, req.Arg)
+	if err != nil {
+		return nil, fmt.Errorf("ic: %s.%s: %w", req.CanisterID, req.Method, err)
+	}
+
+	honest := digest(req, reply)
+	corrupted := digest(req, append([]byte("corrupt:"), reply...))
+	cert := Certificate{SubnetID: s.id}
+	validShares := 0
+	for i, r := range s.replicas {
+		msg := honest
+		if r.malicious {
+			msg = corrupted
+		} else {
+			validShares++
+		}
+		cert.Shares = append(cert.Shares, SignatureShare{
+			ReplicaIndex: i,
+			Signature:    ed25519.Sign(r.key, msg),
+		})
+	}
+	if validShares < s.threshold {
+		return nil, fmt.Errorf("%w: %d honest of %d needed", ErrNoQuorum, validShares, s.threshold)
+	}
+	return &CertifiedResponse{Request: req, Reply: reply, Cert: cert}, nil
+}
+
+// Network routes canisters to subnets.
+type Network struct {
+	mu      sync.Mutex
+	subnets map[string]*Subnet
+	routing map[string]string // canister -> subnet
+}
+
+// NewNetwork creates an empty IC.
+func NewNetwork() *Network {
+	return &Network{subnets: make(map[string]*Subnet), routing: make(map[string]string)}
+}
+
+// AddSubnet registers a subnet.
+func (n *Network) AddSubnet(s *Subnet) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.subnets[s.ID()] = s
+}
+
+// InstallCanister deploys a canister to the named subnet.
+func (n *Network) InstallCanister(subnetID string, c *Canister) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.subnets[subnetID]
+	if !ok {
+		return fmt.Errorf("ic: no subnet %q", subnetID)
+	}
+	s.Install(c)
+	n.routing[c.ID] = subnetID
+	return nil
+}
+
+// SubnetFor returns the subnet hosting a canister.
+func (n *Network) SubnetFor(canisterID string) (*Subnet, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	subnetID, ok := n.routing[canisterID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchCanister, canisterID)
+	}
+	return n.subnets[subnetID], nil
+}
+
+// Submit routes and executes a request.
+func (n *Network) Submit(req Request) (*CertifiedResponse, error) {
+	s, err := n.SubnetFor(req.CanisterID)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(req)
+}

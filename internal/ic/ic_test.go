@@ -1,0 +1,284 @@
+package ic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// counterCanister is a tiny stateful contract used across the tests.
+func counterCanister(id string) *Canister {
+	return NewCanister(id,
+		map[string]Handler{
+			"get": func(s *State, _ []byte) ([]byte, error) {
+				v := s.Get("count")
+				if v == nil {
+					v = []byte{0}
+				}
+				return v, nil
+			},
+		},
+		map[string]Handler{
+			"inc": func(s *State, _ []byte) ([]byte, error) {
+				v := s.Get("count")
+				var n byte
+				if len(v) > 0 {
+					n = v[0]
+				}
+				n++
+				s.Set("count", []byte{n})
+				return []byte{n}, nil
+			},
+			"fail": func(*State, []byte) ([]byte, error) {
+				return nil, errors.New("canister trapped")
+			},
+		})
+}
+
+func newTestNetwork(t *testing.T, replicas int) (*Network, *Subnet) {
+	t.Helper()
+	subnet, err := NewSubnet("subnet-0", replicas, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork()
+	net.AddSubnet(subnet)
+	if err := net.InstallCanister("subnet-0", counterCanister("counter")); err != nil {
+		t.Fatal(err)
+	}
+	return net, subnet
+}
+
+func TestQueryAndUpdate(t *testing.T) {
+	net, subnet := newTestNetwork(t, 4)
+	pk := subnet.PublicKey()
+
+	for i := 1; i <= 3; i++ {
+		resp, err := net.Submit(Request{CanisterID: "counter", Method: "inc", Kind: KindUpdate})
+		if err != nil {
+			t.Fatalf("inc %d: %v", i, err)
+		}
+		if int(resp.Reply[0]) != i {
+			t.Errorf("inc %d: reply = %d", i, resp.Reply[0])
+		}
+		if err := pk.Verify(resp); err != nil {
+			t.Errorf("inc %d certificate: %v", i, err)
+		}
+	}
+	resp, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: KindQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Reply[0] != 3 {
+		t.Errorf("get = %d, want 3", resp.Reply[0])
+	}
+	if err := pk.Verify(resp); err != nil {
+		t.Errorf("query certificate: %v", err)
+	}
+}
+
+func TestRoutingErrors(t *testing.T) {
+	net, _ := newTestNetwork(t, 4)
+	if _, err := net.Submit(Request{CanisterID: "nope", Method: "get", Kind: KindQuery}); !errors.Is(err, ErrNoSuchCanister) {
+		t.Errorf("unknown canister: err = %v", err)
+	}
+	if _, err := net.Submit(Request{CanisterID: "counter", Method: "nope", Kind: KindQuery}); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("unknown method: err = %v", err)
+	}
+	// Query/update method tables are separate.
+	if _, err := net.Submit(Request{CanisterID: "counter", Method: "inc", Kind: KindQuery}); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("update method as query: err = %v", err)
+	}
+	if _, err := net.Submit(Request{CanisterID: "counter", Method: "fail", Kind: KindUpdate}); err == nil {
+		t.Error("trapping canister returned no error")
+	}
+	if _, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: 0}); err == nil {
+		t.Error("bad request kind accepted")
+	}
+}
+
+func TestSubnetSizeValidation(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 5, 6} {
+		if _, err := NewSubnet("s", n, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("subnet size %d accepted", n)
+		}
+	}
+	for _, n := range []int{1, 4, 7, 13} {
+		if _, err := NewSubnet("s", n, rand.New(rand.NewSource(1))); err != nil {
+			t.Errorf("subnet size %d rejected: %v", n, err)
+		}
+	}
+}
+
+// TestByzantineToleranceWithinF: with f corrupt replicas out of 3f+1 the
+// response is still certified and verifiable.
+func TestByzantineToleranceWithinF(t *testing.T) {
+	net, subnet := newTestNetwork(t, 13) // f = 4
+	for i := 0; i < 4; i++ {
+		if err := subnet.Corrupt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: KindQuery})
+	if err != nil {
+		t.Fatalf("Submit with f corrupt: %v", err)
+	}
+	if err := subnet.PublicKey().Verify(resp); err != nil {
+		t.Errorf("certificate with f corrupt: %v", err)
+	}
+}
+
+// TestByzantineBeyondF: with more than f corrupt replicas no quorum forms.
+func TestByzantineBeyondF(t *testing.T) {
+	net, subnet := newTestNetwork(t, 4) // f = 1, threshold 3
+	if err := subnet.Corrupt(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := subnet.Corrupt(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: KindQuery}); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestCorruptReplicaSharesDoNotVerify(t *testing.T) {
+	net, subnet := newTestNetwork(t, 4)
+	if err := subnet.Corrupt(2); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: KindQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrupted share is present but invalid; the rest form a quorum.
+	pk := subnet.PublicKey()
+	if err := pk.Verify(resp); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Raise the threshold so the corrupt share matters: verification
+	// fails.
+	pk.Threshold = 4
+	if err := pk.Verify(resp); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("raised threshold: err = %v, want ErrBadCertificate", err)
+	}
+}
+
+// TestTamperedReplyFailsVerification is the core BN-threat property: any
+// modification of the certified reply invalidates the certificate.
+func TestTamperedReplyFailsVerification(t *testing.T) {
+	net, subnet := newTestNetwork(t, 4)
+	resp, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: KindQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := subnet.PublicKey()
+
+	tampered := *resp
+	tampered.Reply = append([]byte("evil"), resp.Reply...)
+	if err := pk.Verify(&tampered); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("tampered reply: err = %v, want ErrBadCertificate", err)
+	}
+
+	// Tampering the request context also breaks it.
+	tampered = *resp
+	tampered.Request.Method = "other"
+	if err := pk.Verify(&tampered); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("tampered request: err = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestDuplicateSharesDoNotInflateQuorum(t *testing.T) {
+	net, subnet := newTestNetwork(t, 4)
+	resp, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: KindQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker pads the certificate with copies of one valid share.
+	one := resp.Cert.Shares[0]
+	resp.Cert.Shares = []SignatureShare{one, one, one, one}
+	if err := subnet.PublicKey().Verify(resp); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("duplicated shares: err = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestWrongSubnetRejected(t *testing.T) {
+	net, subnet := newTestNetwork(t, 4)
+	resp, err := net.Submit(Request{CanisterID: "counter", Method: "get", Kind: KindQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := subnet.PublicKey()
+	pk.SubnetID = "subnet-other"
+	if err := pk.Verify(resp); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("wrong subnet: err = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestMultipleSubnets(t *testing.T) {
+	net := NewNetwork()
+	for i := 0; i < 3; i++ {
+		s, err := NewSubnet(fmt.Sprintf("subnet-%d", i), 4, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.AddSubnet(s)
+		if err := net.InstallCanister(s.ID(), counterCanister(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := net.Submit(Request{CanisterID: fmt.Sprintf("c%d", i), Method: "inc", Kind: KindUpdate})
+		if err != nil {
+			t.Fatalf("c%d: %v", i, err)
+		}
+		if resp.Cert.SubnetID != fmt.Sprintf("subnet-%d", i) {
+			t.Errorf("c%d certified by %s", i, resp.Cert.SubnetID)
+		}
+	}
+	if err := net.InstallCanister("nope", counterCanister("x")); err == nil {
+		t.Error("install on unknown subnet succeeded")
+	}
+}
+
+func TestStateIsolationBetweenCanisters(t *testing.T) {
+	net, _ := newTestNetwork(t, 4)
+	if err := net.InstallCanister("subnet-0", counterCanister("counter2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Submit(Request{CanisterID: "counter", Method: "inc", Kind: KindUpdate}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := net.Submit(Request{CanisterID: "counter2", Method: "get", Kind: KindQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Reply[0] != 0 {
+		t.Errorf("counter2 leaked counter state: %d", resp.Reply[0])
+	}
+}
+
+func BenchmarkSubnetExecuteAndVerify(b *testing.B) {
+	subnet, err := NewSubnet("bench", 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := NewNetwork()
+	net.AddSubnet(subnet)
+	if err := net.InstallCanister("bench", counterCanister("c")); err != nil {
+		b.Fatal(err)
+	}
+	pk := subnet.PublicKey()
+	req := Request{CanisterID: "c", Method: "get", Kind: KindQuery}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := net.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pk.Verify(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

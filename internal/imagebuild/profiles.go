@@ -1,0 +1,83 @@
+package imagebuild
+
+import (
+	"encoding/json"
+
+	"revelio/internal/netguard"
+	"revelio/internal/rootfs"
+)
+
+func marshalJSON(v any) ([]byte, error) { return json.Marshal(v) }
+
+// kib scales byte sizes readably.
+const kib = 1024
+
+// PublishUbuntuBase publishes the pinned Ubuntu-like base image the
+// profiles build on and returns its reference (the published, integrity-
+// protected Docker image of §5.1.1).
+func PublishUbuntuBase(reg *Registry) BaseImageRef {
+	files := []rootfs.File{
+		{Path: "lib/libc.so", Content: deterministicBlob("ubuntu/libc", 96*kib), Mode: 0o644},
+		{Path: "lib/libssl.so", Content: deterministicBlob("ubuntu/libssl", 64*kib), Mode: 0o644},
+		{Path: "lib/libcrypto.so", Content: deterministicBlob("ubuntu/libcrypto", 128*kib), Mode: 0o644},
+		{Path: "bin/sh", Content: deterministicBlob("ubuntu/sh", 32*kib), Mode: 0o755},
+		{Path: "etc/ssl/certs/ca-bundle.pem", Content: deterministicBlob("ubuntu/cabundle", 16*kib), Mode: 0o644},
+	}
+	return reg.Publish(BaseImage{Name: "ubuntu-20.04-pinned", Files: files})
+}
+
+// BoundaryNodeSpec is the Revelio-protected Boundary Node profile (BN in
+// Table 1): many services, a bigger rootfs, outbound connectivity to IC
+// replicas. Sizes are scaled for laptop-scale runs; the *ratio* of BN to
+// CP matches the paper's shape (BN boots slower because more services
+// start).
+func BoundaryNodeSpec(base BaseImageRef) Spec {
+	return Spec{
+		Name:          "boundary-node",
+		Version:       "1.0.0",
+		KernelVersion: "5.17.0-rc6-snp",
+		Base:          base,
+		Services: []ServiceSpec{
+			{Name: "systemd-sim", Kind: KindSystem, BinarySize: 256 * kib},
+			{Name: "networkd", Kind: KindSystem, BinarySize: 128 * kib},
+			{Name: "resolved", Kind: KindSystem, BinarySize: 96 * kib},
+			{Name: "journald", Kind: KindSystem, BinarySize: 128 * kib},
+			{Name: "chrony", Kind: KindSystem, BinarySize: 64 * kib},
+			{Name: "prometheus-exporter", Kind: KindSystem, BinarySize: 192 * kib},
+			{Name: "nginx", Kind: KindApp, BinarySize: 512 * kib},
+			{Name: "ic-proxy", Kind: KindApp, BinarySize: 1024 * kib},
+			{Name: "service-worker-dist", Kind: KindApp, BinarySize: 384 * kib},
+			{Name: "certbot-agent", Kind: KindApp, BinarySize: 128 * kib},
+			{Name: "revelio-encrypt", Kind: KindRevelio, BinarySize: 48 * kib},
+			{Name: "revelio-verity", Kind: KindRevelio, BinarySize: 48 * kib},
+			{Name: "revelio-identity", Kind: KindRevelio, BinarySize: 48 * kib},
+		},
+		Policy: netguard.Policy{
+			AllowedInboundTCP: []uint16{443},
+			AllowOutbound:     true, // reaches IC replicas
+		},
+		PersistSize: 2 * 1024 * kib, // scaled stand-in for the 84 MiB volume
+		VeritySalt:  []byte("revelio-bn"),
+	}
+}
+
+// CryptpadSpec is the Revelio-protected CryptPad server profile (CP in
+// Table 1): just the server plus the Revelio services.
+func CryptpadSpec(base BaseImageRef) Spec {
+	return Spec{
+		Name:          "cryptpad-server",
+		Version:       "1.0.0",
+		KernelVersion: "5.17.0-rc6-snp",
+		Base:          base,
+		Services: []ServiceSpec{
+			{Name: "systemd-sim", Kind: KindSystem, BinarySize: 256 * kib},
+			{Name: "cryptpad", Kind: KindApp, BinarySize: 768 * kib},
+			{Name: "revelio-encrypt", Kind: KindRevelio, BinarySize: 48 * kib},
+			{Name: "revelio-verity", Kind: KindRevelio, BinarySize: 48 * kib},
+			{Name: "revelio-identity", Kind: KindRevelio, BinarySize: 48 * kib},
+		},
+		Policy:      netguard.DefaultWebPolicy(),
+		PersistSize: 1024 * kib,
+		VeritySalt:  []byte("revelio-cp"),
+	}
+}

@@ -1,0 +1,180 @@
+package kds
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/sev"
+)
+
+type testEnv struct {
+	mfr    *amdsp.Manufacturer
+	sp     *amdsp.SecureProcessor
+	server *httptest.Server
+	hits   atomic.Int64
+}
+
+func newTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("kds-test-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mfr.MintProcessor([]byte("chip"), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &testEnv{mfr: mfr, sp: sp}
+	kdsHandler := NewServer(mfr)
+	env.server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		env.hits.Add(1)
+		kdsHandler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(env.server.Close)
+	return env
+}
+
+func TestCertChainFetch(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	ask, ark, err := c.CertChain(context.Background())
+	if err != nil {
+		t.Fatalf("CertChain: %v", err)
+	}
+	if ask.Subject.CommonName != "ASK-SIM" || ark.Subject.CommonName != "ARK-SIM" {
+		t.Errorf("unexpected chain subjects: %q, %q",
+			ask.Subject.CommonName, ark.Subject.CommonName)
+	}
+	// ASK must be signed by ARK.
+	if err := ask.CheckSignatureFrom(ark); err != nil {
+		t.Errorf("ASK not signed by ARK: %v", err)
+	}
+}
+
+func TestVCEKFetchAndChainValidation(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	ctx := context.Background()
+
+	vcek, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB())
+	if err != nil {
+		t.Fatalf("VCEK: %v", err)
+	}
+	ask, ark, err := c.CertChain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(ark)
+	inters := x509.NewCertPool()
+	inters.AddCert(ask)
+	if _, err := vcek.Verify(x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inters,
+		CurrentTime:   ark.NotBefore.AddDate(1, 0, 0),
+		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		t.Errorf("chain validation: %v", err)
+	}
+	chipID, tcb, err := amdsp.VCEKIdentity(vcek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chipID != env.sp.ChipID() || tcb != env.sp.TCB() {
+		t.Error("fetched VCEK identity mismatch")
+	}
+}
+
+func TestVCEKUnknownChip(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	var bogus sev.ChipID
+	bogus[5] = 1
+	if _, err := c.VCEK(context.Background(), bogus, 9); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown chip: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestVCEKCaching(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	c.SetCaching(true)
+	ctx := context.Background()
+
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+		t.Fatal(err)
+	}
+	cold := env.hits.Load()
+	for i := 0; i < 5; i++ {
+		if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env.hits.Load() != cold {
+		t.Errorf("cache miss: %d extra hits", env.hits.Load()-cold)
+	}
+	// Different TCB must bypass the cache entry.
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()+1); err != nil {
+		t.Fatal(err)
+	}
+	if env.hits.Load() == cold {
+		t.Error("different TCB served from cache")
+	}
+	// Disabling caching clears state.
+	c.SetCaching(false)
+	before := env.hits.Load()
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+		t.Fatal(err)
+	}
+	if env.hits.Load() == before {
+		t.Error("disabled cache still served entries")
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	env := newTestEnv(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{VCEKPathPrefix + "nothex?tcb=1", http.StatusBadRequest},
+		{VCEKPathPrefix + "abcd?tcb=1", http.StatusBadRequest}, // short chip id
+		{VCEKPathPrefix, http.StatusNotFound},
+	}
+	for _, tt := range cases {
+		resp, err := http.Get(env.server.URL + tt.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != tt.want {
+			t.Errorf("GET %s: status %d, want %d", tt.path, resp.StatusCode, tt.want)
+		}
+	}
+	// Missing tcb parameter.
+	chipHex := make([]byte, sev.ChipIDSize*2)
+	for i := range chipHex {
+		chipHex[i] = 'a'
+	}
+	resp, err := http.Get(env.server.URL + VCEKPathPrefix + string(chipHex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing tcb: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens here
+	if _, _, err := c.CertChain(context.Background()); err == nil {
+		t.Error("CertChain against dead server succeeded")
+	}
+}

@@ -1,0 +1,142 @@
+// Package measure implements the SEV-SNP-style launch-measurement ledger.
+//
+// During guest launch the AMD-SP extends a running SHA-384 digest with
+// every page the hypervisor asks it to install (firmware volume, metadata
+// pages, ...). The final digest — the "launch measurement" — lands in the
+// attestation report and is the anchor of Revelio's whole trust chain:
+// with measured direct boot the firmware's hash table (and therefore the
+// kernel, initrd and command line, and transitively the dm-verity root
+// hash and rootfs) are all bound to it.
+package measure
+
+import (
+	"crypto/sha512"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the launch-digest size in bytes (SHA-384).
+const Size = sha512.Size384
+
+// Measurement is a finalized launch digest.
+type Measurement [Size]byte
+
+// String renders the measurement as lowercase hex, the format golden
+// values use throughout the repository.
+func (m Measurement) String() string { return hex.EncodeToString(m[:]) }
+
+// ParseMeasurement parses the hex form produced by String.
+func ParseMeasurement(s string) (Measurement, error) {
+	var m Measurement
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return m, fmt.Errorf("measure: parse measurement: %w", err)
+	}
+	if len(b) != Size {
+		return m, fmt.Errorf("measure: measurement is %d bytes, want %d", len(b), Size)
+	}
+	copy(m[:], b)
+	return m, nil
+}
+
+// PageType labels what kind of content an extension covers, mirroring the
+// SNP_LAUNCH_UPDATE page types. The type is folded into the digest so the
+// same bytes installed as a different page type produce a different
+// measurement.
+type PageType uint8
+
+// Page types folded into the launch digest.
+const (
+	PageNormal PageType = iota + 1
+	PageVMSA
+	PageZero
+	PageUnmeasured
+	PageSecrets
+	PageCPUID
+)
+
+func (p PageType) String() string {
+	switch p {
+	case PageNormal:
+		return "normal"
+	case PageVMSA:
+		return "vmsa"
+	case PageZero:
+		return "zero"
+	case PageUnmeasured:
+		return "unmeasured"
+	case PageSecrets:
+		return "secrets"
+	case PageCPUID:
+		return "cpuid"
+	default:
+		return fmt.Sprintf("pagetype(%d)", uint8(p))
+	}
+}
+
+// Ledger accumulates launch extensions. The zero value is not usable; use
+// NewLedger. A Ledger is not safe for concurrent use — launches are
+// serialized per VM context, as on real hardware.
+type Ledger struct {
+	digest    [Size]byte
+	finalized bool
+	events    []Event
+}
+
+// Event records one extension for audit/debug output.
+type Event struct {
+	Type   PageType
+	GPA    uint64 // guest physical address the page was installed at
+	Digest [Size]byte
+	Label  string
+}
+
+// NewLedger returns a fresh ledger with the all-zero initial digest.
+func NewLedger() *Ledger {
+	return &Ledger{}
+}
+
+// Extend folds one page installation into the running digest:
+//
+//	digest = SHA384(digest || pageType || gpa || SHA384(data) || label)
+//
+// Label is free-form context ("ovmf", "hashtable", ...) kept for audits;
+// because it is folded in, two launches only measure equal if they agree
+// on labels too.
+func (l *Ledger) Extend(t PageType, gpa uint64, data []byte, label string) error {
+	if l.finalized {
+		return fmt.Errorf("measure: extend after finalize")
+	}
+	pageDigest := sha512.Sum384(data)
+
+	h := sha512.New384()
+	h.Write(l.digest[:])
+	h.Write([]byte{byte(t)})
+	var gpaBytes [8]byte
+	binary.LittleEndian.PutUint64(gpaBytes[:], gpa)
+	h.Write(gpaBytes[:])
+	h.Write(pageDigest[:])
+	h.Write([]byte(label))
+	h.Sum(l.digest[:0])
+
+	l.events = append(l.events, Event{Type: t, GPA: gpa, Digest: pageDigest, Label: label})
+	return nil
+}
+
+// Finalize seals the ledger and returns the launch measurement. Further
+// Extend calls fail, mirroring SNP_LAUNCH_FINISH.
+func (l *Ledger) Finalize() Measurement {
+	l.finalized = true
+	return Measurement(l.digest)
+}
+
+// Finalized reports whether Finalize has been called.
+func (l *Ledger) Finalized() bool { return l.finalized }
+
+// Events returns a copy of the recorded extension events.
+func (l *Ledger) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}

@@ -1,0 +1,176 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLedgerDeterminism(t *testing.T) {
+	build := func() Measurement {
+		l := NewLedger()
+		if err := l.Extend(PageNormal, 0x1000, []byte("firmware"), "ovmf"); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Extend(PageVMSA, 0, []byte("vmsa"), "vmsa"); err != nil {
+			t.Fatal(err)
+		}
+		return l.Finalize()
+	}
+	if build() != build() {
+		t.Error("identical launch sequences produced different measurements")
+	}
+}
+
+func TestLedgerSensitivity(t *testing.T) {
+	base := func(mutate func(l *Ledger) error) Measurement {
+		l := NewLedger()
+		if err := l.Extend(PageNormal, 0x1000, []byte("fw"), "ovmf"); err != nil {
+			t.Fatal(err)
+		}
+		if mutate != nil {
+			if err := mutate(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l.Finalize()
+	}
+	ref := base(nil)
+
+	variants := map[string]func(l *Ledger) error{
+		"extra page": func(l *Ledger) error {
+			return l.Extend(PageNormal, 0x2000, []byte("extra"), "x")
+		},
+	}
+	for name, mutate := range variants {
+		if got := base(mutate); got == ref {
+			t.Errorf("%s: measurement unchanged", name)
+		}
+	}
+
+	// Same data, different page type / gpa / label.
+	alt := func(pt PageType, gpa uint64, label string) Measurement {
+		l := NewLedger()
+		if err := l.Extend(pt, gpa, []byte("fw"), label); err != nil {
+			t.Fatal(err)
+		}
+		return l.Finalize()
+	}
+	if alt(PageZero, 0x1000, "ovmf") == ref {
+		t.Error("page type not folded into digest")
+	}
+	if alt(PageNormal, 0x3000, "ovmf") == ref {
+		t.Error("gpa not folded into digest")
+	}
+	if alt(PageNormal, 0x1000, "other") == ref {
+		t.Error("label not folded into digest")
+	}
+}
+
+func TestLedgerOrderMatters(t *testing.T) {
+	ab := NewLedger()
+	_ = ab.Extend(PageNormal, 0, []byte("a"), "")
+	_ = ab.Extend(PageNormal, 0, []byte("b"), "")
+	ba := NewLedger()
+	_ = ba.Extend(PageNormal, 0, []byte("b"), "")
+	_ = ba.Extend(PageNormal, 0, []byte("a"), "")
+	if ab.Finalize() == ba.Finalize() {
+		t.Error("extension order not reflected in measurement")
+	}
+}
+
+func TestExtendAfterFinalizeFails(t *testing.T) {
+	l := NewLedger()
+	if err := l.Extend(PageNormal, 0, []byte("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Finalize()
+	if !l.Finalized() {
+		t.Error("Finalized() = false after Finalize")
+	}
+	if err := l.Extend(PageNormal, 0, []byte("y"), ""); err == nil {
+		t.Error("Extend after Finalize succeeded")
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	l := NewLedger()
+	_ = l.Extend(PageNormal, 0x1000, []byte("fw"), "ovmf")
+	_ = l.Extend(PageSecrets, 0x2000, []byte("s"), "secrets")
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Label != "ovmf" || events[0].GPA != 0x1000 || events[0].Type != PageNormal {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	// Returned slice must be a copy.
+	events[0].Label = "mutated"
+	if l.Events()[0].Label != "ovmf" {
+		t.Error("Events returned aliased internal slice")
+	}
+}
+
+func TestMeasurementStringRoundTrip(t *testing.T) {
+	l := NewLedger()
+	_ = l.Extend(PageNormal, 0, []byte("payload"), "")
+	m := l.Finalize()
+	s := m.String()
+	if len(s) != Size*2 || strings.ToLower(s) != s {
+		t.Errorf("String() = %q, want %d lowercase hex chars", s, Size*2)
+	}
+	back, err := ParseMeasurement(s)
+	if err != nil {
+		t.Fatalf("ParseMeasurement: %v", err)
+	}
+	if back != m {
+		t.Error("roundtrip mismatch")
+	}
+}
+
+func TestParseMeasurementErrors(t *testing.T) {
+	if _, err := ParseMeasurement("zz"); err == nil {
+		t.Error("non-hex accepted")
+	}
+	if _, err := ParseMeasurement("abcd"); err == nil {
+		t.Error("short hex accepted")
+	}
+}
+
+func TestPageTypeString(t *testing.T) {
+	if PageNormal.String() != "normal" || PageCPUID.String() != "cpuid" {
+		t.Error("unexpected PageType strings")
+	}
+	if got := PageType(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown page type string = %q", got)
+	}
+}
+
+// Property: different data always yields a different measurement.
+func TestLedgerCollisionFreeProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		la, lb := NewLedger(), NewLedger()
+		if err := la.Extend(PageNormal, 0, a, ""); err != nil {
+			return false
+		}
+		if err := lb.Extend(PageNormal, 0, b, ""); err != nil {
+			return false
+		}
+		same := string(a) == string(b)
+		return (la.Finalize() == lb.Finalize()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLedgerExtend4K(b *testing.B) {
+	page := make([]byte, 4096)
+	b.SetBytes(4096)
+	l := NewLedger()
+	for i := 0; i < b.N; i++ {
+		if err := l.Extend(PageNormal, uint64(i), page, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package netguard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDefaultWebPolicyBlocksSSH(t *testing.T) {
+	fw := NewFirewall(DefaultWebPolicy())
+	if err := fw.Check(Inbound, 443); err != nil {
+		t.Errorf("inbound 443: %v", err)
+	}
+	for _, port := range []uint16{22, 80, 8080, 5900} {
+		if err := fw.Check(Inbound, port); !errors.Is(err, ErrDenied) {
+			t.Errorf("inbound %d: err = %v, want ErrDenied", port, err)
+		}
+	}
+	if err := fw.Check(Outbound, 443); !errors.Is(err, ErrDenied) {
+		t.Errorf("outbound on web policy: err = %v, want ErrDenied", err)
+	}
+}
+
+func TestOutboundAllowedPolicy(t *testing.T) {
+	fw := NewFirewall(Policy{AllowedInboundTCP: []uint16{443}, AllowOutbound: true})
+	if err := fw.Check(Outbound, 9000); err != nil {
+		t.Errorf("outbound: %v", err)
+	}
+	if err := fw.Check(Inbound, 9000); !errors.Is(err, ErrDenied) {
+		t.Errorf("inbound 9000: err = %v, want ErrDenied", err)
+	}
+}
+
+func TestEmptyPolicyDeniesEverything(t *testing.T) {
+	fw := NewFirewall(Policy{})
+	if err := fw.Check(Inbound, 443); !errors.Is(err, ErrDenied) {
+		t.Errorf("inbound: err = %v, want ErrDenied", err)
+	}
+	if err := fw.Check(Outbound, 443); !errors.Is(err, ErrDenied) {
+		t.Errorf("outbound: err = %v, want ErrDenied", err)
+	}
+}
+
+func TestPolicyMarshalRoundTrip(t *testing.T) {
+	p := Policy{AllowedInboundTCP: []uint16{443, 8443}, AllowOutbound: true}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePolicy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.AllowedInboundTCP) != 2 || back.AllowedInboundTCP[1] != 8443 || !back.AllowOutbound {
+		t.Errorf("roundtrip = %+v", back)
+	}
+	// Determinism: same policy, same bytes.
+	data2, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("marshal not deterministic")
+	}
+}
+
+func TestParsePolicyGarbage(t *testing.T) {
+	if _, err := ParsePolicy([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCheckUnknownDirection(t *testing.T) {
+	fw := NewFirewall(DefaultWebPolicy())
+	if err := fw.Check(Direction(0), 443); !errors.Is(err, ErrDenied) {
+		t.Errorf("unknown direction: err = %v, want ErrDenied", err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Inbound.String() != "inbound" || Outbound.String() != "outbound" {
+		t.Error("direction strings wrong")
+	}
+	if !strings.Contains(Direction(9).String(), "9") {
+		t.Error("unknown direction string")
+	}
+}

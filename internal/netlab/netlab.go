@@ -1,0 +1,56 @@
+// Package netlab injects deterministic network conditions into HTTP
+// clients, standing in for the paper's testbed network (wireless client,
+// WAN path to the AMD KDS). The client-side experiments of Table 3 need a
+// stable, configurable base latency; netlab provides it without leaving
+// the process.
+package netlab
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Transport delays every request by RTT and can inject failures. It
+// implements http.RoundTripper around an inner transport.
+type Transport struct {
+	// RTT is added to every round trip (one sleep per request).
+	RTT time.Duration
+	// Inner handles the actual request; nil selects
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+	// Fail, if non-nil, is consulted per request; a non-nil error aborts
+	// the request (MITM blackholing, dead KDS, ...).
+	Fail func(req *http.Request) error
+
+	requests atomic.Int64
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Fail != nil {
+		if err := t.Fail(req); err != nil {
+			return nil, fmt.Errorf("netlab: injected failure: %w", err)
+		}
+	}
+	if t.RTT > 0 {
+		time.Sleep(t.RTT)
+	}
+	t.requests.Add(1)
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}
+
+// Requests returns the number of round trips performed.
+func (t *Transport) Requests() int64 { return t.requests.Load() }
+
+// Client wraps a latency-injecting transport in an http.Client.
+func Client(rtt time.Duration, inner http.RoundTripper) *http.Client {
+	return &http.Client{Transport: &Transport{RTT: rtt, Inner: inner}}
+}

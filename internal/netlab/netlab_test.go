@@ -1,0 +1,84 @@
+package netlab
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestLatencyInjection(t *testing.T) {
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer server.Close()
+
+	const rtt = 20 * time.Millisecond
+	client := Client(rtt, nil)
+	start := time.Now()
+	resp, err := client.Get(server.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < rtt {
+		t.Errorf("request took %v, want >= %v", elapsed, rtt)
+	}
+}
+
+func TestRequestCounting(t *testing.T) {
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer server.Close()
+
+	tr := &Transport{}
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(server.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+	}
+	if tr.Requests() != 3 {
+		t.Errorf("Requests = %d, want 3", tr.Requests())
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	boom := errors.New("network partitioned")
+	tr := &Transport{Fail: func(*http.Request) error { return boom }}
+	client := &http.Client{Transport: tr}
+	_, err := client.Get("http://example.invalid/")
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+	if tr.Requests() != 0 {
+		t.Error("failed request counted")
+	}
+}
+
+func TestSelectiveFailure(t *testing.T) {
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer server.Close()
+
+	tr := &Transport{Fail: func(req *http.Request) error {
+		if req.URL.Path == "/blocked" {
+			return errors.New("blackholed")
+		}
+		return nil
+	}}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(server.URL + "/ok")
+	if err != nil {
+		t.Fatalf("allowed path failed: %v", err)
+	}
+	_ = resp.Body.Close()
+	if _, err := client.Get(server.URL + "/blocked"); err == nil {
+		t.Error("blocked path succeeded")
+	}
+}

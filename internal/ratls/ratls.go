@@ -1,0 +1,166 @@
+// Package ratls integrates remote attestation with TLS in the style of
+// Knauth et al. and RATLS, which the paper names as complementary
+// approaches (§7): instead of binding a CA-issued certificate to the TEE
+// via REPORT_DATA, the attestation evidence travels *inside* the
+// certificate itself, as an X.509 extension of a self-signed certificate
+// whose key pair lives in the TEE.
+//
+// The result is an attested channel with no CA in the loop: the verifier
+// ignores the (meaningless) issuer signature and instead validates the
+// embedded report — VCEK chain via the KDS, measurement policy, and the
+// REPORT_DATA binding to the certificate's public key. This is the
+// natural transport for SP-to-node and node-to-node connections, where
+// both ends know the golden values and no browser is involved.
+package ratls
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"revelio/internal/attest"
+	"revelio/internal/sev"
+	"revelio/internal/vm"
+)
+
+// OIDAttestationBundle is the X.509 extension carrying the JSON-encoded
+// attest.Bundle.
+var OIDAttestationBundle = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 56789, 2, 1}
+
+var (
+	// ErrNoEvidence reports a peer certificate without the attestation
+	// extension.
+	ErrNoEvidence = errors.New("ratls: certificate carries no attestation evidence")
+	// ErrKeyMismatch reports evidence that does not bind the
+	// certificate's own public key.
+	ErrKeyMismatch = errors.New("ratls: evidence does not bind certificate key")
+	// ErrNoPeerCertificate reports a TLS connection without a peer
+	// certificate.
+	ErrNoPeerCertificate = errors.New("ratls: no peer certificate")
+)
+
+// ReportSigner produces attestation reports over caller-chosen
+// REPORT_DATA — the guest-side capability (implemented by *vm.VM and by
+// amdsp.GuestChannel via a tiny adapter).
+type ReportSigner interface {
+	Report(data sev.ReportData) (*sev.Report, error)
+}
+
+var _ ReportSigner = (*vm.VM)(nil)
+
+// CreateCertificate builds a fresh key pair inside the TEE and a
+// self-signed certificate for commonName embedding the attestation
+// bundle. The returned tls.Certificate is ready for a tls.Config.
+func CreateCertificate(signer ReportSigner, commonName string) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("ratls: generate key: %w", err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("ratls: marshal key: %w", err)
+	}
+	report, err := signer.Report(vm.HashOf(pubDER))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("ratls: obtain report: %w", err)
+	}
+	bundle, err := attest.NewBundle(report, pubDER)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	bundleJSON, err := bundle.Encode()
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("ratls: serial: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: commonName},
+		DNSNames:     []string{commonName},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(90 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		ExtraExtensions: []pkix.Extension{
+			{Id: OIDAttestationBundle, Value: bundleJSON},
+		},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("ratls: create certificate: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}
+
+// ExtractBundle parses the attestation bundle from a certificate.
+func ExtractBundle(cert *x509.Certificate) (*attest.Bundle, error) {
+	for _, ext := range cert.Extensions {
+		if ext.Id.Equal(OIDAttestationBundle) {
+			return attest.DecodeBundle(ext.Value)
+		}
+	}
+	return nil, ErrNoEvidence
+}
+
+// VerifyCertificate validates an RA-TLS certificate: the embedded report
+// must verify under the verifier's policy and bind this certificate's
+// public key.
+func VerifyCertificate(ctx context.Context, verifier *attest.Verifier, cert *x509.Certificate) (*attest.Result, error) {
+	bundle, err := ExtractBundle(cert)
+	if err != nil {
+		return nil, err
+	}
+	res, err := verifier.VerifyBundle(ctx, bundle, vm.HashOf)
+	if err != nil {
+		return nil, err
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(cert.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("ratls: marshal peer key: %w", err)
+	}
+	if string(pubDER) != string(bundle.Payload) {
+		return nil, ErrKeyMismatch
+	}
+	return res, nil
+}
+
+// PeerVerifier returns a tls.Config.VerifyPeerCertificate callback that
+// enforces RA-TLS on the handshake: the connection only completes if the
+// peer presents valid, policy-matching attestation evidence bound to its
+// TLS key. Use with InsecureSkipVerify (the CA path is intentionally
+// bypassed — the HRoT replaces it).
+func PeerVerifier(verifier *attest.Verifier) func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+	return func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+		if len(rawCerts) == 0 {
+			return ErrNoPeerCertificate
+		}
+		cert, err := x509.ParseCertificate(rawCerts[0])
+		if err != nil {
+			return fmt.Errorf("ratls: parse peer certificate: %w", err)
+		}
+		_, err = VerifyCertificate(context.Background(), verifier, cert)
+		return err
+	}
+}
+
+// ClientConfig builds a tls.Config for dialing an RA-TLS server.
+func ClientConfig(verifier *attest.Verifier) *tls.Config {
+	return &tls.Config{
+		// The CA path is replaced by attestation verification.
+		InsecureSkipVerify:    true, //nolint:gosec // see PeerVerifier doc
+		VerifyPeerCertificate: PeerVerifier(verifier),
+	}
+}

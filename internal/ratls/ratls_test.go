@@ -1,0 +1,178 @@
+package ratls
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/attest"
+	"revelio/internal/firmware"
+	"revelio/internal/hypervisor"
+	"revelio/internal/imagebuild"
+	"revelio/internal/kds"
+	"revelio/internal/measure"
+	"revelio/internal/vm"
+)
+
+type rig struct {
+	vm       *vm.VM
+	verifier *attest.Verifier
+	golden   measure.Measurement
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("ratls-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := mfr.MintProcessor([]byte("chip"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	spec := imagebuild.CryptpadSpec(base)
+	spec.PersistSize = 256 * 1024
+	img, err := imagebuild.NewBuilder(reg).Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := firmware.NewOVMF("2023.05")
+	guest, err := hypervisor.New(chip).Launch(hypervisor.Config{
+		Firmware: fw,
+		Blobs:    hypervisor.BootBlobs{Kernel: img.Kernel, Initrd: img.Initrd, Cmdline: img.Cmdline},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestVM, err := vm.Boot(guest, vm.BootConfig{Disk: img.Disk, Table: img.Table, Domain: "node.internal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdsServer := httptest.NewServer(kds.NewServer(mfr))
+	t.Cleanup(kdsServer.Close)
+	golden, err := hypervisor.ExpectedMeasurement(fw, hypervisor.BootBlobs{
+		Kernel: img.Kernel, Initrd: img.Initrd, Cmdline: img.Cmdline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := attest.NewVerifier(kds.NewClient(kdsServer.URL, nil), attest.NewStaticGolden(golden))
+	return &rig{vm: guestVM, verifier: verifier, golden: golden}
+}
+
+func TestCertificateCarriesValidEvidence(t *testing.T) {
+	r := newRig(t)
+	cert, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatalf("CreateCertificate: %v", err)
+	}
+	parsed, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyCertificate(context.Background(), r.verifier, parsed)
+	if err != nil {
+		t.Fatalf("VerifyCertificate: %v", err)
+	}
+	if res.Report.Measurement != r.golden {
+		t.Error("evidence measurement differs from golden")
+	}
+}
+
+func TestCertificateWithoutEvidenceRejected(t *testing.T) {
+	r := newRig(t)
+	// A plain self-signed cert (e.g. from a non-TEE server).
+	srv := httptest.NewTLSServer(http.NotFoundHandler())
+	t.Cleanup(srv.Close)
+	plain := srv.Certificate()
+	if _, err := VerifyCertificate(context.Background(), r.verifier, plain); !errors.Is(err, ErrNoEvidence) {
+		t.Errorf("err = %v, want ErrNoEvidence", err)
+	}
+}
+
+// TestEvidenceTransplantRejected: stealing a valid bundle and grafting it
+// onto a different key pair fails the key binding.
+func TestEvidenceTransplantRejected(t *testing.T) {
+	r := newRig(t)
+	victim, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimParsed, err := x509.ParseCertificate(victim.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := ExtractBundle(victimParsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundleJSON, err := bundle.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker self-signs their own cert with the stolen extension.
+	attacker := httptest.NewUnstartedServer(http.NotFoundHandler())
+	attacker.StartTLS()
+	t.Cleanup(attacker.Close)
+	atkCert := attacker.Certificate()
+	// Simulate the graft: verify the stolen bundle against the attacker's
+	// certificate key.
+	fake := *atkCert
+	fake.Extensions = append(append([]pkix.Extension(nil), fake.Extensions...),
+		pkix.Extension{Id: OIDAttestationBundle, Value: bundleJSON})
+	if _, err := VerifyCertificate(context.Background(), r.verifier, &fake); !errors.Is(err, ErrKeyMismatch) {
+		t.Errorf("err = %v, want ErrKeyMismatch", err)
+	}
+}
+
+// TestFullRATLSHandshake runs a real TLS connection where the client only
+// completes the handshake against attested servers.
+func TestFullRATLSHandshake(t *testing.T) {
+	r := newRig(t)
+	serverCert, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsLn := tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{serverCert}})
+	server := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("attested hello"))
+	})}
+	go func() { _ = server.Serve(tlsLn) }()
+	t.Cleanup(func() { _ = server.Close() })
+
+	client := &http.Client{Transport: &http.Transport{TLSClientConfig: ClientConfig(r.verifier)}}
+	resp, err := client.Get("https://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatalf("RA-TLS GET: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "attested hello" {
+		t.Errorf("body = %q", body)
+	}
+
+	// Against a non-attested server the handshake itself fails.
+	plain := httptest.NewTLSServer(http.NotFoundHandler())
+	t.Cleanup(plain.Close)
+	if _, err := client.Get(plain.URL); err == nil {
+		t.Error("handshake with unattested server succeeded")
+	}
+}

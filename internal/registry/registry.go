@@ -1,0 +1,203 @@
+// Package registry implements the Trusted Registry of golden measurements
+// (§3.4.7, §5.3): the community-governed source of "good" values that
+// end-users without the expertise to rebuild images consult instead.
+//
+// The model follows the paper's on-chain DAO sketch (the Internet
+// Computer's Network Nervous System): voters propose and approve
+// measurements; a measurement becomes trusted at a vote threshold; rolling
+// out a new image version *revokes* the previous golden value, which is
+// the paper's rollback defence (§6.1.4).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"revelio/internal/measure"
+)
+
+var (
+	// ErrUnknownVoter reports a vote from an unregistered member.
+	ErrUnknownVoter = errors.New("registry: unknown voter")
+	// ErrUnknownProposal reports a vote for a measurement never proposed.
+	ErrUnknownProposal = errors.New("registry: unknown proposal")
+	// ErrAlreadyVoted reports a duplicate vote.
+	ErrAlreadyVoted = errors.New("registry: voter already voted")
+	// ErrRevoked reports an operation on a revoked measurement.
+	ErrRevoked = errors.New("registry: measurement is revoked")
+)
+
+// Status of a measurement in the registry.
+type Status int
+
+// Measurement lifecycle states.
+const (
+	StatusUnknown Status = iota
+	StatusProposed
+	StatusTrusted
+	StatusRevoked
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusProposed:
+		return "proposed"
+	case StatusTrusted:
+		return "trusted"
+	case StatusRevoked:
+		return "revoked"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is the public state of one registered measurement.
+type Entry struct {
+	Measurement measure.Measurement
+	Description string
+	Status      Status
+	Votes       int
+}
+
+type entry struct {
+	description string
+	status      Status
+	votes       map[string]struct{}
+}
+
+// Registry is a thread-safe trusted registry.
+type Registry struct {
+	mu        sync.Mutex
+	voters    map[string]struct{}
+	threshold int
+	entries   map[measure.Measurement]*entry
+}
+
+// New creates a registry that trusts a measurement once threshold distinct
+// voters approve it.
+func New(threshold int) *Registry {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Registry{
+		voters:    make(map[string]struct{}),
+		threshold: threshold,
+		entries:   make(map[measure.Measurement]*entry),
+	}
+}
+
+// AddVoter registers a community member.
+func (r *Registry) AddVoter(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.voters[name] = struct{}{}
+}
+
+// Propose registers a measurement for voting. Proposing an existing entry
+// is a no-op unless it was revoked, which is an error.
+func (r *Registry) Propose(m measure.Measurement, description string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[m]; ok {
+		if e.status == StatusRevoked {
+			return fmt.Errorf("%w: %s", ErrRevoked, m)
+		}
+		return nil
+	}
+	r.entries[m] = &entry{
+		description: description,
+		status:      StatusProposed,
+		votes:       make(map[string]struct{}),
+	}
+	return nil
+}
+
+// Vote records voter's approval of m; at the threshold the measurement
+// becomes trusted.
+func (r *Registry) Vote(voter string, m measure.Measurement) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.voters[voter]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVoter, voter)
+	}
+	e, ok := r.entries[m]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProposal, m)
+	}
+	if e.status == StatusRevoked {
+		return fmt.Errorf("%w: %s", ErrRevoked, m)
+	}
+	if _, dup := e.votes[voter]; dup {
+		return fmt.Errorf("%w: %q", ErrAlreadyVoted, voter)
+	}
+	e.votes[voter] = struct{}{}
+	if len(e.votes) >= r.threshold {
+		e.status = StatusTrusted
+	}
+	return nil
+}
+
+// IsTrusted reports whether m is currently a golden value. Registry
+// implements the attest.TrustPolicy contract.
+func (r *Registry) IsTrusted(m measure.Measurement) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[m]
+	return ok && e.status == StatusTrusted
+}
+
+// Revoke withdraws trust from m permanently.
+func (r *Registry) Revoke(m measure.Measurement) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[m]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProposal, m)
+	}
+	e.status = StatusRevoked
+	return nil
+}
+
+// Supersede marks newM as the proposal replacing oldM and revokes oldM —
+// the image-rollout flow that prevents rollback attacks (§6.1.4).
+func (r *Registry) Supersede(oldM, newM measure.Measurement, description string) error {
+	if err := r.Propose(newM, description); err != nil {
+		return err
+	}
+	return r.Revoke(oldM)
+}
+
+// Get returns the public state of m.
+func (r *Registry) Get(m measure.Measurement) Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[m]
+	if !ok {
+		return Entry{Measurement: m, Status: StatusUnknown}
+	}
+	return Entry{
+		Measurement: m,
+		Description: e.description,
+		Status:      e.status,
+		Votes:       len(e.votes),
+	}
+}
+
+// Trusted lists all currently trusted measurements.
+func (r *Registry) Trusted() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Entry
+	for m, e := range r.entries {
+		if e.status == StatusTrusted {
+			out = append(out, Entry{
+				Measurement: m,
+				Description: e.description,
+				Status:      e.status,
+				Votes:       len(e.votes),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"revelio/internal/measure"
+)
+
+func m(b byte) measure.Measurement {
+	var out measure.Measurement
+	out[0] = b
+	return out
+}
+
+func TestVoteThreshold(t *testing.T) {
+	r := New(3)
+	for _, v := range []string{"alice", "bob", "carol"} {
+		r.AddVoter(v)
+	}
+	target := m(1)
+	if err := r.Propose(target, "bn v1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsTrusted(target) {
+		t.Fatal("trusted before any votes")
+	}
+	if err := r.Vote("alice", target); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Vote("bob", target); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsTrusted(target) {
+		t.Error("trusted below threshold")
+	}
+	if err := r.Vote("carol", target); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsTrusted(target) {
+		t.Error("not trusted at threshold")
+	}
+	e := r.Get(target)
+	if e.Status != StatusTrusted || e.Votes != 3 || e.Description != "bn v1.0" {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestVoteValidation(t *testing.T) {
+	r := New(1)
+	r.AddVoter("alice")
+	target := m(2)
+	if err := r.Vote("alice", target); !errors.Is(err, ErrUnknownProposal) {
+		t.Errorf("vote before propose: err = %v, want ErrUnknownProposal", err)
+	}
+	if err := r.Propose(target, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Vote("mallory", target); !errors.Is(err, ErrUnknownVoter) {
+		t.Errorf("unknown voter: err = %v, want ErrUnknownVoter", err)
+	}
+	if err := r.Vote("alice", target); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Vote("alice", target); !errors.Is(err, ErrAlreadyVoted) {
+		t.Errorf("double vote: err = %v, want ErrAlreadyVoted", err)
+	}
+}
+
+// TestRollbackDefence is §6.1.4: after a rollout supersedes the old
+// image, the old (buggy) measurement is no longer trusted.
+func TestRollbackDefence(t *testing.T) {
+	r := New(1)
+	r.AddVoter("dao")
+	oldM, newM := m(3), m(4)
+	if err := r.Propose(oldM, "v1 (has CVE)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Vote("dao", oldM); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsTrusted(oldM) {
+		t.Fatal("old not trusted")
+	}
+
+	if err := r.Supersede(oldM, newM, "v2 (patched)"); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsTrusted(oldM) {
+		t.Error("revoked measurement still trusted — rollback possible")
+	}
+	if err := r.Vote("dao", newM); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsTrusted(newM) {
+		t.Error("new measurement not trusted after vote")
+	}
+	// Votes for the revoked value are rejected.
+	if err := r.Vote("dao", oldM); !errors.Is(err, ErrRevoked) {
+		t.Errorf("vote on revoked: err = %v, want ErrRevoked", err)
+	}
+	// Re-proposing the revoked value fails (no resurrection).
+	if err := r.Propose(oldM, "try again"); !errors.Is(err, ErrRevoked) {
+		t.Errorf("re-propose revoked: err = %v, want ErrRevoked", err)
+	}
+}
+
+func TestProposeIdempotent(t *testing.T) {
+	r := New(2)
+	r.AddVoter("a")
+	target := m(5)
+	if err := r.Propose(target, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Vote("a", target); err != nil {
+		t.Fatal(err)
+	}
+	// Second propose must not clear votes.
+	if err := r.Propose(target, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Get(target).Votes != 1 {
+		t.Error("re-propose cleared votes")
+	}
+}
+
+func TestRevokeUnknown(t *testing.T) {
+	r := New(1)
+	if err := r.Revoke(m(6)); !errors.Is(err, ErrUnknownProposal) {
+		t.Errorf("err = %v, want ErrUnknownProposal", err)
+	}
+}
+
+func TestTrustedList(t *testing.T) {
+	r := New(1)
+	r.AddVoter("a")
+	for i := byte(0); i < 3; i++ {
+		if err := r.Propose(m(i), "img"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Vote("a", m(1)); err != nil {
+		t.Fatal(err)
+	}
+	trusted := r.Trusted()
+	if len(trusted) != 1 || trusted[0].Measurement != m(1) {
+		t.Errorf("Trusted() = %+v", trusted)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	r := New(1)
+	if got := r.Get(m(9)); got.Status != StatusUnknown {
+		t.Errorf("status = %v, want unknown", got.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusUnknown: "unknown", StatusProposed: "proposed",
+		StatusTrusted: "trusted", StatusRevoked: "revoked",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestConcurrentVoting(t *testing.T) {
+	r := New(8)
+	target := m(7)
+	if err := r.Propose(target, ""); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		r.AddVoter(name)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.Vote(name, target); err != nil {
+				t.Errorf("vote %s: %v", name, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if !r.IsTrusted(target) {
+		t.Error("not trusted after concurrent votes")
+	}
+}
+
+func TestMinimumThreshold(t *testing.T) {
+	r := New(0) // clamped to 1
+	r.AddVoter("a")
+	target := m(8)
+	if err := r.Propose(target, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Vote("a", target); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsTrusted(target) {
+		t.Error("threshold clamp failed")
+	}
+}

@@ -1,0 +1,228 @@
+// Package rootfs implements the simple read-only filesystem image format
+// Revelio guests use for their root filesystem.
+//
+// The format is a deterministic archive: a fixed header, then the files
+// sorted by path, each length-prefixed, padded to the dm-verity block
+// size. Determinism is the point — internal/imagebuild relies on
+// byte-identical archives for reproducible builds (paper requirement F5).
+// The archive is consumed through a verity-protected device, so every read
+// of file contents is integrity-checked at the block layer.
+package rootfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"revelio/internal/blockdev"
+)
+
+const (
+	// BlockSize is the archive padding granularity, matched to the
+	// dm-verity block size.
+	BlockSize = 4096
+
+	archiveMagic   = 0x53465652 // "RVFS"
+	archiveVersion = 1
+
+	maxFiles    = 1 << 20
+	maxNameLen  = 4096
+	maxFileSize = 1 << 31
+)
+
+// ErrBadArchive reports a malformed archive.
+var ErrBadArchive = errors.New("rootfs: bad archive")
+
+// File is one file in the image.
+type File struct {
+	Path    string
+	Content []byte
+	Mode    uint32
+}
+
+// Build serializes files into a deterministic archive padded to a
+// multiple of BlockSize. Paths must be non-empty, slash-separated,
+// relative, and unique; Build sorts them, so input order never matters.
+func Build(files []File) ([]byte, error) {
+	sorted := make([]File, len(files))
+	copy(sorted, files)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	seen := make(map[string]struct{}, len(sorted))
+	var b bytes.Buffer
+	w := func(v any) { _ = binary.Write(&b, binary.LittleEndian, v) }
+	w(uint32(archiveMagic))
+	w(uint32(archiveVersion))
+	w(uint64(len(sorted)))
+	for _, f := range sorted {
+		if err := validatePath(f.Path); err != nil {
+			return nil, err
+		}
+		if _, dup := seen[f.Path]; dup {
+			return nil, fmt.Errorf("rootfs: duplicate path %q", f.Path)
+		}
+		seen[f.Path] = struct{}{}
+		w(uint32(len(f.Path)))
+		b.WriteString(f.Path)
+		w(f.Mode)
+		w(uint64(len(f.Content)))
+		b.Write(f.Content)
+	}
+	// Pad to a block boundary with zeros — deterministically.
+	if rem := b.Len() % BlockSize; rem != 0 {
+		b.Write(make([]byte, BlockSize-rem))
+	}
+	return b.Bytes(), nil
+}
+
+func validatePath(p string) error {
+	if p == "" || len(p) > maxNameLen {
+		return fmt.Errorf("rootfs: invalid path %q", p)
+	}
+	if strings.HasPrefix(p, "/") || strings.Contains(p, "..") {
+		return fmt.Errorf("rootfs: path %q must be relative without ..", p)
+	}
+	return nil
+}
+
+// FS is a parsed, read-only view of an archive. Directory structure is
+// implicit in the paths. FS reads file contents lazily through the backing
+// device, so verity verification happens on access.
+type FS struct {
+	dev   blockdev.Device
+	index map[string]entry
+	paths []string
+}
+
+type entry struct {
+	off  int64 // content offset in the device
+	size int64
+	mode uint32
+}
+
+// Mount parses the archive structure on dev (typically a dmverity.Device).
+// The header and index are read — and therefore verified — immediately;
+// file contents are verified on read.
+func Mount(dev blockdev.Device) (*FS, error) {
+	r := &deviceReader{dev: dev}
+	var magic, version uint32
+	if err := r.read(&magic); err != nil || magic != archiveMagic {
+		return nil, fmt.Errorf("%w: magic", ErrBadArchive)
+	}
+	if err := r.read(&version); err != nil || version != archiveVersion {
+		return nil, fmt.Errorf("%w: version", ErrBadArchive)
+	}
+	var count uint64
+	if err := r.read(&count); err != nil || count > maxFiles {
+		return nil, fmt.Errorf("%w: file count", ErrBadArchive)
+	}
+	fsys := &FS{
+		dev:   dev,
+		index: make(map[string]entry, count),
+		paths: make([]string, 0, count),
+	}
+	for i := uint64(0); i < count; i++ {
+		var nameLen uint32
+		if err := r.read(&nameLen); err != nil || nameLen == 0 || nameLen > maxNameLen {
+			return nil, fmt.Errorf("%w: name length", ErrBadArchive)
+		}
+		name := make([]byte, nameLen)
+		if err := r.readBytes(name); err != nil {
+			return nil, fmt.Errorf("%w: name", ErrBadArchive)
+		}
+		var mode uint32
+		if err := r.read(&mode); err != nil {
+			return nil, fmt.Errorf("%w: mode", ErrBadArchive)
+		}
+		var size uint64
+		if err := r.read(&size); err != nil || size > maxFileSize {
+			return nil, fmt.Errorf("%w: size", ErrBadArchive)
+		}
+		p := string(name)
+		if _, dup := fsys.index[p]; dup {
+			return nil, fmt.Errorf("%w: duplicate path %q", ErrBadArchive, p)
+		}
+		fsys.index[p] = entry{off: r.off, size: int64(size), mode: mode}
+		fsys.paths = append(fsys.paths, p)
+		if err := r.skip(int64(size)); err != nil {
+			return nil, fmt.Errorf("%w: content", ErrBadArchive)
+		}
+	}
+	sort.Strings(fsys.paths)
+	return fsys, nil
+}
+
+type deviceReader struct {
+	dev blockdev.Device
+	off int64
+}
+
+func (r *deviceReader) readBytes(p []byte) error {
+	if err := r.dev.ReadAt(p, r.off); err != nil {
+		return err
+	}
+	r.off += int64(len(p))
+	return nil
+}
+
+func (r *deviceReader) read(v any) error {
+	size := binary.Size(v)
+	buf := make([]byte, size)
+	if err := r.readBytes(buf); err != nil {
+		return err
+	}
+	return binary.Read(bytes.NewReader(buf), binary.LittleEndian, v)
+}
+
+func (r *deviceReader) skip(n int64) error {
+	if r.off+n > r.dev.Size() {
+		return errors.New("rootfs: truncated archive")
+	}
+	r.off += n
+	return nil
+}
+
+// ReadFile returns the contents of the named file, verified through the
+// backing device.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	e, ok := f.index[path]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, e.size)
+	if err := f.dev.ReadAt(out, e.off); err != nil {
+		return nil, fmt.Errorf("rootfs: read %q: %w", path, err)
+	}
+	return out, nil
+}
+
+// Stat returns size and mode for the named file.
+func (f *FS) Stat(path string) (size int64, mode uint32, err error) {
+	e, ok := f.index[path]
+	if !ok {
+		return 0, 0, &fs.PathError{Op: "stat", Path: path, Err: fs.ErrNotExist}
+	}
+	return e.size, e.mode, nil
+}
+
+// List returns all file paths in sorted order.
+func (f *FS) List() []string {
+	out := make([]string, len(f.paths))
+	copy(out, f.paths)
+	return out
+}
+
+// Glob returns sorted paths with the given prefix.
+func (f *FS) Glob(prefix string) []string {
+	var out []string
+	for _, p := range f.paths {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package secanalysis holds the end-to-end security-analysis suite: the
+// paper's §6.1 attacks (plus the threat-model cases of §3.2 that the
+// per-package tests cover only in isolation) executed against complete
+// deployments — image build, measured boot, provisioning, web serving and
+// browser-side attestation all wired together.
+//
+// The package intentionally exports nothing; it exists for its tests.
+package secanalysis

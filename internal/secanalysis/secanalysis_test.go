@@ -1,0 +1,180 @@
+package secanalysis
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+
+	"revelio/internal/acme"
+	"revelio/internal/blockdev"
+	"revelio/internal/browser"
+	"revelio/internal/certmgr"
+	"revelio/internal/core"
+	"revelio/internal/dmcrypt"
+	"revelio/internal/imagebuild"
+	"revelio/internal/sev"
+	"revelio/internal/webext"
+)
+
+const domain = "svc.example.org"
+
+// deploy builds and provisions a deployment for the given spec mutation.
+func deploy(t *testing.T, mutate func(*imagebuild.Spec)) *core.Deployment {
+	t.Helper()
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	spec := imagebuild.CryptpadSpec(base)
+	spec.PersistSize = 256 * 1024
+	if mutate != nil {
+		mutate(&spec)
+	}
+	d, err := core.New(core.Config{
+		Spec:     spec,
+		Registry: reg,
+		Nodes:    1,
+		Domain:   domain,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartWeb(func(*core.Node) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("service"))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestEndUserDetectsMaliciousServiceSoftware is the occupancy-phase
+// threat: the service provider ships a modified image. The whole pipeline
+// works for them — their own SP node happily provisions it — but an
+// end-user holding the *published* golden value is warned at first
+// contact.
+func TestEndUserDetectsMaliciousServiceSoftware(t *testing.T) {
+	honest := deploy(t, nil)
+	evil := deploy(t, func(s *imagebuild.Spec) {
+		s.Version = "1.0.0-backdoored"
+	})
+	if honest.Golden == evil.Golden {
+		t.Fatal("evil image has the honest measurement")
+	}
+
+	// The user knows the honest golden value (from an auditor) but is
+	// directed at the evil deployment.
+	b := browser.New(evil.CARootPool(), 0)
+	b.Resolve(domain, evil.Nodes[0].WebAddr())
+	ext := webext.New(b, evil.Verifier) // evil provider's KDS chain is authentic
+	ext.RegisterSite(domain, honest.Golden)
+
+	_, _, err := ext.Navigate(context.Background(), domain, "/")
+	if !errors.Is(err, webext.ErrMeasurementMismatch) {
+		t.Errorf("err = %v, want ErrMeasurementMismatch", err)
+	}
+}
+
+// TestDecommissioningLeavesNoPlaintext is the §3.2 decommissioning-phase
+// threat: software that takes over the node after release scrapes the
+// persistent storage. Everything sensitive must be ciphertext.
+func TestDecommissioningLeavesNoPlaintext(t *testing.T) {
+	d := deploy(t, nil)
+	node := d.Nodes[0]
+	secret := []byte("PATIENT-RECORD-SSN-123-45-6789")
+	if err := node.VM.Persist().WriteAt(secret, 8192); err != nil {
+		t.Fatal(err)
+	}
+	// Control: the guest itself reads the plaintext back fine.
+	got := make([]byte, len(secret))
+	if err := node.VM.Persist().ReadAt(got, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("test setup: secret not written")
+	}
+
+	// The node is released; the next tenant scrapes the entire raw disk.
+	raw := make([]byte, node.Disk().Size())
+	if err := node.Disk().ReadAt(raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) {
+		t.Error("secret visible in raw disk bytes after decommissioning")
+	}
+
+	// The TLS private key lives on the same sealed volume; an attacker
+	// without the measurement-derived sealing key cannot unlock it.
+	persistPart, err := blockdev.NewLinear(node.Disk(),
+		d.Image.Table.PersistStart, d.Image.Table.PersistLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, guess := range [][]byte{
+		[]byte(""), []byte("password"), bytes.Repeat([]byte{0}, 32),
+	} {
+		if _, err := dmcrypt.Open(persistPart, guess); !errors.Is(err, dmcrypt.ErrBadPassphrase) {
+			t.Errorf("guess %q: err = %v, want ErrBadPassphrase", guess, err)
+		}
+	}
+}
+
+// TestMITMCorruptsEvidenceInFlight is the occupancy-phase MITM: an
+// attacker between the SP node and a guest corrupts the attestation
+// evidence. Validation must fail closed — never accept, never silently
+// skip a node.
+func TestMITMCorruptsEvidenceInFlight(t *testing.T) {
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	spec := imagebuild.CryptpadSpec(base)
+	spec.PersistSize = 256 * 1024
+	d, err := core.New(core.Config{
+		Spec: spec, Registry: reg, Nodes: 1, Domain: domain,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	// Rebuild an SP node whose HTTP path flips a byte in every response
+	// body (the man in the middle).
+	mitm := &http.Client{Transport: corruptingTransport{}}
+	approved := map[string]sev.ChipID{d.Nodes[0].ControlURL(): d.Nodes[0].Chip}
+	sp := certmgr.NewSPNode(d.Verifier, acme.NewClient(d.CA, d.Zone), domain, approved, mitm)
+	if _, err := sp.Provision(context.Background(), []string{d.Nodes[0].ControlURL()}); err == nil {
+		t.Fatal("provisioning succeeded through a corrupting MITM")
+	}
+
+	// Without the MITM the same SP configuration succeeds (control).
+	honest := certmgr.NewSPNode(d.Verifier, acme.NewClient(d.CA, d.Zone), domain, approved, nil)
+	if _, err := honest.Provision(context.Background(), []string{d.Nodes[0].ControlURL()}); err != nil {
+		t.Fatalf("control provisioning failed: %v", err)
+	}
+}
+
+// corruptingTransport flips a byte in every response body.
+type corruptingTransport struct{}
+
+func (corruptingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 10 {
+		body[len(body)/2] ^= 0x01
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}

@@ -1,0 +1,156 @@
+// Package sev defines the SEV-SNP attestation-report wire format and the
+// guest-side device through which a confidential VM talks to the AMD-SP
+// over the protected guest channel.
+//
+// The report layout is a fixed binary structure modelled on the SNP ABI's
+// ATTESTATION_REPORT: version, policy, TCB, measurement, 64 bytes of
+// caller-chosen REPORT_DATA, the chip identity, and an ECDSA P-384
+// signature by the VCEK over everything that precedes it.
+package sev
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/sha512"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"revelio/internal/measure"
+)
+
+const (
+	// ReportVersion is the only report version this repository emits.
+	ReportVersion = 2
+
+	// ReportDataSize is the size of the caller-supplied REPORT_DATA field.
+	ReportDataSize = 64
+
+	// ChipIDSize is the size of the unique processor identifier.
+	ChipIDSize = 64
+
+	reportMagic = 0x534e5052 // "RPNS"
+
+	// maxSigLen bounds the DER-encoded ECDSA P-384 signature.
+	maxSigLen = 120
+)
+
+var (
+	// ErrBadReport reports an unparseable serialized report.
+	ErrBadReport = errors.New("sev: bad report encoding")
+	// ErrBadSignature reports a report whose signature does not verify.
+	ErrBadSignature = errors.New("sev: report signature invalid")
+)
+
+// ChipID uniquely identifies a processor.
+type ChipID [ChipIDSize]byte
+
+// ReportData is the caller-chosen payload cryptographically bound into a
+// report (hash of a public key or CSR in Revelio's protocol).
+type ReportData [ReportDataSize]byte
+
+// Report is a parsed attestation report.
+type Report struct {
+	Version     uint32
+	GuestSVN    uint32
+	Policy      uint64
+	TCBVersion  uint64
+	Measurement measure.Measurement
+	ReportData  ReportData
+	ChipID      ChipID
+	// Signature is the DER-encoded ECDSA P-384 signature by the VCEK over
+	// SignedBytes().
+	Signature []byte
+}
+
+// SignedBytes returns the canonical byte string the VCEK signs: every
+// field except the signature, in fixed order.
+func (r *Report) SignedBytes() []byte {
+	var b bytes.Buffer
+	w := func(v any) { _ = binary.Write(&b, binary.LittleEndian, v) }
+	w(uint32(reportMagic))
+	w(r.Version)
+	w(r.GuestSVN)
+	w(r.Policy)
+	w(r.TCBVersion)
+	b.Write(r.Measurement[:])
+	b.Write(r.ReportData[:])
+	b.Write(r.ChipID[:])
+	return b.Bytes()
+}
+
+// Verify checks the report signature against the given VCEK public key.
+func (r *Report) Verify(vcek *ecdsa.PublicKey) error {
+	digest := sha512.Sum384(r.SignedBytes())
+	if !ecdsa.VerifyASN1(vcek, digest[:], r.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// MarshalBinary serializes the report: signed portion, then signature
+// length, then signature bytes.
+func (r *Report) MarshalBinary() ([]byte, error) {
+	if len(r.Signature) == 0 || len(r.Signature) > maxSigLen {
+		return nil, fmt.Errorf("sev: signature length %d out of range", len(r.Signature))
+	}
+	signed := r.SignedBytes()
+	out := make([]byte, 0, len(signed)+2+len(r.Signature))
+	out = append(out, signed...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.Signature)))
+	out = append(out, r.Signature...)
+	return out, nil
+}
+
+// UnmarshalBinary parses a report produced by MarshalBinary. It validates
+// structure only; call Verify for cryptographic validation.
+func (r *Report) UnmarshalBinary(data []byte) error {
+	br := bytes.NewReader(data)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic uint32
+	if err := read(&magic); err != nil || magic != reportMagic {
+		return fmt.Errorf("%w: magic", ErrBadReport)
+	}
+	if err := read(&r.Version); err != nil || r.Version != ReportVersion {
+		return fmt.Errorf("%w: version", ErrBadReport)
+	}
+	if err := read(&r.GuestSVN); err != nil {
+		return fmt.Errorf("%w: guest svn", ErrBadReport)
+	}
+	if err := read(&r.Policy); err != nil {
+		return fmt.Errorf("%w: policy", ErrBadReport)
+	}
+	if err := read(&r.TCBVersion); err != nil {
+		return fmt.Errorf("%w: tcb", ErrBadReport)
+	}
+	if _, err := readFull(br, r.Measurement[:]); err != nil {
+		return fmt.Errorf("%w: measurement", ErrBadReport)
+	}
+	if _, err := readFull(br, r.ReportData[:]); err != nil {
+		return fmt.Errorf("%w: report data", ErrBadReport)
+	}
+	if _, err := readFull(br, r.ChipID[:]); err != nil {
+		return fmt.Errorf("%w: chip id", ErrBadReport)
+	}
+	var sigLen uint16
+	if err := read(&sigLen); err != nil || sigLen == 0 || int(sigLen) > maxSigLen {
+		return fmt.Errorf("%w: signature length", ErrBadReport)
+	}
+	r.Signature = make([]byte, sigLen)
+	if _, err := readFull(br, r.Signature); err != nil {
+		return fmt.Errorf("%w: signature", ErrBadReport)
+	}
+	if br.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadReport, br.Len())
+	}
+	return nil
+}
+
+func readFull(r *bytes.Reader, p []byte) (int, error) {
+	n, err := r.Read(p)
+	if err == nil && n < len(p) {
+		return n, errors.New("short read")
+	}
+	return n, err
+}

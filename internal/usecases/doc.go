@@ -1,0 +1,8 @@
+// Package usecases holds end-to-end integration tests for the paper's
+// two deployed scenarios (§4): the Revelio-protected CryptPad server and
+// the Revelio-protected Internet Computer Boundary Node, each exercised
+// over real attested TLS from the browser+extension client side — the
+// test-suite versions of examples/cryptpad and examples/boundarynode.
+//
+// The package intentionally exports nothing; it exists for its tests.
+package usecases

@@ -1,0 +1,193 @@
+package usecases
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net"
+	"net/http"
+	"testing"
+
+	"revelio/internal/boundary"
+	"revelio/internal/browser"
+	"revelio/internal/core"
+	"revelio/internal/cryptpad"
+	"revelio/internal/ic"
+	"revelio/internal/imagebuild"
+	"revelio/internal/webext"
+)
+
+// fixedDial returns a DialContext that always connects to addr, letting
+// TLS still validate the domain name — the test's stand-in for DNS.
+func fixedDial(addr string) func(ctx context.Context, network, _ string) (net.Conn, error) {
+	return func(ctx context.Context, network, _ string) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, network, addr)
+	}
+}
+
+func TestCryptpadOverAttestedTLS(t *testing.T) {
+	const domain = "pad.example.org"
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	spec := imagebuild.CryptpadSpec(base)
+	spec.PersistSize = 256 * 1024
+	d, err := core.New(core.Config{Spec: spec, Registry: reg, Nodes: 1, Domain: domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	padServer := cryptpad.NewServer()
+	if err := d.StartWeb(func(*core.Node) http.Handler { return padServer }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice attests and creates a pad through the browser TLS path.
+	aliceBrowser := browser.New(d.CARootPool(), 0)
+	aliceBrowser.Resolve(domain, d.Nodes[0].WebAddr())
+	aliceExt := webext.New(aliceBrowser, d.Verifier)
+	aliceExt.RegisterSite(domain, d.Golden)
+	if _, m, err := aliceExt.Navigate(context.Background(), domain, "/"); err != nil || !m.Attested {
+		t.Fatalf("alice attestation: err=%v m=%+v", err, m)
+	}
+
+	pad, err := cryptpad.NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("quarterly numbers, do not leak")
+	ct, err := pad.Seal(content, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := padServer.Put(pad.ID, ct, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob attests independently, then reads the pad over the attested
+	// session via the HTTP API.
+	bobBrowser := browser.New(d.CARootPool(), 0)
+	bobBrowser.Resolve(domain, d.Nodes[0].WebAddr())
+	bobExt := webext.New(bobBrowser, d.Verifier)
+	bobExt.RegisterSite(domain, d.Golden)
+	bobPad, err := cryptpad.ParseShareLink(pad.ShareLink(domain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, m, err := bobExt.Navigate(context.Background(), domain, "/pad/"+bobPad.ID)
+	if err != nil || !m.Attested {
+		t.Fatalf("bob attested read: err=%v m=%+v", err, m)
+	}
+	var wire struct {
+		Version    uint64 `json:"version"`
+		Ciphertext []byte `json:"ciphertext"`
+	}
+	if err := json.Unmarshal(resp.Body, &wire); err != nil {
+		t.Fatalf("pad wire: %v (%s)", err, resp.Body)
+	}
+	pt, err := bobPad.Open(wire.Ciphertext, wire.Version)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(pt, content) {
+		t.Errorf("bob read %q, want %q", pt, content)
+	}
+
+	// The pad state snapshot belongs on the sealed volume.
+	snap, err := padServer.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Nodes[0].VM.Persist().WriteAt(snap, 4096); err != nil {
+		t.Fatalf("persist snapshot: %v", err)
+	}
+	// Host-side raw disk holds neither pad plaintext nor snapshot
+	// plaintext.
+	raw := make([]byte, d.Nodes[0].Disk().Size())
+	if err := d.Nodes[0].Disk().ReadAt(raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, content) {
+		t.Error("pad plaintext on raw disk")
+	}
+}
+
+func TestBoundaryNodeOverAttestedTLS(t *testing.T) {
+	const domain = "ic0.example.org"
+	subnet, err := ic.NewSubnet("subnet-x", 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := ic.NewNetwork()
+	network.AddSubnet(subnet)
+	canister := ic.NewCanister("greeter",
+		map[string]ic.Handler{
+			"hello": func(_ *ic.State, arg []byte) ([]byte, error) {
+				return append([]byte("hi "), arg...), nil
+			},
+		}, nil)
+	if err := network.InstallCanister("subnet-x", canister); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	spec := imagebuild.BoundaryNodeSpec(base)
+	spec.PersistSize = 256 * 1024
+	d, err := core.New(core.Config{Spec: spec, Registry: reg, Nodes: 1, Domain: domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	proxy := boundary.NewProxy(network, "2.0.0")
+	if err := d.StartWeb(func(*core.Node) http.Handler { return proxy }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The user attests the BN and fetches the service worker over the
+	// attested session.
+	b := browser.New(d.CARootPool(), 0)
+	b.Resolve(domain, d.Nodes[0].WebAddr())
+	ext := webext.New(b, d.Verifier)
+	ext.RegisterSite(domain, d.Golden)
+	resp, m, err := ext.Navigate(context.Background(), domain, boundary.ServiceWorkerPath)
+	if err != nil || !m.Attested {
+		t.Fatalf("attest + fetch worker: err=%v m=%+v", err, m)
+	}
+	if !bytes.Equal(resp.Body, boundary.ServiceWorkerBody("2.0.0")) {
+		t.Error("served worker differs from canonical (measured) body")
+	}
+
+	// The worker then calls canisters over TLS against the BN, verifying
+	// threshold certificates.
+	tlsClient := &http.Client{
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: d.CARootPool(), ServerName: domain},
+			DialContext:     fixedDial(d.Nodes[0].WebAddr()),
+		},
+	}
+	sw := boundary.NewServiceWorker(subnet.PublicKey())
+	reply, err := sw.Call(tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", []byte("user"))
+	if err != nil {
+		t.Fatalf("worker call over TLS: %v", err)
+	}
+	if string(reply) != "hi user" {
+		t.Errorf("reply = %q", reply)
+	}
+
+	// A malicious BN cannot tamper undetected even over the attested TLS
+	// channel — the subnet certificate is independent of the transport.
+	proxy.TamperReplies(true)
+	if _, err := sw.Call(tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", nil); !errors.Is(err, boundary.ErrTampered) {
+		t.Errorf("tamper: err = %v, want ErrTampered", err)
+	}
+}

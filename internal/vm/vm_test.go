@@ -1,0 +1,361 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/firmware"
+	"revelio/internal/hypervisor"
+	"revelio/internal/imagebuild"
+	"revelio/internal/netguard"
+)
+
+// testRig bundles the full stack under a booted guest.
+type testRig struct {
+	mfr   *amdsp.Manufacturer
+	sp    *amdsp.SecureProcessor
+	img   *imagebuild.Image
+	spec  imagebuild.Spec
+	fw    *firmware.Firmware
+	hv    *hypervisor.Hypervisor
+	guest *hypervisor.Guest
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("vm-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mfr.MintProcessor([]byte("chip"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	spec := imagebuild.CryptpadSpec(base)
+	spec.PersistSize = 256 * 1024 // keep tests quick
+	img, err := imagebuild.NewBuilder(reg).Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := firmware.NewOVMF("2023.05")
+	hv := hypervisor.New(sp)
+	guest, err := hv.Launch(hypervisor.Config{
+		Firmware: fw,
+		Blobs: hypervisor.BootBlobs{
+			Kernel:  img.Kernel,
+			Initrd:  img.Initrd,
+			Cmdline: img.Cmdline,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{mfr: mfr, sp: sp, img: img, spec: spec, fw: fw, hv: hv, guest: guest}
+}
+
+func bootRig(t *testing.T, r *testRig) *VM {
+	t.Helper()
+	v, err := Boot(r.guest, BootConfig{
+		Disk:   r.img.Disk,
+		Table:  r.img.Table,
+		Domain: "pad.example.org",
+	})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	return v
+}
+
+func TestBootHappyPath(t *testing.T) {
+	r := newRig(t)
+	v := bootRig(t, r)
+
+	if !v.Timings().FirstBoot {
+		t.Error("first boot not flagged")
+	}
+	tm := v.Timings()
+	if tm.DmVeritySetup <= 0 || tm.DmVerityVerify <= 0 ||
+		tm.DmCryptSetup <= 0 || tm.IdentityCreation <= 0 || tm.Total <= 0 {
+		t.Errorf("missing timings: %+v", tm)
+	}
+	if v.Measurement() != r.guest.Measurement {
+		t.Error("VM measurement differs from launch measurement")
+	}
+	if len(v.Services()) != len(r.spec.Services) {
+		t.Errorf("services = %d, want %d", len(v.Services()), len(r.spec.Services))
+	}
+	if v.Domain() != "pad.example.org" {
+		t.Error("domain not propagated")
+	}
+}
+
+func TestIdentityReportsVerify(t *testing.T) {
+	r := newRig(t)
+	v := bootRig(t, r)
+	id := v.Identity()
+
+	pubDER, err := id.PublicKeyDER()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.KeyReport.ReportData != HashOf(pubDER) {
+		t.Error("key report does not bind the public key")
+	}
+	if id.CSRReport.ReportData != HashOf(id.CSRDER) {
+		t.Error("csr report does not bind the CSR")
+	}
+	if err := id.KeyReport.Verify(r.sp.VCEKPublic()); err != nil {
+		t.Errorf("key report verify: %v", err)
+	}
+	if err := id.CSRReport.Verify(r.sp.VCEKPublic()); err != nil {
+		t.Errorf("csr report verify: %v", err)
+	}
+	if id.KeyReport.Measurement != v.Measurement() {
+		t.Error("key report measurement mismatch")
+	}
+}
+
+func TestPersistentStateSurvivesReboot(t *testing.T) {
+	r := newRig(t)
+	v1 := bootRig(t, r)
+	secret := []byte("tls-private-key-bytes")
+	if err := v1.Persist().WriteAt(secret, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot: relaunch the same image on the same chip.
+	guest2, err := hypervisor.New(r.sp).Launch(hypervisor.Config{
+		Firmware: r.fw,
+		Blobs: hypervisor.BootBlobs{
+			Kernel: r.img.Kernel, Initrd: r.img.Initrd, Cmdline: r.img.Cmdline,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Boot(guest2, BootConfig{Disk: r.img.Disk, Table: r.img.Table, Domain: "pad.example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Timings().FirstBoot {
+		t.Error("second boot flagged as first boot")
+	}
+	got := make([]byte, len(secret))
+	if err := v2.Persist().ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("persistent state lost across reboot")
+	}
+}
+
+// §6.1.2 + F6: a guest booted from a tampered image measures differently
+// and cannot unlock the persistent volume.
+func TestTamperedImageCannotUnsealPersistentState(t *testing.T) {
+	r := newRig(t)
+	v1 := bootRig(t, r)
+	if err := v1.Persist().WriteAt([]byte("secret"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a tampered image version (different rootfs → different
+	// cmdline root hash → different measurement).
+	reg := imagebuild.NewRegistry()
+	base := imagebuild.PublishUbuntuBase(reg)
+	evilSpec := imagebuild.CryptpadSpec(base)
+	evilSpec.PersistSize = 256 * 1024
+	evilSpec.Version = "1.0.0-evil"
+	evilImg, err := imagebuild.NewBuilder(reg).Build(evilSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evilGuest, err := hypervisor.New(r.sp).Launch(hypervisor.Config{
+		Firmware: r.fw,
+		Blobs: hypervisor.BootBlobs{
+			Kernel: evilImg.Kernel, Initrd: evilImg.Initrd, Cmdline: evilImg.Cmdline,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evilGuest.Measurement == r.guest.Measurement {
+		t.Fatal("evil image measured identically")
+	}
+	// The evil VM boots its own disk fine, but pointed at the victim's
+	// disk (offline attack on persistent state) its sealing key is wrong:
+	// the dm-crypt header is present but does not unlock, so Boot fails
+	// rather than silently reformatting.
+	_, err = Boot(evilGuest, BootConfig{
+		Disk:  evilImg.Disk,
+		Table: evilImg.Table, Domain: "x",
+	})
+	if err != nil {
+		t.Fatalf("evil image boot on own disk: %v", err)
+	}
+	// Attack: splice the victim's persistent partition into the evil
+	// image's disk layout. Simplest faithful model: boot the evil guest
+	// against the victim's disk and table — rootfs hash won't match
+	// either, so tamper with precision: only the persist partition is
+	// interesting, so use the victim's disk with the evil guest.
+	_, err = Boot(evilGuest, BootConfig{Disk: r.img.Disk, Table: r.img.Table, Domain: "x"})
+	if err == nil {
+		t.Fatal("evil guest booted the victim's disk")
+	}
+}
+
+// §6.1.1: wrong root hash on the cmdline — either boot fails (honest
+// table) or measurement changes; here we check the vm layer: a cmdline
+// whose hash does not match the rootfs fails the verity open.
+func TestBootWrongRootHash(t *testing.T) {
+	r := newRig(t)
+	evilCmdline := strings.Replace(r.img.Cmdline, "verity_roothash=", "verity_roothash=00", 1)
+	// Relaunch with the edited cmdline (hypervisor updates the table, so
+	// boot succeeds and the measurement changes — §6.1.1 case 2).
+	guest, err := hypervisor.New(r.sp).Launch(hypervisor.Config{
+		Firmware: r.fw,
+		Blobs: hypervisor.BootBlobs{
+			Kernel: r.img.Kernel, Initrd: r.img.Initrd, Cmdline: evilCmdline,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guest.Measurement == r.guest.Measurement {
+		t.Error("edited cmdline measured identically")
+	}
+	// And the init refuses the malformed/mismatched hash.
+	if _, err := Boot(guest, BootConfig{Disk: r.img.Disk, Table: r.img.Table, Domain: "x"}); err == nil {
+		t.Error("boot succeeded with wrong root hash")
+	}
+}
+
+// §6.1.2: rootfs tampered after build — verity must catch it at boot.
+func TestBootTamperedRootfs(t *testing.T) {
+	r := newRig(t)
+	if err := r.img.Disk.FlipBit(r.img.Table.RootfsStart+12345, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Boot(r.guest, BootConfig{Disk: r.img.Disk, Table: r.img.Table, Domain: "x"})
+	if !errors.Is(err, ErrRootfsVerification) {
+		t.Errorf("err = %v, want ErrRootfsVerification", err)
+	}
+}
+
+func TestBootCmdlineWithoutRootHash(t *testing.T) {
+	r := newRig(t)
+	guest, err := hypervisor.New(r.sp).Launch(hypervisor.Config{
+		Firmware: r.fw,
+		Blobs: hypervisor.BootBlobs{
+			Kernel: r.img.Kernel, Initrd: r.img.Initrd, Cmdline: "console=ttyS0 ro",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Boot(guest, BootConfig{Disk: r.img.Disk, Table: r.img.Table, Domain: "x"}); !errors.Is(err, ErrNoRootHash) {
+		t.Errorf("err = %v, want ErrNoRootHash", err)
+	}
+}
+
+func TestFirewallFromImagePolicy(t *testing.T) {
+	r := newRig(t)
+	v := bootRig(t, r)
+	if err := v.Firewall().Check(netguard.Inbound, 443); err != nil {
+		t.Errorf("inbound 443: %v", err)
+	}
+	if err := v.Firewall().Check(netguard.Inbound, 22); !errors.Is(err, netguard.ErrDenied) {
+		t.Errorf("ssh not denied: %v", err)
+	}
+}
+
+func TestFreshReportMatchesBootMeasurement(t *testing.T) {
+	r := newRig(t)
+	v := bootRig(t, r)
+	rep, err := v.Report(HashOf([]byte("nonce")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measurement != v.Measurement() {
+		t.Error("fresh report measurement mismatch")
+	}
+	if err := rep.Verify(r.sp.VCEKPublic()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipVerifyStillVerifiesPerRead(t *testing.T) {
+	r := newRig(t)
+	v, err := Boot(r.guest, BootConfig{
+		Disk: r.img.Disk, Table: r.img.Table, Domain: "x", SkipVerify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Timings().DmVerityVerify != 0 {
+		t.Error("verify pass ran despite SkipVerify")
+	}
+	if _, err := v.FS().ReadFile(imagebuild.ReleasePath); err != nil {
+		t.Errorf("read through verity: %v", err)
+	}
+}
+
+// TestVTPMRuntimeMeasurement: with the vTPM enabled, boot measures every
+// service binary into the runtime PCR, and identical boots agree on it.
+func TestVTPMRuntimeMeasurement(t *testing.T) {
+	r := newRig(t)
+	v, err := Boot(r.guest, BootConfig{
+		Disk: r.img.Disk, Table: r.img.Table, Domain: "x", EnableVTPM: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpm := v.VTPM()
+	if tpm == nil {
+		t.Fatal("vTPM not attached")
+	}
+	pcr, err := tpm.PCR(ServicePCR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero [32]byte
+	if pcr == zero {
+		t.Error("service PCR not extended")
+	}
+	if got := len(tpm.EventLog()); got != len(v.Services()) {
+		t.Errorf("event log has %d entries, want %d", got, len(v.Services()))
+	}
+
+	// A second boot of the same image yields the same runtime PCR.
+	guest2, err := hypervisor.New(r.sp).Launch(hypervisor.Config{
+		Firmware: r.fw,
+		Blobs: hypervisor.BootBlobs{
+			Kernel: r.img.Kernel, Initrd: r.img.Initrd, Cmdline: r.img.Cmdline,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Boot(guest2, BootConfig{
+		Disk: r.img.Disk, Table: r.img.Table, Domain: "x", EnableVTPM: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcr2, err := v2.VTPM().PCR(ServicePCR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcr != pcr2 {
+		t.Error("identical boots disagree on runtime PCR")
+	}
+
+	// Without the flag there is no vTPM.
+	if v3 := bootRig(t, newRig(t)); v3.VTPM() != nil {
+		t.Error("vTPM attached without EnableVTPM")
+	}
+}

@@ -1,0 +1,222 @@
+// Package vtpm implements a virtual TPM for runtime measurement, the
+// extension the paper sketches via Narayanan et al. (§7): Revelio's
+// launch measurement freezes at boot, so anything started *afterwards* is
+// invisible to the attestation report — a vTPM closes that gap.
+//
+// The design mirrors TPM 1.2/2.0 semantics at the granularity Revelio
+// needs: a bank of PCRs extended with SHA-256, an append-only event log
+// whose replay must reproduce the PCR values, and quotes — signed
+// statements over selected PCRs plus a verifier nonce. The quote
+// signature is an SEV-SNP attestation report whose REPORT_DATA binds the
+// PCR digest, which roots the vTPM state in the same hardware identity as
+// the launch measurement (the "e-vTPM" construction).
+package vtpm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"revelio/internal/sev"
+)
+
+const (
+	// NumPCRs mirrors the standard TPM PCR bank size.
+	NumPCRs = 24
+	// DigestSize is the PCR digest size.
+	DigestSize = sha256.Size
+)
+
+var (
+	// ErrBadPCR reports an out-of-range PCR index.
+	ErrBadPCR = errors.New("vtpm: pcr index out of range")
+	// ErrQuoteMismatch reports a quote whose PCR digest or report binding
+	// does not verify.
+	ErrQuoteMismatch = errors.New("vtpm: quote does not match pcr state")
+	// ErrLogReplayMismatch reports an event log that does not reproduce
+	// the claimed PCR values.
+	ErrLogReplayMismatch = errors.New("vtpm: event log replay mismatch")
+)
+
+// ReportSigner matches the guest channel's report capability (satisfied
+// by *vm.VM and amdsp.GuestChannel).
+type ReportSigner interface {
+	Report(data sev.ReportData) (*sev.Report, error)
+}
+
+// Event is one measured runtime occurrence.
+type Event struct {
+	PCR    int    `json:"pcr"`
+	Digest []byte `json:"digest"` // SHA-256 of the measured data
+	Label  string `json:"label"`
+}
+
+// VTPM is a software TPM whose quotes are rooted in the SEV-SNP chip.
+type VTPM struct {
+	signer ReportSigner
+
+	mu   sync.Mutex
+	pcrs [NumPCRs][DigestSize]byte
+	log  []Event
+}
+
+// New creates a vTPM with all PCRs at zero, quoting through signer.
+func New(signer ReportSigner) *VTPM {
+	return &VTPM{signer: signer}
+}
+
+// Extend folds data into PCR index:
+//
+//	pcr = SHA256(pcr || SHA256(data))
+//
+// and appends an event-log entry.
+func (v *VTPM) Extend(index int, data []byte, label string) error {
+	if index < 0 || index >= NumPCRs {
+		return fmt.Errorf("%w: %d", ErrBadPCR, index)
+	}
+	digest := sha256.Sum256(data)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := sha256.New()
+	h.Write(v.pcrs[index][:])
+	h.Write(digest[:])
+	h.Sum(v.pcrs[index][:0])
+	v.log = append(v.log, Event{PCR: index, Digest: digest[:], Label: label})
+	return nil
+}
+
+// PCR returns the current value of one register.
+func (v *VTPM) PCR(index int) ([DigestSize]byte, error) {
+	if index < 0 || index >= NumPCRs {
+		return [DigestSize]byte{}, fmt.Errorf("%w: %d", ErrBadPCR, index)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.pcrs[index], nil
+}
+
+// EventLog returns a copy of the measured-event log.
+func (v *VTPM) EventLog() []Event {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Event, len(v.log))
+	copy(out, v.log)
+	return out
+}
+
+// Quote is a signed statement over selected PCRs.
+type Quote struct {
+	// Selection lists the quoted PCR indices in ascending order.
+	Selection []int `json:"selection"`
+	// Values holds the quoted PCR values, parallel to Selection.
+	Values [][]byte `json:"values"`
+	// Nonce is the verifier's anti-replay challenge.
+	Nonce []byte `json:"nonce"`
+	// Report is the serialized SEV-SNP report binding the quote digest.
+	Report []byte `json:"report"`
+}
+
+// quoteDigest computes the REPORT_DATA binding for a quote.
+func quoteDigest(selection []int, values [][DigestSize]byte, nonce []byte) sev.ReportData {
+	h := sha256.New()
+	for i, idx := range selection {
+		_ = binary.Write(h, binary.LittleEndian, uint32(idx))
+		h.Write(values[i][:])
+	}
+	h.Write(nonce)
+	sum := h.Sum(nil)
+	var data sev.ReportData
+	copy(data[:], sum) // first 32 bytes carry the digest, rest zero
+	return data
+}
+
+// GenerateQuote produces a quote over the selected PCRs with the given
+// nonce, signed by the TEE.
+func (v *VTPM) GenerateQuote(selection []int, nonce []byte) (*Quote, error) {
+	sel := append([]int(nil), selection...)
+	sort.Ints(sel)
+	values := make([][DigestSize]byte, len(sel))
+	v.mu.Lock()
+	for i, idx := range sel {
+		if idx < 0 || idx >= NumPCRs {
+			v.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d", ErrBadPCR, idx)
+		}
+		values[i] = v.pcrs[idx]
+	}
+	v.mu.Unlock()
+
+	report, err := v.signer.Report(quoteDigest(sel, values, nonce))
+	if err != nil {
+		return nil, fmt.Errorf("vtpm: sign quote: %w", err)
+	}
+	raw, err := report.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	q := &Quote{Selection: sel, Nonce: append([]byte(nil), nonce...), Report: raw}
+	for _, val := range values {
+		q.Values = append(q.Values, append([]byte(nil), val[:]...))
+	}
+	return q, nil
+}
+
+// VerifyQuote checks the quote's internal consistency and returns the
+// embedded report for full attestation (chain, measurement policy)
+// through an attest.Verifier. The nonce must match the challenge the
+// verifier issued.
+func VerifyQuote(q *Quote, nonce []byte) (*sev.Report, error) {
+	if !bytes.Equal(q.Nonce, nonce) {
+		return nil, fmt.Errorf("%w: nonce", ErrQuoteMismatch)
+	}
+	if len(q.Selection) != len(q.Values) {
+		return nil, fmt.Errorf("%w: selection/values length", ErrQuoteMismatch)
+	}
+	values := make([][DigestSize]byte, len(q.Values))
+	for i, val := range q.Values {
+		if len(val) != DigestSize {
+			return nil, fmt.Errorf("%w: value size", ErrQuoteMismatch)
+		}
+		copy(values[i][:], val)
+	}
+	var report sev.Report
+	if err := report.UnmarshalBinary(q.Report); err != nil {
+		return nil, err
+	}
+	if report.ReportData != quoteDigest(q.Selection, values, q.Nonce) {
+		return nil, fmt.Errorf("%w: report binding", ErrQuoteMismatch)
+	}
+	return &report, nil
+}
+
+// ReplayLog recomputes PCR values from an event log and checks them
+// against claimed values for the selected registers — how a verifier
+// learns *what* was measured, not just that the digests match.
+func ReplayLog(log []Event, selection []int, claimed [][]byte) error {
+	var pcrs [NumPCRs][DigestSize]byte
+	for _, e := range log {
+		if e.PCR < 0 || e.PCR >= NumPCRs {
+			return fmt.Errorf("%w: event pcr %d", ErrBadPCR, e.PCR)
+		}
+		h := sha256.New()
+		h.Write(pcrs[e.PCR][:])
+		h.Write(e.Digest)
+		h.Sum(pcrs[e.PCR][:0])
+	}
+	if len(selection) != len(claimed) {
+		return fmt.Errorf("%w: selection/claimed length", ErrLogReplayMismatch)
+	}
+	for i, idx := range selection {
+		if idx < 0 || idx >= NumPCRs {
+			return fmt.Errorf("%w: %d", ErrBadPCR, idx)
+		}
+		if !bytes.Equal(pcrs[idx][:], claimed[i]) {
+			return fmt.Errorf("%w: pcr %d", ErrLogReplayMismatch, idx)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package vtpm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"revelio/internal/amdsp"
+	"revelio/internal/measure"
+	"revelio/internal/sev"
+)
+
+func testGuest(t *testing.T) (*amdsp.GuestChannel, *amdsp.SecureProcessor) {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("vtpm-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mfr.MintProcessor([]byte("chip"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sp.LaunchStart(0, 0)
+	if err := sp.LaunchUpdate(h, measure.PageNormal, 0, []byte("fw"), "ovmf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.LaunchFinish(h); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sp.GuestChannel(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sp
+}
+
+func TestExtendChangesPCR(t *testing.T) {
+	g, _ := testGuest(t)
+	v := New(g)
+	zero, err := v.PCR(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != [DigestSize]byte{} {
+		t.Error("fresh PCR not zero")
+	}
+	if err := v.Extend(8, []byte("nginx-binary"), "service:nginx"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := v.PCR(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == zero {
+		t.Error("Extend did not change PCR")
+	}
+	// Order sensitivity: A then B differs from B then A.
+	v2 := New(g)
+	_ = v2.Extend(8, []byte("B"), "")
+	_ = v2.Extend(8, []byte("A"), "")
+	v3 := New(g)
+	_ = v3.Extend(8, []byte("A"), "")
+	_ = v3.Extend(8, []byte("B"), "")
+	p2, _ := v2.PCR(8)
+	p3, _ := v3.PCR(8)
+	if p2 == p3 {
+		t.Error("PCR extension order not reflected")
+	}
+	// Other registers unaffected.
+	p9, _ := v2.PCR(9)
+	if p9 != [DigestSize]byte{} {
+		t.Error("extension leaked into other PCR")
+	}
+}
+
+func TestPCRBounds(t *testing.T) {
+	g, _ := testGuest(t)
+	v := New(g)
+	if err := v.Extend(-1, nil, ""); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("Extend(-1): %v", err)
+	}
+	if err := v.Extend(NumPCRs, nil, ""); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("Extend(%d): %v", NumPCRs, err)
+	}
+	if _, err := v.PCR(99); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("PCR(99): %v", err)
+	}
+	if _, err := v.GenerateQuote([]int{0, 99}, nil); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("quote bad selection: %v", err)
+	}
+}
+
+func TestQuoteRoundTrip(t *testing.T) {
+	g, sp := testGuest(t)
+	v := New(g)
+	if err := v.Extend(8, []byte("svc-a"), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Extend(9, []byte("cfg"), "config"); err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("verifier-challenge-123")
+	q, err := v.GenerateQuote([]int{9, 8}, nonce) // unsorted on purpose
+	if err != nil {
+		t.Fatalf("GenerateQuote: %v", err)
+	}
+	if q.Selection[0] != 8 || q.Selection[1] != 9 {
+		t.Errorf("selection not sorted: %v", q.Selection)
+	}
+	report, err := VerifyQuote(q, nonce)
+	if err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	// The embedded report is a genuine chip-signed report.
+	if err := report.Verify(sp.VCEKPublic()); err != nil {
+		t.Errorf("quote report signature: %v", err)
+	}
+	// And the event log replays to the quoted values.
+	if err := ReplayLog(v.EventLog(), q.Selection, q.Values); err != nil {
+		t.Errorf("ReplayLog: %v", err)
+	}
+}
+
+func TestQuoteTamperDetected(t *testing.T) {
+	g, _ := testGuest(t)
+	v := New(g)
+	if err := v.Extend(8, []byte("svc"), ""); err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("n")
+	q, err := v.GenerateQuote([]int{8}, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := *q
+	if _, err := VerifyQuote(&replayed, []byte("other-nonce")); !errors.Is(err, ErrQuoteMismatch) {
+		t.Errorf("wrong nonce: %v", err)
+	}
+
+	tampered := *q
+	tampered.Values = [][]byte{bytes.Repeat([]byte{0xEE}, DigestSize)}
+	if _, err := VerifyQuote(&tampered, nonce); !errors.Is(err, ErrQuoteMismatch) {
+		t.Errorf("tampered values: %v", err)
+	}
+
+	badReport := *q
+	badReport.Report = []byte("junk")
+	if _, err := VerifyQuote(&badReport, nonce); !errors.Is(err, sev.ErrBadReport) {
+		t.Errorf("junk report: %v", err)
+	}
+}
+
+// TestRuntimeTamperVisibleInQuote is the runtime-monitoring property: a
+// service started after boot that differs from the expected binary shows
+// up as a different PCR 8 value.
+func TestRuntimeTamperVisibleInQuote(t *testing.T) {
+	g, _ := testGuest(t)
+	expected := New(g)
+	_ = expected.Extend(8, []byte("nginx-v1"), "nginx")
+	want, _ := expected.PCR(8)
+
+	tampered := New(g)
+	_ = tampered.Extend(8, []byte("nginx-v1-backdoored"), "nginx")
+	got, _ := tampered.PCR(8)
+	if got == want {
+		t.Error("tampered service produced expected PCR")
+	}
+}
+
+func TestReplayLogMismatch(t *testing.T) {
+	log := []Event{{PCR: 8, Digest: bytes.Repeat([]byte{1}, DigestSize), Label: "x"}}
+	wrong := [][]byte{bytes.Repeat([]byte{9}, DigestSize)}
+	if err := ReplayLog(log, []int{8}, wrong); !errors.Is(err, ErrLogReplayMismatch) {
+		t.Errorf("err = %v, want ErrLogReplayMismatch", err)
+	}
+	if err := ReplayLog([]Event{{PCR: 99}}, nil, nil); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("bad event pcr: %v", err)
+	}
+	if err := ReplayLog(nil, []int{1}, nil); !errors.Is(err, ErrLogReplayMismatch) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}

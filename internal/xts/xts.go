@@ -1,0 +1,158 @@
+// Package xts implements the XTS-AES tweakable block cipher mode
+// (IEEE P1619 / NIST SP 800-38E) from scratch on top of crypto/aes.
+//
+// XTS is the standard mode for disk encryption: each 16-byte cipher block
+// is whitened with a tweak derived from the sector number and the block's
+// position inside the sector, so identical plaintext at different disk
+// locations encrypts differently while random access stays O(1). The
+// paper's dm-crypt configuration is aes-xts-plain64, which this package
+// reproduces (64-bit little-endian sector number as the tweak seed).
+package xts
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the cipher block size XTS operates on.
+const BlockSize = aes.BlockSize
+
+var (
+	// ErrKeySize reports a key that is not 32 or 64 bytes
+	// (two AES-128 or two AES-256 keys).
+	ErrKeySize = errors.New("xts: key must be 32 or 64 bytes (two AES keys)")
+	// ErrDataSize reports input shorter than one block; XTS requires at
+	// least one full cipher block per unit.
+	ErrDataSize = errors.New("xts: data shorter than one block")
+)
+
+// Cipher is an XTS-AES cipher for a fixed pair of keys. It is safe for
+// concurrent use: all methods are read-only with respect to the struct.
+type Cipher struct {
+	dataCipher  cipher.Block // K1: encrypts data blocks
+	tweakCipher cipher.Block // K2: encrypts the tweak
+}
+
+// NewCipher creates an XTS cipher from key, which must be two concatenated
+// AES keys of equal length (32 bytes total for AES-128, 64 for AES-256).
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key) != 32 && len(key) != 64 {
+		return nil, ErrKeySize
+	}
+	half := len(key) / 2
+	dataCipher, err := aes.NewCipher(key[:half])
+	if err != nil {
+		return nil, fmt.Errorf("xts: data key: %w", err)
+	}
+	tweakCipher, err := aes.NewCipher(key[half:])
+	if err != nil {
+		return nil, fmt.Errorf("xts: tweak key: %w", err)
+	}
+	return &Cipher{dataCipher: dataCipher, tweakCipher: tweakCipher}, nil
+}
+
+// Encrypt encrypts plaintext into ciphertext using the given sector number
+// as the tweak (plain64 convention). The two slices must have the same
+// length, which must be at least one block. Partial final blocks are
+// handled with ciphertext stealing per the standard.
+func (c *Cipher) Encrypt(ciphertext, plaintext []byte, sector uint64) error {
+	return c.process(ciphertext, plaintext, sector, true)
+}
+
+// Decrypt reverses Encrypt for the same sector number.
+func (c *Cipher) Decrypt(plaintext, ciphertext []byte, sector uint64) error {
+	return c.process(plaintext, ciphertext, sector, false)
+}
+
+func (c *Cipher) process(dst, src []byte, sector uint64, encrypt bool) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("xts: dst length %d != src length %d", len(dst), len(src))
+	}
+	if len(src) < BlockSize {
+		return ErrDataSize
+	}
+
+	var tweak [BlockSize]byte
+	binary.LittleEndian.PutUint64(tweak[:8], sector)
+	c.tweakCipher.Encrypt(tweak[:], tweak[:])
+
+	full := len(src) / BlockSize
+	rem := len(src) % BlockSize
+	if rem == 0 {
+		for i := 0; i < full; i++ {
+			c.processBlock(dst[i*BlockSize:], src[i*BlockSize:], &tweak, encrypt)
+			mulAlpha(&tweak)
+		}
+		return nil
+	}
+
+	// Ciphertext stealing: all but the last full block proceed normally.
+	for i := 0; i < full-1; i++ {
+		c.processBlock(dst[i*BlockSize:], src[i*BlockSize:], &tweak, encrypt)
+		mulAlpha(&tweak)
+	}
+
+	lastFull := (full - 1) * BlockSize
+	tail := full * BlockSize
+	if encrypt {
+		var cc [BlockSize]byte
+		c.processBlock(cc[:], src[lastFull:], &tweak, true)
+		mulAlpha(&tweak)
+
+		var pp [BlockSize]byte
+		copy(pp[:], src[tail:])
+		copy(pp[rem:], cc[rem:])
+		c.processBlock(dst[lastFull:], pp[:], &tweak, true)
+		copy(dst[tail:], cc[:rem])
+		return nil
+	}
+
+	// Decrypt with stealing: the penultimate ciphertext block was produced
+	// with tweak m, the final partial one with tweak m-1 — undo in order.
+	tweakM := tweak
+	mulAlpha(&tweakM)
+	var pp [BlockSize]byte
+	c.processBlock(pp[:], src[lastFull:], &tweakM, false)
+
+	var cc [BlockSize]byte
+	copy(cc[:], src[tail:])
+	copy(cc[rem:], pp[rem:])
+	c.processBlock(dst[lastFull:], cc[:], &tweak, false)
+	copy(dst[tail:], pp[:rem])
+	return nil
+}
+
+// processBlock applies one XEX round: dst = E(src XOR tweak) XOR tweak
+// (or the decrypting equivalent).
+func (c *Cipher) processBlock(dst, src []byte, tweak *[BlockSize]byte, encrypt bool) {
+	var buf [BlockSize]byte
+	for i := 0; i < BlockSize; i++ {
+		buf[i] = src[i] ^ tweak[i]
+	}
+	if encrypt {
+		c.dataCipher.Encrypt(buf[:], buf[:])
+	} else {
+		c.dataCipher.Decrypt(buf[:], buf[:])
+	}
+	for i := 0; i < BlockSize; i++ {
+		dst[i] = buf[i] ^ tweak[i]
+	}
+}
+
+// mulAlpha multiplies the tweak by the primitive element alpha in
+// GF(2^128) with the XTS polynomial x^128 + x^7 + x^2 + x + 1,
+// interpreting the tweak as a little-endian polynomial.
+func mulAlpha(tweak *[BlockSize]byte) {
+	var carry byte
+	for i := 0; i < BlockSize; i++ {
+		next := tweak[i] >> 7
+		tweak[i] = tweak[i]<<1 | carry
+		carry = next
+	}
+	if carry != 0 {
+		tweak[0] ^= 0x87
+	}
+}
