@@ -1,0 +1,3 @@
+module revelio
+
+go 1.22
