@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"revelio/internal/bench"
+	"revelio/internal/blockdev"
+	"revelio/internal/dmcrypt"
 )
 
 // logOnce renders a result table once per benchmark run.
@@ -43,12 +45,13 @@ func BenchmarkTable1_BootDelays(b *testing.B) {
 }
 
 // BenchmarkFig5_DmCryptIO regenerates Fig 5: dm-crypt read/write latency
-// vs a plain device, 4 KiB requests. Sub-benchmarks sweep the transfer
-// size like the paper's dd runs.
+// vs a plain device, with one serial-engine and one parallel-engine row
+// per transfer size (the serial rows reproduce the paper's dd runs; the
+// parallel rows show the storage engine's scaling).
 func BenchmarkFig5_DmCryptIO(b *testing.B) {
 	sizes := []int64{4 * bench.KiB, 64 * bench.KiB, 1 * bench.MiB, 16 * bench.MiB}
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig5(sizes)
+		res, err := bench.RunFig5(bench.Fig5Config{Sizes: sizes})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,12 +59,44 @@ func BenchmarkFig5_DmCryptIO(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5_Throughput measures raw dm-crypt sequential-read
+// throughput per engine; on a multi-core machine the parallel engine's
+// MB/s should scale well beyond the serial one's.
+func BenchmarkFig5_Throughput(b *testing.B) {
+	const total = 8 * bench.MiB
+	for _, mode := range []struct {
+		name string
+		conc int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			raw := blockdev.NewMem(total + dmcrypt.HeaderSectors*dmcrypt.SectorSize)
+			dev, err := dmcrypt.Format(raw, []byte("bench"),
+				dmcrypt.Options{Iterations: 10, Tuning: dmcrypt.Tuning{Concurrency: mode.conc}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, total)
+			if err := dev.WriteAt(buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dev.ReadAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig6_DmVerityRead regenerates Fig 6: dm-verity read latency
-// and slowdown factor across file sizes.
+// and slowdown factor across file sizes, with serial, parallel, and
+// warm-cache rows per size.
 func BenchmarkFig6_DmVerityRead(b *testing.B) {
 	sizes := []int64{64 * bench.KiB, 1 * bench.MiB, 8 * bench.MiB, 32 * bench.MiB}
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig6(sizes, 0)
+		res, err := bench.RunFig6(bench.Fig6Config{Sizes: sizes})
 		if err != nil {
 			b.Fatal(err)
 		}

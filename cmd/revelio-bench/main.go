@@ -58,7 +58,7 @@ func run(args []string) error {
 		if *quick {
 			sizes = []int64{4 * bench.KiB, 64 * bench.KiB, 1 * bench.MiB, 16 * bench.MiB}
 		}
-		res, err := bench.RunFig5(sizes)
+		res, err := bench.RunFig5(bench.Fig5Config{Sizes: sizes})
 		if err != nil {
 			return err
 		}
@@ -69,7 +69,7 @@ func run(args []string) error {
 		if *quick {
 			sizes = []int64{64 * bench.KiB, 1 * bench.MiB, 8 * bench.MiB}
 		}
-		res, err := bench.RunFig6(sizes, 0)
+		res, err := bench.RunFig6(bench.Fig6Config{Sizes: sizes})
 		if err != nil {
 			return err
 		}

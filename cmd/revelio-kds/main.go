@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -24,13 +25,80 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "revelio-kds:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// demo is the manufacturer plus the minted demonstration evidence the
+// banner advertises.
+type demo struct {
+	mfr       *amdsp.Manufacturer
+	chipID    sev.ChipID
+	tcb       uint64
+	golden    measure.Measurement
+	reportRaw []byte
+}
+
+// buildDemo derives the key hierarchy from seed, launches a demo guest,
+// and mints a sample report for revelio-attest to chew on.
+func buildDemo(seed string) (*demo, error) {
+	mfr, err := amdsp.NewManufacturer([]byte(seed))
+	if err != nil {
+		return nil, err
+	}
+	chip, err := mfr.MintProcessor([]byte("demo-chip"), 7)
+	if err != nil {
+		return nil, err
+	}
+	h := chip.LaunchStart(0x30000, 1)
+	if err := chip.LaunchUpdate(h, measure.PageNormal, 0xFFC00000, []byte("demo firmware"), "ovmf"); err != nil {
+		return nil, err
+	}
+	m, err := chip.LaunchFinish(h)
+	if err != nil {
+		return nil, err
+	}
+	guest, err := chip.GuestChannel(h)
+	if err != nil {
+		return nil, err
+	}
+	report, err := guest.Report(sev.ReportData{})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := report.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &demo{
+		mfr:       mfr,
+		chipID:    chip.ChipID(),
+		tcb:       chip.TCB(),
+		golden:    m,
+		reportRaw: raw,
+	}, nil
+}
+
+// banner prints the verifier crib sheet for a server listening on addr.
+func (d *demo) banner(w io.Writer, addr net.Addr) {
+	fmt.Fprintf(w, "KDS listening on http://%s\n", addr)
+	fmt.Fprintf(w, "demo chip id:  %s\n", hex.EncodeToString(d.chipID[:]))
+	fmt.Fprintf(w, "demo tcb:      %d\n", d.tcb)
+	fmt.Fprintf(w, "demo golden:   %s\n", d.golden)
+	fmt.Fprintf(w, "demo report (base64, pipe through `base64 -d` into revelio-attest):\n%s\n",
+		base64.StdEncoding.EncodeToString(d.reportRaw))
+	fmt.Fprintf(w, "try: curl http://%s%s\n", addr, kds.CertChainPath)
+}
+
+// serve runs the KDS HTTP endpoint on ln until the listener closes.
+func serve(ln net.Listener, mfr *amdsp.Manufacturer) error {
+	server := &http.Server{Handler: kds.NewServer(mfr), ReadHeaderTimeout: 10 * time.Second}
+	return server.Serve(ln)
+}
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("revelio-kds", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	seed := fs.String("seed", "revelio-demo", "manufacturer seed (key hierarchy derives from it)")
@@ -38,51 +106,14 @@ func run(args []string) error {
 		return err
 	}
 
-	mfr, err := amdsp.NewManufacturer([]byte(*seed))
+	d, err := buildDemo(*seed)
 	if err != nil {
 		return err
 	}
-	chip, err := mfr.MintProcessor([]byte("demo-chip"), 7)
-	if err != nil {
-		return err
-	}
-
-	// Launch a demo guest and emit a sample report so revelio-attest has
-	// something to chew on.
-	h := chip.LaunchStart(0x30000, 1)
-	if err := chip.LaunchUpdate(h, measure.PageNormal, 0xFFC00000, []byte("demo firmware"), "ovmf"); err != nil {
-		return err
-	}
-	m, err := chip.LaunchFinish(h)
-	if err != nil {
-		return err
-	}
-	guest, err := chip.GuestChannel(h)
-	if err != nil {
-		return err
-	}
-	report, err := guest.Report(sev.ReportData{})
-	if err != nil {
-		return err
-	}
-	raw, err := report.MarshalBinary()
-	if err != nil {
-		return err
-	}
-
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("KDS listening on http://%s\n", ln.Addr())
-	chipID := chip.ChipID()
-	fmt.Printf("demo chip id:  %s\n", hex.EncodeToString(chipID[:]))
-	fmt.Printf("demo tcb:      %d\n", chip.TCB())
-	fmt.Printf("demo golden:   %s\n", m)
-	fmt.Printf("demo report (base64, pipe through `base64 -d` into revelio-attest):\n%s\n",
-		base64.StdEncoding.EncodeToString(raw))
-	fmt.Printf("try: curl http://%s%s\n", ln.Addr(), kds.CertChainPath)
-
-	server := &http.Server{Handler: kds.NewServer(mfr), ReadHeaderTimeout: 10 * time.Second}
-	return server.Serve(ln)
+	d.banner(out, ln.Addr())
+	return serve(ln, d.mfr)
 }

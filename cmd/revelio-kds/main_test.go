@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"revelio/internal/attest"
+	"revelio/internal/kds"
+	"revelio/internal/sev"
+)
+
+func TestFlagParsing(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestHandlerWiring serves the demo manufacturer through the real
+// handler and verifies the demo report end-to-end against it — the same
+// loop a revelio-attest user runs against the printed banner.
+func TestHandlerWiring(t *testing.T) {
+	d, err := buildDemo("kds-cli-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(kds.NewServer(d.mfr))
+	t.Cleanup(server.Close)
+
+	resp, err := http.Get(server.URL + kds.CertChainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("cert chain status = %d", resp.StatusCode)
+	}
+
+	verifier := attest.NewVerifier(kds.NewClient(server.URL, nil), attest.NewStaticGolden(d.golden))
+	var report sev.Report
+	if err := report.UnmarshalBinary(d.reportRaw); err != nil {
+		t.Fatalf("demo report does not parse: %v", err)
+	}
+	res, err := verifier.VerifyReport(context.Background(), &report)
+	if err != nil {
+		t.Fatalf("demo report does not verify against the demo KDS: %v", err)
+	}
+	if res.Report.Measurement != d.golden {
+		t.Error("verified measurement differs from banner golden")
+	}
+}
+
+// TestBannerContents checks the crib sheet a user copies values from.
+func TestBannerContents(t *testing.T) {
+	d, err := buildDemo("banner-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 8080}
+	var out bytes.Buffer
+	d.banner(&out, addr)
+	s := out.String()
+	for _, want := range []string{
+		"KDS listening on http://127.0.0.1:8080",
+		"demo chip id:  " + hex.EncodeToString(d.chipID[:]),
+		"demo golden:   " + d.golden.String(),
+		"curl http://127.0.0.1:8080" + kds.CertChainPath,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("banner lacks %q", want)
+		}
+	}
+	// The advertised base64 report must decode back to the minted one.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	raw, err := base64.StdEncoding.DecodeString(lines[len(lines)-2])
+	if err != nil {
+		t.Fatalf("banner report is not base64: %v", err)
+	}
+	if !bytes.Equal(raw, d.reportRaw) {
+		t.Error("banner report differs from minted report")
+	}
+}
+
+// TestServeUntilClosed exercises the real serve loop on an ephemeral
+// listener.
+func TestServeUntilClosed(t *testing.T) {
+	d, err := buildDemo("serve-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, d.mfr) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + kds.CertChainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	ln.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Errorf("serve returned %v, want net.ErrClosed", err)
+	}
+}

@@ -27,7 +27,7 @@ func RunAblationVerityBlockSize(blockSizes []int) (*AblationVerityResult, error)
 	const readSize = 8 * MiB
 	res := &AblationVerityResult{Blocks: blockSizes}
 	for _, bs := range blockSizes {
-		fig, err := RunFig6([]int64{readSize}, bs)
+		fig, err := RunFig6(Fig6Config{Sizes: []int64{readSize}, BlockSize: bs})
 		if err != nil {
 			return nil, fmt.Errorf("bench: verity ablation bs=%d: %w", bs, err)
 		}

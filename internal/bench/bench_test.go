@@ -45,7 +45,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunFig5(t *testing.T) {
 	sizes := []int64{4 * KiB, 64 * KiB, 1 * MiB}
-	res, err := RunFig5(sizes)
+	res, err := RunFig5(Fig5Config{Sizes: sizes, Concurrency: 4})
 	if err != nil {
 		t.Fatalf("RunFig5: %v", err)
 	}
@@ -57,14 +57,20 @@ func TestRunFig5(t *testing.T) {
 	if lastRead.Crypt <= lastRead.Plain {
 		t.Errorf("1MiB read: crypt (%v) not slower than plain (%v)", lastRead.Crypt, lastRead.Plain)
 	}
-	if !strings.Contains(res.Render(), "dm-crypt") {
-		t.Error("render lacks header")
+	if lastRead.CryptPar <= 0 || lastRead.Speedup <= 0 {
+		t.Errorf("parallel row not measured: %+v", lastRead)
+	}
+	out := res.Render()
+	for _, want := range []string{"dm-crypt", "serial", "parallel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
 	}
 }
 
 func TestRunFig6(t *testing.T) {
 	sizes := []int64{64 * KiB, 1 * MiB}
-	res, err := RunFig6(sizes, 0)
+	res, err := RunFig6(Fig6Config{Sizes: sizes, Concurrency: 4})
 	if err != nil {
 		t.Fatalf("RunFig6: %v", err)
 	}
@@ -76,12 +82,18 @@ func TestRunFig6(t *testing.T) {
 		if p.Slowdown <= 1 {
 			t.Errorf("size %d: slowdown %.2f <= 1", p.SizeBytes, p.Slowdown)
 		}
+		if p.VerityPar <= 0 || p.VerityHot <= 0 {
+			t.Errorf("size %d: parallel/warm rows not measured: %+v", p.SizeBytes, p)
+		}
 	}
 	if res.AvgSlowdown <= 1 {
 		t.Errorf("avg slowdown %.2f <= 1", res.AvgSlowdown)
 	}
-	if !strings.Contains(res.Render(), "average slowdown") {
-		t.Error("render lacks average")
+	out := res.Render()
+	for _, want := range []string{"average slowdown", "serial", "parallel", "parallel+cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
 	}
 }
 

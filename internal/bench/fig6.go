@@ -7,37 +7,63 @@ import (
 
 	"revelio/internal/blockdev"
 	"revelio/internal/dmverity"
+	"revelio/internal/parallel"
 )
+
+// Fig6Config tunes the dm-verity read sweep.
+type Fig6Config struct {
+	// Sizes are the file sizes to read; nil selects DefaultFig6Sizes.
+	Sizes []int64
+	// BlockSize is the verity data/hash block size; 0 selects
+	// dmverity.DefaultBlockSize.
+	BlockSize int
+	// Concurrency is the worker count for the parallel rows; 0 selects
+	// GOMAXPROCS. The serial rows always run with one worker.
+	Concurrency int
+	// CacheBlocks bounds the verified hash-block cache; 0 selects
+	// dmverity.DefaultCacheBlocks. The warm rows measure its effect.
+	CacheBlocks int
+}
 
 // Fig6Point is one file size in the dm-verity read sweep.
 type Fig6Point struct {
 	SizeBytes int64
 	Plain     time.Duration
-	Verity    time.Duration
-	Slowdown  float64 // verity/plain
+	Verity    time.Duration // serial engine, cold cache
+	VerityPar time.Duration // parallel engine, cold cache
+	VerityHot time.Duration // parallel engine, warm hash-block cache
+	Slowdown  float64       // verity/plain (serial, the paper's metric)
+	Speedup   float64       // verity/verityPar
 }
 
 // Fig6Result reproduces Fig 6: read latency of files on the integrity-
 // protected rootfs versus a plain device (the paper reads the BN rootfs,
-// largest file 94.8 MB, and sees a 9.35x average slowdown).
+// largest file 94.8 MB, and sees a 9.35x average slowdown), extended
+// with parallel-engine and warm-cache rows per size.
 type Fig6Result struct {
 	Points []Fig6Point
-	// AvgSlowdown is the mean verity/plain ratio across the sweep.
+	// AvgSlowdown is the mean serial verity/plain ratio across the sweep.
 	AvgSlowdown float64
 	// BlockSize records the verity block size (ablation knob).
 	BlockSize int
+	// Workers is the resolved parallel-engine worker count.
+	Workers int
 }
 
 // DefaultFig6Sizes approximates the BN rootfs file-size distribution.
 var DefaultFig6Sizes = []int64{4 * KiB, 64 * KiB, 1 * MiB, 8 * MiB, 32 * MiB, 96 * MiB}
 
-// RunFig6 measures cold-cache verity reads: each measurement opens a
-// fresh verity device so the per-read verification (not the memoized
-// hash-block cache) dominates, matching the paper's first-read cost.
-func RunFig6(sizes []int64, blockSize int) (*Fig6Result, error) {
+// RunFig6 measures verity reads in three configurations per size: the
+// serial engine on a cold cache (the paper's first-read cost), the
+// parallel engine on a cold cache, and the parallel engine re-reading
+// with its hash-block cache warm. Cold measurements open a fresh device
+// each time so no verification state carries over.
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	sizes := cfg.Sizes
 	if len(sizes) == 0 {
 		sizes = DefaultFig6Sizes
 	}
+	blockSize := cfg.BlockSize
 	if blockSize == 0 {
 		blockSize = dmverity.DefaultBlockSize
 	}
@@ -53,12 +79,15 @@ func RunFig6(sizes []int64, blockSize int) (*Fig6Result, error) {
 	data := make([]byte, devSize)
 	rand.New(rand.NewSource(6)).Read(data)
 	dataDev := blockdev.NewMemFrom(data)
-	hashDev, meta, err := dmverity.Format(dataDev, dmverity.Params{BlockSize: blockSize})
+	hashDev, meta, err := dmverity.Format(dataDev, dmverity.Params{
+		BlockSize:   blockSize,
+		Concurrency: cfg.Concurrency,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: fig6 format: %w", err)
 	}
 
-	res := &Fig6Result{BlockSize: blockSize}
+	res := &Fig6Result{BlockSize: blockSize, Workers: parallel.Workers(cfg.Concurrency)}
 	var sum float64
 	for _, size := range sizes {
 		buf := make([]byte, size)
@@ -69,39 +98,68 @@ func RunFig6(sizes []int64, blockSize int) (*Fig6Result, error) {
 		}
 		plain := time.Since(start)
 
-		verityDev, err := dmverity.Open(dataDev, hashDev, meta, meta.RootHash)
+		coldRead := func(conc int) (time.Duration, *dmverity.Device, error) {
+			dev, err := dmverity.OpenWithConfig(dataDev, hashDev, meta, meta.RootHash,
+				dmverity.Config{Concurrency: conc, CacheBlocks: cfg.CacheBlocks})
+			if err != nil {
+				return 0, nil, err
+			}
+			start := time.Now()
+			if err := dev.ReadAt(buf, 0); err != nil {
+				return 0, nil, err
+			}
+			return time.Since(start), dev, nil
+		}
+
+		verity, _, err := coldRead(1)
 		if err != nil {
 			return nil, err
 		}
-		start = time.Now()
-		if err := verityDev.ReadAt(buf, 0); err != nil {
+		verityPar, parDev, err := coldRead(cfg.Concurrency)
+		if err != nil {
 			return nil, err
 		}
-		verity := time.Since(start)
+		// Warm: same device again, hash blocks already verified and cached.
+		start = time.Now()
+		if err := parDev.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
+		verityHot := time.Since(start)
 
-		slowdown := 0.0
+		slowdown, speedup := 0.0, 0.0
 		if plain > 0 {
 			slowdown = float64(verity) / float64(plain)
 		}
+		if verityPar > 0 {
+			speedup = float64(verity) / float64(verityPar)
+		}
 		sum += slowdown
 		res.Points = append(res.Points, Fig6Point{
-			SizeBytes: size, Plain: plain, Verity: verity, Slowdown: slowdown,
+			SizeBytes: size, Plain: plain, Verity: verity, VerityPar: verityPar,
+			VerityHot: verityHot, Slowdown: slowdown, Speedup: speedup,
 		})
 	}
 	res.AvgSlowdown = sum / float64(len(res.Points))
 	return res, nil
 }
 
-// Render prints the series.
+// Render prints the series with one row per size and engine.
 func (r *Fig6Result) Render() string {
-	rows := make([][]string, 0, len(r.Points))
+	rows := make([][]string, 0, 4*len(r.Points))
 	for _, p := range r.Points {
-		rows = append(rows, []string{
-			humanSize(p.SizeBytes), fmtMS(p.Plain), fmtMS(p.Verity),
-			fmt.Sprintf("%.2fx", p.Slowdown),
-		})
+		rows = append(rows,
+			[]string{humanSize(p.SizeBytes), "plain", fmtMS(p.Plain), "-", "-"},
+			[]string{humanSize(p.SizeBytes), "serial", fmtMS(p.Verity),
+				fmt.Sprintf("%.2fx", p.Slowdown), "1.00x"},
+			[]string{humanSize(p.SizeBytes), "parallel", fmtMS(p.VerityPar),
+				fmt.Sprintf("%.2fx", safeRatio(p.VerityPar, p.Plain)), fmt.Sprintf("%.2fx", p.Speedup)},
+			[]string{humanSize(p.SizeBytes), "parallel+cache", fmtMS(p.VerityHot),
+				fmt.Sprintf("%.2fx", safeRatio(p.VerityHot, p.Plain)),
+				fmt.Sprintf("%.2fx", safeRatio(p.Verity, p.VerityHot))},
+		)
 	}
-	return fmt.Sprintf("Fig 6: dm-verity read latency (block size %d)\n", r.BlockSize) +
-		table([]string{"File size", "Plain(ms)", "dm-verity(ms)", "Slowdown"}, rows) +
-		fmt.Sprintf("average slowdown: %.2fx\n", r.AvgSlowdown)
+	return fmt.Sprintf("Fig 6: dm-verity read latency (block size %d, parallel = %d workers)\n",
+		r.BlockSize, r.Workers) +
+		table([]string{"File size", "Engine", "Latency(ms)", "Slowdown", "Speedup"}, rows) +
+		fmt.Sprintf("average slowdown (serial): %.2fx\n", r.AvgSlowdown)
 }

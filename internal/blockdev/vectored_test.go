@@ -1,0 +1,139 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// plainDevice hides the Vectored implementation of an inner device so
+// the helper fallback path is exercised.
+type plainDevice struct{ inner Device }
+
+func (p plainDevice) ReadAt(b []byte, off int64) error  { return p.inner.ReadAt(b, off) }
+func (p plainDevice) WriteAt(b []byte, off int64) error { return p.inner.WriteAt(b, off) }
+func (p plainDevice) Size() int64                       { return p.inner.Size() }
+
+func scatterBatch(t *testing.T, size int64) (bufs [][]byte, offs []int64, want []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	want = make([]byte, size)
+	rng.Read(want)
+	// Discontiguous, unordered segments.
+	for _, seg := range []struct{ off, n int64 }{
+		{3 * SectorSize, SectorSize},
+		{0, SectorSize},
+		{size - SectorSize, SectorSize},
+		{7*SectorSize + 13, 100},
+	} {
+		bufs = append(bufs, want[seg.off:seg.off+seg.n])
+		offs = append(offs, seg.off)
+	}
+	return bufs, offs, want
+}
+
+func TestVectoredAgainstDevices(t *testing.T) {
+	const size = 16 * SectorSize
+	mem := NewMem(size)
+	file, err := CreateFile(filepath.Join(t.TempDir(), "dev.img"), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	linearBase := NewMem(2 * size)
+	linear, err := NewLinear(linearBase, SectorSize, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := []struct {
+		name string
+		dev  Device
+	}{
+		{"Mem", mem},
+		{"File", file},
+		{"Linear", linear},
+		{"Stats", NewStats(NewMem(size))},
+		{"fallback", plainDevice{NewMem(size)}},
+	}
+	for _, tc := range devices {
+		t.Run(tc.name, func(t *testing.T) {
+			bufs, offs, _ := scatterBatch(t, size)
+			if err := WriteSectors(tc.dev, bufs, offs); err != nil {
+				t.Fatalf("WriteSectors: %v", err)
+			}
+			got := make([][]byte, len(bufs))
+			for i := range bufs {
+				got[i] = make([]byte, len(bufs[i]))
+			}
+			if err := ReadSectors(tc.dev, got, offs); err != nil {
+				t.Fatalf("ReadSectors: %v", err)
+			}
+			for i := range bufs {
+				if !bytes.Equal(got[i], bufs[i]) {
+					t.Errorf("segment %d: round trip mismatch", i)
+				}
+			}
+			// Batched and scalar I/O see the same bytes.
+			scalar := make([]byte, len(bufs[0]))
+			if err := tc.dev.ReadAt(scalar, offs[0]); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(scalar, bufs[0]) {
+				t.Error("ReadAt disagrees with ReadSectors")
+			}
+		})
+	}
+}
+
+func TestVectoredValidation(t *testing.T) {
+	mem := NewMem(4 * SectorSize)
+	if err := ReadSectors(mem, make([][]byte, 2), make([]int64, 1)); err == nil {
+		t.Error("mismatched bufs/offs accepted")
+	}
+	// Out-of-range segment fails the whole batch, and (write case) no
+	// earlier segment may have landed.
+	bufs := [][]byte{bytes.Repeat([]byte{0xAB}, SectorSize), make([]byte, SectorSize)}
+	offs := []int64{0, 4 * SectorSize}
+	if err := WriteSectors(mem, bufs, offs); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range write: err = %v", err)
+	}
+	probe := make([]byte, SectorSize)
+	if err := mem.ReadAt(probe, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(probe, make([]byte, SectorSize)) {
+		t.Error("failed batch landed partial writes on Mem")
+	}
+	if err := ReadSectors(mem, bufs, offs); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range read: err = %v", err)
+	}
+}
+
+func TestVectoredReadOnlyAndStats(t *testing.T) {
+	ro := NewReadOnly(NewMem(4 * SectorSize))
+	buf := [][]byte{make([]byte, SectorSize)}
+	off := []int64{0}
+	if err := WriteSectors(ro, buf, off); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("write through ReadOnly: err = %v", err)
+	}
+	if err := ReadSectors(ro, buf, off); err != nil {
+		t.Errorf("read through ReadOnly: %v", err)
+	}
+
+	stats := NewStats(NewMem(4 * SectorSize))
+	bufs := [][]byte{make([]byte, SectorSize), make([]byte, SectorSize)}
+	offs := []int64{0, 2 * SectorSize}
+	if err := WriteSectors(stats, bufs, offs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadSectors(stats, bufs, offs); err != nil {
+		t.Fatal(err)
+	}
+	rOps, rBytes, wOps, wBytes := stats.Counters()
+	if rOps != 2 || wOps != 2 || rBytes != 2*SectorSize || wBytes != 2*SectorSize {
+		t.Errorf("counters = %d/%d/%d/%d, want 2/%d/2/%d", rOps, rBytes, wOps, wBytes,
+			2*SectorSize, 2*SectorSize)
+	}
+}

@@ -1,0 +1,81 @@
+package dmverity
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheBlocks is the default capacity of the verified hash-block
+// cache. At the default 4 KiB block size it covers 4 MiB of tree — every
+// level above the leaves for devices into the tens of gigabytes.
+const DefaultCacheBlocks = 1024
+
+// hashCache is a bounded LRU of hash-device blocks whose digests have
+// been proven to chain up to the trusted root hash. A hit returns the
+// verified bytes directly, skipping both the hash-device read and the
+// walk up the tree; a miss (including after eviction) forces full
+// re-verification, so tampering with the hash device after eviction is
+// still caught — the cache can only ever serve bytes it verified.
+//
+// It is safe for concurrent use; the parallel read path hits it from
+// every worker. Cached slices are shared and must be treated as
+// immutable by callers.
+type hashCache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used; holds *cacheEntry
+	idx map[int64]*list.Element
+}
+
+type cacheEntry struct {
+	off   int64
+	block []byte
+}
+
+func newHashCache(capacity int) *hashCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheBlocks
+	}
+	return &hashCache{
+		cap: capacity,
+		lru: list.New(),
+		idx: make(map[int64]*list.Element, capacity),
+	}
+}
+
+// get returns the verified block at the hash-device offset, if cached.
+func (c *hashCache) get(off int64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[off]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).block, true
+}
+
+// put records a freshly verified block, evicting the least recently used
+// entry when full. The cache takes ownership of block.
+func (c *hashCache) put(off int64, block []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[off]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).block = block
+		return
+	}
+	c.idx[off] = c.lru.PushFront(&cacheEntry{off: off, block: block})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.idx, oldest.Value.(*cacheEntry).off)
+	}
+}
+
+// len reports the number of cached blocks.
+func (c *hashCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

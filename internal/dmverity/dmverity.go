@@ -17,9 +17,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"revelio/internal/blockdev"
+	"revelio/internal/parallel"
 )
 
 const (
@@ -61,6 +61,26 @@ type Params struct {
 	// Salt is prepended to every block before hashing (dm-verity v1
 	// semantics). May be empty.
 	Salt []byte
+	// Concurrency is the number of workers hashing blocks during Format;
+	// 0 selects GOMAXPROCS, 1 forces the serial builder. The resulting
+	// tree — and therefore the root hash — is identical at any setting.
+	Concurrency int
+}
+
+// Config tunes an opened device. Like dmcrypt.Tuning it never affects
+// what is accepted or rejected, only how fast: any root hash that opens
+// under one config opens under all of them.
+type Config struct {
+	// CacheBlocks bounds the LRU cache of verified hash blocks; 0
+	// selects DefaultCacheBlocks. Repeated reads whose tree path is
+	// cached skip re-verification up the tree; evicted blocks are fully
+	// re-verified on next use, so the cache never weakens fail-closed
+	// behaviour.
+	CacheBlocks int
+	// Concurrency is the number of workers verifying the data blocks of
+	// a single large read (or VerifyAll pass); 0 selects GOMAXPROCS, 1
+	// forces the serial path.
+	Concurrency int
 }
 
 // Metadata describes a built tree: everything the guest needs, besides the
@@ -113,15 +133,38 @@ func Format(data blockdev.Device, params Params) (*blockdev.Mem, *Metadata, erro
 	perBlock := int64(params.BlockSize / DigestSize)
 
 	// Compute level digests bottom-up in memory, then lay the levels out
-	// contiguously on a fresh hash device.
+	// contiguously on a fresh hash device. Each digest depends only on
+	// its own block, so every level is hashed by a sharded worker pool;
+	// workers write disjoint slots of the level slice and the result is
+	// bit-identical to the serial builder. The bottom level — by far the
+	// widest — batches its data reads instead of one round-trip per
+	// block.
+	workers := parallel.Workers(params.Concurrency)
 	levels := make([][][DigestSize]byte, 0, 8)
 	cur := make([][DigestSize]byte, dataBlocks)
-	buf := make([]byte, params.BlockSize)
-	for i := int64(0); i < dataBlocks; i++ {
-		if err := data.ReadAt(buf, i*bs); err != nil {
-			return nil, nil, fmt.Errorf("dmverity: read data block %d: %w", i, err)
+	err := parallel.Shards(workers, dataBlocks, func(lo, hi int64) error {
+		batch := int64(formatBatchBlocks)
+		if hi-lo < batch {
+			batch = hi - lo
 		}
-		cur[i] = saltedDigest(params.Salt, buf)
+		buf := make([]byte, batch*bs)
+		for b := lo; b < hi; b += batch {
+			n := batch
+			if hi-b < n {
+				n = hi - b
+			}
+			seg := buf[:n*bs]
+			if err := data.ReadAt(seg, b*bs); err != nil {
+				return fmt.Errorf("dmverity: read data block %d: %w", b, err)
+			}
+			for j := int64(0); j < n; j++ {
+				cur[b+j] = saltedDigest(params.Salt, seg[j*bs:(j+1)*bs])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	for {
@@ -131,16 +174,24 @@ func Format(data blockdev.Device, params Params) (*blockdev.Mem, *Metadata, erro
 			break
 		}
 		next := make([][DigestSize]byte, numBlocks)
-		for b := int64(0); b < numBlocks; b++ {
+		prev := cur
+		err := parallel.Shards(workers, numBlocks, func(lo, hi int64) error {
 			block := make([]byte, params.BlockSize)
-			for j := int64(0); j < perBlock; j++ {
-				idx := b*perBlock + j
-				if idx >= int64(len(cur)) {
-					break
+			for b := lo; b < hi; b++ {
+				clear(block)
+				for j := int64(0); j < perBlock; j++ {
+					idx := b*perBlock + j
+					if idx >= int64(len(prev)) {
+						break
+					}
+					copy(block[j*DigestSize:], prev[idx][:])
 				}
-				copy(block[j*DigestSize:], cur[idx][:])
+				next[b] = saltedDigest(params.Salt, block)
 			}
-			next[b] = saltedDigest(params.Salt, block)
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
 		cur = next
 	}
@@ -163,18 +214,12 @@ func Format(data blockdev.Device, params Params) (*blockdev.Mem, *Metadata, erro
 	}
 	hashDev := blockdev.NewMem(total)
 	for l, lv := range levels {
-		for b := int64(0); b < meta.LevelBlocks[l]; b++ {
-			block := make([]byte, params.BlockSize)
-			for j := int64(0); j < perBlock; j++ {
-				idx := b*perBlock + j
-				if idx >= int64(len(lv)) {
-					break
-				}
-				copy(block[j*DigestSize:], lv[idx][:])
-			}
-			if err := hashDev.WriteAt(block, meta.LevelStarts[l]+b*bs); err != nil {
-				return nil, nil, fmt.Errorf("dmverity: write hash block: %w", err)
-			}
+		levelBytes := make([]byte, meta.LevelBlocks[l]*bs)
+		for idx := range lv {
+			copy(levelBytes[idx*DigestSize:], lv[idx][:])
+		}
+		if err := hashDev.WriteAt(levelBytes, meta.LevelStarts[l]); err != nil {
+			return nil, nil, fmt.Errorf("dmverity: write hash level %d: %w", l, err)
 		}
 	}
 
@@ -190,23 +235,39 @@ func Format(data blockdev.Device, params Params) (*blockdev.Mem, *Metadata, erro
 
 // Device is an opened verity target: a read-only view of the data device
 // whose every read is verified against the tree. It implements
-// blockdev.Device and is safe for concurrent readers.
+// blockdev.Device and is safe for concurrent readers. Reads spanning
+// several blocks are verified by a sharded worker pool, and hash blocks
+// whose digests have already been chained to the root are served from a
+// bounded LRU cache (see Config).
 type Device struct {
 	data     blockdev.Device
 	hash     blockdev.Device
 	meta     *Metadata
 	perBlock int64
 
-	mu       sync.Mutex
-	verified map[int64]struct{} // hash-device block offsets proven to chain to the root
+	// top is the pinned, root-verified top-level hash block; lastLevel
+	// is its level index. The recursive verification of every other
+	// block terminates here.
+	top       []byte
+	lastLevel int
+
+	cache   *hashCache
+	workers int
 }
 
 var _ blockdev.Device = (*Device)(nil)
 
-// Open creates a verity device over data using the (untrusted) tree on
-// hashDev and the trusted rootHash. The top-level block is verified
-// immediately; everything else is verified lazily on read.
+// Open creates a verity device over data with the default Config; see
+// OpenWithConfig.
 func Open(data, hashDev blockdev.Device, meta *Metadata, rootHash [DigestSize]byte) (*Device, error) {
+	return OpenWithConfig(data, hashDev, meta, rootHash, Config{})
+}
+
+// OpenWithConfig creates a verity device over data using the (untrusted)
+// tree on hashDev and the trusted rootHash. The top-level block is
+// verified immediately and pinned; everything else is verified lazily on
+// read and retained in the verified-block cache.
+func OpenWithConfig(data, hashDev blockdev.Device, meta *Metadata, rootHash [DigestSize]byte, cfg Config) (*Device, error) {
 	if meta == nil {
 		return nil, fmt.Errorf("%w: nil metadata", ErrBadSuperblock)
 	}
@@ -220,35 +281,23 @@ func Open(data, hashDev blockdev.Device, meta *Metadata, rootHash [DigestSize]by
 		return nil, fmt.Errorf("%w: data device smaller than metadata claims", ErrBadSuperblock)
 	}
 	d := &Device{
-		data:     data,
-		hash:     hashDev,
-		meta:     meta,
-		perBlock: int64(meta.BlockSize / DigestSize),
-		verified: make(map[int64]struct{}),
+		data:      data,
+		hash:      hashDev,
+		meta:      meta,
+		perBlock:  int64(meta.BlockSize / DigestSize),
+		lastLevel: len(meta.LevelStarts) - 1,
+		cache:     newHashCache(cfg.CacheBlocks),
+		workers:   parallel.Workers(cfg.Concurrency),
 	}
 	top := make([]byte, meta.BlockSize)
-	lastLevel := len(meta.LevelStarts) - 1
-	if err := hashDev.ReadAt(top, meta.LevelStarts[lastLevel]); err != nil {
+	if err := hashDev.ReadAt(top, meta.LevelStarts[d.lastLevel]); err != nil {
 		return nil, fmt.Errorf("dmverity: read top hash block: %w", err)
 	}
 	if saltedDigest(meta.Salt, top) != rootHash {
 		return nil, ErrRootHashMismatch
 	}
-	d.markVerified(meta.LevelStarts[lastLevel])
+	d.top = top
 	return d, nil
-}
-
-func (d *Device) markVerified(off int64) {
-	d.mu.Lock()
-	d.verified[off] = struct{}{}
-	d.mu.Unlock()
-}
-
-func (d *Device) isVerified(off int64) bool {
-	d.mu.Lock()
-	_, ok := d.verified[off]
-	d.mu.Unlock()
-	return ok
 }
 
 // hashBlockFor returns the hash-device byte offset of the block at the
@@ -261,15 +310,19 @@ func (d *Device) hashBlockFor(level int, idx int64) (blockOff, entryOff int64) {
 
 // verifyHashBlock ensures the hash block at level `level` covering child
 // index idx chains up to the (already verified) root, returning its
-// contents.
+// contents. Returned slices are shared with the cache and must not be
+// modified.
 func (d *Device) verifyHashBlock(level int, idx int64) ([]byte, error) {
+	if level == d.lastLevel {
+		return d.top, nil
+	}
 	blockOff, _ := d.hashBlockFor(level, idx)
+	if block, ok := d.cache.get(blockOff); ok {
+		return block, nil
+	}
 	block := make([]byte, d.meta.BlockSize)
 	if err := d.hash.ReadAt(block, blockOff); err != nil {
 		return nil, fmt.Errorf("dmverity: read hash block: %w", err)
-	}
-	if d.isVerified(blockOff) {
-		return block, nil
 	}
 	// Verify this block against its parent entry (recursively verified).
 	parentIdx := idx / d.perBlock // index of this block within its level
@@ -283,17 +336,23 @@ func (d *Device) verifyHashBlock(level int, idx int64) ([]byte, error) {
 	if !bytes.Equal(got[:], want) {
 		return nil, &MismatchError{Level: level, Block: parentIdx}
 	}
-	d.markVerified(blockOff)
+	d.cache.put(blockOff, block)
 	return block, nil
 }
 
 // verifyDataBlock checks data block i against the tree and returns its
-// contents.
+// contents in buf.
 func (d *Device) verifyDataBlock(i int64, buf []byte) error {
 	bs := int64(d.meta.BlockSize)
 	if err := d.data.ReadAt(buf, i*bs); err != nil {
 		return fmt.Errorf("dmverity: read data block %d: %w", i, err)
 	}
+	return d.verifyDataIn(i, buf)
+}
+
+// verifyDataIn checks an already-read copy of data block i against the
+// tree.
+func (d *Device) verifyDataIn(i int64, buf []byte) error {
 	level0, err := d.verifyHashBlock(0, i)
 	if err != nil {
 		return err
@@ -307,23 +366,87 @@ func (d *Device) verifyDataBlock(i int64, buf []byte) error {
 	return nil
 }
 
-// ReadAt implements blockdev.Device with per-block verification.
+// readBatchBlocks bounds how many data blocks one worker fetches per
+// inner read — 128 KiB batches at the default 4 KiB block size.
+const (
+	readBatchBlocks   = 32
+	formatBatchBlocks = 64
+	minParallelBlocks = 4
+)
+
+// forEachBlockIn reads data blocks [first, first+n) in batched inner
+// reads and hands each block to fn. The buffer passed to fn is reused
+// across calls.
+func (d *Device) forEachBlockIn(first, n int64, fn func(i int64, block []byte) error) error {
+	bs := int64(d.meta.BlockSize)
+	batch := int64(readBatchBlocks)
+	if n < batch {
+		batch = n
+	}
+	buf := make([]byte, batch*bs)
+	for b := first; b < first+n; b += batch {
+		cnt := batch
+		if first+n-b < cnt {
+			cnt = first + n - b
+		}
+		seg := buf[:cnt*bs]
+		if err := d.data.ReadAt(seg, b*bs); err != nil {
+			return fmt.Errorf("dmverity: read data block %d: %w", b, err)
+		}
+		for j := int64(0); j < cnt; j++ {
+			if err := fn(b+j, seg[j*bs:(j+1)*bs]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadAt implements blockdev.Device with per-block verification. Reads
+// spanning at least minParallelBlocks blocks are sharded across the
+// worker pool, each worker batch-reading its range of the data device
+// and verifying block by block; any mismatch anywhere fails the whole
+// read.
 func (d *Device) ReadAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > d.Size() {
 		return fmt.Errorf("%w: off=%d len=%d size=%d",
 			blockdev.ErrOutOfRange, off, len(p), d.Size())
 	}
-	bs := int64(d.meta.BlockSize)
-	buf := make([]byte, bs)
-	for n := 0; n < len(p); {
-		i := (off + int64(n)) / bs
-		inner := (off + int64(n)) % bs
-		if err := d.verifyDataBlock(i, buf); err != nil {
-			return err
-		}
-		n += copy(p[n:], buf[inner:])
+	if len(p) == 0 {
+		return nil
 	}
-	return nil
+	bs := int64(d.meta.BlockSize)
+	end := off + int64(len(p))
+	first := off / bs
+	nBlocks := (end-1)/bs - first + 1
+	if d.workers == 1 || nBlocks < minParallelBlocks {
+		buf := make([]byte, bs)
+		for n := 0; n < len(p); {
+			i := (off + int64(n)) / bs
+			inner := (off + int64(n)) % bs
+			if err := d.verifyDataBlock(i, buf); err != nil {
+				return err
+			}
+			n += copy(p[n:], buf[inner:])
+		}
+		return nil
+	}
+	return parallel.Shards(d.workers, nBlocks, func(lo, hi int64) error {
+		return d.forEachBlockIn(first+lo, hi-lo, func(i int64, block []byte) error {
+			if err := d.verifyDataIn(i, block); err != nil {
+				return err
+			}
+			devLo, devHi := i*bs, (i+1)*bs
+			if devLo < off {
+				devLo = off
+			}
+			if devHi > end {
+				devHi = end
+			}
+			copy(p[devLo-off:devHi-off], block[devLo-i*bs:devHi-i*bs])
+			return nil
+		})
+	})
 }
 
 // WriteAt implements blockdev.Device by always failing: verity targets are
@@ -334,15 +457,12 @@ func (d *Device) WriteAt([]byte, int64) error { return blockdev.ErrReadOnly }
 func (d *Device) Size() int64 { return d.meta.DataBlocks * int64(d.meta.BlockSize) }
 
 // VerifyAll walks the entire device, verifying every data block. This is
-// the "dm-verity verify" boot service of Table 1.
+// the "dm-verity verify" boot service of Table 1; it shards the walk
+// across the worker pool and batches its data reads.
 func (d *Device) VerifyAll() error {
-	buf := make([]byte, d.meta.BlockSize)
-	for i := int64(0); i < d.meta.DataBlocks; i++ {
-		if err := d.verifyDataBlock(i, buf); err != nil {
-			return err
-		}
-	}
-	return nil
+	return parallel.Shards(d.workers, d.meta.DataBlocks, func(lo, hi int64) error {
+		return d.forEachBlockIn(lo, hi-lo, d.verifyDataIn)
+	})
 }
 
 // MarshalBinary encodes the metadata as a fixed-layout superblock followed

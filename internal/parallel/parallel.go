@@ -1,0 +1,73 @@
+// Package parallel is the shard scheduler under Revelio's concurrent
+// storage engine (internal/dmcrypt, internal/dmverity).
+//
+// Storage requests decompose into per-sector (dm-crypt) or per-block
+// (dm-verity) units that are independent by construction — XTS tweaks and
+// Merkle leaves depend only on the unit's index, never on its neighbours —
+// so a request can be split into contiguous index ranges and processed by
+// a pool of workers without changing any byte that hits the disk. This
+// package owns that splitting so both targets shard identically and the
+// tuning knob ("Concurrency" throughout the repo) means the same thing
+// everywhere.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a concurrency knob: values <= 0 select GOMAXPROCS,
+// everything else passes through. A result of 1 means "stay serial".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Shards splits the index range [0, n) into at most `workers` contiguous
+// shards of near-equal size and runs fn(lo, hi) for each shard
+// concurrently. It returns the first error any shard reports (the others
+// run to completion, as a real request queue would drain). With
+// workers <= 1 or n small enough for a single shard, fn runs inline on
+// the caller's goroutine — the serial path has zero scheduling overhead.
+func Shards(workers int, n int64, fn func(lo, hi int64) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := int64(Workers(workers))
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return fn(0, n)
+	}
+	per := n / w
+	rem := n % w
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	lo := int64(0)
+	for i := int64(0); i < w; i++ {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			if err := fn(lo, hi); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	return firstErr
+}

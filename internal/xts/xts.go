@@ -67,6 +67,39 @@ func (c *Cipher) Decrypt(plaintext, ciphertext []byte, sector uint64) error {
 	return c.process(plaintext, ciphertext, sector, false)
 }
 
+// EncryptSectors encrypts a span of consecutive whole sectors in one
+// call: src holds len(src)/sectorSize sectors, the first numbered
+// firstSector, each encrypted under its own plain64 tweak exactly as a
+// per-sector Encrypt loop would. dst may alias src. This is the batch
+// unit dm-crypt's worker pool shards over.
+func (c *Cipher) EncryptSectors(dst, src []byte, firstSector uint64, sectorSize int) error {
+	return c.processSectors(dst, src, firstSector, sectorSize, true)
+}
+
+// DecryptSectors reverses EncryptSectors for the same span.
+func (c *Cipher) DecryptSectors(dst, src []byte, firstSector uint64, sectorSize int) error {
+	return c.processSectors(dst, src, firstSector, sectorSize, false)
+}
+
+func (c *Cipher) processSectors(dst, src []byte, firstSector uint64, sectorSize int, encrypt bool) error {
+	if sectorSize < BlockSize {
+		return fmt.Errorf("xts: sector size %d below block size %d", sectorSize, BlockSize)
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("xts: dst length %d != src length %d", len(dst), len(src))
+	}
+	if len(src)%sectorSize != 0 {
+		return fmt.Errorf("xts: span length %d not a multiple of sector size %d", len(src), sectorSize)
+	}
+	for off := 0; off < len(src); off += sectorSize {
+		if err := c.process(dst[off:off+sectorSize], src[off:off+sectorSize], firstSector, encrypt); err != nil {
+			return err
+		}
+		firstSector++
+	}
+	return nil
+}
+
 func (c *Cipher) process(dst, src []byte, sector uint64, encrypt bool) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("xts: dst length %d != src length %d", len(dst), len(src))
