@@ -6,6 +6,7 @@
 //	Table 1  -> BenchmarkTable1_BootDelays
 //	Table 2  -> BenchmarkTable2_CertOperations
 //	Table 3  -> BenchmarkTable3_ClientSide
+//	Table 4  -> BenchmarkTable4_AttestationThroughput
 //	Fig 5    -> BenchmarkFig5_DmCryptIO
 //	Fig 6    -> BenchmarkFig6_DmVerityRead
 //	ablations -> BenchmarkAblation_*
@@ -135,6 +136,27 @@ func BenchmarkTable3_ClientSide(b *testing.B) {
 			b.Fatal(err)
 		}
 		renderOnce(b, "table3", res.Render())
+	}
+}
+
+// BenchmarkTable4_AttestationThroughput regenerates Table 4: report
+// verifications/sec cold, with a warm VCEK cache, and on the full fast
+// path (proof caches + singleflight), under several client counts. KDS
+// latency is scaled down from the paper's WAN conditions to keep bench
+// runs quick; use cmd/revelio-bench for paper-scale numbers.
+func BenchmarkTable4_AttestationThroughput(b *testing.B) {
+	cfg := bench.Table4Config{
+		KDSRTT:      2 * time.Millisecond,
+		Concurrency: []int{1, 4},
+		ColdOps:     4,
+		Ops:         256,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAttestationThroughput(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, "table4", res.Render())
 	}
 }
 

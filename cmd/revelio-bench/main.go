@@ -6,13 +6,17 @@
 //	revelio-bench                 # run everything
 //	revelio-bench -table 1        # just Table 1
 //	revelio-bench -figure 5       # just Fig 5
+//	revelio-bench -table 4        # attestation throughput (fast path)
 //	revelio-bench -ablations      # just the ablation sweeps
 //	revelio-bench -quick          # scaled-down sizes and latencies
+//	revelio-bench -json           # machine-readable JSON instead of tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,18 +24,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "revelio-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// renderable is any bench result that can print paper-style rows.
+type renderable interface{ Render() string }
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("revelio-bench", flag.ContinueOnError)
-	tableNum := fs.Int("table", 0, "run only this table (1, 2 or 3)")
+	tableNum := fs.Int("table", 0, "run only this table (1, 2, 3 or 4)")
 	figureNum := fs.Int("figure", 0, "run only this figure (5 or 6)")
 	ablations := fs.Bool("ablations", false, "run only the ablation sweeps")
 	quick := fs.Bool("quick", false, "scaled-down sizes and latencies")
+	jsonOut := fs.Bool("json", false, "emit one JSON document instead of rendered tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,12 +54,23 @@ func run(args []string) error {
 		return (table != 0 && table == *tableNum) || (figure != 0 && figure == *figureNum)
 	}
 
+	// results accumulates every experiment's structured output for -json;
+	// without -json each result renders as it completes.
+	results := map[string]any{}
+	emit := func(name string, res renderable) {
+		if *jsonOut {
+			results[name] = res
+			return
+		}
+		fmt.Fprintln(stdout, res.Render())
+	}
+
 	if selected(1, 0) {
 		res, err := bench.RunTable1()
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		emit("table1", res)
 	}
 	if selected(0, 5) {
 		sizes := bench.DefaultFig5Sizes
@@ -62,7 +81,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		emit("fig5", res)
 	}
 	if selected(0, 6) {
 		sizes := bench.DefaultFig6Sizes
@@ -73,7 +92,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		emit("fig6", res)
 	}
 	if selected(2, 0) {
 		cfg := bench.DefaultTable2Config()
@@ -84,7 +103,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		emit("table2", res)
 	}
 	if selected(3, 0) {
 		cfg := bench.DefaultTable3Config()
@@ -95,21 +114,37 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		emit("table3", res)
+	}
+	if selected(4, 0) {
+		cfg := bench.DefaultTable4Config()
+		if *quick {
+			cfg = bench.Table4Config{
+				KDSRTT:      2 * time.Millisecond,
+				Concurrency: []int{1, 4},
+				ColdOps:     4,
+				Ops:         128,
+			}
+		}
+		res, err := bench.RunAttestationThroughput(cfg)
+		if err != nil {
+			return err
+		}
+		emit("table4", res)
 	}
 	if selected(0, 0) && *tableNum == 0 && *figureNum == 0 {
 		scal, err := bench.RunScalability([]int{1, 2, 4, 8})
 		if err != nil {
 			return err
 		}
-		fmt.Println(scal.Render())
+		emit("scalability", scal)
 	}
 	if *ablations || (*tableNum == 0 && *figureNum == 0) {
 		verity, err := bench.RunAblationVerityBlockSize(nil)
 		if err != nil {
 			return err
 		}
-		fmt.Println(verity.Render())
+		emit("ablation_verity_block_size", verity)
 		iters := []int{100, 1000, 10000, 100000}
 		if *quick {
 			iters = []int{100, 1000, 10000}
@@ -118,7 +153,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(pbkdf.Render())
+		emit("ablation_pbkdf2", pbkdf)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
 	}
 	return nil
 }

@@ -1,23 +1,54 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	cases := [][]string{
 		{"-quick", "-table", "1"},
 		{"-quick", "-table", "2"},
+		{"-quick", "-table", "4"},
 		{"-quick", "-figure", "6"},
 		{"-quick", "-ablations"},
 	}
 	for _, args := range cases {
-		if err := run(args); err != nil {
+		if err := run(args, io.Discard); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
 	}
 }
 
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-json", "-table", "4"}, &buf); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	table4, ok := doc["table4"].(map[string]any)
+	if !ok {
+		t.Fatalf("JSON lacks table4 object: %v", doc)
+	}
+	if _, ok := table4["rows"]; !ok {
+		t.Error("table4 JSON lacks rows")
+	}
+	if _, ok := table4["speedup_fast_vs_cold"]; !ok {
+		t.Error("table4 JSON lacks speedup_fast_vs_cold")
+	}
+	if strings.Contains(buf.String(), "Table 4:") {
+		t.Error("-json output still contains rendered tables")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

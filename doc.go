@@ -8,5 +8,20 @@
 // The implementation lives under internal/; see DESIGN.md for the system
 // inventory, examples/ for runnable entry points, and cmd/revelio-bench
 // for the experiment harness that regenerates the paper's tables and
-// figures.
+// figures. The repository-root benchmarks mirror the harness:
+//
+//	Table 1  (boot delays)               -> BenchmarkTable1_BootDelays
+//	Table 2  (cert operations)           -> BenchmarkTable2_CertOperations
+//	Table 3  (client-side attestation)   -> BenchmarkTable3_ClientSide
+//	Table 4  (attestation throughput)    -> BenchmarkTable4_AttestationThroughput
+//	Fig 5    (dm-crypt I/O)              -> BenchmarkFig5_DmCryptIO
+//	Fig 6    (dm-verity reads)           -> BenchmarkFig6_DmVerityRead
+//	ablations                            -> BenchmarkAblation_*
+//
+// Table 4 is this reproduction's extension of the paper's Table 3
+// caching argument: verifications/sec cold, with a warm VCEK cache, and
+// on the full attestation fast path (parsed-certificate caches, sharded
+// proof caches, and singleflight KDS fetches — see DESIGN.md's
+// "Attestation fast path"). revelio-bench -json emits every result as
+// one machine-readable JSON document for tracking across revisions.
 package revelio

@@ -14,10 +14,12 @@ package attest
 import (
 	"context"
 	"crypto/ecdsa"
+	"crypto/sha256"
 	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"revelio/internal/amdsp"
@@ -75,12 +77,26 @@ func (g StaticGolden) IsTrusted(m measure.Measurement) bool {
 }
 
 // Verifier validates attestation reports end to end.
+//
+// Positive verifications are memoized in two sharded proof caches — one
+// keyed by report digest (skips the whole chain walk + ECDSA signature
+// check for already-proven reports) and one keyed by VCEK DER digest
+// (skips just the chain walk when a fresh report arrives under a known
+// VCEK, the warm-session case). Policy judgments (TCB floor, chip
+// allow-list, measurement trust) are re-run on every hit, so a registry
+// revocation fails a cached report immediately. Failures are never
+// cached.
 type Verifier struct {
 	kds    *kds.Client
 	policy TrustPolicy
 	chips  map[sev.ChipID]struct{} // nil = any chip
 	minTCB uint64
 	now    func() time.Time
+
+	reports   *proofCache // report digest -> proof; nil = disabled
+	chains    *proofCache // VCEK DER digest -> proof; nil = disabled
+	cacheSize int
+	policyRev atomic.Uint64
 }
 
 // Option configures a Verifier.
@@ -107,14 +123,68 @@ func WithClock(now func() time.Time) Option { return func(v *Verifier) { v.now =
 // firmware underneath it is not).
 func WithMinTCB(tcb uint64) Option { return func(v *Verifier) { v.minTCB = tcb } }
 
+// WithReportCache bounds the verified-report and VCEK-chain proof caches
+// (default DefaultReportCacheSize entries each). A non-positive n also
+// selects the default — use WithoutReportCache to disable caching.
+func WithReportCache(n int) Option { return func(v *Verifier) { v.cacheSize = n } }
+
+// WithoutReportCache disables proof caching entirely: every VerifyReport
+// re-runs the full cryptographic pipeline. This is the pre-fast-path
+// behaviour, kept for benchmarking the cold path.
+func WithoutReportCache() Option { return func(v *Verifier) { v.cacheSize = -1 } }
+
 // NewVerifier creates a verifier fetching certificates from kdsClient and
-// judging measurements with policy.
+// judging measurements with policy. Proof caching is on by default; see
+// WithoutReportCache.
 func NewVerifier(kdsClient *kds.Client, policy TrustPolicy, opts ...Option) *Verifier {
 	v := &Verifier{kds: kdsClient, policy: policy, now: time.Now}
 	for _, o := range opts {
 		o(v)
 	}
+	if v.cacheSize >= 0 {
+		v.reports = newProofCache(v.cacheSize)
+		v.chains = newProofCache(v.cacheSize)
+	}
 	return v
+}
+
+// InvalidatePolicy drops every cached proof by bumping the verifier's
+// policy revision; the next verification of any evidence re-runs full
+// cryptography. Call it when something the cached proofs depend on
+// changes out from under the verifier (e.g. the injected clock moves past
+// certificate validity). Ordinary policy mutations — registry votes and
+// revocations, allow-list membership — do NOT need invalidation: policy
+// is re-judged on every cache hit.
+func (v *Verifier) InvalidatePolicy() { v.policyRev.Add(1) }
+
+// PolicyRevision returns the current policy revision. Fast-path layers
+// stacked above the verifier (ratls.PeerVerifier's certificate memo) key
+// their own entries on it so InvalidatePolicy cascades through them.
+func (v *Verifier) PolicyRevision() uint64 { return v.policyRev.Load() }
+
+// Now returns the verifier's notion of the current time (the injected
+// WithClock, or the wall clock). Fast-path layers bound their memos with
+// it so cached and uncached verification agree about certificate expiry.
+func (v *Verifier) Now() time.Time { return v.now() }
+
+// CheckPolicy re-judges an already-authenticated report against the
+// verifier's current policy: TCB floor, chip allow-list, and measurement
+// trust. It performs no cryptography, so cached fast paths run it on
+// every hit — policy changes take effect immediately even for proven
+// evidence.
+func (v *Verifier) CheckPolicy(report *sev.Report) error {
+	if report.TCBVersion < v.minTCB {
+		return fmt.Errorf("%w: have %d, need %d", ErrTCBTooOld, report.TCBVersion, v.minTCB)
+	}
+	if v.chips != nil {
+		if _, ok := v.chips[report.ChipID]; !ok {
+			return ErrChipNotAllowed
+		}
+	}
+	if v.policy != nil && !v.policy.IsTrusted(report.Measurement) {
+		return fmt.Errorf("%w: %s", ErrUntrustedMeasurement, report.Measurement)
+	}
+	return nil
 }
 
 // Result is a successfully verified report plus the evidence used.
@@ -124,27 +194,72 @@ type Result struct {
 }
 
 // VerifyReport runs the full verification pipeline on a parsed report.
+//
+// Fast path: if this exact report (every signed byte plus the signature)
+// was already proven at the current policy revision, the chain walk and
+// ECDSA checks are skipped and only the policy judgment re-runs. A
+// tampered report hashes to a different key, misses the cache, and fails
+// in the full pipeline — the caches are provably fail-closed.
 func (v *Verifier) VerifyReport(ctx context.Context, report *sev.Report) (*Result, error) {
-	ask, ark, err := v.kds.CertChain(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("attest: fetch cert chain: %w", err)
+	rev := v.policyRev.Load()
+	now := v.now()
+	var rkey proofKey
+	if v.reports != nil {
+		rkey = reportProofKey(report)
+		if p, ok := v.reports.get(rkey, rev, now); ok {
+			if err := v.CheckPolicy(report); err != nil {
+				return nil, err
+			}
+			return &Result{Report: report, VCEK: p.vcek}, nil
+		}
 	}
+
 	vcekCert, err := v.kds.VCEK(ctx, report.ChipID, report.TCBVersion)
 	if err != nil {
 		return nil, fmt.Errorf("attest: fetch vcek: %w", err)
 	}
 
-	roots := x509.NewCertPool()
-	roots.AddCert(ark)
-	inters := x509.NewCertPool()
-	inters.AddCert(ask)
-	if _, err := vcekCert.Verify(x509.VerifyOptions{
-		Roots:         roots,
-		Intermediates: inters,
-		CurrentTime:   v.now(),
-		KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
-	}); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrChainInvalid, err)
+	// Chain walk, skipped when this exact VCEK DER was already proven at
+	// this policy revision (a fresh nonce-bound report from a known node
+	// pays only the signature check — the warm-session case). The ASK/ARK
+	// chain is only fetched when the walk actually runs. Proofs expire at
+	// the earliest NotAfter of the whole proving chain, so a cached proof
+	// never outlives any validity check the walk performed.
+	var (
+		ckey        proofKey
+		chainProof  *proof
+		chainProven bool
+	)
+	notAfter := vcekCert.NotAfter
+	if v.chains != nil {
+		ckey = sha256.Sum256(vcekCert.Raw)
+		chainProof, chainProven = v.chains.get(ckey, rev, now)
+	}
+	if chainProven {
+		notAfter = chainProof.notAfter
+	} else {
+		ask, ark, err := v.kds.CertChain(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("attest: fetch cert chain: %w", err)
+		}
+		roots := x509.NewCertPool()
+		roots.AddCert(ark)
+		inters := x509.NewCertPool()
+		inters.AddCert(ask)
+		if _, err := vcekCert.Verify(x509.VerifyOptions{
+			Roots:         roots,
+			Intermediates: inters,
+			CurrentTime:   now,
+			KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrChainInvalid, err)
+		}
+		if ask.NotAfter.Before(notAfter) {
+			notAfter = ask.NotAfter
+		}
+		if ark.NotAfter.Before(notAfter) {
+			notAfter = ark.NotAfter
+		}
 	}
 
 	chipID, tcb, err := amdsp.VCEKIdentity(vcekCert)
@@ -153,6 +268,9 @@ func (v *Verifier) VerifyReport(ctx context.Context, report *sev.Report) (*Resul
 	}
 	if chipID != report.ChipID || tcb != report.TCBVersion {
 		return nil, ErrIdentityMismatch
+	}
+	if !chainProven && v.chains != nil {
+		v.chains.put(&proof{key: ckey, vcek: vcekCert, rev: rev, notAfter: notAfter})
 	}
 
 	pub, ok := vcekCert.PublicKey.(*ecdsa.PublicKey)
@@ -163,16 +281,11 @@ func (v *Verifier) VerifyReport(ctx context.Context, report *sev.Report) (*Resul
 		return nil, fmt.Errorf("attest: %w", err)
 	}
 
-	if report.TCBVersion < v.minTCB {
-		return nil, fmt.Errorf("%w: have %d, need %d", ErrTCBTooOld, report.TCBVersion, v.minTCB)
+	if err := v.CheckPolicy(report); err != nil {
+		return nil, err
 	}
-	if v.chips != nil {
-		if _, ok := v.chips[report.ChipID]; !ok {
-			return nil, ErrChipNotAllowed
-		}
-	}
-	if v.policy != nil && !v.policy.IsTrusted(report.Measurement) {
-		return nil, fmt.Errorf("%w: %s", ErrUntrustedMeasurement, report.Measurement)
+	if v.reports != nil {
+		v.reports.put(&proof{key: rkey, vcek: vcekCert, rev: rev, notAfter: notAfter})
 	}
 	return &Result{Report: report, VCEK: vcekCert}, nil
 }

@@ -3,8 +3,12 @@ package attest
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"revelio/internal/amdsp"
 	"revelio/internal/kds"
@@ -19,6 +23,7 @@ type rig struct {
 	sp     *amdsp.SecureProcessor
 	guest  *amdsp.GuestChannel
 	client *kds.Client
+	hits   atomic.Int64 // KDS round trips observed
 }
 
 func newRig(t *testing.T) *rig {
@@ -42,9 +47,15 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := httptest.NewServer(kds.NewServer(mfr))
+	r := &rig{mfr: mfr, sp: sp, guest: guest}
+	kdsHandler := kds.NewServer(mfr)
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.hits.Add(1)
+		kdsHandler.ServeHTTP(w, req)
+	}))
 	t.Cleanup(server.Close)
-	return &rig{mfr: mfr, sp: sp, guest: guest, client: kds.NewClient(server.URL, nil)}
+	r.client = kds.NewClient(server.URL, nil)
+	return r
 }
 
 func (r *rig) report(t *testing.T, data sev.ReportData) *sev.Report {
@@ -236,6 +247,271 @@ func TestStaticGoldenMultiple(t *testing.T) {
 	g := NewStaticGolden(a, b)
 	if !g.IsTrusted(a) || !g.IsTrusted(b) || g.IsTrusted(c) {
 		t.Error("StaticGolden membership wrong")
+	}
+}
+
+// TestVerifyReportCacheSkipsKDS: re-verifying a proven report touches
+// the KDS zero times — the report-digest cache short-circuits the whole
+// pipeline.
+func TestVerifyReportCacheSkipsKDS(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{9})
+	v := NewVerifier(r.client, NewStaticGolden(rep.Measurement))
+	ctx := context.Background()
+
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	cold := r.hits.Load()
+	for i := 0; i < 5; i++ {
+		res, err := v.VerifyReport(ctx, rep)
+		if err != nil {
+			t.Fatalf("cached verify %d: %v", i, err)
+		}
+		if res.Report != rep || res.VCEK == nil {
+			t.Fatal("cached verify returned incomplete result")
+		}
+	}
+	if n := r.hits.Load(); n != cold {
+		t.Errorf("cached verifications cost %d KDS round trips, want 0", n-cold)
+	}
+}
+
+// TestChainProofSkipsChainWalkForFreshReports: a *fresh* report (new
+// REPORT_DATA, so a cache miss on the report digest) under an
+// already-proven VCEK pays only the signature check — observable as the
+// warm path needing KDS traffic only if the client cache is cold.
+func TestChainProofSkipsChainWalkForFreshReports(t *testing.T) {
+	r := newRig(t)
+	r.client.SetCaching(true) // warm-VCEK scenario
+	v := NewVerifier(r.client, nil)
+	ctx := context.Background()
+
+	if _, err := v.VerifyReport(ctx, r.report(t, sev.ReportData{1})); err != nil {
+		t.Fatal(err)
+	}
+	warm := r.hits.Load()
+	// Ten fresh reports: every one is a report-cache miss but a
+	// chain-proof and client-cache hit — zero further KDS round trips.
+	for i := 2; i < 12; i++ {
+		if _, err := v.VerifyReport(ctx, r.report(t, sev.ReportData{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r.hits.Load(); n != warm {
+		t.Errorf("fresh reports under warm caches cost %d KDS round trips, want 0", n-warm)
+	}
+}
+
+// TestTamperedReportMissesCacheAndFailsClosed: after a report is proven
+// and cached, flipping any bit produces a different digest, misses the
+// cache, and fails full verification — through every cache layer.
+func TestTamperedReportMissesCacheAndFailsClosed(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{4})
+	v := NewVerifier(r.client, nil)
+	ctx := context.Background()
+
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	tampered := *rep
+	tampered.Measurement[0] ^= 1
+	if _, err := v.VerifyReport(ctx, &tampered); !errors.Is(err, sev.ErrBadSignature) {
+		t.Errorf("tampered measurement: err = %v, want ErrBadSignature", err)
+	}
+	sigTampered := *rep
+	sigTampered.Signature = append([]byte(nil), rep.Signature...)
+	sigTampered.Signature[0] ^= 1
+	if _, err := v.VerifyReport(ctx, &sigTampered); err == nil {
+		t.Error("tampered signature verified")
+	}
+	// The original still verifies (and from cache).
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Errorf("original report after tamper attempts: %v", err)
+	}
+}
+
+// TestFailedVerificationNeverCached: a rejected report is re-verified in
+// full on every attempt (KDS traffic every time), and keeps failing.
+func TestFailedVerificationNeverCached(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{5})
+	rep.ChipID[0] ^= 1 // unknown chip: the VCEK fetch 404s
+	v := NewVerifier(r.client, nil)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		before := r.hits.Load()
+		if _, err := v.VerifyReport(ctx, rep); err == nil {
+			t.Fatalf("attempt %d: tampered report verified", i)
+		}
+		if r.hits.Load() == before {
+			t.Errorf("attempt %d skipped the KDS; failures must not be cached", i)
+		}
+	}
+}
+
+// TestPolicyRecheckedOnCacheHit: revoking a measurement in the registry
+// fails a report whose cryptographic proof is still cached — policy is
+// judged on every hit, with no InvalidatePolicy needed.
+func TestPolicyRecheckedOnCacheHit(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{6})
+	reg := registry.New(1)
+	reg.AddVoter("dao")
+	if err := reg.Propose(rep.Measurement, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Vote("dao", rep.Measurement); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(r.client, reg)
+	ctx := context.Background()
+
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	cold := r.hits.Load()
+	if err := reg.Revoke(rep.Measurement); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.VerifyReport(ctx, rep); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Errorf("revoked measurement served from cache: %v", err)
+	}
+	if r.hits.Load() != cold {
+		t.Error("policy recheck unexpectedly re-ran the crypto pipeline")
+	}
+}
+
+// TestInvalidatePolicyDropsProofs: after invalidation the next verify
+// re-runs the full pipeline (observable as fresh KDS traffic).
+func TestInvalidatePolicyDropsProofs(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{7})
+	v := NewVerifier(r.client, nil)
+	ctx := context.Background()
+
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	cold := r.hits.Load()
+	v.InvalidatePolicy()
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	if r.hits.Load() == cold {
+		t.Error("verification after InvalidatePolicy did not re-run the pipeline")
+	}
+}
+
+// TestProofExpiresWithVCEKValidity: a cached proof dies with its VCEK's
+// NotAfter — once the verifier's clock passes it, the cached fast path
+// must not keep validating what the full chain walk would now reject.
+func TestProofExpiresWithVCEKValidity(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{11})
+	var (
+		mu  sync.Mutex
+		now = time.Now()
+	)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	v := NewVerifier(r.client, nil, WithClock(clock))
+	ctx := context.Background()
+
+	res, err := v.VerifyReport(ctx, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jump the clock past the VCEK's validity: both the cached and the
+	// full path must reject.
+	mu.Lock()
+	now = res.VCEK.NotAfter.Add(time.Hour)
+	mu.Unlock()
+	if _, err := v.VerifyReport(ctx, rep); !errors.Is(err, ErrChainInvalid) {
+		t.Errorf("expired VCEK: err = %v, want ErrChainInvalid", err)
+	}
+}
+
+// TestWarmChainProofSkipsCertChainFetch: with the chain proof warm, a
+// fresh report on a *cache-disabled* KDS client fetches only the VCEK —
+// the ASK/ARK chain fetch is deferred until a chain walk actually runs.
+func TestWarmChainProofSkipsCertChainFetch(t *testing.T) {
+	r := newRig(t) // client caching off
+	v := NewVerifier(r.client, nil)
+	ctx := context.Background()
+
+	if _, err := v.VerifyReport(ctx, r.report(t, sev.ReportData{12})); err != nil {
+		t.Fatal(err)
+	}
+	before := r.hits.Load()
+	if _, err := v.VerifyReport(ctx, r.report(t, sev.ReportData{13})); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.hits.Load() - before; n != 1 {
+		t.Errorf("fresh report under proven chain cost %d KDS round trips, want 1 (VCEK only)", n)
+	}
+}
+
+// TestVerifyReportConcurrent hammers one verifier from many goroutines
+// (run under -race): same report, fresh reports, and a tampered report
+// interleaved; the caches must stay correct and fail-closed throughout.
+func TestVerifyReportConcurrent(t *testing.T) {
+	r := newRig(t)
+	shared := r.report(t, sev.ReportData{8})
+	bad := *shared
+	bad.Measurement[5] ^= 1
+	v := NewVerifier(r.client, NewStaticGolden(shared.Measurement))
+	ctx := context.Background()
+
+	fresh := make([]*sev.Report, 8)
+	for i := range fresh {
+		fresh[i] = r.report(t, sev.ReportData{16: byte(i + 1)})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := v.VerifyReport(ctx, shared); err != nil {
+					t.Errorf("shared report: %v", err)
+				}
+				if _, err := v.VerifyReport(ctx, fresh[g]); err != nil {
+					t.Errorf("fresh report: %v", err)
+				}
+				if _, err := v.VerifyReport(ctx, &bad); err == nil {
+					t.Error("tampered report verified")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWithoutReportCache preserves the pre-fast-path behaviour: every
+// verify pays full KDS traffic.
+func TestWithoutReportCache(t *testing.T) {
+	r := newRig(t)
+	rep := r.report(t, sev.ReportData{10})
+	v := NewVerifier(r.client, nil, WithoutReportCache())
+	ctx := context.Background()
+
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	cold := r.hits.Load()
+	if _, err := v.VerifyReport(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	if r.hits.Load() == cold {
+		t.Error("verifier without report cache skipped KDS traffic")
 	}
 }
 

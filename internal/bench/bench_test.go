@@ -146,6 +146,52 @@ func TestRunTable3(t *testing.T) {
 	}
 }
 
+func TestRunTable4(t *testing.T) {
+	cfg := Table4Config{Concurrency: []int{1, 4}, ColdOps: 4, Ops: 128}
+	res, err := RunAttestationThroughput(cfg)
+	if err != nil {
+		t.Fatalf("RunAttestationThroughput: %v", err)
+	}
+	if len(res.Rows) != 6 { // 3 modes x 2 concurrency levels
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	perSec := map[string]float64{}
+	for _, row := range res.Rows {
+		if row.PerSec <= 0 {
+			t.Errorf("%s/%d: no throughput measured", row.Mode, row.Clients)
+		}
+		if row.Clients == 4 {
+			perSec[row.Mode] = row.PerSec
+		}
+		// The warm and fast modes never touch the KDS in steady state.
+		if row.Mode != "cold" && row.KDSRequests != 0 {
+			t.Errorf("%s/%d: %d KDS requests in steady state", row.Mode, row.Clients, row.KDSRequests)
+		}
+	}
+	// Acceptance: full fast path >= 5x the cold path verifications/sec
+	// (in practice it is orders of magnitude, even with zero KDS RTT).
+	if res.Speedup < 5 {
+		t.Errorf("fast path speedup %.1fx < 5x", res.Speedup)
+	}
+	if perSec["fast-path"] <= perSec["warm-vcek"] {
+		t.Errorf("fast path (%.1f/s) not faster than warm VCEK (%.1f/s)",
+			perSec["fast-path"], perSec["warm-vcek"])
+	}
+	// Singleflight: a cold burst of N clients must cost far fewer than
+	// the 2N requests the herd would issue without it (2 when no request
+	// slips between the flight closing and the cache filling).
+	if res.ColdBurstKDSHits > int64(res.ColdBurstClients) {
+		t.Errorf("cold burst of %d clients cost %d KDS requests; singleflight not collapsing",
+			res.ColdBurstClients, res.ColdBurstKDSHits)
+	}
+	out := res.Render()
+	for _, want := range []string{"cold", "warm-vcek", "fast-path", "singleflight"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
 func TestAblationVerityBlockSize(t *testing.T) {
 	res, err := RunAblationVerityBlockSize([]int{4 * KiB, 64 * KiB})
 	if err != nil {

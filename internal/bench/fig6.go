@@ -91,6 +91,12 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 	var sum float64
 	for _, size := range sizes {
 		buf := make([]byte, size)
+		// Touch the destination once so the plain baseline doesn't pay
+		// the fresh allocation's page faults (the verity rows reuse the
+		// warmed buffer; the comparison must too).
+		if err := dataDev.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
 
 		start := time.Now()
 		if err := dataDev.ReadAt(buf, 0); err != nil {

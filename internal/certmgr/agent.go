@@ -67,6 +67,10 @@ type Agent struct {
 	// servingBundle binds the shared TLS public key to a fresh report,
 	// built once provisioning completes.
 	servingBundle *attest.Bundle
+	// servingBundleJSON is the bundle's JSON encoding, computed once at
+	// install time so the nonce-less discovery endpoint never re-marshals
+	// per request (the server half of the attestation fast path).
+	servingBundleJSON []byte
 	// servingPubDER is the shared TLS public key, kept for nonce-bound
 	// freshness challenges.
 	servingPubDER []byte
@@ -227,6 +231,10 @@ func (a *Agent) finishInstall(certDER []byte, key *ecdsa.PrivateKey, leader bool
 	if err != nil {
 		return err
 	}
+	bundleJSON, err := json.Marshal(bundle)
+	if err != nil {
+		return err
+	}
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -234,6 +242,7 @@ func (a *Agent) finishInstall(certDER []byte, key *ecdsa.PrivateKey, leader bool
 	a.tlsKey = key
 	a.isLeader = leader
 	a.servingBundle = bundle
+	a.servingBundleJSON = bundleJSON
 	a.servingPubDER = pubDER
 	a.ready = true
 	return nil
@@ -376,6 +385,7 @@ func (a *Agent) handleKeyRequest(w http.ResponseWriter, r *http.Request) {
 func (a *Agent) handleWellKnown(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	bundle := a.servingBundle
+	bundleJSON := a.servingBundleJSON
 	pubDER := a.servingPubDER
 	a.mu.Unlock()
 	if bundle == nil {
@@ -384,7 +394,9 @@ func (a *Agent) handleWellKnown(w http.ResponseWriter, r *http.Request) {
 	}
 	nonceHex := r.URL.Query().Get("nonce")
 	if nonceHex == "" {
-		writeJSON(w, bundle)
+		// Discovery path: serve the JSON encoded once at install time.
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(bundleJSON)
 		return
 	}
 	nonce, err := hex.DecodeString(nonceHex)

@@ -1,0 +1,68 @@
+package dmcrypt
+
+import (
+	"testing"
+
+	"revelio/internal/blockdev"
+	"revelio/internal/race"
+)
+
+// newSerialDevice formats a small volume and returns a serial-engine
+// device (Concurrency 1) over an in-memory substrate.
+func newSerialDevice(t testing.TB, dataBytes int64) *Device {
+	t.Helper()
+	raw := blockdev.NewMem(dataBytes + HeaderSectors*SectorSize)
+	dev, err := Format(raw, []byte("alloc-test"),
+		Options{Iterations: 10, Tuning: Tuning{Concurrency: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// TestSerialReadZeroAllocs is the allocs/op guard for the single-sector
+// hot path: with pooled sector buffers, steady-state aligned reads and
+// writes must not allocate at all.
+func TestSerialReadZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops entries at random under -race")
+	}
+	dev := newSerialDevice(t, 64*SectorSize)
+	buf := make([]byte, SectorSize)
+	if err := dev.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := dev.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("serial single-sector ReadAt: %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := dev.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("serial single-sector WriteAt: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSerialSectorRead reports allocs/op for the pooled serial read
+// path (run with -benchmem to see the guard's numbers over time).
+func BenchmarkSerialSectorRead(b *testing.B) {
+	dev := newSerialDevice(b, 64*SectorSize)
+	buf := make([]byte, SectorSize)
+	if err := dev.WriteAt(buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(SectorSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.ReadAt(buf, int64(i%64)*SectorSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

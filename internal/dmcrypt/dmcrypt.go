@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"revelio/internal/blockdev"
 	"revelio/internal/kdf"
@@ -318,8 +319,18 @@ func (d *Device) ReadAt(p []byte, off int64) error {
 	return nil
 }
 
+// sectorPool recycles the per-call sector scratch buffers of the serial
+// read/write paths, keeping the steady-state single-sector hot path
+// allocation-free (guarded by TestSerialReadZeroAllocs).
+var sectorPool = sync.Pool{New: func() any {
+	b := make([]byte, SectorSize)
+	return &b
+}}
+
 func (d *Device) readSerial(p []byte, off int64) error {
-	sector := make([]byte, SectorSize)
+	bufp := sectorPool.Get().(*[]byte)
+	defer sectorPool.Put(bufp)
+	sector := *bufp
 	for n := 0; n < len(p); {
 		s := (off + int64(n)) / SectorSize
 		inner := (off + int64(n)) % SectorSize
@@ -391,8 +402,11 @@ func (d *Device) WriteAt(p []byte, off int64) error {
 }
 
 func (d *Device) writeSerial(p []byte, off int64) error {
-	sector := make([]byte, SectorSize)
-	enc := make([]byte, SectorSize)
+	bufp := sectorPool.Get().(*[]byte)
+	encp := sectorPool.Get().(*[]byte)
+	defer sectorPool.Put(bufp)
+	defer sectorPool.Put(encp)
+	sector, enc := *bufp, *encp
 	for n := 0; n < len(p); {
 		s := (off + int64(n)) / SectorSize
 		inner := (off + int64(n)) % SectorSize

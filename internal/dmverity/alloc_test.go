@@ -1,0 +1,83 @@
+package dmverity
+
+import (
+	"testing"
+
+	"revelio/internal/blockdev"
+	"revelio/internal/race"
+)
+
+// newVerifiedDevice formats a small tree and opens it with a serial
+// engine and a cache sized to hold the whole tree.
+func newVerifiedDevice(t testing.TB, blocks int64) *Device {
+	t.Helper()
+	bs := int64(DefaultBlockSize)
+	data := blockdev.NewMem(blocks * bs)
+	for i := int64(0); i < blocks; i++ {
+		blk := make([]byte, bs)
+		for j := range blk {
+			blk[j] = byte(i + int64(j))
+		}
+		if err := data.WriteAt(blk, i*bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hashDev, meta, err := Format(data, Params{BlockSize: DefaultBlockSize, Salt: []byte("alloc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := OpenWithConfig(data, hashDev, meta, meta.RootHash,
+		Config{Concurrency: 1, CacheBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// TestVerifiedReadZeroAllocs is the allocs/op guard for the per-block
+// verify hot path: with the hash-block cache warm, pooled read buffers
+// and pooled SHA-256 states, a verified single-block read must not
+// allocate.
+func TestVerifiedReadZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("sync.Pool drops entries at random under -race")
+	}
+	dev := newVerifiedDevice(t, 16)
+	bs := int64(dev.meta.BlockSize)
+	buf := make([]byte, bs)
+	// Warm the verified hash-block cache over the whole device.
+	for i := int64(0); i < 16; i++ {
+		if err := dev.ReadAt(buf, i*bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := dev.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm verified single-block ReadAt: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkVerifiedBlockRead reports allocs/op for the warm verify path
+// (run with -benchmem to track the guard's numbers over time).
+func BenchmarkVerifiedBlockRead(b *testing.B) {
+	dev := newVerifiedDevice(b, 16)
+	bs := int64(dev.meta.BlockSize)
+	buf := make([]byte, bs)
+	for i := int64(0); i < 16; i++ {
+		if err := dev.ReadAt(buf, i*bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(bs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.ReadAt(buf, (int64(i)%16)*bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package kds
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// ttlCache is a bounded LRU with optional per-entry expiry, shared by the
+// client (parsed VCEK certificates) and the server (memoized response
+// encodings). A zero TTL means entries never expire; eviction is purely
+// capacity-driven. It is safe for concurrent use.
+type ttlCache[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	lru *list.List // front = most recently used; holds *ttlEntry[V]
+	idx map[string]*list.Element
+}
+
+type ttlEntry[V any] struct {
+	key     string
+	val     V
+	expires time.Time // zero = never
+}
+
+func newTTLCache[V any](capacity int, ttl time.Duration) *ttlCache[V] {
+	if capacity <= 0 {
+		capacity = DefaultVCEKCacheSize
+	}
+	return &ttlCache[V]{
+		cap: capacity,
+		ttl: ttl,
+		lru: list.New(),
+		idx: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the live entry for key, expiring it if its TTL has passed.
+func (c *ttlCache[V]) get(key string, now time.Time) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.idx[key]
+	if !ok {
+		return zero, false
+	}
+	e := el.Value.(*ttlEntry[V])
+	if !e.expires.IsZero() && now.After(e.expires) {
+		c.lru.Remove(el)
+		delete(c.idx, key)
+		return zero, false
+	}
+	c.lru.MoveToFront(el)
+	return e.val, true
+}
+
+// put records val under key, evicting the least recently used entry when
+// over capacity.
+func (c *ttlCache[V]) put(key string, val V, now time.Time) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = now.Add(c.ttl)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*ttlEntry[V])
+		e.val = val
+		e.expires = expires
+		return
+	}
+	c.idx[key] = c.lru.PushFront(&ttlEntry[V]{key: key, val: val, expires: expires})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.idx, oldest.Value.(*ttlEntry[V]).key)
+	}
+}
+
+// purge drops every entry.
+func (c *ttlCache[V]) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	clear(c.idx)
+}
+
+// len reports the number of cached entries (expired ones included until
+// their next lookup).
+func (c *ttlCache[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

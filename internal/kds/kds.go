@@ -6,6 +6,13 @@
 // The server side wraps an amdsp.Manufacturer; the client side is what the
 // web extension and the SP node use, including the VCEK cache whose effect
 // Table 3 of the paper quantifies (778.9 ms cold vs 115.0 ms warm).
+//
+// Both sides sit on the attestation fast path (Table 4): the client
+// caches *parsed* certificates in a bounded TTL-LRU and collapses
+// concurrent cold misses for the same (chip, TCB) into one HTTP round
+// trip via singleflight; the server memoizes its PEM and DER response
+// encodings so repeated fetches never re-issue certificates. Failures are
+// never cached on either side.
 package kds
 
 import (
@@ -19,9 +26,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"revelio/internal/amdsp"
 	"revelio/internal/sev"
+	"revelio/internal/singleflight"
 )
 
 const (
@@ -31,6 +40,15 @@ const (
 	// VCEKPathPrefix serves DER VCEK certificates at
 	// {prefix}/{chipid-hex}?tcb={n}.
 	VCEKPathPrefix = "/kds/v1/vcek/"
+
+	// DefaultVCEKCacheSize bounds the client's parsed-VCEK LRU and the
+	// server's DER memo. One entry per (chip, TCB) pair; 1024 covers a
+	// thousand-node fleet with headroom for one TCB rotation.
+	DefaultVCEKCacheSize = 1024
+	// DefaultVCEKTTL is how long a cached VCEK is served before the
+	// client re-fetches. The VCEK only rotates on SNP firmware updates,
+	// so a day is conservative; 0 disables expiry entirely.
+	DefaultVCEKTTL = 24 * time.Hour
 )
 
 var (
@@ -42,15 +60,28 @@ var (
 
 // Server exposes a Manufacturer's certificate hierarchy over HTTP.
 type Server struct {
-	mfr *amdsp.Manufacturer
-	mux *http.ServeMux
+	mfr      *amdsp.Manufacturer
+	mux      *http.ServeMux
+	chainPEM []byte            // precomputed cert_chain response body
+	vcekDER  *ttlCache[[]byte] // memoized DER responses per (chip, tcb)
+	flight   singleflight.Group[string, []byte]
 }
 
 var _ http.Handler = (*Server)(nil)
 
-// NewServer creates a KDS front end for the manufacturer.
+// NewServer creates a KDS front end for the manufacturer. The cert_chain
+// PEM body is encoded once here; VCEK DER responses are memoized per
+// (chip, TCB) on first issue.
 func NewServer(mfr *amdsp.Manufacturer) *Server {
-	s := &Server{mfr: mfr, mux: http.NewServeMux()}
+	s := &Server{
+		mfr:     mfr,
+		mux:     http.NewServeMux(),
+		vcekDER: newTTLCache[[]byte](DefaultVCEKCacheSize, 0),
+	}
+	var chain []byte
+	chain = append(chain, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: mfr.ASKCertDER()})...)
+	chain = append(chain, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: mfr.ARKCertDER()})...)
+	s.chainPEM = chain
 	s.mux.HandleFunc("GET "+CertChainPath, s.handleCertChain)
 	s.mux.HandleFunc("GET "+VCEKPathPrefix+"{chipid}", s.handleVCEK)
 	return s
@@ -61,8 +92,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 func (s *Server) handleCertChain(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/x-pem-file")
-	_ = pem.Encode(w, &pem.Block{Type: "CERTIFICATE", Bytes: s.mfr.ASKCertDER()})
-	_ = pem.Encode(w, &pem.Block{Type: "CERTIFICATE", Bytes: s.mfr.ARKCertDER()})
+	_, _ = w.Write(s.chainPEM)
 }
 
 func (s *Server) handleVCEK(w http.ResponseWriter, r *http.Request) {
@@ -78,45 +108,120 @@ func (s *Server) handleVCEK(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad tcb", http.StatusBadRequest)
 		return
 	}
-	der, err := s.mfr.VCEKCertDER(chipID, tcb)
-	if err != nil {
-		http.Error(w, "unknown chip", http.StatusNotFound)
-		return
+	key := r.PathValue("chipid") + ":" + strconv.FormatUint(tcb, 10)
+	der, hit := s.vcekDER.get(key, time.Time{})
+	if !hit {
+		// Issuing a VCEK certificate signs with the ASK — the expensive
+		// step; collapse concurrent first requests and memoize the DER.
+		der, err, _ = s.flight.Do(key, func() ([]byte, error) {
+			der, err := s.mfr.VCEKCertDER(chipID, tcb)
+			if err != nil {
+				return nil, err
+			}
+			s.vcekDER.put(key, der, time.Time{})
+			return der, nil
+		})
+		if err != nil {
+			http.Error(w, "unknown chip", http.StatusNotFound)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/pkix-cert")
 	_, _ = w.Write(der)
 }
 
-// Client fetches and caches KDS certificates.
+// chainPair is the parsed ASK/ARK pair the client caches.
+type chainPair struct {
+	ask, ark *x509.Certificate
+}
+
+// Client fetches and caches KDS certificates. Certificates returned from
+// the cache are shared — callers must treat them as immutable, which is
+// how x509.Certificate is used throughout the crypto stack.
 type Client struct {
 	base string
 	http *http.Client
+	now  func() time.Time
 
-	mu        sync.Mutex
-	caching   bool
-	vcekCache map[string][]byte // chipidhex+tcb -> DER
-	chain     []byte            // cached cert_chain PEM
+	ttl     time.Duration
+	vcek    *ttlCache[*x509.Certificate] // parsed VCEKs per chipidhex:tcb
+	vflight singleflight.Group[string, *x509.Certificate]
+	cflight singleflight.Group[string, chainPair]
+
+	mu      sync.Mutex
+	caching bool
+	chain   *chainPair // parsed cert_chain, nil until fetched
+}
+
+// ClientOption tunes a Client's fast-path knobs.
+type ClientOption func(*Client)
+
+// WithVCEKCacheSize bounds the parsed-VCEK LRU (default
+// DefaultVCEKCacheSize; a non-positive n also selects the default —
+// caching is controlled by SetCaching, not by the size).
+func WithVCEKCacheSize(n int) ClientOption {
+	return func(c *Client) { c.vcek = newTTLCache[*x509.Certificate](n, c.ttl) }
+}
+
+// WithVCEKTTL sets how long cached VCEKs are served before re-fetching
+// (default DefaultVCEKTTL; 0 = never expire).
+func WithVCEKTTL(d time.Duration) ClientOption {
+	return func(c *Client) {
+		c.ttl = d
+		c.vcek = newTTLCache[*x509.Certificate](c.vcek.cap, d)
+	}
+}
+
+// WithClock injects a test clock for TTL expiry.
+func WithClock(now func() time.Time) ClientOption {
+	return func(c *Client) { c.now = now }
 }
 
 // NewClient creates a client for a KDS at base (e.g. an httptest URL or a
 // netlab-wrapped transport). A nil httpClient selects http.DefaultClient.
-func NewClient(base string, httpClient *http.Client) *Client {
+func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, http: httpClient, vcekCache: make(map[string][]byte)}
+	c := &Client{
+		base: base,
+		http: httpClient,
+		now:  time.Now,
+		ttl:  DefaultVCEKTTL,
+	}
+	c.vcek = newTTLCache[*x509.Certificate](DefaultVCEKCacheSize, c.ttl)
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // SetCaching toggles the VCEK/chain cache. The paper's Table 3 motivates
-// caching: the VCEK only changes on SNP firmware updates.
+// caching: the VCEK only changes on SNP firmware updates. Disabling
+// clears all cached state. Concurrent duplicate fetches are collapsed by
+// singleflight regardless of this setting.
 func (c *Client) SetCaching(on bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.caching = on
 	if !on {
-		c.vcekCache = make(map[string][]byte)
+		c.vcek.purge()
 		c.chain = nil
 	}
+}
+
+func (c *Client) cachingOn() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.caching
+}
+
+// sharedFlightDied reports a shared singleflight result that failed only
+// because the *leader's* context died while ours is still live — the one
+// case where a follower should retry rather than inherit the failure.
+func sharedFlightDied(ctx context.Context, err error, shared bool) bool {
+	return shared && err != nil && ctx.Err() == nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 func (c *Client) get(ctx context.Context, url string) ([]byte, error) {
@@ -142,63 +247,105 @@ func (c *Client) get(ctx context.Context, url string) ([]byte, error) {
 	return body, nil
 }
 
-// CertChain fetches the ASK and ARK certificates (in that order).
+// CertChain fetches the ASK and ARK certificates (in that order). The
+// parsed pair is cached, so repeated calls cost neither a round trip nor
+// a pem.Decode/x509.ParseCertificate pass; concurrent cold calls share
+// one fetch.
 func (c *Client) CertChain(ctx context.Context) (ask, ark *x509.Certificate, err error) {
 	c.mu.Lock()
 	cached := c.chain
 	c.mu.Unlock()
-	body := cached
-	if body == nil {
-		if body, err = c.get(ctx, c.base+CertChainPath); err != nil {
-			return nil, nil, err
-		}
-		c.mu.Lock()
-		if c.caching {
-			c.chain = body
-		}
-		c.mu.Unlock()
+	if cached != nil {
+		return cached.ask, cached.ark, nil
 	}
-	var certs []*x509.Certificate
-	rest := body
-	for {
-		var block *pem.Block
-		block, rest = pem.Decode(rest)
-		if block == nil {
-			break
-		}
-		cert, err := x509.ParseCertificate(block.Bytes)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
-		}
-		certs = append(certs, cert)
+	pair, err := c.fetchChain(ctx, true)
+	if err != nil {
+		return nil, nil, err
 	}
-	if len(certs) != 2 {
-		return nil, nil, fmt.Errorf("%w: got %d certificates, want 2", ErrBadResponse, len(certs))
-	}
-	return certs[0], certs[1], nil
+	return pair.ask, pair.ark, nil
 }
 
-// VCEK fetches the VCEK certificate for a chip at a TCB version.
-func (c *Client) VCEK(ctx context.Context, chipID sev.ChipID, tcb uint64) (*x509.Certificate, error) {
-	key := hex.EncodeToString(chipID[:]) + ":" + strconv.FormatUint(tcb, 10)
-	c.mu.Lock()
-	der, hit := c.vcekCache[key]
-	c.mu.Unlock()
-	if !hit {
-		url := fmt.Sprintf("%s%s%s?tcb=%d", c.base, VCEKPathPrefix, hex.EncodeToString(chipID[:]), tcb)
-		var err error
-		if der, err = c.get(ctx, url); err != nil {
-			return nil, err
+func (c *Client) fetchChain(ctx context.Context, retry bool) (chainPair, error) {
+	pair, err, shared := c.cflight.Do("chain", func() (chainPair, error) {
+		// Re-check under the flight: a caller that missed the cache just
+		// before a previous leader completed must not fetch again.
+		c.mu.Lock()
+		cached := c.chain
+		c.mu.Unlock()
+		if cached != nil {
+			return *cached, nil
 		}
+		body, err := c.get(ctx, c.base+CertChainPath)
+		if err != nil {
+			return chainPair{}, err
+		}
+		var certs []*x509.Certificate
+		rest := body
+		for {
+			var block *pem.Block
+			block, rest = pem.Decode(rest)
+			if block == nil {
+				break
+			}
+			cert, err := x509.ParseCertificate(block.Bytes)
+			if err != nil {
+				return chainPair{}, fmt.Errorf("%w: %v", ErrBadResponse, err)
+			}
+			certs = append(certs, cert)
+		}
+		if len(certs) != 2 {
+			return chainPair{}, fmt.Errorf("%w: got %d certificates, want 2", ErrBadResponse, len(certs))
+		}
+		pair := chainPair{ask: certs[0], ark: certs[1]}
 		c.mu.Lock()
 		if c.caching {
-			c.vcekCache[key] = der
+			c.chain = &pair
 		}
 		c.mu.Unlock()
+		return pair, nil
+	})
+	if retry && sharedFlightDied(ctx, err, shared) {
+		return c.fetchChain(ctx, false) // the leader's caller bailed; retry under our context
 	}
-	cert, err := x509.ParseCertificate(der)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+	return pair, err
+}
+
+// VCEK fetches the VCEK certificate for a chip at a TCB version. Hits are
+// served from the parsed-certificate LRU without re-parsing; concurrent
+// misses for the same (chip, TCB) collapse into one HTTP round trip.
+// Errors are never cached — the next call retries.
+func (c *Client) VCEK(ctx context.Context, chipID sev.ChipID, tcb uint64) (*x509.Certificate, error) {
+	key := hex.EncodeToString(chipID[:]) + ":" + strconv.FormatUint(tcb, 10)
+	if c.cachingOn() {
+		if cert, ok := c.vcek.get(key, c.now()); ok {
+			return cert, nil
+		}
 	}
-	return cert, nil
+	fetch := func() (*x509.Certificate, error) {
+		// Re-check under the flight: a caller that missed the cache just
+		// before a previous leader completed must not fetch again.
+		if c.cachingOn() {
+			if cert, ok := c.vcek.get(key, c.now()); ok {
+				return cert, nil
+			}
+		}
+		url := fmt.Sprintf("%s%s%s?tcb=%d", c.base, VCEKPathPrefix, hex.EncodeToString(chipID[:]), tcb)
+		der, err := c.get(ctx, url)
+		if err != nil {
+			return nil, err
+		}
+		cert, err := x509.ParseCertificate(der)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+		}
+		if c.cachingOn() {
+			c.vcek.put(key, cert, c.now())
+		}
+		return cert, nil
+	}
+	cert, err, shared := c.vflight.Do(key, fetch)
+	if sharedFlightDied(ctx, err, shared) {
+		cert, err, _ = c.vflight.Do(key, fetch) // leader's caller bailed; retry under our context
+	}
+	return cert, err
 }

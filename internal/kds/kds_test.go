@@ -6,8 +6,10 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"revelio/internal/amdsp"
 	"revelio/internal/sev"
@@ -176,5 +178,214 @@ func TestClientAgainstDeadServer(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1", nil) // nothing listens here
 	if _, _, err := c.CertChain(context.Background()); err == nil {
 		t.Error("CertChain against dead server succeeded")
+	}
+}
+
+// TestVCEKCacheServesParsedCertificate: a hit returns the same parsed
+// *x509.Certificate, proving no re-parse happens on the hot path.
+func TestVCEKCacheServesParsedCertificate(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	c.SetCaching(true)
+	ctx := context.Background()
+
+	first, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("cache hit re-parsed the certificate (distinct pointers)")
+	}
+}
+
+// TestCertChainParsedPairCached: with caching on, repeated CertChain
+// calls cost neither a round trip nor a re-parse.
+func TestCertChainParsedPairCached(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	c.SetCaching(true)
+	ctx := context.Background()
+
+	ask1, ark1, err := c.CertChain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := env.hits.Load()
+	ask2, ark2, err := c.CertChain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.hits.Load() != after {
+		t.Errorf("cached CertChain still fetched: %d extra hits", env.hits.Load()-after)
+	}
+	if ask1 != ask2 || ark1 != ark2 {
+		t.Error("cache hit re-parsed the chain (distinct pointers)")
+	}
+}
+
+// TestVCEKSingleflightCollapsesConcurrentMisses: N goroutines racing on
+// the same cold (chip, TCB) produce exactly one HTTP round trip.
+func TestVCEKSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	env := newTestEnv(t)
+	release := make(chan struct{})
+	kdsHandler := NewServer(env.mfr)
+	blocking := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		env.hits.Add(1)
+		kdsHandler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(blocking.Close)
+	c := NewClient(blocking.URL, nil)
+	c.SetCaching(true)
+	ctx := context.Background()
+
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+				t.Errorf("VCEK: %v", err)
+			}
+		}()
+	}
+	// All callers are launched while the one allowed request is held at
+	// the server; anyone who missed the flight would issue a second
+	// request, which the hit count below exposes.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := env.hits.Load(); n != 1 {
+		t.Errorf("%d KDS round trips for %d concurrent cold misses, want 1", n, callers)
+	}
+}
+
+// TestVCEKConcurrentHammer drives the cache from many goroutines (run
+// under -race) and checks the server was only touched for the first miss.
+func TestVCEKConcurrentHammer(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	c.SetCaching(true)
+	ctx := context.Background()
+
+	// Prime sequentially so the hammer phase is all hits.
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+		t.Fatal(err)
+	}
+	primed := env.hits.Load()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+					t.Errorf("VCEK: %v", err)
+				}
+				if _, _, err := c.CertChain(ctx); err != nil {
+					t.Errorf("CertChain: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The chain may cost one fetch (if not yet cached); the VCEK none.
+	if n := env.hits.Load(); n > primed+1 {
+		t.Errorf("hammer phase cost %d extra round trips", n-primed)
+	}
+}
+
+// TestVCEKTTLExpiry: a cached VCEK past its TTL is re-fetched.
+func TestVCEKTTLExpiry(t *testing.T) {
+	env := newTestEnv(t)
+	now := time.Now()
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	c := NewClient(env.server.URL, nil, WithVCEKTTL(time.Hour), WithClock(clock))
+	c.SetCaching(true)
+	ctx := context.Background()
+
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+		t.Fatal(err)
+	}
+	cold := env.hits.Load()
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+		t.Fatal(err)
+	}
+	if env.hits.Load() != cold {
+		t.Error("within TTL: cache missed")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), env.sp.TCB()); err != nil {
+		t.Fatal(err)
+	}
+	if env.hits.Load() == cold {
+		t.Error("expired entry still served from cache")
+	}
+}
+
+// TestVCEKFailureNotCached: a failed fetch is re-attempted — negative
+// results never stick.
+func TestVCEKFailureNotCached(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil)
+	c.SetCaching(true)
+	ctx := context.Background()
+	var bogus sev.ChipID
+	bogus[3] = 7
+
+	for i := 0; i < 2; i++ {
+		before := env.hits.Load()
+		if _, err := c.VCEK(ctx, bogus, 9); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("attempt %d: err = %v, want ErrNotFound", i, err)
+		}
+		if env.hits.Load() == before {
+			t.Errorf("attempt %d served from cache; failures must not be cached", i)
+		}
+	}
+}
+
+// TestVCEKCacheBounded: the LRU never exceeds its configured capacity.
+func TestVCEKCacheBounded(t *testing.T) {
+	env := newTestEnv(t)
+	c := NewClient(env.server.URL, nil, WithVCEKCacheSize(4))
+	c.SetCaching(true)
+	ctx := context.Background()
+
+	for tcb := uint64(1); tcb <= 10; tcb++ {
+		if _, err := c.VCEK(ctx, env.sp.ChipID(), tcb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.vcek.len(); n > 4 {
+		t.Errorf("cache holds %d entries, cap 4", n)
+	}
+	// The most recent entry is still a hit…
+	before := env.hits.Load()
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if env.hits.Load() != before {
+		t.Error("most recent entry evicted")
+	}
+	// …and the oldest was evicted, forcing a re-fetch.
+	if _, err := c.VCEK(ctx, env.sp.ChipID(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if env.hits.Load() == before {
+		t.Error("evicted entry still served")
 	}
 }

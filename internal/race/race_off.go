@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in.
+// Allocation-exactness tests consult it: under -race, sync.Pool
+// deliberately drops entries at random (poolRaceHat), so allocs/op
+// guards would flake and are skipped.
+package race
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = false

@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"revelio/internal/amdsp"
@@ -19,6 +21,7 @@ import (
 	"revelio/internal/imagebuild"
 	"revelio/internal/kds"
 	"revelio/internal/measure"
+	"revelio/internal/registry"
 	"revelio/internal/vm"
 )
 
@@ -26,6 +29,8 @@ type rig struct {
 	vm       *vm.VM
 	verifier *attest.Verifier
 	golden   measure.Measurement
+	client   *kds.Client
+	hits     atomic.Int64 // KDS round trips observed
 }
 
 func newRig(t *testing.T) *rig {
@@ -58,7 +63,12 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kdsServer := httptest.NewServer(kds.NewServer(mfr))
+	r := &rig{vm: guestVM}
+	kdsHandler := kds.NewServer(mfr)
+	kdsServer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.hits.Add(1)
+		kdsHandler.ServeHTTP(w, req)
+	}))
 	t.Cleanup(kdsServer.Close)
 	golden, err := hypervisor.ExpectedMeasurement(fw, hypervisor.BootBlobs{
 		Kernel: img.Kernel, Initrd: img.Initrd, Cmdline: img.Cmdline,
@@ -66,8 +76,10 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	verifier := attest.NewVerifier(kds.NewClient(kdsServer.URL, nil), attest.NewStaticGolden(golden))
-	return &rig{vm: guestVM, verifier: verifier, golden: golden}
+	r.client = kds.NewClient(kdsServer.URL, nil)
+	r.golden = golden
+	r.verifier = attest.NewVerifier(r.client, attest.NewStaticGolden(golden))
+	return r
 }
 
 func TestCertificateCarriesValidEvidence(t *testing.T) {
@@ -175,4 +187,211 @@ func TestFullRATLSHandshake(t *testing.T) {
 	if _, err := client.Get(plain.URL); err == nil {
 		t.Error("handshake with unattested server succeeded")
 	}
+}
+
+// TestPeerVerifierMemoizesHandshakes: after one full verification,
+// repeated handshakes against the same certificate cost zero KDS round
+// trips; a tampered certificate misses the memo and fails closed.
+func TestPeerVerifierMemoizesHandshakes(t *testing.T) {
+	r := newRig(t)
+	cert, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := cert.Certificate[0]
+	verify := PeerVerifier(r.verifier)
+
+	if err := verify([][]byte{raw}, nil); err != nil {
+		t.Fatalf("first handshake: %v", err)
+	}
+	cold := r.hits.Load()
+	for i := 0; i < 10; i++ {
+		if err := verify([][]byte{raw}, nil); err != nil {
+			t.Fatalf("memoized handshake %d: %v", i, err)
+		}
+	}
+	if n := r.hits.Load(); n != cold {
+		t.Errorf("memoized handshakes cost %d KDS round trips, want 0", n-cold)
+	}
+
+	// A single flipped bit in the certificate falls through the memo and
+	// fails full verification — on every attempt (failures not memoized).
+	tampered := append([]byte(nil), raw...)
+	tampered[len(tampered)/2] ^= 1
+	for i := 0; i < 2; i++ {
+		if err := verify([][]byte{tampered}, nil); err == nil {
+			t.Fatalf("attempt %d: tampered certificate accepted", i)
+		}
+	}
+	// The genuine certificate still verifies from the memo.
+	if err := verify([][]byte{raw}, nil); err != nil {
+		t.Errorf("genuine certificate after tamper attempts: %v", err)
+	}
+}
+
+// TestPeerVerifierPolicyRevocation: a registry revocation fails the very
+// next handshake even though the certificate's crypto proof is memoized.
+func TestPeerVerifierPolicyRevocation(t *testing.T) {
+	r := newRig(t)
+	reg := registry.New(1)
+	reg.AddVoter("dao")
+	if err := reg.Propose(r.golden, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Vote("dao", r.golden); err != nil {
+		t.Fatal(err)
+	}
+	verifier := attest.NewVerifier(r.client, reg)
+	cert, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := PeerVerifier(verifier)
+
+	if err := verify([][]byte{cert.Certificate[0]}, nil); err != nil {
+		t.Fatalf("voted measurement rejected: %v", err)
+	}
+	if err := reg.Revoke(r.golden); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify([][]byte{cert.Certificate[0]}, nil); !errors.Is(err, attest.ErrUntrustedMeasurement) {
+		t.Errorf("revoked measurement passed the memoized handshake: %v", err)
+	}
+}
+
+// TestPeerVerifierInvalidateCascades: attest.InvalidatePolicy bumps the
+// revision the ratls memo is keyed on, forcing full re-verification.
+func TestPeerVerifierInvalidateCascades(t *testing.T) {
+	r := newRig(t)
+	cert, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := PeerVerifier(r.verifier)
+	if err := verify([][]byte{cert.Certificate[0]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cold := r.hits.Load()
+	r.verifier.InvalidatePolicy()
+	if err := verify([][]byte{cert.Certificate[0]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.hits.Load() == cold {
+		t.Error("handshake after InvalidatePolicy skipped re-verification")
+	}
+}
+
+// TestSessionResumptionFencedByPolicyRevision: ClientConfig's session
+// cache lets reconnects skip certificate verification, but only within
+// one policy revision — InvalidatePolicy severs resumption, and a
+// subsequent revocation is enforced on the forced full handshake.
+func TestSessionResumptionFencedByPolicyRevision(t *testing.T) {
+	r := newRig(t)
+	reg := registry.New(1)
+	reg.AddVoter("dao")
+	if err := reg.Propose(r.golden, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Vote("dao", r.golden); err != nil {
+		t.Fatal(err)
+	}
+	verifier := attest.NewVerifier(r.client, reg)
+
+	serverCert, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", &tls.Config{
+		Certificates: []tls.Certificate{serverCert},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer func() { _ = conn.Close() }()
+				// One byte of app data flushes the session ticket to
+				// the client before we hang up.
+				_, _ = conn.Write([]byte("x"))
+			}(conn)
+		}
+	}()
+
+	cfg := ClientConfig(verifier)
+	dial := func() (resumed bool, err error) {
+		conn, err := tls.Dial("tcp", ln.Addr().String(), cfg)
+		if err != nil {
+			return false, err
+		}
+		defer func() { _ = conn.Close() }()
+		one := make([]byte, 1)
+		if _, err := io.ReadFull(conn, one); err != nil {
+			return false, err
+		}
+		return conn.ConnectionState().DidResume, nil
+	}
+
+	if resumed, err := dial(); err != nil || resumed {
+		t.Fatalf("first dial: resumed=%v err=%v", resumed, err)
+	}
+	resumed, err := dial()
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	if !resumed {
+		t.Skip("TLS stack did not resume; fence not exercisable here")
+	}
+
+	// Revocation alone (no InvalidatePolicy) must already reject the
+	// next connection: resumed connections re-judge policy in
+	// VerifyConnection.
+	if err := reg.Revoke(r.golden); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dial(); err == nil {
+		t.Error("revoked node accepted on resumed connection")
+	}
+	// InvalidatePolicy severs the tickets too: the next attempt is a
+	// full handshake and fails on the revoked measurement.
+	verifier.InvalidatePolicy()
+	if _, err := dial(); err == nil {
+		t.Error("revoked node accepted after InvalidatePolicy")
+	}
+}
+
+// TestPeerVerifierConcurrent hammers one callback from many goroutines
+// (run under -race) with valid and tampered certificates interleaved.
+func TestPeerVerifierConcurrent(t *testing.T) {
+	r := newRig(t)
+	cert, err := CreateCertificate(r.vm, "node.internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := cert.Certificate[0]
+	tampered := append([]byte(nil), raw...)
+	tampered[10] ^= 1
+	verify := PeerVerifier(r.verifier)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := verify([][]byte{raw}, nil); err != nil {
+					t.Errorf("valid cert: %v", err)
+				}
+				if err := verify([][]byte{tampered}, nil); err == nil {
+					t.Error("tampered cert accepted")
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,72 @@
+// Package singleflight provides duplicate-call suppression: concurrent
+// calls with the same key collapse into one execution whose result every
+// caller shares. Revelio uses it on the attestation fast path so N
+// verifiers racing on a cold cache issue one KDS round trip instead of N
+// (the paper's Table 3 cold path costs 778.9 ms — paying it once per
+// (chip, TCB) is the difference between a thundering herd and a single
+// fetch).
+//
+// Unlike a cache, a Group holds results only while the call is in
+// flight: once the leader returns, the key is forgotten, so failures are
+// naturally retried by the next caller — negative results are never
+// served twice.
+package singleflight
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPanicked is returned to waiting callers when the leader's fn
+// panicked: the panic propagates on the leader's goroutine, while
+// followers fail cleanly and the key is released for retry.
+var ErrPanicked = errors.New("singleflight: in-flight call panicked")
+
+// call tracks one in-flight execution.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group suppresses duplicate concurrent calls per key. The zero value is
+// ready to use; a Group must not be copied after first use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+// Do executes fn, ensuring at most one execution per key is in flight at
+// a time. Concurrent callers with the same key wait for the leader and
+// receive its result; shared reports whether this caller got a result
+// produced by another goroutine. Once the leader returns, the key is
+// released — sequential calls each execute fn.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call[V])
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Release the key and the waiters even if fn panics — otherwise the
+	// key would be wedged forever. The panic itself propagates on this
+	// goroutine; waiters see ErrPanicked (c.err is only overwritten once
+	// fn returns normally).
+	c.err = ErrPanicked
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
