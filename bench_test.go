@@ -7,6 +7,7 @@
 //	Table 2  -> BenchmarkTable2_CertOperations
 //	Table 3  -> BenchmarkTable3_ClientSide
 //	Table 4  -> BenchmarkTable4_AttestationThroughput
+//	Table 5  -> BenchmarkTable5_FleetScalability
 //	Fig 5    -> BenchmarkFig5_DmCryptIO
 //	Fig 6    -> BenchmarkFig6_DmVerityRead
 //	ablations -> BenchmarkAblation_*
@@ -157,6 +158,27 @@ func BenchmarkTable4_AttestationThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		renderOnce(b, "table4", res.Render())
+	}
+}
+
+// BenchmarkTable5_FleetScalability regenerates Table 5: fleet
+// provisioning latency, single-node join latency, and steady-state
+// attested-TLS requests/sec, swept over fleet sizes. Node counts and
+// network latencies are scaled down from the paper-scale sweep (1–64
+// nodes) to keep bench runs quick; use cmd/revelio-bench -table 5 for
+// the full table.
+func BenchmarkTable5_FleetScalability(b *testing.B) {
+	cfg := bench.Table5Config{
+		NodeCounts: []int{1, 4},
+		Requests:   256,
+		Clients:    8,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFleetScalability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(b, "table5", res.Render())
 	}
 }
 

@@ -7,9 +7,11 @@
 //	revelio-bench -table 1        # just Table 1
 //	revelio-bench -figure 5       # just Fig 5
 //	revelio-bench -table 4        # attestation throughput (fast path)
+//	revelio-bench -table 4 -table 5   # several tables in one run
 //	revelio-bench -ablations      # just the ablation sweeps
 //	revelio-bench -quick          # scaled-down sizes and latencies
 //	revelio-bench -json           # machine-readable JSON instead of tables
+//	revelio-bench -baseline FILE  # fail on regression vs a stored -json run
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"revelio/internal/bench"
@@ -33,13 +37,47 @@ func main() {
 // renderable is any bench result that can print paper-style rows.
 type renderable interface{ Render() string }
 
+// tableList collects repeated -table flags.
+type tableList []int
+
+func (t *tableList) String() string {
+	parts := make([]string, len(*t))
+	for i, v := range *t {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tableList) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("bad table number %q", s)
+	}
+	if v != 0 { // -table 0 keeps its historical "no filter" meaning
+		*t = append(*t, v)
+	}
+	return nil
+}
+
+func (t tableList) contains(n int) bool {
+	for _, v := range t {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("revelio-bench", flag.ContinueOnError)
-	tableNum := fs.Int("table", 0, "run only this table (1, 2, 3 or 4)")
+	var tables tableList
+	fs.Var(&tables, "table", "run only this table (repeatable: -table 4 -table 5)")
 	figureNum := fs.Int("figure", 0, "run only this figure (5 or 6)")
 	ablations := fs.Bool("ablations", false, "run only the ablation sweeps")
 	quick := fs.Bool("quick", false, "scaled-down sizes and latencies")
 	jsonOut := fs.Bool("json", false, "emit one JSON document instead of rendered tables")
+	baseline := fs.String("baseline", "", "JSON file from a previous -json run to regress against")
+	tolerance := fs.Float64("tolerance", 0.5, "fractional throughput drop tolerated by -baseline (0.5 = half)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,21 +86,24 @@ func run(args []string, stdout io.Writer) error {
 		if *ablations {
 			return false
 		}
-		if *tableNum == 0 && *figureNum == 0 {
+		if len(tables) == 0 && *figureNum == 0 {
 			return true
 		}
-		return (table != 0 && table == *tableNum) || (figure != 0 && figure == *figureNum)
+		return (table != 0 && tables.contains(table)) || (figure != 0 && figure == *figureNum)
 	}
 
-	// results accumulates every experiment's structured output for -json;
-	// without -json each result renders as it completes.
+	// results accumulates every experiment's structured output for -json
+	// and the -baseline comparison; without either, each result renders
+	// as it completes.
 	results := map[string]any{}
+	collect := *jsonOut || *baseline != ""
 	emit := func(name string, res renderable) {
-		if *jsonOut {
+		if collect {
 			results[name] = res
-			return
 		}
-		fmt.Fprintln(stdout, res.Render())
+		if !*jsonOut {
+			fmt.Fprintln(stdout, res.Render())
+		}
 	}
 
 	if selected(1, 0) {
@@ -132,14 +173,29 @@ func run(args []string, stdout io.Writer) error {
 		}
 		emit("table4", res)
 	}
-	if selected(0, 0) && *tableNum == 0 && *figureNum == 0 {
+	if selected(5, 0) {
+		cfg := bench.DefaultTable5Config()
+		if *quick {
+			cfg = bench.Table5Config{
+				NodeCounts: []int{1, 2, 4, 8},
+				Requests:   256,
+				Clients:    8,
+			}
+		}
+		res, err := bench.RunFleetScalability(cfg)
+		if err != nil {
+			return err
+		}
+		emit("table5", res)
+	}
+	if selected(0, 0) && len(tables) == 0 && *figureNum == 0 {
 		scal, err := bench.RunScalability([]int{1, 2, 4, 8})
 		if err != nil {
 			return err
 		}
 		emit("scalability", scal)
 	}
-	if *ablations || (*tableNum == 0 && *figureNum == 0) {
+	if *ablations || (len(tables) == 0 && *figureNum == 0) {
 		verity, err := bench.RunAblationVerityBlockSize(nil)
 		if err != nil {
 			return err
@@ -159,7 +215,105 @@ func run(args []string, stdout io.Writer) error {
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	}
+	if *baseline != "" {
+		base, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		regressions, err := compareBaseline(results, base, *tolerance)
+		if err != nil {
+			return err
+		}
+		if len(regressions) > 0 {
+			return fmt.Errorf("regressions vs %s:\n  %s", *baseline, strings.Join(regressions, "\n  "))
+		}
+		fmt.Fprintf(os.Stderr, "revelio-bench: no regressions vs %s (tolerance %.2f)\n", *baseline, *tolerance)
 	}
 	return nil
+}
+
+// compareBaseline judges the current run against a stored -json document.
+// Only metrics that are stable across machines are compared — ratios and
+// exact cache-behaviour counters, plus throughput with the configured
+// tolerance — and only for experiments present in both documents.
+func compareBaseline(current map[string]any, baselineJSON []byte, tol float64) ([]string, error) {
+	blob, err := json.Marshal(current)
+	if err != nil {
+		return nil, err
+	}
+	var cur, base map[string]any
+	if err := json.Unmarshal(blob, &cur); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(baselineJSON, &base); err != nil {
+		return nil, fmt.Errorf("parse baseline: %w", err)
+	}
+
+	var regressions []string
+	fail := func(format string, args ...any) {
+		regressions = append(regressions, fmt.Sprintf(format, args...))
+	}
+
+	if c, b := subMap(cur, "table4"), subMap(base, "table4"); c != nil && b != nil {
+		if cv, bv, ok := floatPair(c["speedup_fast_vs_cold"], b["speedup_fast_vs_cold"]); ok && cv < bv*(1-tol) {
+			fail("table4: fast-path speedup %.1fx dropped below %.1fx·(1-%.2f)", cv, bv, tol)
+		}
+		// Singleflight collapse is machine-independent: the cold burst
+		// must not cost more KDS round trips than the baseline plus noise.
+		if cv, bv, ok := floatPair(c["cold_burst_kds_hits"], b["cold_burst_kds_hits"]); ok && cv > bv+2 {
+			fail("table4: cold burst cost %.0f KDS requests, baseline %.0f", cv, bv)
+		}
+		if cv, bv, ok := floatPair(maxRowMetric(c, "verifications_per_sec", "mode", "fast-path"),
+			maxRowMetric(b, "verifications_per_sec", "mode", "fast-path")); ok && cv < bv*(1-tol) {
+			fail("table4: fast-path throughput %.0f/s dropped below %.0f/s·(1-%.2f)", cv, bv, tol)
+		}
+	}
+	if c, b := subMap(cur, "table5"), subMap(base, "table5"); c != nil && b != nil {
+		if cv, bv, ok := floatPair(maxRowMetric(c, "requests_per_sec", "", ""),
+			maxRowMetric(b, "requests_per_sec", "", "")); ok && cv < bv*(1-tol) {
+			fail("table5: fleet throughput %.0f req/s dropped below %.0f·(1-%.2f)", cv, bv, tol)
+		}
+	}
+	return regressions, nil
+}
+
+func subMap(m map[string]any, key string) map[string]any {
+	sub, _ := m[key].(map[string]any)
+	return sub
+}
+
+// maxRowMetric returns the maximum of metric over m["rows"], optionally
+// filtered to rows where row[filterKey] == filterVal; nil when absent.
+func maxRowMetric(m map[string]any, metric, filterKey, filterVal string) any {
+	rows, _ := m["rows"].([]any)
+	var best any
+	for _, r := range rows {
+		row, _ := r.(map[string]any)
+		if row == nil {
+			continue
+		}
+		if filterKey != "" {
+			if v, _ := row[filterKey].(string); v != filterVal {
+				continue
+			}
+		}
+		v, ok := row[metric].(float64)
+		if !ok {
+			continue
+		}
+		if best == nil || v > best.(float64) {
+			best = v
+		}
+	}
+	return best
+}
+
+func floatPair(a, b any) (av, bv float64, ok bool) {
+	av, aok := a.(float64)
+	bv, bok := b.(float64)
+	return av, bv, aok && bok
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -50,5 +51,156 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-table", "x"}, io.Discard); err == nil {
+		t.Error("non-numeric table accepted")
+	}
+}
+
+// TestRunMultipleTables: the repeatable -table flag runs exactly the
+// named experiments in one process — the CI regression step's shape.
+func TestRunMultipleTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-json", "-table", "4", "-table", "5"}, &buf); err != nil {
+		t.Fatalf("run -table 4 -table 5: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	for _, want := range []string{"table4", "table5"} {
+		if _, ok := doc[want].(map[string]any); !ok {
+			t.Errorf("JSON lacks %s", want)
+		}
+	}
+	for _, not := range []string{"table1", "table2", "table3", "scalability"} {
+		if _, ok := doc[not]; ok {
+			t.Errorf("JSON unexpectedly contains %s", not)
+		}
+	}
+	table5 := doc["table5"].(map[string]any)
+	rows, ok := table5["rows"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatal("table5 JSON lacks rows")
+	}
+	row := rows[0].(map[string]any)
+	for _, field := range []string{"nodes", "provision_ns", "join_ns", "requests_per_sec"} {
+		if _, ok := row[field]; !ok {
+			t.Errorf("table5 row lacks %q", field)
+		}
+	}
+}
+
+func baselineDoc() []byte {
+	return []byte(`{
+		"table4": {
+			"rows": [
+				{"mode": "cold", "clients": 4, "verifications_per_sec": 10.0},
+				{"mode": "fast-path", "clients": 4, "verifications_per_sec": 100000.0}
+			],
+			"speedup_fast_vs_cold": 10000.0,
+			"cold_burst_kds_hits": 2
+		},
+		"table5": {
+			"rows": [{"nodes": 4, "requests_per_sec": 1000.0}]
+		}
+	}`)
+}
+
+// currentDoc builds a results map equivalent to what run() accumulates,
+// by round-tripping raw JSON (compareBaseline re-marshals anyway).
+func currentDoc(t *testing.T, raw string) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(raw), &m); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestCompareBaselineClean(t *testing.T) {
+	cur := currentDoc(t, `{
+		"table4": {
+			"rows": [{"mode": "fast-path", "clients": 4, "verifications_per_sec": 90000.0}],
+			"speedup_fast_vs_cold": 9000.0,
+			"cold_burst_kds_hits": 2
+		},
+		"table5": {"rows": [{"nodes": 4, "requests_per_sec": 900.0}]}
+	}`)
+	regs, err := compareBaseline(cur, baselineDoc(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("clean run flagged: %v", regs)
+	}
+}
+
+func TestCompareBaselineCatchesRegressions(t *testing.T) {
+	cur := currentDoc(t, `{
+		"table4": {
+			"rows": [{"mode": "fast-path", "clients": 4, "verifications_per_sec": 100.0}],
+			"speedup_fast_vs_cold": 3.0,
+			"cold_burst_kds_hits": 40
+		},
+		"table5": {"rows": [{"nodes": 4, "requests_per_sec": 10.0}]}
+	}`)
+	regs, err := compareBaseline(cur, baselineDoc(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 4 {
+		t.Errorf("regressions = %d (%v), want 4", len(regs), regs)
+	}
+}
+
+// Experiments missing on either side are skipped, not failed — the
+// baseline may predate a table.
+func TestCompareBaselineSkipsMissing(t *testing.T) {
+	cur := currentDoc(t, `{"table5": {"rows": [{"nodes": 4, "requests_per_sec": 1.0}]}}`)
+	regs, err := compareBaseline(cur, []byte(`{"table4": {"speedup_fast_vs_cold": 10.0}}`), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("disjoint docs flagged: %v", regs)
+	}
+}
+
+func TestCompareBaselineBadJSON(t *testing.T) {
+	if _, err := compareBaseline(map[string]any{}, []byte("{nope"), 0.5); err == nil {
+		t.Error("unparseable baseline accepted")
+	}
+}
+
+// TestRunBaselineEndToEnd: a -json run regressed against itself is
+// always clean, and against an impossible baseline it fails.
+func TestRunBaselineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-json", "-table", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	self := dir + "/self.json"
+	if err := os.WriteFile(self, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-json", "-table", "4", "-baseline", self, "-tolerance", "0.9"},
+		io.Discard); err != nil {
+		t.Errorf("self-baseline regressed: %v", err)
+	}
+
+	impossible := dir + "/impossible.json"
+	if err := os.WriteFile(impossible,
+		[]byte(`{"table4": {"speedup_fast_vs_cold": 1e12, "cold_burst_kds_hits": 0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-json", "-table", "4", "-baseline", impossible},
+		io.Discard); err == nil {
+		t.Error("impossible baseline passed")
 	}
 }

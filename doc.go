@@ -14,6 +14,7 @@
 //	Table 2  (cert operations)           -> BenchmarkTable2_CertOperations
 //	Table 3  (client-side attestation)   -> BenchmarkTable3_ClientSide
 //	Table 4  (attestation throughput)    -> BenchmarkTable4_AttestationThroughput
+//	Table 5  (fleet scalability)         -> BenchmarkTable5_FleetScalability
 //	Fig 5    (dm-crypt I/O)              -> BenchmarkFig5_DmCryptIO
 //	Fig 6    (dm-verity reads)           -> BenchmarkFig6_DmVerityRead
 //	ablations                            -> BenchmarkAblation_*
@@ -22,6 +23,11 @@
 // caching argument: verifications/sec cold, with a warm VCEK cache, and
 // on the full attestation fast path (parsed-certificate caches, sharded
 // proof caches, and singleflight KDS fetches — see DESIGN.md's
-// "Attestation fast path"). revelio-bench -json emits every result as
-// one machine-readable JSON document for tracking across revisions.
+// "Attestation fast path"). Table 5 extends the §5.3 deployment story
+// to fleets under churn: provisioning and join latency plus
+// steady-state attested-TLS throughput swept over fleet sizes, driven
+// by the internal/fleet lifecycle engine (see DESIGN.md's "Fleet
+// lifecycle"). revelio-bench -json emits every result as one
+// machine-readable JSON document for tracking across revisions, and
+// -baseline regresses a run against a stored document.
 package revelio

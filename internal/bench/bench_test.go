@@ -192,6 +192,40 @@ func TestRunTable4(t *testing.T) {
 	}
 }
 
+func TestRunTable5(t *testing.T) {
+	cfg := Table5Config{NodeCounts: []int{1, 3}, Requests: 64, Clients: 4}
+	res, err := RunFleetScalability(cfg)
+	if err != nil {
+		t.Fatalf("RunFleetScalability: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Build <= 0 || row.Provision <= 0 || row.Join <= 0 {
+			t.Errorf("n=%d: missing latency: %+v", row.Nodes, row)
+		}
+		if row.PerSec <= 0 || row.Requests <= 0 {
+			t.Errorf("n=%d: no steady-state throughput measured", row.Nodes)
+		}
+		if row.CertGeneration > row.Provision {
+			t.Errorf("n=%d: CA share exceeds total provision time", row.Nodes)
+		}
+	}
+	// D3: per-node provisioning cost must not grow with fleet size — the
+	// CA-bound step is paid once regardless of node count.
+	if r0, r1 := res.Rows[0], res.Rows[1]; r1.PerNode > 3*r0.PerNode {
+		t.Errorf("per-node provisioning grew superlinearly: %v (n=%d) -> %v (n=%d)",
+			r0.PerNode, r0.Nodes, r1.PerNode, r1.Nodes)
+	}
+	out := res.Render()
+	for _, want := range []string{"Table 5", "Join(ms)", "Reqs/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
 func TestAblationVerityBlockSize(t *testing.T) {
 	res, err := RunAblationVerityBlockSize([]int{4 * KiB, 64 * KiB})
 	if err != nil {

@@ -431,6 +431,22 @@ func (a *Agent) IsLeader() bool {
 	return a.isLeader
 }
 
+// BecomeLeader promotes a provisioned agent to the leader role — the
+// fleet-level re-election that runs when the standing leader is removed.
+// Promotion is sound for any ready node: every provisioned agent already
+// holds the shared TLS key behind the certificate, which is the only
+// capability the leader role confers (answering mutually attested key
+// requests from joining nodes).
+func (a *Agent) BecomeLeader() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.ready {
+		return ErrNotReady
+	}
+	a.isLeader = true
+	return nil
+}
+
 // TLSCredentials returns the shared certificate and private key once
 // ready — what the HTTPS front end (nginx) is restarted with.
 func (a *Agent) TLSCredentials() (certDER []byte, key *ecdsa.PrivateKey, err error) {

@@ -8,6 +8,7 @@ import (
 	"crypto/rand"
 	"crypto/x509"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -442,6 +443,130 @@ func TestWellKnownBundleBindsTLSKey(t *testing.T) {
 			t.Errorf("agent %d serving bundle payload is not the TLS key", i)
 		}
 	}
+}
+
+// joinNode boots a fresh VM, wires an agent around it and registers it
+// with the SP — the commissioning half of a scale-out join.
+func (c *cluster) joinNode(t *testing.T, seed []byte) (*Agent, string) {
+	t.Helper()
+	v := c.bootNode(t, seed)
+	agent := NewAgent(v, c.verifier, nil)
+	server := httptest.NewServer(agent)
+	t.Cleanup(server.Close)
+	c.sp.Approve(server.URL, v.Identity().KeyReport.ChipID)
+	return agent, server.URL
+}
+
+// TestProvisionNodeJoins: a node added after full provisioning acquires
+// the shared credentials through the single-node §5.3.1 path — attested
+// by the SP, key pulled from the standing leader, no CA round trip.
+func TestProvisionNodeJoins(t *testing.T) {
+	c := newCluster(t, 2)
+	res, err := c.sp.Provision(context.Background(), c.urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joined, joinedURL := c.joinNode(t, []byte{0x77})
+	if err := c.sp.ProvisionNode(context.Background(), joinedURL, res.LeaderURL, res.CertDER); err != nil {
+		t.Fatalf("ProvisionNode: %v", err)
+	}
+	if !joined.Ready() {
+		t.Fatal("joined node not ready")
+	}
+	if joined.IsLeader() {
+		t.Error("joined node must not be leader")
+	}
+	cert, key, err := joined.TLSCredentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, leaderKey, err := c.agents[0].TLSCredentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cert, res.CertDER) || key.D.Cmp(leaderKey.D) != 0 {
+		t.Error("joined node did not converge on the shared credentials")
+	}
+}
+
+// TestProvisionNodeRequiresApproval: a joining address the operator never
+// approved (or has since forgotten) is rejected before any key moves.
+func TestProvisionNodeRequiresApproval(t *testing.T) {
+	c := newCluster(t, 2)
+	res, err := c.sp.Provision(context.Background(), c.urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, joinedURL := c.joinNode(t, []byte{0x78})
+	c.sp.Forget(joinedURL)
+	err = c.sp.ProvisionNode(context.Background(), joinedURL, res.LeaderURL, res.CertDER)
+	if !errors.Is(err, ErrUnapprovedNode) {
+		t.Errorf("err = %v, want ErrUnapprovedNode", err)
+	}
+	if joined.Ready() {
+		t.Error("unapproved node acquired credentials")
+	}
+}
+
+// TestBecomeLeaderServesKeyRequests: after re-election, the promoted node
+// answers key requests exactly as the original leader did, so joins keep
+// working once the first leader is decommissioned.
+func TestBecomeLeaderServesKeyRequests(t *testing.T) {
+	c := newCluster(t, 2)
+	res, err := c.sp.Provision(context.Background(), c.urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decommission the original leader and promote node 1.
+	c.sp.Forget(c.urls[0])
+	if err := c.agents[1].BecomeLeader(); err != nil {
+		t.Fatalf("BecomeLeader: %v", err)
+	}
+	if !c.agents[1].IsLeader() {
+		t.Fatal("promotion did not take")
+	}
+	joined, joinedURL := c.joinNode(t, []byte{0x79})
+	if err := c.sp.ProvisionNode(context.Background(), joinedURL, c.urls[1], res.CertDER); err != nil {
+		t.Fatalf("join via promoted leader: %v", err)
+	}
+	if !joined.Ready() {
+		t.Error("join through promoted leader failed")
+	}
+}
+
+func TestBecomeLeaderBeforeProvisioningFails(t *testing.T) {
+	c := newCluster(t, 1)
+	if err := c.agents[0].BecomeLeader(); !errors.Is(err, ErrNotReady) {
+		t.Errorf("err = %v, want ErrNotReady", err)
+	}
+}
+
+// TestApproveForgetConcurrent: membership mutations race against
+// provisioning without corrupting the approved set (fleet churn hits
+// exactly this interleaving).
+func TestApproveForgetConcurrent(t *testing.T) {
+	c := newCluster(t, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("http://127.0.0.1:%d", 20000+i)
+			var chip sev.ChipID
+			chip[0] = byte(i)
+			c.sp.Approve(url, chip)
+			c.sp.Forget(url)
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.sp.Provision(context.Background(), c.urls); err != nil {
+			t.Errorf("Provision during churn: %v", err)
+		}
+	}()
+	wg.Wait()
 }
 
 func TestECIESRoundTrip(t *testing.T) {

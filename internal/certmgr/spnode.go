@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"revelio/internal/acme"
@@ -57,12 +58,18 @@ var (
 // credentials (through the certbot client), the approved node set, and
 // the golden measurements, and orchestrates certificate issuance and
 // distribution.
+//
+// The approved set is mutable: fleets under churn Approve a node before
+// launching it and Forget it at decommission time, so a removed node's
+// address can never rejoin with a different chip unnoticed.
 type SPNode struct {
 	verifier *attest.Verifier
 	certbot  CertificateObtainer
 	domain   string
-	approved map[string]sev.ChipID // node base URL -> expected chip
 	httpc    *http.Client
+
+	mu       sync.RWMutex
+	approved map[string]sev.ChipID // node base URL -> expected chip
 }
 
 // NewSPNode creates the SP orchestrator. approved maps each node's base
@@ -77,6 +84,30 @@ func NewSPNode(verifier *attest.Verifier, certbot CertificateObtainer, domain st
 		cp[k] = v
 	}
 	return &SPNode{verifier: verifier, certbot: certbot, domain: domain, approved: cp, httpc: httpc}
+}
+
+// Approve admits a node address/chip pair to the approved set — the SP
+// operator's act of commissioning a machine before it may join the fleet.
+func (sp *SPNode) Approve(nodeURL string, chip sev.ChipID) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.approved[nodeURL] = chip
+}
+
+// Forget removes a node address from the approved set (decommissioning).
+// Subsequent provisioning attempts involving the address fail with
+// ErrUnapprovedNode.
+func (sp *SPNode) Forget(nodeURL string) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	delete(sp.approved, nodeURL)
+}
+
+func (sp *SPNode) approvedChip(nodeURL string) (sev.ChipID, bool) {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	chip, ok := sp.approved[nodeURL]
+	return chip, ok
 }
 
 type nodeEvidence struct {
@@ -111,27 +142,9 @@ func (sp *SPNode) Provision(ctx context.Context, nodeURLs []string) (*ProvisionR
 	// binding, and the chip/address allow-list.
 	t0 = time.Now()
 	for i := range evidence {
-		ev := &evidence[i]
-		res, err := sp.verifier.VerifyBundle(ctx, ev.bundle, vm.HashOf)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s: %w", ErrNodeRejected, ev.url, err)
+		if err := sp.validateEvidence(ctx, &evidence[i]); err != nil {
+			return nil, err
 		}
-		wantChip, ok := sp.approved[ev.url]
-		if !ok {
-			return nil, fmt.Errorf("%w: address %s", ErrUnapprovedNode, ev.url)
-		}
-		if res.Report.ChipID != wantChip {
-			return nil, fmt.Errorf("%w: %s runs on unexpected chip", ErrUnapprovedNode, ev.url)
-		}
-		csr, err := x509.ParseCertificateRequest(ev.bundle.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s: bad csr: %w", ErrNodeRejected, ev.url, err)
-		}
-		if err := csr.CheckSignature(); err != nil {
-			return nil, fmt.Errorf("%w: %s: csr signature: %w", ErrNodeRejected, ev.url, err)
-		}
-		ev.report = res.Report
-		ev.csr = csr
 	}
 	validation := time.Since(t0)
 
@@ -164,6 +177,58 @@ func (sp *SPNode) Provision(ctx context.Context, nodeURLs []string) (*ProvisionR
 			CertDistribution:   distribution,
 		},
 	}, nil
+}
+
+// validateEvidence runs the step-2 judgment on one node: attestation of
+// the CSR bundle, chip/address allow-list membership, and CSR
+// well-formedness. On success ev.report and ev.csr are populated.
+func (sp *SPNode) validateEvidence(ctx context.Context, ev *nodeEvidence) error {
+	res, err := sp.verifier.VerifyBundle(ctx, ev.bundle, vm.HashOf)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %w", ErrNodeRejected, ev.url, err)
+	}
+	wantChip, ok := sp.approvedChip(ev.url)
+	if !ok {
+		return fmt.Errorf("%w: address %s", ErrUnapprovedNode, ev.url)
+	}
+	if res.Report.ChipID != wantChip {
+		return fmt.Errorf("%w: %s runs on unexpected chip", ErrUnapprovedNode, ev.url)
+	}
+	csr, err := x509.ParseCertificateRequest(ev.bundle.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: %s: bad csr: %w", ErrNodeRejected, ev.url, err)
+	}
+	if err := csr.CheckSignature(); err != nil {
+		return fmt.Errorf("%w: %s: csr signature: %w", ErrNodeRejected, ev.url, err)
+	}
+	ev.report = res.Report
+	ev.csr = csr
+	return nil
+}
+
+// ProvisionNode runs the Fig 4 flow for a single node joining an already
+// provisioned deployment (§5.3.1 under churn): the SP attests the
+// newcomer exactly as during full provisioning, then distributes the
+// *current* certificate, pointing the node at the standing leader for the
+// key acquisition. No CA round trip happens — the join cost is evidence
+// retrieval + validation + one distribution POST, which is what keeps
+// scale-out cheap (Table 5's join latency).
+func (sp *SPNode) ProvisionNode(ctx context.Context, nodeURL, leaderURL string, certDER []byte) error {
+	if nodeURL == "" {
+		return ErrNoNodes
+	}
+	bundle, err := sp.fetchCSRBundle(ctx, nodeURL)
+	if err != nil {
+		return fmt.Errorf("certmgr: fetch csr bundle from %s: %w", nodeURL, err)
+	}
+	ev := nodeEvidence{url: nodeURL, bundle: bundle}
+	if err := sp.validateEvidence(ctx, &ev); err != nil {
+		return err
+	}
+	if err := sp.pushCertificate(ctx, nodeURL, certMsg{CertDER: certDER, LeaderURL: leaderURL}); err != nil {
+		return fmt.Errorf("certmgr: distribute to %s: %w", nodeURL, err)
+	}
+	return nil
 }
 
 func (sp *SPNode) fetchCSRBundle(ctx context.Context, baseURL string) (*attest.Bundle, error) {

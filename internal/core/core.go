@@ -76,8 +76,9 @@ type Node struct {
 	Control *httpServer // agent control endpoints (SP-facing)
 	Web     *httpServer // HTTPS front end (user-facing), nil until StartWeb
 
-	chip *amdsp.SecureProcessor
-	disk blockdev.Device
+	chip   *amdsp.SecureProcessor
+	disk   blockdev.Device
+	client *http.Client // the agent's outbound client, reaped at removal
 }
 
 // ControlURL returns the node's control-plane base URL.
@@ -115,6 +116,9 @@ type Deployment struct {
 	cfg        Config
 	appHandler func(n *Node) http.Handler
 	closed     bool
+	kdsNet     *netlab.Transport // verifier-side KDS path (outage injection)
+	clients    []*http.Client    // every client we created, for idle-conn reaping
+	seq        int               // chip seed counter across launches
 }
 
 // httpServer is a minimal managed HTTP(S) server on a loopback listener.
@@ -138,12 +142,17 @@ func startHTTP(handler http.Handler) (*httpServer, error) {
 	return s, nil
 }
 
-func startHTTPS(handler http.Handler, cert tls.Certificate) (*httpServer, error) {
+// startHTTPSDynamic serves HTTPS with the certificate resolved per
+// handshake — what lets certificate rotation reach live listeners
+// without a restart.
+func startHTTPSDynamic(handler http.Handler, getCert func() (*tls.Certificate, error)) (*httpServer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: listen: %w", err)
 	}
-	tlsLn := tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})
+	tlsLn := tls.NewListener(ln, &tls.Config{
+		GetCertificate: func(*tls.ClientHelloInfo) (*tls.Certificate, error) { return getCert() },
+	})
 	s := &httpServer{
 		listener: ln,
 		server:   &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second},
@@ -159,7 +168,12 @@ func (s *httpServer) close() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
+	// Graceful drain first so in-flight requests complete, then a hard
+	// Close so connections that outlive the deadline (idle keep-alives,
+	// stuck readers) cannot strand their goroutines past teardown —
+	// repeated start/stop cycles under fleet churn would accumulate them.
 	_ = s.server.Shutdown(ctx)
+	_ = s.server.Close()
 }
 
 // New builds the image, launches the nodes and starts the control plane.
@@ -186,7 +200,10 @@ func New(cfg Config) (*Deployment, error) {
 	if d.KDSServer, err = startHTTP(kds.NewServer(d.Manufacturer)); err != nil {
 		return nil, err
 	}
-	d.KDSClient = kds.NewClient(d.KDSServer.url, netlab.Client(cfg.KDSRTT, nil))
+	d.kdsNet = &netlab.Transport{RTT: cfg.KDSRTT}
+	kdsClient := &http.Client{Transport: d.kdsNet}
+	d.clients = append(d.clients, kdsClient)
+	d.KDSClient = kds.NewClient(d.KDSServer.url, kdsClient)
 
 	if d.Image, err = imagebuild.NewBuilder(cfg.Registry).Build(cfg.Spec); err != nil {
 		d.Close()
@@ -212,7 +229,7 @@ func New(cfg Config) (*Deployment, error) {
 
 	approved := make(map[string]sev.ChipID, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		node, err := d.launchNode([]byte{byte(i), byte(i >> 8)})
+		node, err := d.launchNode(d.nextChipSeed())
 		if err != nil {
 			d.Close()
 			return nil, fmt.Errorf("core: launch node %d: %w", i, err)
@@ -229,12 +246,34 @@ func New(cfg Config) (*Deployment, error) {
 			return nil, err
 		}
 		d.CAServer = caServer
-		certbot = acme.NewHTTPClient(caServer.url, d.Zone, netlab.Client(cfg.CARTT, nil))
+		certbot = acme.NewHTTPClient(caServer.url, d.Zone, d.netClient(cfg.CARTT))
 	}
 	d.SP = certmgr.NewSPNode(d.Verifier, certbot, cfg.Domain, approved,
-		netlab.Client(cfg.SPNetRTT, nil))
+		d.netClient(cfg.SPNetRTT))
 	return d, nil
 }
+
+// netClient builds a latency-injecting HTTP client and records it so
+// Close can reap its idle connections.
+func (d *Deployment) netClient(rtt time.Duration) *http.Client {
+	c := netlab.Client(rtt, nil)
+	d.clients = append(d.clients, c)
+	return c
+}
+
+// nextChipSeed derives a fresh deterministic chip seed. Seeds never
+// repeat across the deployment's lifetime, so a replacement node always
+// runs on a brand-new chip identity.
+func (d *Deployment) nextChipSeed() []byte {
+	seed := []byte{byte(d.seq), byte(d.seq >> 8)}
+	d.seq++
+	return seed
+}
+
+// KDSNet exposes the transport between the deployment's verifiers and
+// the KDS. Fleet scenarios inject latency changes and outages through it
+// (netlab.Transport.SetOutage) to rehearse KDS failure and recovery.
+func (d *Deployment) KDSNet() *netlab.Transport { return d.kdsNet }
 
 func (d *Deployment) bootBlobs() hypervisor.BootBlobs {
 	return hypervisor.BootBlobs{
@@ -269,7 +308,11 @@ func (d *Deployment) launchNode(chipSeed []byte) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	agent := certmgr.NewAgent(guestVM, d.Verifier, netlab.Client(d.cfg.SPNetRTT, nil))
+	// The agent's client is owned by the node, not the deployment-level
+	// list: a removed node's client is reaped with the node, so fleets
+	// under continuous churn do not accumulate connection pools.
+	client := netlab.Client(d.cfg.SPNetRTT, nil)
+	agent := certmgr.NewAgent(guestVM, d.Verifier, client)
 	control, err := startHTTP(agent)
 	if err != nil {
 		return nil, err
@@ -281,7 +324,58 @@ func (d *Deployment) launchNode(chipSeed []byte) (*Node, error) {
 		Control: control,
 		chip:    chip,
 		disk:    disk,
+		client:  client,
 	}, nil
+}
+
+// AddNode launches one additional node (fresh chip, private disk copy of
+// the deployment's current image and firmware), starts its control
+// server, and registers it in the SP node's approved set. The node is
+// launched but unprovisioned: run the SP's single-node flow
+// (SP.ProvisionNode) to hand it the shared credentials, then
+// StartNodeWeb to open its HTTPS front end.
+func (d *Deployment) AddNode() (int, error) {
+	node, err := d.launchNode(d.nextChipSeed())
+	if err != nil {
+		return 0, fmt.Errorf("core: add node: %w", err)
+	}
+	d.Nodes = append(d.Nodes, node)
+	d.SP.Approve(node.ControlURL(), node.Chip)
+	return len(d.Nodes) - 1, nil
+}
+
+// RemoveNode decommissions node i: its web front end drains and closes
+// first (no new user traffic), then its control server, and its address
+// leaves the SP's approved set so the slot cannot be silently reused.
+// The node's disk is returned for post-decommission security scrapes.
+func (d *Deployment) RemoveNode(i int) (blockdev.Device, error) {
+	if i < 0 || i >= len(d.Nodes) {
+		return nil, fmt.Errorf("core: no node %d", i)
+	}
+	n := d.Nodes[i]
+	d.SP.Forget(n.ControlURL())
+	n.Web.close()
+	n.Control.close()
+	n.client.CloseIdleConnections()
+	d.Nodes = append(d.Nodes[:i], d.Nodes[i+1:]...)
+	return n.disk, nil
+}
+
+// SetFirmware switches the deployment to a different measured firmware
+// build and returns the new golden measurement. Already-running nodes
+// keep their old measurement until relaunched; nodes launched afterwards
+// (AddNode, RebootNode) boot the new firmware. The caller owns the trust
+// hand-over: with a registry policy, propose/vote the new golden before
+// rolling and revoke the old one after.
+func (d *Deployment) SetFirmware(version string) (measure.Measurement, error) {
+	fw := firmware.NewOVMF(version)
+	golden, err := hypervisor.ExpectedMeasurement(fw, d.bootBlobs())
+	if err != nil {
+		return measure.Measurement{}, fmt.Errorf("core: measure firmware %q: %w", version, err)
+	}
+	d.Firmware = fw
+	d.Golden = golden
+	return golden, nil
 }
 
 // RebootNode power-cycles node i: the guest is relaunched on the same
@@ -315,7 +409,9 @@ func (d *Deployment) RebootNode(i int) error {
 	if err != nil {
 		return fmt.Errorf("core: reboot node %d: %w", i, err)
 	}
-	agent := certmgr.NewAgent(guestVM, d.Verifier, netlab.Client(d.cfg.SPNetRTT, nil))
+	n.client.CloseIdleConnections()
+	client := netlab.Client(d.cfg.SPNetRTT, nil)
+	agent := certmgr.NewAgent(guestVM, d.Verifier, client)
 	if err := agent.RestoreFromPersist(); err != nil {
 		return fmt.Errorf("core: node %d restore credentials: %w", i, err)
 	}
@@ -326,6 +422,7 @@ func (d *Deployment) RebootNode(i int) error {
 	n.VM = guestVM
 	n.Agent = agent
 	n.Control = control
+	n.client = client
 	if hadWeb {
 		if err := d.startNodeWeb(n); err != nil {
 			return fmt.Errorf("core: node %d web restart: %w", i, err)
@@ -358,9 +455,18 @@ func (d *Deployment) StartWeb(appHandler func(n *Node) http.Handler) error {
 	return nil
 }
 
+// StartNodeWeb opens node i's HTTPS front end — the per-node half of
+// StartWeb, used when a node joins an already-serving deployment.
+func (d *Deployment) StartNodeWeb(i int) error {
+	if i < 0 || i >= len(d.Nodes) {
+		return fmt.Errorf("core: no node %d", i)
+	}
+	return d.startNodeWeb(d.Nodes[i])
+}
+
 func (d *Deployment) startNodeWeb(n *Node) error {
-	certDER, key, err := n.Agent.TLSCredentials()
-	if err != nil {
+	// Refuse to open the listener before provisioning completed...
+	if _, _, err := n.Agent.TLSCredentials(); err != nil {
 		return err
 	}
 	mux := http.NewServeMux()
@@ -370,8 +476,19 @@ func (d *Deployment) startNodeWeb(n *Node) error {
 			mux.Handle("/", h)
 		}
 	}
-	cert := tls.Certificate{Certificate: [][]byte{certDER}, PrivateKey: key}
-	web, err := startHTTPS(mux, cert)
+	// ...but resolve the certificate per handshake, so an SP-driven
+	// rotation propagates to the serving tier the moment the agent
+	// installs the renewed credentials — no listener restart, no window
+	// where a client sees a refused connection. The old certificate keeps
+	// serving until the atomic install, and both chain to the same CA.
+	agent := n.Agent
+	web, err := startHTTPSDynamic(mux, func() (*tls.Certificate, error) {
+		certDER, key, err := agent.TLSCredentials()
+		if err != nil {
+			return nil, err
+		}
+		return &tls.Certificate{Certificate: [][]byte{certDER}, PrivateKey: key}, nil
+	})
 	if err != nil {
 		return err
 	}
@@ -387,19 +504,29 @@ func (d *Deployment) CARootPool() *x509.CertPool {
 	return pool
 }
 
-// Close shuts down every server the deployment started.
+// Close shuts down every server the deployment started and reaps the
+// HTTP clients it created. Teardown runs in dependency order — node web
+// tier first (stop user traffic), then node control servers, then the CA
+// and KDS the nodes depend on — so nothing in flight dials a server that
+// is already gone.
 func (d *Deployment) Close() {
 	if d.closed {
 		return
 	}
 	d.closed = true
-	d.KDSServer.close()
-	d.CAServer.close()
 	for _, n := range d.Nodes {
 		if n == nil {
 			continue
 		}
-		n.Control.close()
 		n.Web.close()
+		n.Control.close()
+		n.client.CloseIdleConnections()
+	}
+	d.CAServer.close()
+	d.KDSServer.close()
+	// Idle keep-alive connections hold read-loop goroutines; drop them so
+	// repeated deployment cycles (fleet churn, leak tests) settle clean.
+	for _, c := range d.clients {
+		c.CloseIdleConnections()
 	}
 }

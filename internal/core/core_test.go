@@ -253,6 +253,186 @@ func TestRebootNodeRestoresService(t *testing.T) {
 	}
 }
 
+// TestAddNodeJoinsAndServes: scale-out — a node added to a provisioned,
+// serving deployment acquires the shared credentials via the SP's
+// single-node path and opens its own HTTPS front end.
+func TestAddNodeJoinsAndServes(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := d.ProvisionCertificates(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartWeb(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := d.AddNode()
+	if err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if idx != 1 || len(d.Nodes) != 2 {
+		t.Fatalf("idx = %d, nodes = %d", idx, len(d.Nodes))
+	}
+	joined := d.Nodes[idx]
+	if joined.Agent.Ready() {
+		t.Fatal("node ready before single-node provisioning")
+	}
+	if err := d.SP.ProvisionNode(context.Background(), joined.ControlURL(),
+		res.LeaderURL, res.CertDER); err != nil {
+		t.Fatalf("ProvisionNode: %v", err)
+	}
+	if err := d.StartNodeWeb(idx); err != nil {
+		t.Fatalf("StartNodeWeb: %v", err)
+	}
+	if joined.WebAddr() == "" {
+		t.Fatal("joined node has no web front end")
+	}
+	// The joined node serves the same shared certificate.
+	cert0, _, err := d.Nodes[0].Agent.TLSCredentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert1, _, err := joined.Agent.TLSCredentials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cert0, cert1) {
+		t.Error("joined node diverged from the shared certificate")
+	}
+}
+
+// TestRemoveNodeForgetsAddress: a decommissioned node leaves the SP's
+// approved set, so its address cannot be re-provisioned.
+func TestRemoveNodeForgetsAddress(t *testing.T) {
+	cfg, _ := testConfig(2)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := d.ProvisionCertificates(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goneURL := d.Nodes[1].ControlURL()
+	disk, err := d.RemoveNode(1)
+	if err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if disk == nil {
+		t.Error("RemoveNode returned no disk for decommission scrubbing")
+	}
+	if len(d.Nodes) != 1 {
+		t.Fatalf("nodes = %d, want 1", len(d.Nodes))
+	}
+	err = d.SP.ProvisionNode(context.Background(), goneURL, res.LeaderURL, res.CertDER)
+	if !errors.Is(err, certmgr.ErrUnapprovedNode) {
+		// The control server is down too, so a transport error is also
+		// fail-closed; but the approved set must not still contain it.
+		if err == nil {
+			t.Error("removed node re-provisioned")
+		}
+	}
+	if _, err := d.RemoveNode(7); err == nil {
+		t.Error("removing nonexistent node succeeded")
+	}
+}
+
+// TestRotationReachesLiveListeners: a second Provision run (renewal)
+// swaps the certificate the web tier serves without restarting any
+// listener — connections made after the install see the new leaf.
+func TestRotationReachesLiveListeners(t *testing.T) {
+	cfg, _ := testConfig(2)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartWeb(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	leafSerial := func(addr string) string {
+		conn, err := tls.Dial("tcp", addr, &tls.Config{
+			RootCAs:    d.CARootPool(),
+			ServerName: cfg.Domain,
+		})
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		defer func() { _ = conn.Close() }()
+		return conn.ConnectionState().PeerCertificates[0].SerialNumber.String()
+	}
+
+	addr0, addr1 := d.Nodes[0].WebAddr(), d.Nodes[1].WebAddr()
+	before := leafSerial(addr0)
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatalf("rotation: %v", err)
+	}
+	after0, after1 := leafSerial(addr0), leafSerial(addr1)
+	if after0 == before {
+		t.Error("node 0 still serves the pre-rotation certificate")
+	}
+	if after0 != after1 {
+		t.Error("nodes diverged after rotation")
+	}
+	if d.Nodes[0].WebAddr() != addr0 {
+		t.Error("rotation restarted the web listener")
+	}
+}
+
+// TestSetFirmwareChangesGolden: a firmware switch yields a new golden
+// measurement, newly launched nodes boot under it, and — the sealing
+// fail-closed property fleet rollouts rely on — an in-place reboot of an
+// old node cannot unseal its persistent volume under the new
+// measurement.
+func TestSetFirmwareChangesGolden(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	oldGolden := d.Golden
+
+	newGolden, err := d.SetFirmware("2024.11")
+	if err != nil {
+		t.Fatalf("SetFirmware: %v", err)
+	}
+	if newGolden == oldGolden {
+		t.Fatal("firmware switch did not change the golden measurement")
+	}
+	if d.Golden != newGolden {
+		t.Error("deployment golden not updated")
+	}
+
+	idx, err := d.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Nodes[idx].VM.Measurement(); got != newGolden {
+		t.Errorf("new node measurement = %s, want new golden", got)
+	}
+
+	// In-place reboot across the measurement change must fail closed: the
+	// sealing key is measurement-derived, so the old node's persistent
+	// volume cannot unseal under the new firmware.
+	if err := d.RebootNode(0); err == nil {
+		t.Error("in-place reboot across a measurement change succeeded")
+	}
+}
+
 func TestRemoteCAProvisioning(t *testing.T) {
 	cfg, _ := testConfig(2)
 	cfg.RemoteCA = true

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"revelio/internal/certmgr"
+)
+
+// Traffic is a fleet-wide client load driver: N concurrent clients
+// issuing attested-TLS requests round-robin across whatever nodes are
+// members at the instant each request starts. It exists to make churn
+// invariants falsifiable — every lifecycle scenario runs with traffic
+// on and asserts Stop() reports zero failures.
+type Traffic struct {
+	f    *Fleet
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	requests atomic.Int64
+	failures atomic.Int64
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+// StartTraffic launches `clients` concurrent request loops against the
+// fleet's web tier. Each request is made under the fleet's membership
+// read lock, so lifecycle operations drain in-flight requests before
+// touching the node set — the mechanism behind the zero-failed-request
+// guarantee during churn.
+func (f *Fleet) StartTraffic(clients int) *Traffic {
+	if clients <= 0 {
+		clients = 1
+	}
+	tr := &Traffic{f: f, stop: make(chan struct{})}
+	for c := 0; c < clients; c++ {
+		tr.wg.Add(1)
+		go func(c int) {
+			defer tr.wg.Done()
+			client := f.webClient()
+			defer client.CloseIdleConnections()
+			for i := c; ; i++ {
+				select {
+				case <-tr.stop:
+					return
+				default:
+				}
+				tr.one(client, i)
+			}
+		}(c)
+	}
+	return tr
+}
+
+// one performs a single attested-TLS request against node (i mod size).
+func (tr *Traffic) one(client *http.Client, i int) {
+	tr.f.memberMu.RLock()
+	defer tr.f.memberMu.RUnlock()
+	nodes := tr.f.serving
+	if len(nodes) == 0 {
+		tr.fail(fmt.Errorf("fleet: no nodes to serve traffic"))
+		return
+	}
+	n := nodes[i%len(nodes)]
+	addr := n.WebAddr()
+	if addr == "" {
+		tr.fail(fmt.Errorf("fleet: node %d has no web front end", i%len(nodes)))
+		return
+	}
+	tr.requests.Add(1)
+	resp, err := client.Get("https://" + addr + certmgr.WellKnownPath)
+	if err != nil {
+		tr.fail(err)
+		return
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tr.fail(fmt.Errorf("fleet: traffic status %d", resp.StatusCode))
+	}
+}
+
+func (tr *Traffic) fail(err error) {
+	tr.failures.Add(1)
+	tr.mu.Lock()
+	if tr.firstErr == nil {
+		tr.firstErr = err
+	}
+	tr.mu.Unlock()
+}
+
+// Stop ends the drive and reports totals: requests issued, failures
+// observed, and the first failure (nil when the run was clean).
+func (tr *Traffic) Stop() (requests, failures int64, firstErr error) {
+	close(tr.stop)
+	tr.wg.Wait()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.requests.Load(), tr.failures.Load(), tr.firstErr
+}
+
+// ServeBurst measures steady-state serving: `clients` concurrent
+// attested-TLS clients spread `requests` requests round-robin across
+// the serving nodes and the wall-clock for the whole burst is returned
+// with the number of requests actually performed (each client issues at
+// least one). The first failed request aborts the burst — throughput
+// numbers from a partially failing fleet would be meaningless.
+func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
+	if clients <= 0 {
+		clients = 1
+	}
+	perClient := requests / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	var wg sync.WaitGroup
+	tr := &Traffic{f: f}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := f.webClient()
+			defer client.CloseIdleConnections()
+			for i := 0; i < perClient; i++ {
+				tr.one(client, c*perClient+i)
+				if tr.failures.Load() > 0 {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	tr.mu.Lock()
+	firstErr := tr.firstErr
+	tr.mu.Unlock()
+	return elapsed, int(tr.requests.Load()), firstErr
+}

@@ -21,16 +21,37 @@ type Transport struct {
 	// http.DefaultTransport.
 	Inner http.RoundTripper
 	// Fail, if non-nil, is consulted per request; a non-nil error aborts
-	// the request (MITM blackholing, dead KDS, ...).
+	// the request (MITM blackholing, dead KDS, ...). Set it before the
+	// transport is shared across goroutines; for live fault injection
+	// while traffic is flowing, use SetOutage instead.
 	Fail func(req *http.Request) error
 
+	// outage, when set, fails every request — the switchable whole-service
+	// blackout (a KDS outage) as against Fail's per-request predicate.
+	outage   atomic.Pointer[outageState]
 	requests atomic.Int64
 }
 
+type outageState struct{ err error }
+
 var _ http.RoundTripper = (*Transport)(nil)
+
+// SetOutage makes every subsequent request fail with err until cleared
+// with SetOutage(nil). Unlike the Fail field it is safe to flip while
+// requests are in flight, which is what outage-recovery scenarios do.
+func (t *Transport) SetOutage(err error) {
+	if err == nil {
+		t.outage.Store(nil)
+		return
+	}
+	t.outage.Store(&outageState{err: err})
+}
 
 // RoundTrip implements http.RoundTripper.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if o := t.outage.Load(); o != nil {
+		return nil, fmt.Errorf("netlab: injected outage: %w", o.err)
+	}
 	if t.Fail != nil {
 		if err := t.Fail(req); err != nil {
 			return nil, fmt.Errorf("netlab: injected failure: %w", err)
@@ -47,8 +68,25 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	return inner.RoundTrip(req)
 }
 
-// Requests returns the number of round trips performed.
+// Requests returns the number of round trips performed. Requests aborted
+// by an injected outage or failure are not counted — the counter reflects
+// traffic that actually reached the wire, which is what singleflight
+// collapse proofs measure.
 func (t *Transport) Requests() int64 { return t.requests.Load() }
+
+// CloseIdleConnections forwards to the inner transport so
+// http.Client.CloseIdleConnections reaches the real connection pool —
+// without it, every netlab-wrapped client would strand keep-alive
+// goroutines past teardown.
+func (t *Transport) CloseIdleConnections() {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if c, ok := inner.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}
 
 // Client wraps a latency-injecting transport in an http.Client.
 func Client(rtt time.Duration, inner http.RoundTripper) *http.Client {

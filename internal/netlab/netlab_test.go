@@ -60,6 +60,60 @@ func TestFailureInjection(t *testing.T) {
 	}
 }
 
+func TestOutageInjectionAndRecovery(t *testing.T) {
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer server.Close()
+
+	down := errors.New("kds down")
+	tr := &Transport{}
+	client := &http.Client{Transport: tr}
+
+	get := func() error {
+		resp, err := client.Get(server.URL)
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+		return err
+	}
+
+	if err := get(); err != nil {
+		t.Fatalf("before outage: %v", err)
+	}
+	tr.SetOutage(down)
+	if err := get(); err == nil || !errors.Is(err, down) {
+		t.Errorf("during outage err = %v, want wrapped %v", err, down)
+	}
+	if tr.Requests() != 1 {
+		t.Errorf("outage request counted: Requests = %d, want 1", tr.Requests())
+	}
+	tr.SetOutage(nil)
+	if err := get(); err != nil {
+		t.Errorf("after recovery: %v", err)
+	}
+	if tr.Requests() != 2 {
+		t.Errorf("Requests = %d, want 2", tr.Requests())
+	}
+}
+
+func TestCloseIdleConnectionsDelegates(t *testing.T) {
+	inner := &countingCloser{RoundTripper: http.DefaultTransport}
+	tr := &Transport{Inner: inner}
+	client := &http.Client{Transport: tr}
+	client.CloseIdleConnections()
+	if inner.closed != 1 {
+		t.Errorf("inner CloseIdleConnections called %d times, want 1", inner.closed)
+	}
+}
+
+type countingCloser struct {
+	http.RoundTripper
+	closed int
+}
+
+func (c *countingCloser) CloseIdleConnections() { c.closed++ }
+
 func TestSelectiveFailure(t *testing.T) {
 	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -15,6 +15,7 @@ import (
 	"revelio/internal/browser"
 	"revelio/internal/core"
 	"revelio/internal/cryptpad"
+	"revelio/internal/fleet"
 	"revelio/internal/ic"
 	"revelio/internal/imagebuild"
 	"revelio/internal/webext"
@@ -115,6 +116,106 @@ func TestCryptpadOverAttestedTLS(t *testing.T) {
 	}
 	if bytes.Contains(raw, content) {
 		t.Error("pad plaintext on raw disk")
+	}
+}
+
+// TestCryptpadSurvivesNodeReplacement runs CryptPad on a fleet through
+// a full node-replacement cycle — the leader is decommissioned and a
+// fresh node joins through the attested key-acquisition path — while
+// client traffic flows, with zero failed requests. Pads written before
+// the churn stay readable after it: the pad state lives in the
+// application tier, the TLS identity in the shared certificate, and
+// neither depends on which physical node survives.
+func TestCryptpadSurvivesNodeReplacement(t *testing.T) {
+	const domain = "pad.example.org"
+	padServer := cryptpad.NewServer()
+	f, err := fleet.New(fleet.Config{
+		Nodes:  2,
+		Domain: domain,
+		App:    func(*core.Node) http.Handler { return padServer },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	ctx := context.Background()
+	d := f.Deployment()
+
+	// Alice attests node 0 and stores a pad before any churn.
+	aliceBrowser := browser.New(d.CARootPool(), 0)
+	aliceBrowser.Resolve(domain, d.Nodes[0].WebAddr())
+	aliceExt := webext.New(aliceBrowser, d.Verifier)
+	aliceExt.RegisterSite(domain, d.Golden)
+	if _, m, err := aliceExt.Navigate(ctx, domain, "/"); err != nil || !m.Attested {
+		t.Fatalf("alice attestation: err=%v m=%+v", err, m)
+	}
+	pad, err := cryptpad.NewPad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("meeting notes: survive the churn")
+	ct, err := pad.Seal(content, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := padServer.Put(pad.ID, ct, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace the leader under continuous traffic.
+	tr := f.StartTraffic(4)
+	leaderURL := f.LeaderURL()
+	leaderIdx := -1
+	for i, n := range d.Nodes {
+		if n.ControlURL() == leaderURL {
+			leaderIdx = i
+			break
+		}
+	}
+	if leaderIdx < 0 {
+		t.Fatal("leader not found")
+	}
+	newIdx, err := f.ReplaceNode(ctx, leaderIdx)
+	if err != nil {
+		t.Fatalf("ReplaceNode: %v", err)
+	}
+	requests, failures, firstErr := tr.Stop()
+	if failures != 0 {
+		t.Fatalf("churn failed %d/%d requests; first: %v", failures, requests, firstErr)
+	}
+	if requests == 0 {
+		t.Fatal("no traffic flowed during the replacement")
+	}
+	if err := f.VerifyFleet(ctx); err != nil {
+		t.Fatalf("fleet invalid after replacement: %v", err)
+	}
+
+	// Bob attests the replacement node and reads Alice's pad through it.
+	bobBrowser := browser.New(d.CARootPool(), 0)
+	bobBrowser.Resolve(domain, d.Nodes[newIdx].WebAddr())
+	bobExt := webext.New(bobBrowser, d.Verifier)
+	bobExt.RegisterSite(domain, d.Golden)
+	bobPad, err := cryptpad.ParseShareLink(pad.ShareLink(domain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, m, err := bobExt.Navigate(ctx, domain, "/pad/"+bobPad.ID)
+	if err != nil || !m.Attested {
+		t.Fatalf("bob attested read via replacement node: err=%v m=%+v", err, m)
+	}
+	var wire struct {
+		Version    uint64 `json:"version"`
+		Ciphertext []byte `json:"ciphertext"`
+	}
+	if err := json.Unmarshal(resp.Body, &wire); err != nil {
+		t.Fatalf("pad wire: %v (%s)", err, resp.Body)
+	}
+	pt, err := bobPad.Open(wire.Ciphertext, wire.Version)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(pt, content) {
+		t.Errorf("bob read %q through the replacement node, want %q", pt, content)
 	}
 }
 
