@@ -1,0 +1,34 @@
+// Package boundary is the public face of the paper's §4.2 use case: a
+// Boundary Node — the protocol-translation proxy that gives browsers
+// access to the Internet Computer — protected by Revelio. The verifying
+// service worker checks subnet threshold certificates on every
+// response, so even a malicious proxy cannot rewrite canister replies
+// undetected.
+package boundary
+
+import (
+	"revelio/apps/ic"
+	"revelio/internal/boundary"
+)
+
+type (
+	// Proxy is the Boundary Node (an http.Handler; hand it to
+	// Service.ServeWeb).
+	Proxy = boundary.Proxy
+	// ServiceWorker verifies certified canister responses client-side.
+	ServiceWorker = boundary.ServiceWorker
+)
+
+// ErrTampered reports a certified response that failed verification.
+var ErrTampered = boundary.ErrTampered
+
+// NewProxy creates a Boundary Node in front of an IC network.
+func NewProxy(network *ic.Network, swVersion string) *Proxy {
+	return boundary.NewProxy(network, swVersion)
+}
+
+// NewServiceWorker creates a verifying service worker trusting the
+// given subnet keys.
+func NewServiceWorker(keys ...ic.SubnetPublicKey) *ServiceWorker {
+	return boundary.NewServiceWorker(keys...)
+}

@@ -1,0 +1,37 @@
+// Package cryptpad is the public face of the paper's §4.1 use case: an
+// end-to-end-encrypted collaboration pad whose server runs inside a
+// Revelio-protected confidential VM. The server only ever stores
+// ciphertext; Revelio attestation lets clients verify the exact server
+// software, and tampering with stored blobs is detected client-side.
+package cryptpad
+
+import "revelio/internal/cryptpad"
+
+type (
+	// Server is the pad store that runs inside the confidential VM (an
+	// http.Handler; hand it to Service.ServeWeb).
+	Server = cryptpad.Server
+	// Pad is one encrypted pad: ID plus client-held key material.
+	Pad = cryptpad.Pad
+)
+
+var (
+	// ErrNoSuchPad reports a GET for an unknown pad.
+	ErrNoSuchPad = cryptpad.ErrNoSuchPad
+	// ErrVersionConflict reports a PUT against a stale version.
+	ErrVersionConflict = cryptpad.ErrVersionConflict
+	// ErrBadShareLink reports an unparseable share link.
+	ErrBadShareLink = cryptpad.ErrBadShareLink
+	// ErrDecrypt reports pad content that fails authenticated decryption.
+	ErrDecrypt = cryptpad.ErrDecrypt
+)
+
+// NewServer creates an empty pad server.
+func NewServer() *Server { return cryptpad.NewServer() }
+
+// NewPad mints a pad with fresh key material.
+func NewPad() (*Pad, error) { return cryptpad.NewPad() }
+
+// ParseShareLink reconstructs a pad from a share link (the key rides in
+// the URL fragment and never reaches the server).
+func ParseShareLink(link string) (*Pad, error) { return cryptpad.ParseShareLink(link) }

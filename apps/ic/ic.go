@@ -1,0 +1,59 @@
+// Package ic is the public face of the simulated Internet Computer the
+// Boundary Node use case proxies: subnets of replicas executing
+// canisters and threshold-certifying every response.
+package ic
+
+import (
+	"io"
+
+	"revelio/internal/ic"
+)
+
+type (
+	// Canister is a deployable unit of query/update handlers.
+	Canister = ic.Canister
+	// Handler is one canister method.
+	Handler = ic.Handler
+	// State is a canister's replicated key-value state.
+	State = ic.State
+	// Subnet is a replica group with a threshold signing key.
+	Subnet = ic.Subnet
+	// SubnetPublicKey verifies a subnet's certified responses.
+	SubnetPublicKey = ic.SubnetPublicKey
+	// Network routes requests to the subnet hosting a canister.
+	Network = ic.Network
+	// RequestKind distinguishes queries from updates.
+	RequestKind = ic.RequestKind
+	// CertifiedResponse is a reply plus its threshold certificate.
+	CertifiedResponse = ic.CertifiedResponse
+)
+
+// Request kinds.
+const (
+	KindQuery  = ic.KindQuery
+	KindUpdate = ic.KindUpdate
+)
+
+var (
+	// ErrNoSuchCanister reports a call to an unknown canister.
+	ErrNoSuchCanister = ic.ErrNoSuchCanister
+	// ErrNoSuchMethod reports a call to an unknown method.
+	ErrNoSuchMethod = ic.ErrNoSuchMethod
+	// ErrNoQuorum reports a subnet that cannot certify (too many
+	// corrupt replicas).
+	ErrNoQuorum = ic.ErrNoQuorum
+	// ErrBadCertificate reports a certificate that fails verification.
+	ErrBadCertificate = ic.ErrBadCertificate
+)
+
+// NewCanister builds a canister from query and update handlers.
+func NewCanister(id string, queries, updates map[string]Handler) *Canister {
+	return ic.NewCanister(id, queries, updates)
+}
+
+// NewSubnet creates an n-replica subnet (rng seeds the threshold keys
+// deterministically).
+func NewSubnet(id string, n int, rng io.Reader) (*Subnet, error) { return ic.NewSubnet(id, n, rng) }
+
+// NewNetwork creates an empty IC network.
+func NewNetwork() *Network { return ic.NewNetwork() }

@@ -1,0 +1,124 @@
+package attestation
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"revelio/internal/measure"
+)
+
+// TestTaxonomyHierarchy pins the errors.Is tree: every leaf must reach
+// its parent, and siblings must stay distinct.
+func TestTaxonomyHierarchy(t *testing.T) {
+	policyLeaves := []error{ErrUntrustedMeasurement, ErrRevoked, ErrChipNotAllowed, ErrTCBTooOld}
+	for _, leaf := range policyLeaves {
+		if !errors.Is(leaf, ErrPolicyRejected) {
+			t.Errorf("%v does not reach ErrPolicyRejected", leaf)
+		}
+		if errors.Is(leaf, ErrEvidenceInvalid) {
+			t.Errorf("%v wrongly reaches ErrEvidenceInvalid", leaf)
+		}
+	}
+	invalidLeaves := []error{ErrChainInvalid, ErrIdentityMismatch, ErrBindingMismatch}
+	for _, leaf := range invalidLeaves {
+		if !errors.Is(leaf, ErrEvidenceInvalid) {
+			t.Errorf("%v does not reach ErrEvidenceInvalid", leaf)
+		}
+		if errors.Is(leaf, ErrPolicyRejected) {
+			t.Errorf("%v wrongly reaches ErrPolicyRejected", leaf)
+		}
+	}
+	if errors.Is(ErrRevoked, ErrUntrustedMeasurement) {
+		t.Error("ErrRevoked must stay distinct from ErrUntrustedMeasurement")
+	}
+	for _, standalone := range []error{ErrEvidenceExpired, ErrKDSUnavailable, ErrUnknownProvider} {
+		if errors.Is(standalone, ErrPolicyRejected) || errors.Is(standalone, ErrEvidenceInvalid) {
+			t.Errorf("%v must not hang off an interior node", standalone)
+		}
+	}
+}
+
+type staticPolicy map[measure.Measurement]bool // true = trusted, false = revoked
+
+func (p staticPolicy) IsTrusted(m measure.Measurement) bool { return p[m] }
+func (p staticPolicy) IsRevoked(m measure.Measurement) bool {
+	trusted, known := p[m]
+	return known && !trusted
+}
+
+func TestJudgeMeasurement(t *testing.T) {
+	var trusted, revoked, unknown measure.Measurement
+	trusted[0], revoked[0], unknown[0] = 1, 2, 3
+	policy := staticPolicy{trusted: true, revoked: false}
+
+	if err := JudgeMeasurement(policy, trusted); err != nil {
+		t.Fatalf("trusted measurement judged: %v", err)
+	}
+	if err := JudgeMeasurement(policy, revoked); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked measurement: got %v, want ErrRevoked", err)
+	}
+	if err := JudgeMeasurement(policy, unknown); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Fatalf("unknown measurement: got %v, want ErrUntrustedMeasurement", err)
+	}
+	if err := JudgeMeasurement(nil, unknown); err != nil {
+		t.Fatalf("nil policy must trust everything, got %v", err)
+	}
+}
+
+type fakeVerifier struct {
+	name string
+	err  error
+}
+
+func (f *fakeVerifier) VerifyEvidence(_ context.Context, ev *Evidence) (*Result, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return &Result{Provider: f.name, Payload: ev.Payload}, nil
+}
+
+func TestMuxDispatch(t *testing.T) {
+	mux := NewMux()
+	mux.Register("alpha", &fakeVerifier{name: "alpha"})
+	mux.Register("beta", &fakeVerifier{name: "beta", err: ErrUntrustedMeasurement})
+
+	res, err := mux.VerifyEvidence(context.Background(), &Evidence{Provider: "alpha", Document: []byte("{}")})
+	if err != nil || res.Provider != "alpha" {
+		t.Fatalf("alpha dispatch: res=%v err=%v", res, err)
+	}
+	if _, err := mux.VerifyEvidence(context.Background(), &Evidence{Provider: "beta", Document: []byte("{}")}); !errors.Is(err, ErrPolicyRejected) {
+		t.Fatalf("beta dispatch: got %v, want policy rejection", err)
+	}
+	if _, err := mux.VerifyEvidence(context.Background(), &Evidence{Provider: "gamma"}); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("unknown provider: got %v, want ErrUnknownProvider", err)
+	}
+	mux.Deregister("alpha")
+	if _, err := mux.VerifyEvidence(context.Background(), &Evidence{Provider: "alpha"}); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("deregistered provider must fail closed, got %v", err)
+	}
+	if got := mux.Providers(); len(got) != 1 || got[0] != "beta" {
+		t.Fatalf("Providers() = %v, want [beta]", got)
+	}
+}
+
+func TestEvidenceRoundTrip(t *testing.T) {
+	ev := &Evidence{Provider: "alpha", Payload: []byte("pub"), Document: []byte(`{"q":1}`)}
+	raw, err := ev.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeEvidence(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Provider != ev.Provider || string(back.Payload) != "pub" || string(back.Document) != `{"q":1}` {
+		t.Fatalf("round trip mutated evidence: %+v", back)
+	}
+	if _, err := DecodeEvidence([]byte(`{"document":{}}`)); !errors.Is(err, ErrEvidenceInvalid) {
+		t.Fatalf("provider-less evidence: got %v, want ErrEvidenceInvalid", err)
+	}
+	if _, err := DecodeEvidence([]byte("not json")); !errors.Is(err, ErrEvidenceInvalid) {
+		t.Fatalf("garbage evidence: got %v, want ErrEvidenceInvalid", err)
+	}
+}

@@ -1,0 +1,98 @@
+package attestation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mux routes evidence to the verifier registered for its provider tag —
+// the one relying-party object a mixed-provider deployment needs. It
+// implements Verifier itself, so anything built over a single verifier
+// (the ratls peer callbacks, the fleet engine, the web extension flow)
+// transparently accepts evidence from every registered provider.
+//
+// Registration is keyed by name; policies stay per-provider, which is
+// what lets an operator revoke an SEV-SNP golden value without touching
+// the software-TEE workloads sharing the fleet (and vice versa).
+type Mux struct {
+	mu        sync.RWMutex
+	verifiers map[string]Verifier
+}
+
+var _ Verifier = (*Mux)(nil)
+
+// NewMux creates an empty provider mux.
+func NewMux() *Mux {
+	return &Mux{verifiers: make(map[string]Verifier)}
+}
+
+// Register installs v as the verifier for evidence tagged name,
+// replacing any previous registration.
+func (m *Mux) Register(name string, v Verifier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.verifiers[name] = v
+}
+
+// RegisterProvider installs a full provider under its own name.
+func (m *Mux) RegisterProvider(p Provider) { m.Register(p.Name(), p) }
+
+// Deregister removes the verifier for name; evidence tagged with it
+// fails closed with ErrUnknownProvider afterwards.
+func (m *Mux) Deregister(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.verifiers, name)
+}
+
+// Providers returns the registered provider names, sorted.
+func (m *Mux) Providers() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.verifiers))
+	for name := range m.verifiers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Verifier returns the verifier registered for name, if any.
+func (m *Mux) Verifier(name string) (Verifier, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.verifiers[name]
+	return v, ok
+}
+
+// VerifyEvidence dispatches the evidence to its provider's verifier.
+// Unknown providers fail closed with ErrUnknownProvider.
+func (m *Mux) VerifyEvidence(ctx context.Context, ev *Evidence) (*Result, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("%w: nil evidence", ErrEvidenceInvalid)
+	}
+	v, ok := m.Verifier(ev.Provider)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProvider, ev.Provider)
+	}
+	return v.VerifyEvidence(ctx, ev)
+}
+
+// CheckResult re-judges a result through its provider's verifier when
+// that verifier exposes ResultPolicy; providers without the capability
+// re-verify from scratch on their next full judgment instead.
+func (m *Mux) CheckResult(res *Result) error {
+	if res == nil {
+		return fmt.Errorf("%w: nil result", ErrEvidenceInvalid)
+	}
+	v, ok := m.Verifier(res.Provider)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownProvider, res.Provider)
+	}
+	if rp, ok := v.(ResultPolicy); ok {
+		return rp.CheckResult(res)
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+// Package softtee is the SDK's second attestation provider: an
+// in-process software TEE in the style of Intel TDX's quote model. A
+// Platform plays the role of the TDX module — it holds an ECDSA quoting
+// key that is the deployment's root of trust — and launches Enclaves
+// with a fixed launch measurement. An enclave issues quotes binding
+// caller payloads (SHA-512, mirroring SEV-SNP's REPORT_DATA) with an
+// explicit validity window; the Verifier authenticates quotes against
+// the platform's public key and judges the measurement under the same
+// attestation.TrustPolicy objects (static goldens, the trusted
+// registry) that govern SEV-SNP fleets.
+//
+// The package exists to prove the provider abstraction: it passes the
+// same conformance, ratls and fleet scenario suites as the hardware
+// provider while sharing none of its machinery — different evidence
+// format, different trust anchor, different expiry model.
+package softtee
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha512"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+	"time"
+
+	"revelio/attestation"
+	"revelio/internal/kdf"
+	"revelio/internal/measure"
+)
+
+// ProviderName tags software-TEE evidence in the neutral envelope.
+const ProviderName = "soft-tdx"
+
+// DefaultQuoteValidity bounds a quote's life when the platform does not
+// override it: long enough for provisioning flows, short enough that a
+// leaked quote goes stale.
+const DefaultQuoteValidity = 24 * time.Hour
+
+// quote is the signed evidence document. Signatures cover the
+// deterministic JSON encoding of the quote with Sig nilled.
+type quote struct {
+	Measurement measure.Measurement `json:"measurement"`
+	ReportData  [64]byte            `json:"reportData"` // SHA-512 of the bound payload
+	TCB         uint64              `json:"tcb"`
+	IssuedAt    time.Time           `json:"issuedAt"`
+	NotAfter    time.Time           `json:"notAfter"`
+	SigR        []byte              `json:"sigR,omitempty"`
+	SigS        []byte              `json:"sigS,omitempty"`
+}
+
+func (q *quote) signingBytes() ([]byte, error) {
+	unsigned := *q
+	unsigned.SigR, unsigned.SigS = nil, nil
+	raw, err := json.Marshal(&unsigned)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha512.Sum512(raw)
+	return sum[:], nil
+}
+
+// Platform is the software TEE's hardware root of trust: the quoting
+// key every enclave launched on it signs with.
+type Platform struct {
+	key      *ecdsa.PrivateKey
+	tcb      uint64
+	validity time.Duration
+	now      func() time.Time
+}
+
+// PlatformOption tunes a Platform.
+type PlatformOption func(*Platform)
+
+// WithTCB sets the platform's reported TCB version (default 1).
+func WithTCB(tcb uint64) PlatformOption { return func(p *Platform) { p.tcb = tcb } }
+
+// WithQuoteValidity sets how long issued quotes stay valid.
+func WithQuoteValidity(d time.Duration) PlatformOption {
+	return func(p *Platform) { p.validity = d }
+}
+
+// WithPlatformClock injects a test clock for quote timestamps.
+func WithPlatformClock(now func() time.Time) PlatformOption {
+	return func(p *Platform) { p.now = now }
+}
+
+// NewPlatform derives a platform deterministically from seed (so tests
+// and demos are reproducible, mirroring the amdsp manufacturer).
+func NewPlatform(seed []byte, opts ...PlatformOption) (*Platform, error) {
+	key, err := deriveKey(seed)
+	if err != nil {
+		return nil, fmt.Errorf("softtee: derive platform key: %w", err)
+	}
+	p := &Platform{key: key, tcb: 1, validity: DefaultQuoteValidity, now: time.Now}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// deriveKey deterministically derives the platform's P-256 quoting key
+// from seed via HKDF (ecdsa.GenerateKey deliberately defeats
+// deterministic readers, so the scalar is computed directly — the tiny
+// mod bias is irrelevant for a simulator).
+func deriveKey(seed []byte) (*ecdsa.PrivateKey, error) {
+	curve := elliptic.P256()
+	params := curve.Params()
+	okm, err := kdf.Derive(sha512.New, seed, []byte("softtee"), []byte("softtee-platform-key"), 40)
+	if err != nil {
+		return nil, err
+	}
+	d := new(big.Int).SetBytes(okm)
+	d.Mod(d, new(big.Int).Sub(params.N, big.NewInt(1)))
+	d.Add(d, big.NewInt(1))
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.PublicKey.Curve = curve
+	priv.PublicKey.X, priv.PublicKey.Y = curve.ScalarBaseMult(d.Bytes())
+	return priv, nil
+}
+
+// PublicKey returns the platform's quote-verification key — what a
+// relying party pins as the trust anchor.
+func (p *Platform) PublicKey() *ecdsa.PublicKey { return &p.key.PublicKey }
+
+// TCB returns the platform's reported TCB version.
+func (p *Platform) TCB() uint64 { return p.tcb }
+
+// Launch starts an enclave with the given launch measurement.
+func (p *Platform) Launch(m measure.Measurement) *Enclave {
+	return &Enclave{platform: p, measurement: m}
+}
+
+// Enclave is a launched software TEE: the issuing half of the provider.
+type Enclave struct {
+	platform    *Platform
+	measurement measure.Measurement
+}
+
+var _ attestation.Issuer = (*Enclave)(nil)
+
+// Measurement returns the enclave's launch measurement.
+func (e *Enclave) Measurement() measure.Measurement { return e.measurement }
+
+// Issue implements attestation.Issuer: a signed quote binding
+// SHA-512(payload), valid for the platform's quote validity window.
+func (e *Enclave) Issue(ctx context.Context, payload []byte) (*attestation.Evidence, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("softtee: issue quote: %w", err)
+	}
+	now := e.platform.now()
+	q := quote{
+		Measurement: e.measurement,
+		ReportData:  sha512.Sum512(payload),
+		TCB:         e.platform.tcb,
+		IssuedAt:    now,
+		NotAfter:    now.Add(e.platform.validity),
+	}
+	digest, err := q.signingBytes()
+	if err != nil {
+		return nil, fmt.Errorf("softtee: encode quote: %w", err)
+	}
+	r, s, err := ecdsa.Sign(rand.Reader, e.platform.key, digest)
+	if err != nil {
+		return nil, fmt.Errorf("softtee: sign quote: %w", err)
+	}
+	q.SigR, q.SigS = r.Bytes(), s.Bytes()
+	doc, err := json.Marshal(&q)
+	if err != nil {
+		return nil, fmt.Errorf("softtee: encode quote: %w", err)
+	}
+	return &attestation.Evidence{Provider: ProviderName, Payload: payload, Document: doc}, nil
+}
+
+// Verifier authenticates software-TEE quotes against a platform trust
+// anchor and judges their measurements under a TrustPolicy. It carries
+// the same policy-revision fencing as the SEV-SNP verifier so the ratls
+// fast path and TLS session caches fail closed on InvalidatePolicy.
+type Verifier struct {
+	anchor *ecdsa.PublicKey
+	policy attestation.TrustPolicy
+	minTCB uint64
+	now    func() time.Time
+	rev    atomic.Uint64
+}
+
+var (
+	_ attestation.Verifier     = (*Verifier)(nil)
+	_ attestation.Revisioned   = (*Verifier)(nil)
+	_ attestation.ResultPolicy = (*Verifier)(nil)
+)
+
+// VerifierOption tunes a Verifier.
+type VerifierOption func(*Verifier)
+
+// WithVerifierClock injects a test clock for expiry judgments.
+func WithVerifierClock(now func() time.Time) VerifierOption {
+	return func(v *Verifier) { v.now = now }
+}
+
+// WithMinTCB sets a floor on the platform TCB version.
+func WithMinTCB(tcb uint64) VerifierOption { return func(v *Verifier) { v.minTCB = tcb } }
+
+// NewVerifier creates a verifier trusting quotes signed by anchor and
+// judging measurements with policy (nil trusts every measurement —
+// gate that choice deliberately).
+func NewVerifier(anchor *ecdsa.PublicKey, policy attestation.TrustPolicy, opts ...VerifierOption) *Verifier {
+	v := &Verifier{anchor: anchor, policy: policy, now: time.Now}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Name identifies the provider.
+func (v *Verifier) Name() string { return ProviderName }
+
+// PolicyRevision implements attestation.Revisioned.
+func (v *Verifier) PolicyRevision() uint64 { return v.rev.Load() }
+
+// Now implements attestation.Revisioned.
+func (v *Verifier) Now() time.Time { return v.now() }
+
+// InvalidatePolicy bumps the policy revision; caches stacked above the
+// verifier (ratls memos, session caches) drop their entries.
+func (v *Verifier) InvalidatePolicy() { v.rev.Add(1) }
+
+// VerifyEvidence implements attestation.Verifier.
+func (v *Verifier) VerifyEvidence(ctx context.Context, ev *attestation.Evidence) (*attestation.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("softtee: verify: %w", err)
+	}
+	if ev.Provider != ProviderName {
+		return nil, fmt.Errorf("%w: %q evidence given to the %s provider",
+			attestation.ErrUnknownProvider, ev.Provider, ProviderName)
+	}
+	var q quote
+	if err := json.Unmarshal(ev.Document, &q); err != nil {
+		return nil, fmt.Errorf("%w: softtee quote: %v", attestation.ErrEvidenceInvalid, err)
+	}
+	digest, err := q.signingBytes()
+	if err != nil {
+		return nil, fmt.Errorf("%w: softtee quote: %v", attestation.ErrEvidenceInvalid, err)
+	}
+	r := new(big.Int).SetBytes(q.SigR)
+	s := new(big.Int).SetBytes(q.SigS)
+	if !ecdsa.Verify(v.anchor, digest, r, s) {
+		return nil, fmt.Errorf("%w: quote signature does not verify", attestation.ErrChainInvalid)
+	}
+	if q.ReportData != sha512.Sum512(ev.Payload) {
+		return nil, fmt.Errorf("%w: quote does not bind payload", attestation.ErrBindingMismatch)
+	}
+	now := v.now()
+	if now.After(q.NotAfter) {
+		return nil, fmt.Errorf("%w: quote expired %s", attestation.ErrEvidenceExpired, q.NotAfter.Format(time.RFC3339))
+	}
+	res := &attestation.Result{
+		Provider:    ProviderName,
+		Measurement: q.Measurement,
+		TCB:         q.TCB,
+		Expiry:      q.NotAfter,
+		Payload:     ev.Payload,
+		Details:     &q,
+	}
+	if err := v.CheckResult(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CheckResult implements attestation.ResultPolicy: the pure policy
+// judgment (TCB floor, measurement trust, expiry under the verifier's
+// clock), re-run on every fast-path hit.
+func (v *Verifier) CheckResult(res *attestation.Result) error {
+	if res.TCB < v.minTCB {
+		return fmt.Errorf("%w: have %d, need %d", attestation.ErrTCBTooOld, res.TCB, v.minTCB)
+	}
+	if !res.Expiry.IsZero() && v.now().After(res.Expiry) {
+		return fmt.Errorf("%w: quote expired %s", attestation.ErrEvidenceExpired, res.Expiry.Format(time.RFC3339))
+	}
+	return attestation.JudgeMeasurement(v.policy, res.Measurement)
+}
+
+// Provider bundles an enclave (issuer) and verifier into one
+// attestation.Provider — the shape the Mux registers.
+type Provider struct {
+	*Enclave
+	*Verifier
+}
+
+var _ attestation.Provider = Provider{}
+
+// NewProvider pairs an enclave with a verifier.
+func NewProvider(e *Enclave, v *Verifier) Provider { return Provider{Enclave: e, Verifier: v} }
+
+// Name identifies the provider (disambiguates the embedded pair).
+func (Provider) Name() string { return ProviderName }

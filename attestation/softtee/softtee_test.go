@@ -1,0 +1,237 @@
+package softtee
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"revelio/attestation"
+	"revelio/internal/measure"
+)
+
+func testGolden() measure.Measurement {
+	var m measure.Measurement
+	m[0], m[1] = 0xAB, 0xCD
+	return m
+}
+
+func newPair(t *testing.T, opts ...PlatformOption) (*Enclave, *Verifier, *Platform) {
+	t.Helper()
+	platform, err := NewPlatform([]byte("softtee-test"), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := testGolden()
+	enclave := platform.Launch(golden)
+	policy := map[measure.Measurement]struct{}{golden: {}}
+	verifier := NewVerifier(platform.PublicKey(), staticPolicy(policy))
+	return enclave, verifier, platform
+}
+
+type staticPolicy map[measure.Measurement]struct{}
+
+func (p staticPolicy) IsTrusted(m measure.Measurement) bool { _, ok := p[m]; return ok }
+
+func TestQuoteRoundTrip(t *testing.T) {
+	enclave, verifier, platform := newPair(t, WithTCB(9))
+	payload := []byte("bound key material")
+	ev, err := enclave.Issue(context.Background(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Provider != ProviderName {
+		t.Errorf("provider tag = %q", ev.Provider)
+	}
+	res, err := verifier.VerifyEvidence(context.Background(), ev)
+	if err != nil {
+		t.Fatalf("VerifyEvidence: %v", err)
+	}
+	if res.Measurement != testGolden() || res.TCB != 9 || res.Provider != ProviderName {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Expiry.IsZero() {
+		t.Error("quote carries no expiry")
+	}
+	if platform.TCB() != 9 {
+		t.Errorf("platform TCB = %d", platform.TCB())
+	}
+}
+
+func TestDeterministicPlatformKey(t *testing.T) {
+	a, err := NewPlatform([]byte("same-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlatform([]byte("same-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.PublicKey().Equal(b.PublicKey()) {
+		t.Error("same seed produced different platform keys")
+	}
+	c, err := NewPlatform([]byte("other-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PublicKey().Equal(c.PublicKey()) {
+		t.Error("different seeds produced the same platform key")
+	}
+}
+
+func TestForeignPlatformRejected(t *testing.T) {
+	enclave, _, _ := newPair(t)
+	foreign, err := NewPlatform([]byte("foreign"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := NewVerifier(foreign.PublicKey(), staticPolicy{testGolden(): {}})
+	ev, err := enclave.Issue(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.VerifyEvidence(context.Background(), ev); !errors.Is(err, attestation.ErrChainInvalid) {
+		t.Fatalf("foreign quote: %v, want ErrChainInvalid", err)
+	}
+}
+
+func TestQuoteTamperingRejected(t *testing.T) {
+	enclave, verifier, _ := newPair(t)
+	ev, err := enclave.Issue(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q map[string]any
+	if err := json.Unmarshal(ev.Document, &q); err != nil {
+		t.Fatal(err)
+	}
+	q["tcb"] = 99 // forge a better TCB
+	doc, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *ev
+	forged.Document = doc
+	if _, err := verifier.VerifyEvidence(context.Background(), &forged); !errors.Is(err, attestation.ErrEvidenceInvalid) {
+		t.Fatalf("forged quote: %v, want ErrEvidenceInvalid", err)
+	}
+}
+
+func TestPayloadBinding(t *testing.T) {
+	enclave, verifier, _ := newPair(t)
+	ev, err := enclave.Issue(context.Background(), []byte("original"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := *ev
+	swapped.Payload = []byte("swapped")
+	if _, err := verifier.VerifyEvidence(context.Background(), &swapped); !errors.Is(err, attestation.ErrBindingMismatch) {
+		t.Fatalf("swapped payload: %v, want ErrBindingMismatch", err)
+	}
+}
+
+func TestQuoteExpiry(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	platform, err := NewPlatform([]byte("expiry"), WithPlatformClock(clock), WithQuoteValidity(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave := platform.Launch(testGolden())
+	verifier := NewVerifier(platform.PublicKey(), staticPolicy{testGolden(): {}},
+		WithVerifierClock(func() time.Time { return now }))
+	ev, err := enclave.Issue(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.VerifyEvidence(context.Background(), ev); err != nil {
+		t.Fatalf("fresh quote: %v", err)
+	}
+	now = now.Add(2 * time.Hour)
+	if _, err := verifier.VerifyEvidence(context.Background(), ev); !errors.Is(err, attestation.ErrEvidenceExpired) {
+		t.Fatalf("stale quote: %v, want ErrEvidenceExpired", err)
+	}
+}
+
+func TestMinTCBFloor(t *testing.T) {
+	platform, err := NewPlatform([]byte("tcb"), WithTCB(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave := platform.Launch(testGolden())
+	verifier := NewVerifier(platform.PublicKey(), staticPolicy{testGolden(): {}}, WithMinTCB(5))
+	ev, err := enclave.Issue(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.VerifyEvidence(context.Background(), ev); !errors.Is(err, attestation.ErrTCBTooOld) {
+		t.Fatalf("low TCB: %v, want ErrTCBTooOld", err)
+	}
+}
+
+func TestPolicyRevision(t *testing.T) {
+	_, verifier, _ := newPair(t)
+	before := verifier.PolicyRevision()
+	verifier.InvalidatePolicy()
+	if got := verifier.PolicyRevision(); got != before+1 {
+		t.Errorf("revision = %d, want %d", got, before+1)
+	}
+	if verifier.Now().IsZero() {
+		t.Error("Now returned zero time")
+	}
+}
+
+func TestWrongProviderTag(t *testing.T) {
+	enclave, verifier, _ := newPair(t)
+	ev, err := enclave.Issue(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Provider = "sev-snp"
+	if _, err := verifier.VerifyEvidence(context.Background(), ev); !errors.Is(err, attestation.ErrUnknownProvider) {
+		t.Fatalf("misrouted evidence: %v, want ErrUnknownProvider", err)
+	}
+}
+
+func TestCancelledContexts(t *testing.T) {
+	enclave, verifier, _ := newPair(t)
+	ev, err := enclave.Issue(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := enclave.Issue(dead, []byte("p")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Issue(dead): %v", err)
+	}
+	if _, err := verifier.VerifyEvidence(dead, ev); !errors.Is(err, context.Canceled) {
+		t.Errorf("Verify(dead): %v", err)
+	}
+}
+
+func TestProviderComposition(t *testing.T) {
+	enclave, verifier, _ := newPair(t)
+	p := NewProvider(enclave, verifier)
+	if p.Name() != ProviderName {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	var iface attestation.Provider = p
+	ev, err := iface.Issue(context.Background(), []byte("composed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := iface.VerifyEvidence(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.CheckResult(res); err != nil {
+		t.Errorf("CheckResult on fresh result: %v", err)
+	}
+	if string(res.Payload) != "composed" {
+		t.Errorf("payload = %q", res.Payload)
+	}
+	if res.Measurement != enclave.Measurement() {
+		t.Error("result measurement differs from enclave measurement")
+	}
+}

@@ -1,7 +1,8 @@
 // Command revelio-attest is the stand-alone verifier: it reads a
 // serialized attestation report (or a JSON bundle) and validates it
 // against a KDS and an expected measurement — the command-line equivalent
-// of what the web extension does per session.
+// of what the web extension does per session. It is built entirely on the
+// public SDK (revelio/attestation/snp).
 //
 // Usage:
 //
@@ -20,10 +21,7 @@ import (
 	"os"
 	"time"
 
-	"revelio/internal/attest"
-	"revelio/internal/kds"
-	"revelio/internal/measure"
-	"revelio/internal/vm"
+	"revelio/attestation/snp"
 )
 
 func main() {
@@ -46,15 +44,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("-kds is required")
 	}
 
-	var policy attest.TrustPolicy
+	var policy snp.TrustPolicy
 	if *goldenHex != "" {
-		golden, err := measure.ParseMeasurement(*goldenHex)
+		golden, err := snp.ParseMeasurement(*goldenHex)
 		if err != nil {
 			return err
 		}
-		policy = attest.NewStaticGolden(golden)
+		policy = snp.NewStaticGolden(golden)
 	}
-	verifier := attest.NewVerifier(kds.NewClient(*kdsURL, nil), policy)
+	verifier := snp.NewVerifier(snp.NewKDSClient(*kdsURL, nil), policy)
 
 	raw, err := io.ReadAll(io.LimitReader(in, 1<<20))
 	if err != nil {
@@ -63,13 +61,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	var res *attest.Result
+	var res *snp.Result
 	if *isBundle {
-		bundle, err := attest.DecodeBundle(raw)
+		bundle, err := snp.DecodeBundle(raw)
 		if err != nil {
 			return err
 		}
-		res, err = verifier.VerifyBundle(ctx, bundle, vm.HashOf)
+		res, err = verifier.VerifyBundle(ctx, bundle, snp.HashOf)
 		if err != nil {
 			return err
 		}

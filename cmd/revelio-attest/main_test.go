@@ -6,46 +6,23 @@ import (
 	"strings"
 	"testing"
 
-	"revelio/internal/amdsp"
-	"revelio/internal/kds"
-	"revelio/internal/measure"
-	"revelio/internal/sev"
+	"revelio/attestation/snp"
 )
 
 // testEvidence spins up a KDS and produces a serialized report.
-func testEvidence(t *testing.T) (kdsURL string, reportRaw []byte, golden measure.Measurement) {
+func testEvidence(t *testing.T) (kdsURL string, reportRaw []byte, golden snp.Measurement) {
 	t.Helper()
-	mfr, err := amdsp.NewManufacturer([]byte("attest-cli-test"))
+	sim, err := snp.NewSimulator([]byte("attest-cli-test"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	chip, err := mfr.MintProcessor([]byte("chip"), 3)
+	ev, err := sim.MintDemo([]byte("chip"), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := chip.LaunchStart(0, 0)
-	if err := chip.LaunchUpdate(h, measure.PageNormal, 0, []byte("fw"), "ovmf"); err != nil {
-		t.Fatal(err)
-	}
-	m, err := chip.LaunchFinish(h)
-	if err != nil {
-		t.Fatal(err)
-	}
-	guest, err := chip.GuestChannel(h)
-	if err != nil {
-		t.Fatal(err)
-	}
-	report, err := guest.Report(sev.ReportData{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw, err := report.MarshalBinary()
-	if err != nil {
-		t.Fatal(err)
-	}
-	server := httptest.NewServer(kds.NewServer(mfr))
+	server := httptest.NewServer(sim.Handler())
 	t.Cleanup(server.Close)
-	return server.URL, raw, m
+	return server.URL, ev.ReportRaw, ev.Golden
 }
 
 func TestAttestValidReport(t *testing.T) {
@@ -63,7 +40,7 @@ func TestAttestValidReport(t *testing.T) {
 
 func TestAttestWrongGolden(t *testing.T) {
 	kdsURL, raw, _ := testEvidence(t)
-	var wrong measure.Measurement
+	var wrong snp.Measurement
 	wrong[0] = 0xFF
 	err := run([]string{"-kds", kdsURL, "-golden", wrong.String()},
 		bytes.NewReader(raw), &bytes.Buffer{})

@@ -24,7 +24,7 @@ import (
 	"strings"
 	"time"
 
-	"revelio/internal/bench"
+	"revelio/bench"
 )
 
 func main() {

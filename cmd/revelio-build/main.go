@@ -1,6 +1,7 @@
 // Command revelio-build runs the reproducible image build for a profile
 // and prints the artifact manifest and the golden launch measurement an
-// auditor would publish.
+// auditor would publish. It is built entirely on the public SDK
+// (package revelio).
 //
 // Usage:
 //
@@ -17,9 +18,7 @@ import (
 	"fmt"
 	"os"
 
-	"revelio/internal/firmware"
-	"revelio/internal/hypervisor"
-	"revelio/internal/imagebuild"
+	"revelio"
 )
 
 func main() {
@@ -32,31 +31,28 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("revelio-build", flag.ContinueOnError)
 	profile := fs.String("profile", "cp", "image profile: bn (boundary node) or cp (cryptpad)")
-	fwVersion := fs.String("firmware", "2023.05", "OVMF build version for the golden measurement")
+	fwVersion := fs.String("firmware", revelio.DefaultFirmwareVersion, "OVMF build version for the golden measurement")
 	check := fs.Bool("check", false, "rebuild and verify bit-identical output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	reg := imagebuild.NewRegistry()
-	base := imagebuild.PublishUbuntuBase(reg)
-	var spec imagebuild.Spec
+	var p revelio.Profile
 	switch *profile {
 	case "bn":
-		spec = imagebuild.BoundaryNodeSpec(base)
+		p = revelio.ProfileBoundaryNode
 	case "cp":
-		spec = imagebuild.CryptpadSpec(base)
+		p = revelio.ProfileCryptPad
 	default:
 		return fmt.Errorf("unknown profile %q (want bn or cp)", *profile)
 	}
 
-	builder := imagebuild.NewBuilder(reg)
-	img, err := builder.Build(spec)
+	build, err := revelio.BuildImage(p, revelio.BuildFirmware(*fwVersion))
 	if err != nil {
 		return err
 	}
 
-	m := img.Manifest
+	img, m := build.Image, build.Manifest()
 	fmt.Printf("image:        %s %s\n", m.Name, m.Version)
 	fmt.Printf("kernel:       sha256:%s\n", hex.EncodeToString(m.KernelSHA256[:]))
 	fmt.Printf("initrd:       sha256:%s\n", hex.EncodeToString(m.InitrdSHA256[:]))
@@ -64,21 +60,16 @@ func run(args []string) error {
 	fmt.Printf("rootfs:       sha256:%s\n", hex.EncodeToString(m.RootfsSHA256[:]))
 	fmt.Printf("verity root:  %s\n", hex.EncodeToString(m.RootHash[:]))
 	fmt.Printf("disk size:    %d bytes\n", img.Disk.Size())
-
-	golden, err := hypervisor.ExpectedMeasurement(firmware.NewOVMF(*fwVersion), hypervisor.BootBlobs{
-		Kernel: img.Kernel, Initrd: img.Initrd, Cmdline: img.Cmdline,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("golden measurement (OVMF %s):\n  %s\n", *fwVersion, golden)
+	fmt.Printf("golden measurement (OVMF %s):\n  %s\n", *fwVersion, build.Golden)
 
 	if *check {
-		img2, err := builder.Build(spec)
+		build2, err := revelio.BuildImage(p, revelio.BuildFirmware(*fwVersion))
 		if err != nil {
 			return fmt.Errorf("rebuild: %w", err)
 		}
+		img2 := build2.Image
 		if img.RootHash != img2.RootHash ||
+			build.Golden != build2.Golden ||
 			!bytes.Equal(img.Disk.Snapshot(), img2.Disk.Snapshot()) ||
 			!bytes.Equal(img.Kernel, img2.Kernel) ||
 			!bytes.Equal(img.Initrd, img2.Initrd) ||

@@ -1,6 +1,7 @@
 // Command revelio-kds runs the simulated AMD Key Distribution Server and
 // mints a demonstration chip, printing everything a verifier needs to use
 // the endpoint (chip id, TCB, and a sample report for revelio-attest).
+// It is built entirely on the public SDK (revelio/attestation/snp).
 //
 // Usage:
 //
@@ -18,10 +19,7 @@ import (
 	"os"
 	"time"
 
-	"revelio/internal/amdsp"
-	"revelio/internal/kds"
-	"revelio/internal/measure"
-	"revelio/internal/sev"
+	"revelio/attestation/snp"
 )
 
 func main() {
@@ -31,70 +29,41 @@ func main() {
 	}
 }
 
-// demo is the manufacturer plus the minted demonstration evidence the
+// demo is the simulator plus the minted demonstration evidence the
 // banner advertises.
 type demo struct {
-	mfr       *amdsp.Manufacturer
-	chipID    sev.ChipID
-	tcb       uint64
-	golden    measure.Measurement
-	reportRaw []byte
+	sim *snp.Simulator
+	ev  *snp.DemoEvidence
 }
 
-// buildDemo derives the key hierarchy from seed, launches a demo guest,
-// and mints a sample report for revelio-attest to chew on.
+// buildDemo derives the key hierarchy from seed and mints a sample
+// report for revelio-attest to chew on.
 func buildDemo(seed string) (*demo, error) {
-	mfr, err := amdsp.NewManufacturer([]byte(seed))
+	sim, err := snp.NewSimulator([]byte(seed))
 	if err != nil {
 		return nil, err
 	}
-	chip, err := mfr.MintProcessor([]byte("demo-chip"), 7)
+	ev, err := sim.MintDemo([]byte("demo-chip"), 7)
 	if err != nil {
 		return nil, err
 	}
-	h := chip.LaunchStart(0x30000, 1)
-	if err := chip.LaunchUpdate(h, measure.PageNormal, 0xFFC00000, []byte("demo firmware"), "ovmf"); err != nil {
-		return nil, err
-	}
-	m, err := chip.LaunchFinish(h)
-	if err != nil {
-		return nil, err
-	}
-	guest, err := chip.GuestChannel(h)
-	if err != nil {
-		return nil, err
-	}
-	report, err := guest.Report(sev.ReportData{})
-	if err != nil {
-		return nil, err
-	}
-	raw, err := report.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	return &demo{
-		mfr:       mfr,
-		chipID:    chip.ChipID(),
-		tcb:       chip.TCB(),
-		golden:    m,
-		reportRaw: raw,
-	}, nil
+	return &demo{sim: sim, ev: ev}, nil
 }
 
 // banner prints the verifier crib sheet for a server listening on addr.
 func (d *demo) banner(w io.Writer, addr net.Addr) {
 	fmt.Fprintf(w, "KDS listening on http://%s\n", addr)
-	fmt.Fprintf(w, "demo chip id:  %s\n", hex.EncodeToString(d.chipID[:]))
-	fmt.Fprintf(w, "demo tcb:      %d\n", d.tcb)
-	fmt.Fprintf(w, "demo golden:   %s\n", d.golden)
+	fmt.Fprintf(w, "demo chip id:  %s\n", hex.EncodeToString(d.ev.ChipID[:]))
+	fmt.Fprintf(w, "demo tcb:      %d\n", d.ev.TCB)
+	fmt.Fprintf(w, "demo golden:   %s\n", d.ev.Golden)
 	fmt.Fprintf(w, "demo report (base64, pipe through `base64 -d` into revelio-attest):\n%s\n",
-		base64.StdEncoding.EncodeToString(d.reportRaw))
-	fmt.Fprintf(w, "try: curl http://%s%s\n", addr, kds.CertChainPath)
+		base64.StdEncoding.EncodeToString(d.ev.ReportRaw))
+	fmt.Fprintf(w, "try: curl http://%s%s\n", addr, snp.CertChainPath)
 }
 
 // serve runs the KDS HTTP endpoint on ln until the listener closes.
-func serve(ln net.Listener, mfr *amdsp.Manufacturer) error {
-	server := &http.Server{Handler: kds.NewServer(mfr), ReadHeaderTimeout: 10 * time.Second}
+func serve(ln net.Listener, sim *snp.Simulator) error {
+	server := &http.Server{Handler: sim.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	return server.Serve(ln)
 }
 
@@ -115,5 +84,5 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	d.banner(out, ln.Addr())
-	return serve(ln, d.mfr)
+	return serve(ln, d.sim)
 }

@@ -13,9 +13,7 @@ import (
 	"strings"
 	"testing"
 
-	"revelio/internal/attest"
-	"revelio/internal/kds"
-	"revelio/internal/sev"
+	"revelio/attestation/snp"
 )
 
 func TestFlagParsing(t *testing.T) {
@@ -27,18 +25,18 @@ func TestFlagParsing(t *testing.T) {
 	}
 }
 
-// TestHandlerWiring serves the demo manufacturer through the real
-// handler and verifies the demo report end-to-end against it — the same
-// loop a revelio-attest user runs against the printed banner.
+// TestHandlerWiring serves the demo simulator through the real handler
+// and verifies the demo report end-to-end against it — the same loop a
+// revelio-attest user runs against the printed banner.
 func TestHandlerWiring(t *testing.T) {
 	d, err := buildDemo("kds-cli-test")
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := httptest.NewServer(kds.NewServer(d.mfr))
+	server := httptest.NewServer(d.sim.Handler())
 	t.Cleanup(server.Close)
 
-	resp, err := http.Get(server.URL + kds.CertChainPath)
+	resp, err := http.Get(server.URL + snp.CertChainPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,16 +45,12 @@ func TestHandlerWiring(t *testing.T) {
 		t.Errorf("cert chain status = %d", resp.StatusCode)
 	}
 
-	verifier := attest.NewVerifier(kds.NewClient(server.URL, nil), attest.NewStaticGolden(d.golden))
-	var report sev.Report
-	if err := report.UnmarshalBinary(d.reportRaw); err != nil {
-		t.Fatalf("demo report does not parse: %v", err)
-	}
-	res, err := verifier.VerifyReport(context.Background(), &report)
+	verifier := snp.NewVerifier(snp.NewKDSClient(server.URL, nil), snp.NewStaticGolden(d.ev.Golden))
+	res, err := verifier.VerifyRaw(context.Background(), d.ev.ReportRaw)
 	if err != nil {
 		t.Fatalf("demo report does not verify against the demo KDS: %v", err)
 	}
-	if res.Report.Measurement != d.golden {
+	if res.Report.Measurement != d.ev.Golden {
 		t.Error("verified measurement differs from banner golden")
 	}
 }
@@ -73,9 +67,9 @@ func TestBannerContents(t *testing.T) {
 	s := out.String()
 	for _, want := range []string{
 		"KDS listening on http://127.0.0.1:8080",
-		"demo chip id:  " + hex.EncodeToString(d.chipID[:]),
-		"demo golden:   " + d.golden.String(),
-		"curl http://127.0.0.1:8080" + kds.CertChainPath,
+		"demo chip id:  " + hex.EncodeToString(d.ev.ChipID[:]),
+		"demo golden:   " + d.ev.Golden.String(),
+		"curl http://127.0.0.1:8080" + snp.CertChainPath,
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("banner lacks %q", want)
@@ -87,7 +81,7 @@ func TestBannerContents(t *testing.T) {
 	if err != nil {
 		t.Fatalf("banner report is not base64: %v", err)
 	}
-	if !bytes.Equal(raw, d.reportRaw) {
+	if !bytes.Equal(raw, d.ev.ReportRaw) {
 		t.Error("banner report differs from minted report")
 	}
 }
@@ -104,9 +98,9 @@ func TestServeUntilClosed(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, d.mfr) }()
+	go func() { done <- serve(ln, d.sim) }()
 
-	resp, err := http.Get("http://" + ln.Addr().String() + kds.CertChainPath)
+	resp, err := http.Get("http://" + ln.Addr().String() + snp.CertChainPath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,42 @@
 // boot, integrity-protected storage, certificate management, and
 // browser-side attestation — runs on a laptop.
 //
+// # The public SDK
+//
+// This package is the SDK's front door. The smallest end-to-end flow is
+// three calls:
+//
+//	svc, err := revelio.New(ctx, revelio.WithDomain("pad.example.org"))
+//	report, err := svc.Provision(ctx)      // Fig 4: attest + issue + distribute
+//	err = svc.ServeWeb(app)                // attested HTTPS from inside the TEE
+//
+// Around the Service sit the SDK's public packages:
+//
+//	revelio                      — Service builder, image builds, fleets
+//	revelio/attestation          — provider-neutral interfaces (Evidence,
+//	                               Provider, Mux, CertSource) and the typed
+//	                               error taxonomy (ErrPolicyRejected,
+//	                               ErrRevoked, ErrKDSUnavailable, ...)
+//	revelio/attestation/snp      — the SEV-SNP provider (verifier, KDS
+//	                               client, simulator)
+//	revelio/attestation/softtee  — a second, in-process software-TEE
+//	                               provider (mock TDX-style quotes)
+//	revelio/webclient            — the end-user browser + web extension
+//	revelio/apps/...             — the paper's use cases (cryptpad,
+//	                               boundary, ic)
+//	revelio/bench                — the experiment harness
+//
+// Every lifecycle operation is context-first (AddNode, RemoveNode,
+// RebootNode, SetFirmware, Provision, fleet scenarios): cancellation
+// surfaces as a wrapped context error, never poisons a fail-closed
+// cache, and never leaves a half-joined node behind. Verification
+// failures map onto the attestation taxonomy, so callers branch with
+// errors.Is from any layer. The exported surface is pinned by api.txt
+// (see TestAPISurfaceGolden); examples/ and cmd/ compile against the
+// public packages only, enforced in CI.
+//
+// # Reproduction inventory
+//
 // The implementation lives under internal/; see DESIGN.md for the system
 // inventory, examples/ for runnable entry points, and cmd/revelio-bench
 // for the experiment harness that regenerates the paper's tables and
@@ -26,8 +62,8 @@
 // "Attestation fast path"). Table 5 extends the §5.3 deployment story
 // to fleets under churn: provisioning and join latency plus
 // steady-state attested-TLS throughput swept over fleet sizes, driven
-// by the internal/fleet lifecycle engine (see DESIGN.md's "Fleet
-// lifecycle"). revelio-bench -json emits every result as one
-// machine-readable JSON document for tracking across revisions, and
-// -baseline regresses a run against a stored document.
+// by the fleet lifecycle engine (see DESIGN.md's "Fleet lifecycle").
+// revelio-bench -json emits every result as one machine-readable JSON
+// document for tracking across revisions, and -baseline regresses a run
+// against a stored document.
 package revelio

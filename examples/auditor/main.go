@@ -1,5 +1,6 @@
 // Auditor example (paper §3.4.7): delegated verification for end-users
-// who cannot rebuild images themselves.
+// who cannot rebuild images themselves, written against the public SDK
+// (revelio, revelio/attestation, revelio/attestation/snp).
 //
 // The flow:
 //
@@ -24,13 +25,9 @@ import (
 	"fmt"
 	"os"
 
-	"revelio/internal/attest"
-	"revelio/internal/certmgr"
-	"revelio/internal/core"
-	"revelio/internal/firmware"
-	"revelio/internal/hypervisor"
-	"revelio/internal/imagebuild"
-	"revelio/internal/registry"
+	"revelio"
+	"revelio/attestation"
+	"revelio/attestation/snp"
 )
 
 const domain = "audited.example.org"
@@ -43,108 +40,85 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// The community's trusted registry: three voters, two must agree.
-	trusted := registry.New(2)
+	trusted := revelio.NewTrustRegistry(2)
 	for _, voter := range []string{"auditor-gmbh", "university-lab", "dao-member"} {
 		trusted.AddVoter(voter)
 	}
 
 	// --- Service provider: publish sources, deploy v1 ---------------------
-	reg := imagebuild.NewRegistry()
-	base := imagebuild.PublishUbuntuBase(reg)
-	specV1 := imagebuild.CryptpadSpec(base)
-
-	deployment, err := core.New(core.Config{
-		Spec:          specV1,
-		Registry:      reg,
-		Nodes:         1,
-		Domain:        domain,
-		TrustRegistry: trusted,
-	})
+	svc, err := revelio.New(ctx, revelio.WithDomain(domain), revelio.WithTrustRegistry(trusted))
 	if err != nil {
 		return err
 	}
-	defer deployment.Close()
+	defer svc.Close()
 
 	// Provisioning fails while nothing is trusted yet — the SP node
-	// itself consults the registry.
-	if _, err := deployment.ProvisionCertificates(context.Background()); !errors.Is(err, certmgr.ErrNodeRejected) {
-		return fmt.Errorf("expected rejection before any votes, got %v", err)
+	// itself consults the registry, and the typed taxonomy says exactly
+	// why: the measurement is not (yet) a golden value.
+	if _, err := svc.Provision(ctx); !errors.Is(err, attestation.ErrUntrustedMeasurement) {
+		return fmt.Errorf("expected untrusted-measurement rejection before any votes, got %v", err)
 	}
 	fmt.Println("before any audit: provisioning rejected (no trusted measurement)")
 
 	// --- Auditor: rebuild from sources, compute the golden value ----------
-	auditorImg, err := imagebuild.NewBuilder(reg).Build(specV1) // independent rebuild
+	audit, err := revelio.BuildImage(revelio.ProfileCryptPad) // independent rebuild
 	if err != nil {
 		return err
 	}
-	goldenV1, err := hypervisor.ExpectedMeasurement(
-		firmware.NewOVMF("2023.05"),
-		hypervisor.BootBlobs{
-			Kernel:  auditorImg.Kernel,
-			Initrd:  auditorImg.Initrd,
-			Cmdline: auditorImg.Cmdline,
-		})
-	if err != nil {
-		return err
-	}
-	if goldenV1 != deployment.Golden {
+	if audit.Golden != svc.Golden() {
 		return fmt.Errorf("auditor rebuild diverged — reproducibility broken")
 	}
-	fmt.Printf("auditor reproduced the measurement from sources:\n  %s\n", goldenV1)
+	fmt.Printf("auditor reproduced the measurement from sources:\n  %s\n", audit.Golden)
 
-	if err := trusted.Propose(goldenV1, "cryptpad-server 1.0.0 (audited)"); err != nil {
+	if err := trusted.Propose(audit.Golden, "cryptpad-server 1.0.0 (audited)"); err != nil {
 		return err
 	}
-	if err := trusted.Vote("auditor-gmbh", goldenV1); err != nil {
+	if err := trusted.Vote("auditor-gmbh", audit.Golden); err != nil {
 		return err
 	}
-	if trusted.IsTrusted(goldenV1) {
+	if trusted.IsTrusted(audit.Golden) {
 		return fmt.Errorf("trusted below threshold")
 	}
-	if err := trusted.Vote("university-lab", goldenV1); err != nil {
+	if err := trusted.Vote("university-lab", audit.Golden); err != nil {
 		return err
 	}
 	fmt.Println("community voted: measurement is now a golden value")
 
 	// --- With the registry populated, everything proceeds ------------------
-	if _, err := deployment.ProvisionCertificates(context.Background()); err != nil {
+	if _, err := svc.Provision(ctx); err != nil {
 		return fmt.Errorf("provisioning after votes: %w", err)
 	}
 	fmt.Println("provisioning succeeded under the community-approved value")
 
 	// --- Rollout of v2 supersedes v1 (rollback defence, §6.1.4) ------------
-	specV2 := specV1
-	specV2.Version = "1.1.0" // security fix
-	v2Img, err := imagebuild.NewBuilder(reg).Build(specV2)
+	auditV2, err := revelio.BuildImage(revelio.ProfileCryptPad,
+		revelio.BuildVersion("1.1.0")) // security fix
 	if err != nil {
 		return err
 	}
-	goldenV2, err := hypervisor.ExpectedMeasurement(
-		firmware.NewOVMF("2023.05"),
-		hypervisor.BootBlobs{Kernel: v2Img.Kernel, Initrd: v2Img.Initrd, Cmdline: v2Img.Cmdline})
-	if err != nil {
+	if err := trusted.Supersede(audit.Golden, auditV2.Golden, "cryptpad-server 1.1.0 (audited, fixes CVE)"); err != nil {
 		return err
 	}
-	if err := trusted.Supersede(goldenV1, goldenV2, "cryptpad-server 1.1.0 (audited, fixes CVE)"); err != nil {
+	if err := trusted.Vote("auditor-gmbh", auditV2.Golden); err != nil {
 		return err
 	}
-	if err := trusted.Vote("auditor-gmbh", goldenV2); err != nil {
-		return err
-	}
-	if err := trusted.Vote("dao-member", goldenV2); err != nil {
+	if err := trusted.Vote("dao-member", auditV2.Golden); err != nil {
 		return err
 	}
 
 	// The still-running v1 node now fails verification — a provider
-	// keeping (or rolling back to) the vulnerable version is caught.
-	rep, err := deployment.Nodes[0].VM.Report([64]byte{})
+	// keeping (or rolling back to) the vulnerable version is caught, and
+	// the taxonomy distinguishes *revoked* from never-trusted.
+	rep, err := svc.Node(0).VM.Report(snp.ReportData{})
 	if err != nil {
 		return err
 	}
-	verifier := attest.NewVerifier(deployment.KDSClient, trusted)
-	if _, err := verifier.VerifyReport(context.Background(), rep); !errors.Is(err, attest.ErrUntrustedMeasurement) {
-		return fmt.Errorf("rollback not caught: %v", err)
+	verifier := snp.NewVerifier(svc.CertSource(), trusted)
+	if _, err := verifier.VerifyReport(ctx, rep); !errors.Is(err, attestation.ErrRevoked) {
+		return fmt.Errorf("rollback not caught as revoked: %v", err)
 	}
 	fmt.Println("after the v2 rollout, the old image is revoked: rollback attempt rejected")
 

@@ -1,5 +1,7 @@
 // Boundary Node example (paper §4.2): a protocol-translation proxy that
-// gives browsers access to the Internet Computer, protected by Revelio.
+// gives browsers access to the Internet Computer, protected by Revelio —
+// written against the public SDK (revelio, revelio/webclient,
+// revelio/apps/boundary, revelio/apps/ic).
 //
 // The demo stands up a small IC (one 4-replica subnet with a counter
 // canister), puts a Boundary Node in front of it inside a Revelio-
@@ -21,12 +23,10 @@ import (
 	"net/http"
 	"os"
 
-	"revelio/internal/boundary"
-	"revelio/internal/browser"
-	"revelio/internal/core"
-	"revelio/internal/ic"
-	"revelio/internal/imagebuild"
-	"revelio/internal/webext"
+	"revelio"
+	"revelio/apps/boundary"
+	"revelio/apps/ic"
+	"revelio/webclient"
 )
 
 const domain = "ic0.example.org"
@@ -64,6 +64,8 @@ func counterCanister() *ic.Canister {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// --- The Internet Computer -------------------------------------------
 	subnet, err := ic.NewSubnet("subnet-demo", 4, rand.New(rand.NewSource(42)))
 	if err != nil {
@@ -76,32 +78,25 @@ func run() error {
 	}
 
 	// --- A Revelio-protected Boundary Node --------------------------------
-	reg := imagebuild.NewRegistry()
-	base := imagebuild.PublishUbuntuBase(reg)
-	deployment, err := core.New(core.Config{
-		Spec:     imagebuild.BoundaryNodeSpec(base),
-		Registry: reg,
-		Nodes:    1,
-		Domain:   domain,
-	})
+	svc, err := revelio.New(ctx, revelio.WithProfile(revelio.ProfileBoundaryNode), revelio.WithDomain(domain))
 	if err != nil {
 		return err
 	}
-	defer deployment.Close()
-	if _, err := deployment.ProvisionCertificates(context.Background()); err != nil {
+	defer svc.Close()
+	if _, err := svc.Provision(ctx); err != nil {
 		return err
 	}
 	proxy := boundary.NewProxy(network, "1.0.0")
-	if err := deployment.StartWeb(func(*core.Node) http.Handler { return proxy }); err != nil {
+	if err := svc.ServeWeb(func(*revelio.Node) http.Handler { return proxy }); err != nil {
 		return err
 	}
 
 	// --- Client: attest the BN, then talk to the IC through it ------------
-	b := browser.New(deployment.CARootPool(), 0)
-	b.Resolve(domain, deployment.Nodes[0].WebAddr())
-	ext := webext.New(b, deployment.Verifier)
-	ext.RegisterSite(domain, deployment.Golden)
-	if _, m, err := ext.Navigate(context.Background(), domain, "/sw.js"); err != nil {
+	b := webclient.NewBrowser(svc.CARootPool(), 0)
+	b.Resolve(domain, svc.WebAddr(0))
+	ext := webclient.NewExtension(b, svc.Verifier())
+	ext.RegisterSite(domain, svc.Golden())
+	if _, m, err := ext.Navigate(ctx, domain, "/sw.js"); err != nil {
 		return fmt.Errorf("attest BN: %w", err)
 	} else {
 		fmt.Printf("attested the Boundary Node (fresh attestation: %v)\n", m.Attested)
@@ -146,7 +141,7 @@ type localServer struct {
 
 func newLocalServer(h http.Handler) *localServer {
 	server := &http.Server{Handler: h}
-	ln, err := netListen()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err) // startup-only failure in an example binary
 	}
@@ -155,8 +150,4 @@ func newLocalServer(h http.Handler) *localServer {
 		url:   "http://" + ln.Addr().String(),
 		close: func() { _ = server.Close() },
 	}
-}
-
-func netListen() (net.Listener, error) {
-	return net.Listen("tcp", "127.0.0.1:0")
 }

@@ -1,5 +1,6 @@
 // CryptPad example (paper §4.1): an end-to-end-encrypted collaboration
-// suite hosted in a Revelio-protected confidential VM.
+// suite hosted in a Revelio-protected confidential VM, written against
+// the public SDK (revelio, revelio/webclient, revelio/apps/cryptpad).
 //
 // Two things compose here:
 //
@@ -24,11 +25,9 @@ import (
 	"net/http"
 	"os"
 
-	"revelio/internal/browser"
-	"revelio/internal/core"
-	"revelio/internal/cryptpad"
-	"revelio/internal/imagebuild"
-	"revelio/internal/webext"
+	"revelio"
+	"revelio/apps/cryptpad"
+	"revelio/webclient"
 )
 
 const domain = "pad.example.org"
@@ -41,35 +40,29 @@ func main() {
 }
 
 func run() error {
-	reg := imagebuild.NewRegistry()
-	base := imagebuild.PublishUbuntuBase(reg)
-	deployment, err := core.New(core.Config{
-		Spec:     imagebuild.CryptpadSpec(base),
-		Registry: reg,
-		Nodes:    1,
-		Domain:   domain,
-	})
+	ctx := context.Background()
+	svc, err := revelio.New(ctx, revelio.WithProfile(revelio.ProfileCryptPad), revelio.WithDomain(domain))
 	if err != nil {
 		return err
 	}
-	defer deployment.Close()
-	if _, err := deployment.ProvisionCertificates(context.Background()); err != nil {
+	defer svc.Close()
+	if _, err := svc.Provision(ctx); err != nil {
 		return err
 	}
 
 	// The pad server runs inside the confidential VM; its binary is part
 	// of the measured rootfs.
 	padServer := cryptpad.NewServer()
-	if err := deployment.StartWeb(func(*core.Node) http.Handler { return padServer }); err != nil {
+	if err := svc.ServeWeb(func(*revelio.Node) http.Handler { return padServer }); err != nil {
 		return err
 	}
 
 	// --- Alice: attest the server, then create an encrypted pad ----------
-	aliceBrowser := browser.New(deployment.CARootPool(), 0)
-	aliceBrowser.Resolve(domain, deployment.Nodes[0].WebAddr())
-	aliceExt := webext.New(aliceBrowser, deployment.Verifier)
-	aliceExt.RegisterSite(domain, deployment.Golden)
-	if _, m, err := aliceExt.Navigate(context.Background(), domain, "/"); err == nil {
+	aliceBrowser := webclient.NewBrowser(svc.CARootPool(), 0)
+	aliceBrowser.Resolve(domain, svc.WebAddr(0))
+	aliceExt := webclient.NewExtension(aliceBrowser, svc.Verifier())
+	aliceExt.RegisterSite(domain, svc.Golden())
+	if _, m, err := aliceExt.Navigate(ctx, domain, "/"); err == nil {
 		fmt.Printf("alice attested %s (fresh attestation: %v)\n", domain, m.Attested)
 	} else {
 		return fmt.Errorf("alice attestation: %w", err)
@@ -91,11 +84,11 @@ func run() error {
 	fmt.Printf("alice created pad %s and shared the link (key stays in the URL fragment)\n", pad.ID)
 
 	// --- Bob: attest, then open the pad via the share link ---------------
-	bobBrowser := browser.New(deployment.CARootPool(), 0)
-	bobBrowser.Resolve(domain, deployment.Nodes[0].WebAddr())
-	bobExt := webext.New(bobBrowser, deployment.Verifier)
-	bobExt.RegisterSite(domain, deployment.Golden)
-	if _, _, err := bobExt.Navigate(context.Background(), domain, "/"); err != nil {
+	bobBrowser := webclient.NewBrowser(svc.CARootPool(), 0)
+	bobBrowser.Resolve(domain, svc.WebAddr(0))
+	bobExt := webclient.NewExtension(bobBrowser, svc.Verifier())
+	bobExt.RegisterSite(domain, svc.Golden())
+	if _, _, err := bobExt.Navigate(ctx, domain, "/"); err != nil {
 		return fmt.Errorf("bob attestation: %w", err)
 	}
 	bobPad, err := cryptpad.ParseShareLink(link)

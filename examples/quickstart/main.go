@@ -1,4 +1,6 @@
-// Quickstart: the smallest end-to-end Revelio flow.
+// Quickstart: the smallest end-to-end Revelio flow, written entirely
+// against the public SDK (package revelio + revelio/webclient — no
+// internal imports).
 //
 //  1. Reproducibly build a service image and compute its golden
 //     measurement from sources.
@@ -18,10 +20,8 @@ import (
 	"net/http"
 	"os"
 
-	"revelio/internal/browser"
-	"revelio/internal/core"
-	"revelio/internal/imagebuild"
-	"revelio/internal/webext"
+	"revelio"
+	"revelio/webclient"
 )
 
 const domain = "hello.example.org"
@@ -34,25 +34,20 @@ func main() {
 }
 
 func run() error {
-	// --- Service provider side -----------------------------------------
-	reg := imagebuild.NewRegistry()
-	base := imagebuild.PublishUbuntuBase(reg)
-	spec := imagebuild.CryptpadSpec(base)
-	spec.Name = "hello-service"
+	ctx := context.Background()
 
-	deployment, err := core.New(core.Config{
-		Spec:     spec,
-		Registry: reg,
-		Nodes:    1,
-		Domain:   domain,
-	})
+	// --- Service provider side -----------------------------------------
+	svc, err := revelio.New(ctx,
+		revelio.WithDomain(domain),
+		revelio.WithImage(revelio.BuildName("hello-service")),
+	)
 	if err != nil {
 		return err
 	}
-	defer deployment.Close()
-	fmt.Printf("built image; golden measurement (what auditors publish):\n  %s\n\n", deployment.Golden)
+	defer svc.Close()
+	fmt.Printf("built image; golden measurement (what auditors publish):\n  %s\n\n", svc.Golden())
 
-	result, err := deployment.ProvisionCertificates(context.Background())
+	result, err := svc.Provision(ctx)
 	if err != nil {
 		return err
 	}
@@ -62,7 +57,7 @@ func run() error {
 	fmt.Printf("  cert generation:     %v\n", result.Timings.CertGeneration)
 	fmt.Printf("  cert distribution:   %v\n\n", result.Timings.CertDistribution)
 
-	if err := deployment.StartWeb(func(*core.Node) http.Handler {
+	if err := svc.ServeWeb(func(*revelio.Node) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			_, _ = w.Write([]byte("hello from inside a confidential VM\n"))
 		})
@@ -71,12 +66,12 @@ func run() error {
 	}
 
 	// --- End-user side ---------------------------------------------------
-	b := browser.New(deployment.CARootPool(), 0)
-	b.Resolve(domain, deployment.Nodes[0].WebAddr())
-	ext := webext.New(b, deployment.Verifier)
-	ext.RegisterSite(domain, deployment.Golden)
+	b := webclient.NewBrowser(svc.CARootPool(), 0)
+	b.Resolve(domain, svc.WebAddr(0))
+	ext := webclient.NewExtension(b, svc.Verifier())
+	ext.RegisterSite(domain, svc.Golden())
 
-	resp, metrics, err := ext.Navigate(context.Background(), domain, "/")
+	resp, metrics, err := ext.Navigate(ctx, domain, "/")
 	if err != nil {
 		return err
 	}
@@ -84,7 +79,7 @@ func run() error {
 	fmt.Printf("  body:            %q\n", resp.Body)
 	fmt.Printf("  fresh attestation performed: %v (took %v)\n", metrics.Attested, metrics.AttestationTime)
 
-	_, metrics2, err := ext.Navigate(context.Background(), domain, "/again")
+	_, metrics2, err := ext.Navigate(ctx, domain, "/again")
 	if err != nil {
 		return err
 	}

@@ -1,4 +1,5 @@
-// Web-extension example (paper §5.3.2): the end-user's view of Revelio.
+// Web-extension example (paper §5.3.2): the end-user's view of Revelio,
+// written against the public SDK (revelio + revelio/webclient).
 //
 // The demo walks the extension's full feature set against a live
 // deployment:
@@ -30,12 +31,8 @@ import (
 	"net/http"
 	"os"
 
-	"revelio/internal/acme"
-	"revelio/internal/browser"
-	"revelio/internal/core"
-	"revelio/internal/imagebuild"
-	"revelio/internal/measure"
-	"revelio/internal/webext"
+	"revelio"
+	"revelio/webclient"
 )
 
 const domain = "secure.example.org"
@@ -48,22 +45,16 @@ func main() {
 }
 
 func run() error {
-	reg := imagebuild.NewRegistry()
-	base := imagebuild.PublishUbuntuBase(reg)
-	deployment, err := core.New(core.Config{
-		Spec:     imagebuild.CryptpadSpec(base),
-		Registry: reg,
-		Nodes:    1,
-		Domain:   domain,
-	})
+	ctx := context.Background()
+	svc, err := revelio.New(ctx, revelio.WithDomain(domain))
 	if err != nil {
 		return err
 	}
-	defer deployment.Close()
-	if _, err := deployment.ProvisionCertificates(context.Background()); err != nil {
+	defer svc.Close()
+	if _, err := svc.Provision(ctx); err != nil {
 		return err
 	}
-	if err := deployment.StartWeb(func(*core.Node) http.Handler {
+	if err := svc.ServeWeb(func(*revelio.Node) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			_, _ = w.Write([]byte("sensitive service"))
 		})
@@ -71,10 +62,9 @@ func run() error {
 		return err
 	}
 
-	b := browser.New(deployment.CARootPool(), 0)
-	b.Resolve(domain, deployment.Nodes[0].WebAddr())
-	ext := webext.New(b, deployment.Verifier)
-	ctx := context.Background()
+	b := webclient.NewBrowser(svc.CARootPool(), 0)
+	b.Resolve(domain, svc.WebAddr(0))
+	ext := webclient.NewExtension(b, svc.Verifier())
 
 	// 1. Opportunistic discovery.
 	discovered, err := ext.Discover(ctx, domain)
@@ -83,10 +73,10 @@ func run() error {
 	}
 	fmt.Printf("discovered a Revelio site at %s\n  reported measurement: %s\n", domain, discovered)
 	fmt.Printf("  (the user validates this against the published golden value: match=%v)\n\n",
-		discovered == deployment.Golden)
+		discovered == svc.Golden())
 
 	// 2. Manual registration + attested navigation.
-	ext.RegisterSite(domain, deployment.Golden)
+	ext.RegisterSite(domain, svc.Golden())
 	if _, m, err := ext.Navigate(ctx, domain, "/"); err != nil {
 		return err
 	} else {
@@ -95,11 +85,11 @@ func run() error {
 
 	// 3. Failure mode A: wrong golden value (service runs unexpected
 	// software, or the user mistyped the measurement).
-	wrongExt := webext.New(b, deployment.Verifier)
-	var wrong measure.Measurement
+	wrongExt := webclient.NewExtension(b, svc.Verifier())
+	var wrong revelio.Measurement
 	wrong[0] = 0xBB
 	wrongExt.RegisterSite(domain, wrong)
-	if _, _, err := wrongExt.Navigate(ctx, domain, "/"); errors.Is(err, webext.ErrMeasurementMismatch) {
+	if _, _, err := wrongExt.Navigate(ctx, domain, "/"); errors.Is(err, webclient.ErrMeasurementMismatch) {
 		fmt.Println("measurement mismatch correctly flagged (user is warned before any data flows)")
 	} else {
 		return fmt.Errorf("measurement mismatch not flagged: %v", err)
@@ -107,12 +97,12 @@ func run() error {
 
 	// 4. Failure mode B: DNS redirect onto an attacker server that even
 	// holds a browser-valid certificate for the domain.
-	attackerAddr, err := startAttacker(deployment)
+	attackerAddr, err := startAttacker(svc)
 	if err != nil {
 		return err
 	}
 	b.Resolve(domain, attackerAddr)
-	if _, _, err := ext.Navigate(ctx, domain, "/login"); errors.Is(err, webext.ErrConnectionHijacked) {
+	if _, _, err := ext.Navigate(ctx, domain, "/login"); errors.Is(err, webclient.ErrConnectionHijacked) {
 		fmt.Println("DNS redirect correctly flagged: connection no longer terminates in the attested VM")
 	} else {
 		return fmt.Errorf("redirect not flagged: %v", err)
@@ -124,7 +114,7 @@ func run() error {
 
 // startAttacker runs a phishing server with a CA-valid certificate for
 // the domain (the attacker controls DNS, so DNS-01 passes).
-func startAttacker(d *core.Deployment) (string, error) {
+func startAttacker(svc *revelio.Service) (string, error) {
 	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
 	if err != nil {
 		return "", err
@@ -136,7 +126,7 @@ func startAttacker(d *core.Deployment) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	certDER, err := acme.NewClient(d.CA, d.Zone).ObtainCertificate(domain, csr)
+	certDER, err := svc.ObtainCertificate(domain, csr)
 	if err != nil {
 		return "", err
 	}

@@ -22,39 +22,53 @@ import (
 	"sync/atomic"
 	"time"
 
+	"revelio/attestation"
 	"revelio/internal/amdsp"
-	"revelio/internal/kds"
 	"revelio/internal/measure"
 	"revelio/internal/sev"
 )
 
+// The package's failure modes are the SDK's shared error taxonomy
+// (revelio/attestation): the same sentinel an errors.Is caller matches
+// here is what the public facade, ratls, certmgr and fleet surface, so
+// a failure classified at this layer stays classified all the way up.
 var (
 	// ErrUntrustedMeasurement reports a valid report whose measurement no
 	// trust policy accepts.
-	ErrUntrustedMeasurement = errors.New("attest: measurement not trusted")
+	ErrUntrustedMeasurement = attestation.ErrUntrustedMeasurement
+	// ErrRevoked reports a measurement the trust policy explicitly
+	// revoked (as against one it never trusted).
+	ErrRevoked = attestation.ErrRevoked
 	// ErrChipNotAllowed reports a report from a chip outside the
 	// allow-list (the SP node's impersonation defence, §5.3.1).
-	ErrChipNotAllowed = errors.New("attest: chip not in allow-list")
+	ErrChipNotAllowed = attestation.ErrChipNotAllowed
 	// ErrChainInvalid reports a VCEK that does not chain to the ARK.
-	ErrChainInvalid = errors.New("attest: VCEK certificate chain invalid")
+	ErrChainInvalid = attestation.ErrChainInvalid
 	// ErrIdentityMismatch reports a VCEK certificate whose embedded chip
 	// identity disagrees with the report.
-	ErrIdentityMismatch = errors.New("attest: VCEK identity does not match report")
+	ErrIdentityMismatch = attestation.ErrIdentityMismatch
 	// ErrReportDataMismatch reports a bundle whose payload hash is not
 	// the report's REPORT_DATA.
-	ErrReportDataMismatch = errors.New("attest: REPORT_DATA does not bind payload")
+	ErrReportDataMismatch = attestation.ErrBindingMismatch
 	// ErrTCBTooOld reports a platform running SNP firmware below the
 	// verifier's floor — the firmware-level rollback defence.
-	ErrTCBTooOld = errors.New("attest: platform TCB below required minimum")
+	ErrTCBTooOld = attestation.ErrTCBTooOld
+	// ErrEvidenceExpired reports evidence whose proving chain is out of
+	// its validity window at verification time.
+	ErrEvidenceExpired = attestation.ErrEvidenceExpired
 )
 
 // TrustPolicy decides whether a measurement is a golden value.
 // *registry.Registry implements it; StaticGolden is the hard-coded
 // alternative (§5.3: "hard-coded values planted on the VMs at build
-// time").
-type TrustPolicy interface {
-	IsTrusted(m measure.Measurement) bool
-}
+// time"). It is the SDK-wide attestation.TrustPolicy contract.
+type TrustPolicy = attestation.TrustPolicy
+
+// CertSource supplies the VCEK and ASK/ARK certificates that
+// authenticate a report — the seam that used to be a hard *kds.Client
+// dependency. *kds.Client satisfies it; so do offline bundles and test
+// doubles.
+type CertSource = attestation.CertSource
 
 // StaticGolden is a fixed set of golden measurements.
 type StaticGolden map[measure.Measurement]struct{}
@@ -87,7 +101,7 @@ func (g StaticGolden) IsTrusted(m measure.Measurement) bool {
 // revocation fails a cached report immediately. Failures are never
 // cached.
 type Verifier struct {
-	kds    *kds.Client
+	source CertSource
 	policy TrustPolicy
 	chips  map[sev.ChipID]struct{} // nil = any chip
 	minTCB uint64
@@ -133,11 +147,12 @@ func WithReportCache(n int) Option { return func(v *Verifier) { v.cacheSize = n 
 // behaviour, kept for benchmarking the cold path.
 func WithoutReportCache() Option { return func(v *Verifier) { v.cacheSize = -1 } }
 
-// NewVerifier creates a verifier fetching certificates from kdsClient and
-// judging measurements with policy. Proof caching is on by default; see
+// NewVerifier creates a verifier fetching certificates from source
+// (typically a *kds.Client, but any CertSource works) and judging
+// measurements with policy. Proof caching is on by default; see
 // WithoutReportCache.
-func NewVerifier(kdsClient *kds.Client, policy TrustPolicy, opts ...Option) *Verifier {
-	v := &Verifier{kds: kdsClient, policy: policy, now: time.Now}
+func NewVerifier(source CertSource, policy TrustPolicy, opts ...Option) *Verifier {
+	v := &Verifier{source: source, policy: policy, now: time.Now}
 	for _, o := range opts {
 		o(v)
 	}
@@ -181,10 +196,9 @@ func (v *Verifier) CheckPolicy(report *sev.Report) error {
 			return ErrChipNotAllowed
 		}
 	}
-	if v.policy != nil && !v.policy.IsTrusted(report.Measurement) {
-		return fmt.Errorf("%w: %s", ErrUntrustedMeasurement, report.Measurement)
-	}
-	return nil
+	// JudgeMeasurement distinguishes revocation from plain distrust when
+	// the policy can (the trusted registry's RevocationChecker).
+	return attestation.JudgeMeasurement(v.policy, report.Measurement)
 }
 
 // Result is a successfully verified report plus the evidence used.
@@ -214,9 +228,14 @@ func (v *Verifier) VerifyReport(ctx context.Context, report *sev.Report) (*Resul
 		}
 	}
 
-	vcekCert, err := v.kds.VCEK(ctx, report.ChipID, report.TCBVersion)
+	vcekCert, err := v.source.VCEK(ctx, report.ChipID, report.TCBVersion)
 	if err != nil {
 		return nil, fmt.Errorf("attest: fetch vcek: %w", err)
+	}
+	// Classify expiry before the chain walk so out-of-validity evidence
+	// maps to ErrEvidenceExpired rather than a generic chain failure.
+	if now.After(vcekCert.NotAfter) {
+		return nil, fmt.Errorf("%w: VCEK expired %s", ErrEvidenceExpired, vcekCert.NotAfter.Format(time.RFC3339))
 	}
 
 	// Chain walk, skipped when this exact VCEK DER was already proven at
@@ -238,7 +257,7 @@ func (v *Verifier) VerifyReport(ctx context.Context, report *sev.Report) (*Resul
 	if chainProven {
 		notAfter = chainProof.notAfter
 	} else {
-		ask, ark, err := v.kds.CertChain(ctx)
+		ask, ark, err := v.source.CertChain(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("attest: fetch cert chain: %w", err)
 		}
@@ -252,6 +271,10 @@ func (v *Verifier) VerifyReport(ctx context.Context, report *sev.Report) (*Resul
 			CurrentTime:   now,
 			KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
 		}); err != nil {
+			var invalid x509.CertificateInvalidError
+			if errors.As(err, &invalid) && invalid.Reason == x509.Expired {
+				return nil, fmt.Errorf("%w: %v", ErrEvidenceExpired, err)
+			}
 			return nil, fmt.Errorf("%w: %v", ErrChainInvalid, err)
 		}
 		if ask.NotAfter.Before(notAfter) {

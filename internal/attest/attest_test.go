@@ -197,7 +197,7 @@ func TestRegistryAsTrustPolicy(t *testing.T) {
 	if err := reg.Revoke(rep.Measurement); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.VerifyReport(context.Background(), rep); !errors.Is(err, ErrUntrustedMeasurement) {
+	if _, err := v.VerifyReport(context.Background(), rep); !errors.Is(err, ErrRevoked) {
 		t.Errorf("revoked measurement accepted: %v", err)
 	}
 }
@@ -377,7 +377,7 @@ func TestPolicyRecheckedOnCacheHit(t *testing.T) {
 	if err := reg.Revoke(rep.Measurement); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.VerifyReport(ctx, rep); !errors.Is(err, ErrUntrustedMeasurement) {
+	if _, err := v.VerifyReport(ctx, rep); !errors.Is(err, ErrRevoked) {
 		t.Errorf("revoked measurement served from cache: %v", err)
 	}
 	if r.hits.Load() != cold {
@@ -433,8 +433,8 @@ func TestProofExpiresWithVCEKValidity(t *testing.T) {
 	mu.Lock()
 	now = res.VCEK.NotAfter.Add(time.Hour)
 	mu.Unlock()
-	if _, err := v.VerifyReport(ctx, rep); !errors.Is(err, ErrChainInvalid) {
-		t.Errorf("expired VCEK: err = %v, want ErrChainInvalid", err)
+	if _, err := v.VerifyReport(ctx, rep); !errors.Is(err, ErrEvidenceExpired) {
+		t.Errorf("expired VCEK: err = %v, want ErrEvidenceExpired", err)
 	}
 }
 

@@ -105,7 +105,7 @@ func table5Cell(ctx context.Context, cfg Table5Config, n int) (Table5Row, error)
 	row := Table5Row{Nodes: n}
 
 	t0 := time.Now()
-	f, err := fleet.New(fleet.Config{
+	f, err := fleet.New(ctx, fleet.Config{
 		Nodes:    n,
 		Domain:   "table5.example.org",
 		SPNetRTT: cfg.SPNetRTT,

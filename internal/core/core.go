@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"revelio/internal/acme"
@@ -115,7 +116,7 @@ type Deployment struct {
 
 	cfg        Config
 	appHandler func(n *Node) http.Handler
-	closed     bool
+	closeOnce  sync.Once
 	kdsNet     *netlab.Transport // verifier-side KDS path (outage injection)
 	clients    []*http.Client    // every client we created, for idle-conn reaping
 	seq        int               // chip seed counter across launches
@@ -334,7 +335,13 @@ func (d *Deployment) launchNode(chipSeed []byte) (*Node, error) {
 // launched but unprovisioned: run the SP's single-node flow
 // (SP.ProvisionNode) to hand it the shared credentials, then
 // StartNodeWeb to open its HTTPS front end.
-func (d *Deployment) AddNode() (int, error) {
+//
+// A cancelled ctx aborts before any state changes: either the node is
+// fully launched and registered, or the deployment is untouched.
+func (d *Deployment) AddNode(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("core: add node: %w", err)
+	}
 	node, err := d.launchNode(d.nextChipSeed())
 	if err != nil {
 		return 0, fmt.Errorf("core: add node: %w", err)
@@ -348,9 +355,16 @@ func (d *Deployment) AddNode() (int, error) {
 // first (no new user traffic), then its control server, and its address
 // leaves the SP's approved set so the slot cannot be silently reused.
 // The node's disk is returned for post-decommission security scrapes.
-func (d *Deployment) RemoveNode(i int) (blockdev.Device, error) {
+//
+// Removal is not cancellable once under way — a half-decommissioned
+// node would be worse than either outcome — so ctx is only honoured
+// before the first side effect.
+func (d *Deployment) RemoveNode(ctx context.Context, i int) (blockdev.Device, error) {
 	if i < 0 || i >= len(d.Nodes) {
 		return nil, fmt.Errorf("core: no node %d", i)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: remove node %d: %w", i, err)
 	}
 	n := d.Nodes[i]
 	d.SP.Forget(n.ControlURL())
@@ -367,7 +381,14 @@ func (d *Deployment) RemoveNode(i int) (blockdev.Device, error) {
 // (AddNode, RebootNode) boot the new firmware. The caller owns the trust
 // hand-over: with a registry policy, propose/vote the new golden before
 // rolling and revoke the old one after.
-func (d *Deployment) SetFirmware(version string) (measure.Measurement, error) {
+//
+// The switch is atomic with respect to ctx: a cancellation observed
+// before the measurement completes leaves the deployment on its current
+// firmware.
+func (d *Deployment) SetFirmware(ctx context.Context, version string) (measure.Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return measure.Measurement{}, fmt.Errorf("core: set firmware %q: %w", version, err)
+	}
 	fw := firmware.NewOVMF(version)
 	golden, err := hypervisor.ExpectedMeasurement(fw, d.bootBlobs())
 	if err != nil {
@@ -383,9 +404,16 @@ func (d *Deployment) SetFirmware(version string) (measure.Measurement, error) {
 // — because its measurement is unchanged — unseals the persistent volume
 // and restores its TLS credentials without re-running provisioning. Its
 // control and web servers are restarted.
-func (d *Deployment) RebootNode(i int) error {
+//
+// ctx is honoured before the node's servers come down; past that point
+// the reboot runs to completion (or error) — a node stopped halfway
+// through a power cycle serves nobody.
+func (d *Deployment) RebootNode(ctx context.Context, i int) error {
 	if i < 0 || i >= len(d.Nodes) {
 		return fmt.Errorf("core: no node %d", i)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: reboot node %d: %w", i, err)
 	}
 	n := d.Nodes[i]
 	n.Control.close()
@@ -508,12 +536,13 @@ func (d *Deployment) CARootPool() *x509.CertPool {
 // HTTP clients it created. Teardown runs in dependency order — node web
 // tier first (stop user traffic), then node control servers, then the CA
 // and KDS the nodes depend on — so nothing in flight dials a server that
-// is already gone.
+// is already gone. Close is idempotent and safe for concurrent use:
+// every call after the first is a no-op.
 func (d *Deployment) Close() {
-	if d.closed {
-		return
-	}
-	d.closed = true
+	d.closeOnce.Do(d.close)
+}
+
+func (d *Deployment) close() {
 	for _, n := range d.Nodes {
 		if n == nil {
 			continue

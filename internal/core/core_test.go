@@ -6,6 +6,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"net/http"
+	"sync"
 	"testing"
 
 	"revelio/internal/attest"
@@ -67,9 +68,19 @@ func TestDeploymentLifecycle(t *testing.T) {
 			t.Errorf("node %d web not started", i)
 		}
 	}
-	// Double close is safe.
+	// Double close is safe, including concurrently: Close is a
+	// sync.Once no-op after the first call.
 	d.Close()
 	d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Close()
+		}()
+	}
+	wg.Wait()
 }
 
 func TestStartWebBeforeProvisionFails(t *testing.T) {
@@ -224,7 +235,7 @@ func TestRebootNodeRestoresService(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := d.RebootNode(0); err != nil {
+	if err := d.RebootNode(context.Background(), 0); err != nil {
 		t.Fatalf("RebootNode: %v", err)
 	}
 	if d.Nodes[0].VM.Timings().FirstBoot {
@@ -248,7 +259,7 @@ func TestRebootNodeRestoresService(t *testing.T) {
 	if _, err := d.Verifier.VerifyReport(context.Background(), rep); err != nil {
 		t.Errorf("rebooted node fails attestation: %v", err)
 	}
-	if err := d.RebootNode(5); err == nil {
+	if err := d.RebootNode(context.Background(), 5); err == nil {
 		t.Error("reboot of nonexistent node succeeded")
 	}
 }
@@ -271,7 +282,7 @@ func TestAddNodeJoinsAndServes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	idx, err := d.AddNode()
+	idx, err := d.AddNode(context.Background())
 	if err != nil {
 		t.Fatalf("AddNode: %v", err)
 	}
@@ -320,7 +331,7 @@ func TestRemoveNodeForgetsAddress(t *testing.T) {
 		t.Fatal(err)
 	}
 	goneURL := d.Nodes[1].ControlURL()
-	disk, err := d.RemoveNode(1)
+	disk, err := d.RemoveNode(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("RemoveNode: %v", err)
 	}
@@ -338,7 +349,7 @@ func TestRemoveNodeForgetsAddress(t *testing.T) {
 			t.Error("removed node re-provisioned")
 		}
 	}
-	if _, err := d.RemoveNode(7); err == nil {
+	if _, err := d.RemoveNode(context.Background(), 7); err == nil {
 		t.Error("removing nonexistent node succeeded")
 	}
 }
@@ -406,7 +417,7 @@ func TestSetFirmwareChangesGolden(t *testing.T) {
 	}
 	oldGolden := d.Golden
 
-	newGolden, err := d.SetFirmware("2024.11")
+	newGolden, err := d.SetFirmware(context.Background(), "2024.11")
 	if err != nil {
 		t.Fatalf("SetFirmware: %v", err)
 	}
@@ -417,7 +428,7 @@ func TestSetFirmwareChangesGolden(t *testing.T) {
 		t.Error("deployment golden not updated")
 	}
 
-	idx, err := d.AddNode()
+	idx, err := d.AddNode(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +439,7 @@ func TestSetFirmwareChangesGolden(t *testing.T) {
 	// In-place reboot across the measurement change must fail closed: the
 	// sealing key is measurement-derived, so the old node's persistent
 	// volume cannot unseal under the new firmware.
-	if err := d.RebootNode(0); err == nil {
+	if err := d.RebootNode(context.Background(), 0); err == nil {
 		t.Error("in-place reboot across a measurement change succeeded")
 	}
 }

@@ -32,12 +32,12 @@ func lifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = resp.Body.Close()
-	if err := d.RebootNode(1); err != nil {
+	if err := d.RebootNode(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if idx, err := d.AddNode(); err != nil {
+	if idx, err := d.AddNode(context.Background()); err != nil {
 		t.Fatal(err)
-	} else if _, err := d.RemoveNode(idx); err != nil {
+	} else if _, err := d.RemoveNode(context.Background(), idx); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -41,13 +41,13 @@ import (
 	"sync"
 	"time"
 
-	"revelio/internal/attest"
+	"revelio/attestation"
+	"revelio/attestation/snp"
 	"revelio/internal/certmgr"
 	"revelio/internal/core"
 	"revelio/internal/imagebuild"
 	"revelio/internal/measure"
 	"revelio/internal/registry"
-	"revelio/internal/vm"
 )
 
 var (
@@ -85,6 +85,11 @@ type Fleet struct {
 	d     *core.Deployment
 	trust *registry.Registry
 	cfg   Config
+	// mux is the fleet's provider-neutral verification plane: the
+	// deployment's SEV-SNP provider is registered at construction, and
+	// operators attach further providers (AttachProvider) to run
+	// mixed-provider fleets under one relying-party object.
+	mux *attestation.Mux
 
 	// opMu serializes lifecycle operations (add, remove, rotate, roll).
 	opMu sync.Mutex
@@ -103,14 +108,18 @@ type Fleet struct {
 	golden    measure.Measurement
 	fwVersion string               // firmware build the fleet targets
 	rolling   *measure.Measurement // old golden during a staged rollout
+
+	closeOnce sync.Once
 }
 
 // New builds the image, boots the initial nodes, provisions the shared
 // certificate through the SP node, and opens the web tier. The trust
 // policy is a live registry with the initial golden measurement voted
 // in, so revocation and rollout scenarios work against the same policy
-// object production would use.
-func New(cfg Config) (*Fleet, error) {
+// object production would use. ctx governs the build-out: cancelling it
+// aborts provisioning, and the partially built deployment is torn down
+// before New returns the (wrapped) context error.
+func New(ctx context.Context, cfg Config) (*Fleet, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
@@ -151,12 +160,14 @@ func New(cfg Config) (*Fleet, error) {
 	// already carries.
 	d.KDSClient.SetCaching(true)
 
-	f := &Fleet{d: d, trust: trust, cfg: cfg, golden: d.Golden, fwVersion: cfg.FirmwareVersion}
+	f := &Fleet{d: d, trust: trust, cfg: cfg, golden: d.Golden, fwVersion: cfg.FirmwareVersion,
+		mux: attestation.NewMux()}
+	f.mux.RegisterProvider(snp.NewProvider(d.Verifier))
 	if err := f.approveMeasurement(d.Golden, "firmware "+cfg.FirmwareVersion); err != nil {
 		d.Close()
 		return nil, err
 	}
-	res, err := d.ProvisionCertificates(context.Background())
+	res, err := d.ProvisionCertificates(ctx)
 	if err != nil {
 		d.Close()
 		return nil, err
@@ -186,6 +197,17 @@ func (f *Fleet) Deployment() *core.Deployment { return f.d }
 // Trust exposes the fleet's live trust registry.
 func (f *Fleet) Trust() *registry.Registry { return f.trust }
 
+// Mux exposes the fleet's provider-neutral verification plane. The
+// deployment's SEV-SNP provider is always registered; additional
+// providers attach through AttachProvider.
+func (f *Fleet) Mux() *attestation.Mux { return f.mux }
+
+// AttachProvider registers an additional attestation provider, so
+// evidence from workloads on other TEE substrates (e.g. the softtee
+// provider) verifies through the same relying-party object — with its
+// own trust policy, independent of the SEV-SNP golden set.
+func (f *Fleet) AttachProvider(p attestation.Provider) { f.mux.RegisterProvider(p) }
+
 // Golden returns the measurement the fleet currently converges on.
 func (f *Fleet) Golden() measure.Measurement {
 	f.memberMu.RLock()
@@ -209,14 +231,17 @@ func (f *Fleet) Size() int {
 
 // Close tears the fleet down. It waits for any in-flight lifecycle
 // operation to finish (opMu) and for traffic to drain (memberMu) before
-// closing the deployment.
+// closing the deployment. Close is idempotent and safe for concurrent
+// use: every call after the first is a no-op.
 func (f *Fleet) Close() {
-	f.opMu.Lock()
-	defer f.opMu.Unlock()
-	f.memberMu.Lock()
-	defer f.memberMu.Unlock()
-	f.serving = nil
-	f.d.Close()
+	f.closeOnce.Do(func() {
+		f.opMu.Lock()
+		defer f.opMu.Unlock()
+		f.memberMu.Lock()
+		defer f.memberMu.Unlock()
+		f.serving = nil
+		f.d.Close()
+	})
 }
 
 // AddNode launches, attests and provisions one new node through the
@@ -231,8 +256,11 @@ func (f *Fleet) AddNode(ctx context.Context) (int, error) {
 
 func (f *Fleet) addNodeLocked(ctx context.Context) (int, error) {
 	// Launch and provision happen outside the serving view: traffic
-	// never routes to a node that is not fully up.
-	idx, err := f.d.AddNode()
+	// never routes to a node that is not fully up. The join is rolled
+	// back wholesale on any failure — including a ctx cancellation mid
+	// provisioning — so an aborted join never leaves a launched but
+	// unserving node in the deployment.
+	idx, err := f.d.AddNode(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -241,11 +269,11 @@ func (f *Fleet) addNodeLocked(ctx context.Context) (int, error) {
 	f.memberMu.RUnlock()
 	node := f.d.Nodes[idx]
 	if err := f.d.SP.ProvisionNode(ctx, node.ControlURL(), leaderURL, certDER); err != nil {
-		_, _ = f.d.RemoveNode(idx)
+		_, _ = f.d.RemoveNode(context.Background(), idx)
 		return 0, fmt.Errorf("fleet: provision joining node: %w", err)
 	}
 	if err := f.d.StartNodeWeb(idx); err != nil {
-		_, _ = f.d.RemoveNode(idx)
+		_, _ = f.d.RemoveNode(context.Background(), idx)
 		return 0, fmt.Errorf("fleet: start web on joining node: %w", err)
 	}
 	f.memberMu.Lock()
@@ -265,12 +293,18 @@ func (f *Fleet) RemoveNode(ctx context.Context, i int) error {
 	return f.removeNodeLocked(ctx, i)
 }
 
-func (f *Fleet) removeNodeLocked(_ context.Context, i int) error {
+func (f *Fleet) removeNodeLocked(ctx context.Context, i int) error {
 	if i < 0 || i >= len(f.d.Nodes) {
 		return fmt.Errorf("fleet: no node %d", i)
 	}
 	if len(f.d.Nodes) == 1 {
 		return ErrLastNode
+	}
+	// Honour cancellation before any state changes; past this point the
+	// removal runs to completion (a half-decommissioned node is the one
+	// outcome every caller is worse off with).
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("fleet: remove node %d: %w", i, err)
 	}
 	node := f.d.Nodes[i]
 
@@ -292,7 +326,10 @@ func (f *Fleet) removeNodeLocked(_ context.Context, i int) error {
 	}
 	f.memberMu.Unlock()
 
-	_, err := f.d.RemoveNode(i)
+	// Past the point of no return (leader re-elected, serving view
+	// updated): the deployment-level removal must complete even if the
+	// caller's ctx has since died, or fleet and deployment state diverge.
+	_, err := f.d.RemoveNode(context.Background(), i)
 	return err
 }
 
@@ -380,8 +417,9 @@ func (f *Fleet) RestoreKDS() { f.d.KDSNet().SetOutage(nil) }
 // StageFirmware begins a measured-image rollout: the deployment switches
 // to the new firmware build and the new golden measurement becomes
 // trusted *alongside* the old one, so a mixed-measurement fleet stays
-// consistent with the registry while nodes roll.
-func (f *Fleet) StageFirmware(version string) (measure.Measurement, error) {
+// consistent with the registry while nodes roll. A ctx cancellation
+// observed before the stage completes leaves the fleet un-staged.
+func (f *Fleet) StageFirmware(ctx context.Context, version string) (measure.Measurement, error) {
 	f.opMu.Lock()
 	defer f.opMu.Unlock()
 	f.memberMu.RLock()
@@ -393,14 +431,14 @@ func (f *Fleet) StageFirmware(version string) (measure.Measurement, error) {
 		return measure.Measurement{}, errors.New("fleet: a rollout is already staged")
 	}
 	old, oldVersion := f.Golden(), f.fwVersion
-	newGolden, err := f.d.SetFirmware(version)
+	newGolden, err := f.d.SetFirmware(ctx, version)
 	if err != nil {
 		return measure.Measurement{}, err
 	}
 	if err := f.approveMeasurement(newGolden, "firmware "+version); err != nil {
 		// Leave the deployment on the firmware it was actually rolling:
 		// a half-staged switch would make every future join fail closed.
-		if _, restoreErr := f.d.SetFirmware(oldVersion); restoreErr != nil {
+		if _, restoreErr := f.d.SetFirmware(context.Background(), oldVersion); restoreErr != nil {
 			return measure.Measurement{}, errors.Join(err, restoreErr)
 		}
 		return measure.Measurement{}, err
@@ -440,7 +478,7 @@ func (f *Fleet) CommitRollOut() error {
 // Traffic keeps flowing; the fleet is mixed-measurement mid-roll and
 // uniformly on the new measurement afterwards.
 func (f *Fleet) RollOut(ctx context.Context, version string) (measure.Measurement, error) {
-	newGolden, err := f.StageFirmware(version)
+	newGolden, err := f.StageFirmware(ctx, version)
 	if err != nil {
 		return measure.Measurement{}, err
 	}
@@ -474,8 +512,9 @@ func (f *Fleet) webClient() *http.Client {
 // VerifyFleet checks the full-fleet invariant an auditor cares about:
 // every node is provisioned, serving, and its well-known attestation
 // bundle verifies under the current trust policy. Verification runs
-// through the deployment's shared verifier, so it exercises (and is
-// protected by) the attestation fast path.
+// through the fleet's provider mux over the deployment's shared
+// verifier, so it exercises (and is protected by) both the neutral
+// dispatch layer and the attestation fast path.
 func (f *Fleet) VerifyFleet(ctx context.Context) error {
 	f.memberMu.RLock()
 	nodes := append([]*core.Node(nil), f.serving...)
@@ -507,11 +546,11 @@ func (f *Fleet) VerifyFleet(ctx context.Context) error {
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("fleet: node %d attestation endpoint: status %d", i, resp.StatusCode)
 		}
-		bundle, err := attest.DecodeBundle(body)
+		evidence, err := snp.EvidenceFromBundleJSON(body)
 		if err != nil {
 			return fmt.Errorf("fleet: node %d bundle: %w", i, err)
 		}
-		if _, err := f.d.Verifier.VerifyBundle(ctx, bundle, vm.HashOf); err != nil {
+		if _, err := f.mux.VerifyEvidence(ctx, evidence); err != nil {
 			return fmt.Errorf("fleet: node %d failed attestation: %w", i, err)
 		}
 	}

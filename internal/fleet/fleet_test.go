@@ -14,7 +14,7 @@ import (
 
 func newTestFleet(t *testing.T, nodes int) *Fleet {
 	t.Helper()
-	f, err := New(Config{Nodes: nodes, Domain: "fleet.test.example.org"})
+	f, err := New(context.Background(), Config{Nodes: nodes, Domain: "fleet.test.example.org"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,15 +206,15 @@ func TestScenarioRevocationStorm(t *testing.T) {
 	}
 
 	// Fleet-wide fail-closed, against warm caches everywhere.
-	if err := f.VerifyFleet(ctx); !errors.Is(err, attest.ErrUntrustedMeasurement) {
-		t.Errorf("VerifyFleet after storm: %v, want ErrUntrustedMeasurement", err)
+	if err := f.VerifyFleet(ctx); !errors.Is(err, attest.ErrRevoked) {
+		t.Errorf("VerifyFleet after storm: %v, want ErrRevoked", err)
 	}
 	for i, n := range f.d.Nodes {
 		rep, err := n.VM.Report([64]byte{byte(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := verifier.VerifyReport(ctx, rep); !errors.Is(err, attest.ErrUntrustedMeasurement) {
+		if _, err := verifier.VerifyReport(ctx, rep); !errors.Is(err, attest.ErrRevoked) {
 			t.Errorf("node %d fresh report accepted after storm: %v", i, err)
 		}
 	}
@@ -297,7 +297,7 @@ func TestScenarioMeasuredImageRollout(t *testing.T) {
 	oldGolden := f.Golden()
 	tr := f.StartTraffic(4)
 
-	newGolden, err := f.StageFirmware("2024.11")
+	newGolden, err := f.StageFirmware(context.Background(), "2024.11")
 	if err != nil {
 		t.Fatalf("StageFirmware: %v", err)
 	}
@@ -306,7 +306,7 @@ func TestScenarioMeasuredImageRollout(t *testing.T) {
 	}
 	// Staging again before commit would orphan the old golden (it would
 	// never be revoked) — refused.
-	if _, err := f.StageFirmware("2024.12"); err == nil {
+	if _, err := f.StageFirmware(context.Background(), "2024.12"); err == nil {
 		t.Fatal("double-stage accepted")
 	}
 	if f.Golden() != newGolden {
@@ -355,7 +355,7 @@ func TestScenarioMeasuredImageRollout(t *testing.T) {
 
 	// A straggler that somehow boots the old image now fails closed: the
 	// old measurement is revoked registry-wide.
-	if _, err := f.d.SetFirmware("2023.05"); err != nil {
+	if _, err := f.d.SetFirmware(context.Background(), "2023.05"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f.AddNode(ctx); err == nil {

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"revelio/attestation"
+	"revelio/attestation/snp"
+	"revelio/attestation/softtee"
+	"revelio/internal/measure"
+	"revelio/internal/registry"
+)
+
+// TestMixedProviderFleet runs an SEV-SNP fleet alongside a software-TEE
+// workload, both verified through the fleet's one provider mux — the
+// mixed-provider scenario the provider abstraction exists for. Policies
+// stay per-provider: revoking the software workload's golden fails it
+// closed without disturbing the SNP fleet, and the fleet-wide
+// revocation storm does the converse.
+func TestMixedProviderFleet(t *testing.T) {
+	ctx := context.Background()
+	f, err := New(ctx, Config{Nodes: 2, Domain: "mixed.test.example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A software-TEE workload (say, a sidecar on a TDX box) joins the
+	// estate under its own platform anchor and its own registry.
+	platform, err := softtee.NewPlatform([]byte("mixed-fleet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var softGolden measure.Measurement
+	softGolden[0] = 0x5F
+	softReg := registry.New(1)
+	softReg.AddVoter("op")
+	if err := softReg.Propose(softGolden, "soft workload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := softReg.Vote("op", softGolden); err != nil {
+		t.Fatal(err)
+	}
+	enclave := platform.Launch(softGolden)
+	softVerifier := softtee.NewVerifier(platform.PublicKey(), softReg)
+	f.AttachProvider(softtee.NewProvider(enclave, softVerifier))
+
+	if got := f.Mux().Providers(); len(got) != 2 {
+		t.Fatalf("mux providers = %v, want sev-snp + soft-tdx", got)
+	}
+
+	// Evidence from both worlds verifies through the one mux.
+	softEv, err := enclave.Issue(ctx, []byte("soft workload key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Mux().VerifyEvidence(ctx, softEv); err != nil {
+		t.Fatalf("soft evidence through fleet mux: %v", err)
+	}
+	if err := f.VerifyFleet(ctx); err != nil {
+		t.Fatalf("VerifyFleet (SNP through mux): %v", err)
+	}
+
+	// Provider-specific policy: revoke the software golden only.
+	if err := softReg.Revoke(softGolden); err != nil {
+		t.Fatal(err)
+	}
+	softVerifier.InvalidatePolicy()
+	if _, err := f.Mux().VerifyEvidence(ctx, softEv); !errors.Is(err, attestation.ErrRevoked) {
+		t.Fatalf("revoked soft workload: %v, want ErrRevoked", err)
+	}
+	if err := f.VerifyFleet(ctx); err != nil {
+		t.Fatalf("SNP fleet disturbed by soft-provider revocation: %v", err)
+	}
+
+	// The fleet-wide storm is equally one-sided: SNP fails closed with
+	// the typed sentinel; nothing changes for evidence of the (already
+	// revoked) soft provider's judgment path.
+	if err := f.RevokeGolden(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VerifyFleet(ctx); !errors.Is(err, attestation.ErrRevoked) {
+		t.Fatalf("VerifyFleet after storm: %v, want ErrRevoked", err)
+	}
+
+	// Unknown providers always fail closed at the mux.
+	alien := &attestation.Evidence{Provider: "sgx", Document: []byte("{}")}
+	if _, err := f.Mux().VerifyEvidence(ctx, alien); !errors.Is(err, attestation.ErrUnknownProvider) {
+		t.Fatalf("alien evidence: %v, want ErrUnknownProvider", err)
+	}
+}
+
+// TestFleetCloseIdempotent: double and concurrent Close are no-ops
+// after the first.
+func TestFleetCloseIdempotent(t *testing.T) {
+	f, err := New(context.Background(), Config{Nodes: 1, Domain: "close.test.example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // must not panic, deadlock, or double-free
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFleetNewCancelled: a dead context aborts the fleet build-out with
+// a wrapped context error and no half-built deployment left behind.
+func TestFleetNewCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(ctx, Config{Nodes: 1, Domain: "cancelled.test.example.org"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("New with dead ctx: %v, want context.Canceled", err)
+	}
+}
+
+// snpProviderIdentity pins the provider the fleet pre-registers.
+func TestFleetMuxHasSNP(t *testing.T) {
+	f, err := New(context.Background(), Config{Nodes: 1, Domain: "snp.test.example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, ok := f.Mux().Verifier(snp.ProviderName); !ok {
+		t.Fatalf("fleet mux lacks the %s provider", snp.ProviderName)
+	}
+}

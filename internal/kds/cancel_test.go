@@ -1,0 +1,150 @@
+package kds
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"revelio/attestation"
+	"revelio/internal/amdsp"
+	"revelio/internal/sev"
+)
+
+// gateHandler wraps a KDS handler so tests can hold requests open until
+// the caller's context dies.
+type gateHandler struct {
+	inner http.Handler
+	block atomic.Bool
+	hits  atomic.Int64
+}
+
+func (g *gateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.hits.Add(1)
+	if g.block.Load() {
+		<-r.Context().Done() // hold until the client gives up
+		return
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+func newCancelRig(t *testing.T) (*Client, *gateHandler, sev.ChipID) {
+	t.Helper()
+	mfr, err := amdsp.NewManufacturer([]byte("kds-cancel-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := mfr.MintProcessor([]byte("chip"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateHandler{inner: NewServer(mfr)}
+	server := httptest.NewServer(gate)
+	t.Cleanup(server.Close)
+	client := NewClient(server.URL, nil)
+	client.SetCaching(true)
+	return client, gate, chip.ChipID()
+}
+
+// TestCancellationSurfacesAsContextError: a context cancelled mid KDS
+// fetch surfaces as a wrapped context.Canceled — not as a generic
+// failure and not misclassified as a KDS outage.
+func TestCancellationSurfacesAsContextError(t *testing.T) {
+	client, gate, chipID := newCancelRig(t)
+	gate.block.Store(true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.VCEK(ctx, chipID, 3)
+		done <- err
+	}()
+	// Wait until the fetch is provably in flight, then cancel it.
+	for gate.hits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fetch: %v, want wrapped context.Canceled", err)
+	}
+	if errors.Is(err, attestation.ErrKDSUnavailable) {
+		t.Errorf("cancellation misclassified as KDS outage: %v", err)
+	}
+}
+
+// TestCancellationDoesNotPoisonCaches: after an aborted fetch, the next
+// call succeeds, is cached normally, and the cache never served the
+// failure.
+func TestCancellationDoesNotPoisonCaches(t *testing.T) {
+	client, gate, chipID := newCancelRig(t)
+	gate.block.Store(true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.VCEK(ctx, chipID, 3)
+		done <- err
+	}()
+	for gate.hits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled fetch succeeded")
+	}
+
+	// The failure must not be cached: the next fetch goes to the wire,
+	// succeeds, and lands in the cache.
+	gate.block.Store(false)
+	cert, err := client.VCEK(context.Background(), chipID, 3)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if cert == nil {
+		t.Fatal("nil certificate")
+	}
+	warm := gate.hits.Load()
+	if _, err := client.VCEK(context.Background(), chipID, 3); err != nil {
+		t.Fatalf("cached fetch: %v", err)
+	}
+	if gate.hits.Load() != warm {
+		t.Errorf("successful fetch was not cached after the aborted one (hits %d -> %d)", warm, gate.hits.Load())
+	}
+}
+
+// TestCertChainCancellation covers the chain path: cancellation
+// surfaces, the retry succeeds and caches.
+func TestCertChainCancellation(t *testing.T) {
+	client, gate, _ := newCancelRig(t)
+	gate.block.Store(true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := client.CertChain(ctx)
+		done <- err
+	}()
+	for gate.hits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled chain fetch: %v, want context.Canceled", err)
+	}
+
+	gate.block.Store(false)
+	if _, _, err := client.CertChain(context.Background()); err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	warm := gate.hits.Load()
+	if _, _, err := client.CertChain(context.Background()); err != nil {
+		t.Fatalf("cached chain: %v", err)
+	}
+	if gate.hits.Load() != warm {
+		t.Error("chain was not cached after the aborted fetch")
+	}
+}

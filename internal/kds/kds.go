@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"revelio/attestation"
 	"revelio/internal/amdsp"
 	"revelio/internal/sev"
 	"revelio/internal/singleflight"
@@ -231,14 +232,21 @@ func (c *Client) get(ctx context.Context, url string) ([]byte, error) {
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("kds: fetch %s: %w", url, err)
+		// A caller-initiated abort is not a KDS outage: surface the
+		// context error (wrapped inside err by net/http) unclassified so
+		// errors.Is(err, context.Canceled) holds and nothing upstream
+		// mistakes the abort for an unavailable certificate source.
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("kds: fetch %s: %w", url, err)
+		}
+		return nil, fmt.Errorf("%w: fetch %s: %w", attestation.ErrKDSUnavailable, url, err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode == http.StatusNotFound {
 		return nil, ErrNotFound
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("kds: fetch %s: status %d", url, resp.StatusCode)
+		return nil, fmt.Errorf("%w: fetch %s: status %d", attestation.ErrKDSUnavailable, url, resp.StatusCode)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {

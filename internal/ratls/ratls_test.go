@@ -254,7 +254,7 @@ func TestPeerVerifierPolicyRevocation(t *testing.T) {
 	if err := reg.Revoke(r.golden); err != nil {
 		t.Fatal(err)
 	}
-	if err := verify([][]byte{cert.Certificate[0]}, nil); !errors.Is(err, attest.ErrUntrustedMeasurement) {
+	if err := verify([][]byte{cert.Certificate[0]}, nil); !errors.Is(err, attest.ErrRevoked) {
 		t.Errorf("revoked measurement passed the memoized handshake: %v", err)
 	}
 }

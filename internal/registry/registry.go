@@ -147,6 +147,16 @@ func (r *Registry) IsTrusted(m measure.Measurement) bool {
 	return ok && e.status == StatusTrusted
 }
 
+// IsRevoked reports whether m was explicitly revoked — the
+// attestation.RevocationChecker refinement that lets verifiers report
+// ErrRevoked instead of the generic untrusted-measurement failure.
+func (r *Registry) IsRevoked(m measure.Measurement) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[m]
+	return ok && e.status == StatusRevoked
+}
+
 // Revoke withdraws trust from m permanently.
 func (r *Registry) Revoke(m measure.Measurement) error {
 	r.mu.Lock()

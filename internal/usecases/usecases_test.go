@@ -129,7 +129,7 @@ func TestCryptpadOverAttestedTLS(t *testing.T) {
 func TestCryptpadSurvivesNodeReplacement(t *testing.T) {
 	const domain = "pad.example.org"
 	padServer := cryptpad.NewServer()
-	f, err := fleet.New(fleet.Config{
+	f, err := fleet.New(context.Background(), fleet.Config{
 		Nodes:  2,
 		Domain: domain,
 		App:    func(*core.Node) http.Handler { return padServer },

@@ -1,0 +1,283 @@
+// Facade-level SDK tests: the public surface (package revelio +
+// revelio/attestation*) exercised exactly as an external consumer
+// would — no internal imports anywhere in this file. They pin the
+// error-taxonomy contract from the top of the stack, the context-first
+// lifecycle semantics, and Close idempotence.
+package revelio_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"revelio"
+	"revelio/attestation"
+	"revelio/attestation/snp"
+)
+
+func newTestService(t *testing.T, opts ...revelio.Option) *revelio.Service {
+	t.Helper()
+	svc, err := revelio.New(context.Background(),
+		append([]revelio.Option{revelio.WithDomain("sdk.test.example.org")}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestFacadeErrorTaxonomy drives each failure mode through the public
+// facade and asserts the sentinel from revelio/attestation — the same
+// errors the attest layer maps to, observed from the very top.
+func TestFacadeErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("untrusted measurement", func(t *testing.T) {
+		reg := revelio.NewTrustRegistry(1)
+		reg.AddVoter("auditor")
+		svc := newTestService(t, revelio.WithTrustRegistry(reg))
+		// Nothing voted yet: provisioning and direct verification both
+		// fail with the untrusted-measurement sentinel.
+		if _, err := svc.Provision(ctx); !errors.Is(err, attestation.ErrUntrustedMeasurement) {
+			t.Fatalf("Provision: %v, want ErrUntrustedMeasurement", err)
+		}
+		ev := nodeEvidence(t, svc)
+		if _, err := svc.Mux().VerifyEvidence(ctx, ev); !errors.Is(err, attestation.ErrUntrustedMeasurement) {
+			t.Fatalf("Mux verify: %v, want ErrUntrustedMeasurement", err)
+		}
+	})
+
+	t.Run("revocation", func(t *testing.T) {
+		reg := revelio.NewTrustRegistry(1)
+		reg.AddVoter("auditor")
+		svc := newTestService(t, revelio.WithTrustRegistry(reg))
+		vote(t, reg, svc.Golden())
+		ev := nodeEvidence(t, svc)
+		if _, err := svc.Mux().VerifyEvidence(ctx, ev); err != nil {
+			t.Fatalf("trusted evidence rejected: %v", err)
+		}
+		if err := reg.Revoke(svc.Golden()); err != nil {
+			t.Fatal(err)
+		}
+		svc.Verifier().InvalidatePolicy()
+		err := verifyErr(svc.Mux(), ev)
+		if !errors.Is(err, attestation.ErrRevoked) || !errors.Is(err, attestation.ErrPolicyRejected) {
+			t.Fatalf("revoked golden: %v, want ErrRevoked (under ErrPolicyRejected)", err)
+		}
+		if errors.Is(err, attestation.ErrUntrustedMeasurement) {
+			t.Fatalf("revocation must stay distinct from plain distrust: %v", err)
+		}
+	})
+
+	t.Run("KDS outage", func(t *testing.T) {
+		svc := newTestService(t)
+		ev := nodeEvidence(t, svc)
+		svc.Deployment().KDSNet().SetOutage(fmt.Errorf("backbone down"))
+		if err := verifyErr(svc.Mux(), ev); !errors.Is(err, attestation.ErrKDSUnavailable) {
+			t.Fatalf("outage: %v, want ErrKDSUnavailable", err)
+		}
+		// Failure not cached: recovery verifies immediately.
+		svc.Deployment().KDSNet().SetOutage(nil)
+		if _, err := svc.Mux().VerifyEvidence(ctx, ev); err != nil {
+			t.Fatalf("after recovery: %v", err)
+		}
+	})
+
+	t.Run("TCB floor", func(t *testing.T) {
+		svc := newTestService(t)
+		strict := snp.NewVerifier(svc.CertSource(), snp.NewStaticGolden(svc.Golden()), snp.WithMinTCB(99))
+		mux := attestation.NewMux()
+		mux.RegisterProvider(snp.NewProvider(strict))
+		if err := verifyErr(mux, nodeEvidence(t, svc)); !errors.Is(err, attestation.ErrTCBTooOld) {
+			t.Fatalf("TCB floor: %v, want ErrTCBTooOld", err)
+		}
+	})
+
+	t.Run("expired evidence", func(t *testing.T) {
+		svc := newTestService(t)
+		future := time.Now().Add(40 * 365 * 24 * time.Hour)
+		late := snp.NewVerifier(svc.CertSource(), snp.NewStaticGolden(svc.Golden()),
+			snp.WithClock(func() time.Time { return future }))
+		mux := attestation.NewMux()
+		mux.RegisterProvider(snp.NewProvider(late))
+		if err := verifyErr(mux, nodeEvidence(t, svc)); !errors.Is(err, attestation.ErrEvidenceExpired) {
+			t.Fatalf("expired: %v, want ErrEvidenceExpired", err)
+		}
+	})
+}
+
+// nodeEvidence issues neutral evidence from node 0 of a service.
+func nodeEvidence(t *testing.T, svc *revelio.Service) *attestation.Evidence {
+	t.Helper()
+	provider := snp.NewNodeProvider(svc.Node(0).VM, svc.Verifier())
+	ev, err := provider.Issue(context.Background(), []byte("facade test payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func verifyErr(v attestation.Verifier, ev *attestation.Evidence) error {
+	_, err := v.VerifyEvidence(context.Background(), ev)
+	return err
+}
+
+func vote(t *testing.T, reg *revelio.TrustRegistry, m revelio.Measurement) {
+	t.Helper()
+	if err := reg.Propose(m, "sdk test golden"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Vote("auditor", m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProvisionCancellation: a dead context surfaces as wrapped
+// context.Canceled from Provision, and the abort never poisons the
+// fail-closed caches — the immediate retry provisions cleanly.
+func TestProvisionCancellation(t *testing.T) {
+	svc := newTestService(t)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := svc.Provision(dead)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Provision(dead ctx): %v, want wrapped context.Canceled", err)
+	}
+	if errors.Is(err, attestation.ErrKDSUnavailable) || errors.Is(err, attestation.ErrPolicyRejected) {
+		t.Fatalf("cancellation misclassified into the taxonomy: %v", err)
+	}
+	if _, err := svc.Provision(context.Background()); err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if err := svc.ServeWeb(nil); err != nil {
+		t.Fatalf("ServeWeb after recovered provisioning: %v", err)
+	}
+}
+
+// TestLifecycleCancellation: every ctx-first lifecycle method refuses a
+// dead context with a wrapped context error and leaves the deployment
+// unchanged.
+func TestLifecycleCancellation(t *testing.T) {
+	svc := newTestService(t)
+	if _, err := svc.Provision(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	before := svc.NumNodes()
+	if _, err := svc.AddNode(dead); !errors.Is(err, context.Canceled) {
+		t.Errorf("AddNode(dead): %v", err)
+	}
+	if err := svc.RemoveNode(dead, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("RemoveNode(dead): %v", err)
+	}
+	if err := svc.RebootNode(dead, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("RebootNode(dead): %v", err)
+	}
+	if _, err := svc.SetFirmware(dead, "2031.01"); !errors.Is(err, context.Canceled) {
+		t.Errorf("SetFirmware(dead): %v", err)
+	}
+	if svc.NumNodes() != before {
+		t.Errorf("node count changed by cancelled operations: %d -> %d", before, svc.NumNodes())
+	}
+	golden := svc.Golden()
+
+	// The same operations succeed under a live context.
+	if _, err := svc.AddNode(context.Background()); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if err := svc.RebootNode(context.Background(), 0); err != nil {
+		t.Fatalf("RebootNode: %v", err)
+	}
+	if err := svc.RemoveNode(context.Background(), svc.NumNodes()-1); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if svc.Golden() != golden {
+		t.Error("golden changed without SetFirmware")
+	}
+}
+
+// TestLeaderRemovalReElects: removing the standing leader promotes a
+// survivor, so later joins still acquire the shared key.
+func TestLeaderRemovalReElects(t *testing.T) {
+	ctx := context.Background()
+	svc := newTestService(t, revelio.WithNodes(2))
+	report, err := svc.Provision(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderIdx := -1
+	for i := 0; i < svc.NumNodes(); i++ {
+		if svc.Node(i).ControlURL() == report.LeaderURL {
+			leaderIdx = i
+			break
+		}
+	}
+	if leaderIdx < 0 {
+		t.Fatal("leader not among nodes")
+	}
+	if err := svc.RemoveNode(ctx, leaderIdx); err != nil {
+		t.Fatalf("remove leader: %v", err)
+	}
+	// The join path below needs a live leader for key acquisition.
+	if _, err := svc.AddNode(ctx); err != nil {
+		t.Fatalf("AddNode after leader removal: %v", err)
+	}
+	// Refusing to orphan the fleet: the sole remaining provisioned
+	// leader cannot be removed while a joiner may still need it... but
+	// with 2 ready nodes again, removal of the new leader re-elects.
+	if svc.NumNodes() != 2 {
+		t.Fatalf("node count = %d, want 2", svc.NumNodes())
+	}
+}
+
+// TestServiceCloseIdempotent: Close twice and concurrently is a no-op.
+func TestServiceCloseIdempotent(t *testing.T) {
+	svc, err := revelio.New(context.Background(), revelio.WithDomain("close.sdk.example.org"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Close()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestServeWebEndToEnd: the three-call happy path produces a live
+// attested HTTPS endpoint.
+func TestServeWebEndToEnd(t *testing.T) {
+	svc := newTestService(t)
+	if _, err := svc.Provision(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ServeWeb(func(*revelio.Node) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("sdk ok"))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if svc.WebAddr(0) == "" {
+		t.Fatal("no web address after ServeWeb")
+	}
+	// Scale out through the facade: the joiner is provisioned and serving.
+	idx, err := svc.AddNode(context.Background())
+	if err != nil {
+		t.Fatalf("AddNode on a serving deployment: %v", err)
+	}
+	if svc.WebAddr(idx) == "" {
+		t.Error("joining node is not serving")
+	}
+}

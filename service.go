@@ -1,0 +1,360 @@
+package revelio
+
+import (
+	"context"
+	"crypto/x509"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"revelio/attestation"
+	"revelio/attestation/snp"
+	"revelio/internal/acme"
+	"revelio/internal/core"
+)
+
+// Option configures a Service.
+type Option func(*serviceConfig)
+
+type serviceConfig struct {
+	profile Profile
+	build   []BuildOption
+	domain  string
+	nodes   int
+
+	firmwareVersion string
+	trust           *TrustRegistry
+	remoteCA        bool
+	persistSize     int64
+
+	kdsRTT, spNetRTT, caRTT time.Duration
+}
+
+// WithProfile selects the service image profile (default
+// ProfileCryptPad).
+func WithProfile(p Profile) Option { return func(c *serviceConfig) { c.profile = p } }
+
+// WithDomain sets the service's web domain (default
+// "service.example.org").
+func WithDomain(domain string) Option { return func(c *serviceConfig) { c.domain = domain } }
+
+// WithNodes sets the number of confidential VMs (default 1).
+func WithNodes(n int) Option { return func(c *serviceConfig) { c.nodes = n } }
+
+// WithImage customizes the reproducible image build (name, version).
+func WithImage(opts ...BuildOption) Option {
+	return func(c *serviceConfig) { c.build = append(c.build, opts...) }
+}
+
+// WithFirmwareVersion selects the measured OVMF build (default
+// DefaultFirmwareVersion).
+func WithFirmwareVersion(v string) Option {
+	return func(c *serviceConfig) { c.firmwareVersion = v }
+}
+
+// WithTrustRegistry judges measurements against a live trusted registry
+// instead of the image's own golden value. Provisioning fails closed
+// until the registry trusts the deployment's measurement — the §3.4.7
+// delegated-audit flow.
+func WithTrustRegistry(reg *TrustRegistry) Option {
+	return func(c *serviceConfig) { c.trust = reg }
+}
+
+// WithRemoteCA runs the CA behind its HTTP wire protocol, as against a
+// real Let's Encrypt (default: in-process calls).
+func WithRemoteCA() Option { return func(c *serviceConfig) { c.remoteCA = true } }
+
+// WithPersistSize overrides the sealed persistent-volume size.
+func WithPersistSize(bytes int64) Option {
+	return func(c *serviceConfig) { c.persistSize = bytes }
+}
+
+// WithNetworkLatency injects the paper's network conditions: kds on
+// verifier-to-KDS fetches, spNet on SP-to-guest calls, ca on
+// certificate issuance.
+func WithNetworkLatency(kds, spNet, ca time.Duration) Option {
+	return func(c *serviceConfig) { c.kdsRTT, c.spNetRTT, c.caRTT = kds, spNet, ca }
+}
+
+// Service is the SDK's front door: one attestable confidential-VM web
+// service — image built from sources, nodes booted through measured
+// direct boot, certificates provisioned with attestation, HTTPS served
+// from inside the TEE — driven through a context-first lifecycle.
+//
+// The zero-dependency path is three calls:
+//
+//	svc, err := revelio.New(ctx, revelio.WithDomain("pad.example.org"))
+//	report, err := svc.Provision(ctx)
+//	err = svc.ServeWeb(app)
+//
+// Verification is provider-neutral: Verifier returns the SEV-SNP
+// verifier, Mux the dispatching front that additional providers
+// (attestation/softtee) register into.
+type Service struct {
+	d        *core.Deployment
+	domain   string
+	provider *snp.Provider
+	mux      *attestation.Mux
+
+	// opMu serializes lifecycle operations (Provision, ServeWeb,
+	// AddNode, RemoveNode, RebootNode, SetFirmware): the deployment's
+	// node slice is not safe for concurrent mutation, and interleaved
+	// joins/removals would race on indices.
+	opMu sync.Mutex
+
+	mu          sync.Mutex
+	provisioned bool
+	leaderURL   string // standing leader's control URL (re-elected on removal)
+	certDER     []byte // shared certificate handed to joining nodes
+	webStarted  bool
+
+	closeOnce sync.Once
+}
+
+// New builds the image, launches the nodes, and starts the control
+// plane. The service is not yet provisioned (Provision) nor serving
+// (ServeWeb). Cancelling ctx aborts construction; a partially built
+// deployment is torn down before New returns.
+func New(ctx context.Context, opts ...Option) (*Service, error) {
+	cfg := serviceConfig{
+		profile: ProfileCryptPad,
+		domain:  "service.example.org",
+		nodes:   1,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("revelio: new service: %w", err)
+	}
+	build := cfg.build
+	if cfg.firmwareVersion != "" {
+		build = append(build, BuildFirmware(cfg.firmwareVersion))
+	}
+	spec, imgReg, fwVersion, err := resolveSpec(cfg.profile, build...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.persistSize > 0 {
+		spec.PersistSize = cfg.persistSize
+	}
+	coreCfg := core.Config{
+		Spec:            spec,
+		Registry:        imgReg,
+		FirmwareVersion: fwVersion,
+		Nodes:           cfg.nodes,
+		Domain:          cfg.domain,
+		KDSRTT:          cfg.kdsRTT,
+		SPNetRTT:        cfg.spNetRTT,
+		CARTT:           cfg.caRTT,
+		TrustRegistry:   cfg.trust,
+		RemoteCA:        cfg.remoteCA,
+	}
+	d, err := core.New(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		d.Close()
+		return nil, fmt.Errorf("revelio: new service: %w", err)
+	}
+	svc := &Service{d: d, domain: cfg.domain, provider: snp.NewProvider(d.Verifier), mux: attestation.NewMux()}
+	svc.mux.RegisterProvider(svc.provider)
+	return svc, nil
+}
+
+// Deployment exposes the underlying orchestration layer for operations
+// the facade does not surface.
+func (s *Service) Deployment() *Deployment { return s.d }
+
+// Golden returns the deployment's current golden measurement — what the
+// provider publishes and auditors verify by rebuilding from sources.
+func (s *Service) Golden() Measurement { return s.d.Golden }
+
+// Domain returns the service's web domain.
+func (s *Service) Domain() string { return s.domain }
+
+// Verifier returns the service's SEV-SNP verifier: the full
+// verification pipeline with its fast-path caches, shared by the SP
+// node, the agents and any web extension built over this deployment.
+func (s *Service) Verifier() *snp.Verifier { return s.d.Verifier }
+
+// CertSource returns the deployment's KDS-backed certificate source —
+// what an independent relying party (an auditor's own verifier) plugs
+// into snp.NewVerifier together with its own trust policy.
+func (s *Service) CertSource() attestation.CertSource { return s.d.KDSClient }
+
+// Provider returns the service's SEV-SNP attestation provider — the
+// neutral face of Verifier.
+func (s *Service) Provider() *snp.Provider { return s.provider }
+
+// Mux returns the service's provider-neutral verification plane. The
+// SEV-SNP provider is pre-registered; attach further providers to
+// verify mixed-TEE estates through one object.
+func (s *Service) Mux() *attestation.Mux { return s.mux }
+
+// AttachProvider registers an additional attestation provider.
+func (s *Service) AttachProvider(p attestation.Provider) { s.mux.RegisterProvider(p) }
+
+// CARootPool returns the certificate pool browsers trust (the simulated
+// Let's Encrypt root).
+func (s *Service) CARootPool() *x509.CertPool { return s.d.CARootPool() }
+
+// NumNodes returns the current node count.
+func (s *Service) NumNodes() int { return len(s.d.Nodes) }
+
+// Node returns node i.
+func (s *Service) Node(i int) *Node { return s.d.Nodes[i] }
+
+// WebAddr returns node i's HTTPS address (host:port), or "" before
+// ServeWeb.
+func (s *Service) WebAddr(i int) string { return s.d.Nodes[i].WebAddr() }
+
+// Provision runs the SP node's certificate-management flow (Fig 4)
+// across all nodes: attest every guest, obtain the shared certificate
+// for the elected leader's CSR, and distribute it over mutually
+// attested channels. Failures map onto the attestation taxonomy
+// (errors.Is against attestation.Err*).
+func (s *Service) Provision(ctx context.Context) (*ProvisionReport, error) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	res, err := s.d.ProvisionCertificates(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.provisioned = true
+	s.leaderURL = res.LeaderURL
+	s.certDER = res.CertDER
+	s.mu.Unlock()
+	return res, nil
+}
+
+// ServeWeb opens every node's HTTPS front end with the provisioned
+// credentials. app builds the per-node application handler (nil serves
+// only the well-known attestation endpoint); the attestation endpoint
+// is always mounted.
+func (s *Service) ServeWeb(app func(*Node) http.Handler) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if err := s.d.StartWeb(app); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.webStarted = true
+	s.mu.Unlock()
+	return nil
+}
+
+// AddNode scales the service out by one node: launch, and — when the
+// service is already provisioned — run the single-node join flow (the
+// SP attests the newcomer, the standing leader hands it the shared key
+// over mutual attestation) and open its web front end if the web tier
+// is up. Returns the new node's index. On any failure, including a ctx
+// cancellation mid-join, the node is removed again: joins are
+// all-or-nothing.
+//
+// The facade keeps scale-out simple; for churn under live traffic with
+// a drained serving view and zero failed requests, drive a Fleet
+// (NewFleet) instead.
+func (s *Service) AddNode(ctx context.Context) (int, error) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.mu.Lock()
+	provisioned, webStarted := s.provisioned, s.webStarted
+	leaderURL, certDER := s.leaderURL, s.certDER
+	s.mu.Unlock()
+	idx, err := s.d.AddNode(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if provisioned {
+		node := s.d.Nodes[idx]
+		if err := s.d.SP.ProvisionNode(ctx, node.ControlURL(), leaderURL, certDER); err != nil {
+			_, _ = s.d.RemoveNode(context.Background(), idx)
+			return 0, fmt.Errorf("revelio: provision joining node: %w", err)
+		}
+		if webStarted {
+			if err := s.d.StartNodeWeb(idx); err != nil {
+				_, _ = s.d.RemoveNode(context.Background(), idx)
+				return 0, fmt.Errorf("revelio: start web on joining node: %w", err)
+			}
+		}
+	}
+	return idx, nil
+}
+
+// RemoveNode decommissions node i (drain web, stop control plane, leave
+// the SP's approved set). If node i holds the leader role, a surviving
+// provisioned node is promoted first so later AddNode joins keep
+// working; removing the last node of a provisioned service is refused
+// for the same reason.
+func (s *Service) RemoveNode(ctx context.Context, i int) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if i < 0 || i >= len(s.d.Nodes) {
+		return fmt.Errorf("revelio: no node %d", i)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("revelio: remove node %d: %w", i, err)
+	}
+	s.mu.Lock()
+	needElection := s.provisioned && s.d.Nodes[i].ControlURL() == s.leaderURL
+	s.mu.Unlock()
+	if needElection {
+		promoted := ""
+		for j, n := range s.d.Nodes {
+			if j == i || !n.Agent.Ready() {
+				continue
+			}
+			if err := n.Agent.BecomeLeader(); err != nil {
+				return fmt.Errorf("revelio: promote node %d: %w", j, err)
+			}
+			promoted = n.ControlURL()
+			break
+		}
+		if promoted == "" {
+			return fmt.Errorf("revelio: cannot remove node %d: it is the only provisioned leader", i)
+		}
+		s.mu.Lock()
+		s.leaderURL = promoted
+		s.mu.Unlock()
+	}
+	// Past the election the removal runs to completion regardless of ctx
+	// (a half-decommissioned node serves nobody).
+	_, err := s.d.RemoveNode(context.Background(), i)
+	return err
+}
+
+// RebootNode power-cycles node i through measured direct boot; an
+// unchanged measurement unseals the persistent volume and restores
+// credentials without re-provisioning.
+func (s *Service) RebootNode(ctx context.Context, i int) error {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	return s.d.RebootNode(ctx, i)
+}
+
+// SetFirmware switches the deployment to a different measured firmware
+// build and returns the new golden measurement (see
+// Deployment.SetFirmware for the trust hand-over contract).
+func (s *Service) SetFirmware(ctx context.Context, version string) (Measurement, error) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	return s.d.SetFirmware(ctx, version)
+}
+
+// ObtainCertificate runs a DNS-01 issuance against the deployment's CA
+// for an arbitrary CSR — the capability anyone controlling the
+// domain's DNS has against a public CA. Demos use it to play the
+// attacker with a browser-valid certificate; Revelio's client-side
+// attestation is what still catches them.
+func (s *Service) ObtainCertificate(domain string, csrDER []byte) ([]byte, error) {
+	return acme.NewClient(s.d.CA, s.d.Zone).ObtainCertificate(domain, csrDER)
+}
+
+// Close tears the service down. Idempotent and safe for concurrent use.
+func (s *Service) Close() {
+	s.closeOnce.Do(s.d.Close)
+}

@@ -1,0 +1,65 @@
+// Package webclient is the end-user side of the public SDK: the
+// simulated browser and the Revelio web extension (paper §5.3.2) under
+// public names. A Browser resolves domains and speaks HTTPS against a
+// deployment's CA roots; an Extension layers remote attestation over
+// every navigation — fresh-session attestation, per-request connection
+// monitoring, and the two failure modes users are protected from
+// (measurement mismatch, connection hijack).
+package webclient
+
+import (
+	"crypto/x509"
+	"time"
+
+	"revelio/attestation/snp"
+	"revelio/internal/browser"
+	"revelio/internal/webext"
+)
+
+// Browser is a minimal browser: local DNS overrides, a CA root pool,
+// and per-connection key introspection for the extension.
+type Browser = browser.Browser
+
+// Response is one fetched page.
+type Response = browser.Response
+
+// Extension is the Revelio web extension attached to a Browser.
+type Extension = webext.Extension
+
+// Metrics decomposes one navigation (attestation time, connection
+// validation).
+type Metrics = webext.Metrics
+
+// The extension's user-facing failure modes.
+var (
+	// ErrSiteNotRegistered reports navigation to an unregistered site.
+	ErrSiteNotRegistered = webext.ErrSiteNotRegistered
+	// ErrAttestationFailed reports a site whose evidence failed
+	// verification.
+	ErrAttestationFailed = webext.ErrAttestationFailed
+	// ErrMeasurementMismatch reports a site running software other than
+	// the golden value the user registered.
+	ErrMeasurementMismatch = webext.ErrMeasurementMismatch
+	// ErrConnectionHijacked reports a TLS connection that no longer
+	// terminates in the attested VM (e.g. after a DNS redirect).
+	ErrConnectionHijacked = webext.ErrConnectionHijacked
+	// ErrNoAttestation reports a site without an attestation endpoint.
+	ErrNoAttestation = webext.ErrNoAttestation
+)
+
+// NewBrowser creates a browser trusting roots, with rtt of simulated
+// network latency per request.
+func NewBrowser(roots *x509.CertPool, rtt time.Duration) *Browser {
+	return browser.New(roots, rtt)
+}
+
+// NewExtension attaches a Revelio extension to a browser, verifying
+// site evidence through the given SEV-SNP verifier (obtain one from
+// Service.Verifier or snp.NewVerifier). The extension is tied to the
+// SEV-SNP provider because the sites' well-known attestation endpoint
+// speaks the SEV report-bundle format; when that endpoint grows the
+// provider-neutral envelope, this surface will accept an
+// attestation.Verifier.
+func NewExtension(b *Browser, verifier *snp.Verifier) *Extension {
+	return webext.New(b, verifier)
+}

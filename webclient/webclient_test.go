@@ -1,0 +1,62 @@
+package webclient_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"revelio"
+	"revelio/webclient"
+)
+
+// TestAttestedNavigation drives the public end-user flow against a live
+// service: discovery, registration, attested navigation, and the
+// measurement-mismatch failure mode.
+func TestAttestedNavigation(t *testing.T) {
+	ctx := context.Background()
+	svc, err := revelio.New(ctx, revelio.WithDomain("webclient.test.example.org"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	if _, err := svc.Provision(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ServeWeb(func(*revelio.Node) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("attested body"))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := webclient.NewBrowser(svc.CARootPool(), 0)
+	b.Resolve(svc.Domain(), svc.WebAddr(0))
+	ext := webclient.NewExtension(b, svc.Verifier())
+
+	discovered, err := ext.Discover(ctx, svc.Domain())
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if discovered != svc.Golden() {
+		t.Errorf("discovered measurement %s != golden", discovered)
+	}
+
+	ext.RegisterSite(svc.Domain(), svc.Golden())
+	resp, metrics, err := ext.Navigate(ctx, svc.Domain(), "/")
+	if err != nil {
+		t.Fatalf("Navigate: %v", err)
+	}
+	if string(resp.Body) != "attested body" || !metrics.Attested {
+		t.Errorf("resp=%q attested=%v", resp.Body, metrics.Attested)
+	}
+
+	wrongExt := webclient.NewExtension(b, svc.Verifier())
+	var wrong revelio.Measurement
+	wrong[0] = 0xBB
+	wrongExt.RegisterSite(svc.Domain(), wrong)
+	if _, _, err := wrongExt.Navigate(ctx, svc.Domain(), "/"); !errors.Is(err, webclient.ErrMeasurementMismatch) {
+		t.Errorf("wrong golden: %v, want ErrMeasurementMismatch", err)
+	}
+}
