@@ -30,6 +30,7 @@ var publicPackages = []string{
 	"attestation",
 	"attestation/snp",
 	"attestation/softtee",
+	"gateway",
 	"webclient",
 	"apps/boundary",
 	"apps/cryptpad",

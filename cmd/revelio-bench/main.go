@@ -7,11 +7,13 @@
 //	revelio-bench -table 1        # just Table 1
 //	revelio-bench -figure 5       # just Fig 5
 //	revelio-bench -table 4        # attestation throughput (fast path)
+//	revelio-bench -table 6        # attested gateway throughput
 //	revelio-bench -table 4 -table 5   # several tables in one run
 //	revelio-bench -ablations      # just the ablation sweeps
 //	revelio-bench -quick          # scaled-down sizes and latencies
 //	revelio-bench -json           # machine-readable JSON instead of tables
 //	revelio-bench -baseline FILE  # fail on regression vs a stored -json run
+//	                              # (repeatable; files are merged per table)
 package main
 
 import (
@@ -68,6 +70,18 @@ func (t tableList) contains(n int) bool {
 	return false
 }
 
+// fileList collects repeated -baseline flags.
+type fileList []string
+
+func (f *fileList) String() string { return strings.Join(*f, ",") }
+
+func (f *fileList) Set(s string) error {
+	if s != "" {
+		*f = append(*f, s)
+	}
+	return nil
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("revelio-bench", flag.ContinueOnError)
 	var tables tableList
@@ -76,7 +90,8 @@ func run(args []string, stdout io.Writer) error {
 	ablations := fs.Bool("ablations", false, "run only the ablation sweeps")
 	quick := fs.Bool("quick", false, "scaled-down sizes and latencies")
 	jsonOut := fs.Bool("json", false, "emit one JSON document instead of rendered tables")
-	baseline := fs.String("baseline", "", "JSON file from a previous -json run to regress against")
+	var baselines fileList
+	fs.Var(&baselines, "baseline", "JSON file from a previous -json run to regress against (repeatable; files are merged per experiment)")
 	tolerance := fs.Float64("tolerance", 0.5, "fractional throughput drop tolerated by -baseline (0.5 = half)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,7 +111,7 @@ func run(args []string, stdout io.Writer) error {
 	// and the -baseline comparison; without either, each result renders
 	// as it completes.
 	results := map[string]any{}
-	collect := *jsonOut || *baseline != ""
+	collect := *jsonOut || len(baselines) > 0
 	emit := func(name string, res renderable) {
 		if collect {
 			results[name] = res
@@ -188,6 +203,21 @@ func run(args []string, stdout io.Writer) error {
 		}
 		emit("table5", res)
 	}
+	if selected(6, 0) {
+		cfg := bench.DefaultTable6Config()
+		if *quick {
+			cfg = bench.Table6Config{
+				NodeCounts: []int{1, 2, 4, 8},
+				Clients:    []int{32},
+				Requests:   512,
+			}
+		}
+		res, err := bench.RunGatewayThroughput(cfg)
+		if err != nil {
+			return err
+		}
+		emit("table6", res)
+	}
 	if selected(0, 0) && len(tables) == 0 && *figureNum == 0 {
 		scal, err := bench.RunScalability([]int{1, 2, 4, 8})
 		if err != nil {
@@ -219,38 +249,47 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	if *baseline != "" {
-		base, err := os.ReadFile(*baseline)
-		if err != nil {
-			return fmt.Errorf("read baseline: %w", err)
+	if len(baselines) > 0 {
+		merged := map[string]any{}
+		for _, path := range baselines {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("read baseline: %w", err)
+			}
+			var doc map[string]any
+			if err := json.Unmarshal(blob, &doc); err != nil {
+				return fmt.Errorf("parse baseline %s: %w", path, err)
+			}
+			for k, v := range doc {
+				merged[k] = v
+			}
 		}
-		regressions, err := compareBaseline(results, base, *tolerance)
+		regressions, err := compareBaseline(results, merged, *tolerance)
 		if err != nil {
 			return err
 		}
+		name := strings.Join(baselines, "+")
 		if len(regressions) > 0 {
-			return fmt.Errorf("regressions vs %s:\n  %s", *baseline, strings.Join(regressions, "\n  "))
+			return fmt.Errorf("regressions vs %s:\n  %s", name, strings.Join(regressions, "\n  "))
 		}
-		fmt.Fprintf(os.Stderr, "revelio-bench: no regressions vs %s (tolerance %.2f)\n", *baseline, *tolerance)
+		fmt.Fprintf(os.Stderr, "revelio-bench: no regressions vs %s (tolerance %.2f)\n", name, *tolerance)
 	}
 	return nil
 }
 
-// compareBaseline judges the current run against a stored -json document.
-// Only metrics that are stable across machines are compared — ratios and
-// exact cache-behaviour counters, plus throughput with the configured
-// tolerance — and only for experiments present in both documents.
-func compareBaseline(current map[string]any, baselineJSON []byte, tol float64) ([]string, error) {
+// compareBaseline judges the current run against a (possibly merged)
+// stored -json document. Only metrics that are stable across machines
+// are compared — ratios and exact cache-behaviour counters, plus
+// throughput with the configured tolerance — and only for experiments
+// present in both documents.
+func compareBaseline(current map[string]any, base map[string]any, tol float64) ([]string, error) {
 	blob, err := json.Marshal(current)
 	if err != nil {
 		return nil, err
 	}
-	var cur, base map[string]any
+	var cur map[string]any
 	if err := json.Unmarshal(blob, &cur); err != nil {
 		return nil, err
-	}
-	if err := json.Unmarshal(baselineJSON, &base); err != nil {
-		return nil, fmt.Errorf("parse baseline: %w", err)
 	}
 
 	var regressions []string
@@ -276,6 +315,17 @@ func compareBaseline(current map[string]any, baselineJSON []byte, tol float64) (
 		if cv, bv, ok := floatPair(maxRowMetric(c, "requests_per_sec", "", ""),
 			maxRowMetric(b, "requests_per_sec", "", "")); ok && cv < bv*(1-tol) {
 			fail("table5: fleet throughput %.0f req/s dropped below %.0f·(1-%.2f)", cv, bv, tol)
+		}
+	}
+	if c, b := subMap(cur, "table6"), subMap(base, "table6"); c != nil && b != nil {
+		if cv, bv, ok := floatPair(maxRowMetric(c, "requests_per_sec_gateway", "", ""),
+			maxRowMetric(b, "requests_per_sec_gateway", "", "")); ok && cv < bv*(1-tol) {
+			fail("table6: gateway throughput %.0f req/s dropped below %.0f·(1-%.2f)", cv, bv, tol)
+		}
+		// The zero-failed-requests invariant is machine-independent and
+		// compared strictly.
+		if cv, ok := c["churn_failures"].(float64); ok && cv != 0 {
+			fail("table6: %.0f requests failed through the gateway during churn", cv)
 		}
 	}
 	return regressions, nil

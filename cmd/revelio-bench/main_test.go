@@ -91,8 +91,9 @@ func TestRunMultipleTables(t *testing.T) {
 	}
 }
 
-func baselineDoc() []byte {
-	return []byte(`{
+func baselineDoc(t *testing.T) map[string]any {
+	t.Helper()
+	return currentDoc(t, `{
 		"table4": {
 			"rows": [
 				{"mode": "cold", "clients": 4, "verifications_per_sec": 10.0},
@@ -131,7 +132,7 @@ func TestCompareBaselineClean(t *testing.T) {
 		},
 		"table5": {"rows": [{"nodes": 4, "requests_per_sec": 900.0}]}
 	}`)
-	regs, err := compareBaseline(cur, baselineDoc(), 0.5)
+	regs, err := compareBaseline(cur, baselineDoc(t), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestCompareBaselineCatchesRegressions(t *testing.T) {
 		},
 		"table5": {"rows": [{"nodes": 4, "requests_per_sec": 10.0}]}
 	}`)
-	regs, err := compareBaseline(cur, baselineDoc(), 0.5)
+	regs, err := compareBaseline(cur, baselineDoc(t), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestCompareBaselineCatchesRegressions(t *testing.T) {
 // baseline may predate a table.
 func TestCompareBaselineSkipsMissing(t *testing.T) {
 	cur := currentDoc(t, `{"table5": {"rows": [{"nodes": 4, "requests_per_sec": 1.0}]}}`)
-	regs, err := compareBaseline(cur, []byte(`{"table4": {"speedup_fast_vs_cold": 10.0}}`), 0.5)
+	regs, err := compareBaseline(cur, currentDoc(t, `{"table4": {"speedup_fast_vs_cold": 10.0}}`), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +172,76 @@ func TestCompareBaselineSkipsMissing(t *testing.T) {
 	}
 }
 
-func TestCompareBaselineBadJSON(t *testing.T) {
-	if _, err := compareBaseline(map[string]any{}, []byte("{nope"), 0.5); err == nil {
+func TestRunBaselineBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-table", "4", "-baseline", bad}, io.Discard); err == nil {
 		t.Error("unparseable baseline accepted")
+	}
+}
+
+// TestCompareBaselineTable6: gateway throughput regresses with the
+// shared tolerance, and any churn failure is flagged strictly.
+func TestCompareBaselineTable6(t *testing.T) {
+	base := currentDoc(t, `{
+		"table6": {
+			"rows": [{"nodes": 8, "requests_per_sec_gateway": 10000.0, "requests_per_sec_direct": 2000.0}],
+			"churn_failures": 0
+		}
+	}`)
+	clean := currentDoc(t, `{
+		"table6": {
+			"rows": [{"nodes": 8, "requests_per_sec_gateway": 9000.0, "requests_per_sec_direct": 2100.0}],
+			"churn_failures": 0
+		}
+	}`)
+	regs, err := compareBaseline(clean, base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("clean table6 run flagged: %v", regs)
+	}
+	regressed := currentDoc(t, `{
+		"table6": {
+			"rows": [{"nodes": 8, "requests_per_sec_gateway": 100.0}],
+			"churn_failures": 3
+		}
+	}`)
+	regs, err = compareBaseline(regressed, base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Errorf("regressions = %d (%v), want 2 (throughput + churn failures)", len(regs), regs)
+	}
+}
+
+// TestRunMergedBaselines: repeated -baseline flags merge per-experiment
+// documents — the CI shape where each table pins its own file.
+func TestRunMergedBaselines(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-json", "-table", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	self := dir + "/table4.json"
+	if err := os.WriteFile(self, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A second baseline for a table not in this run: merged in, then
+	// skipped by the comparison.
+	other := dir + "/table5.json"
+	if err := os.WriteFile(other,
+		[]byte(`{"table5": {"rows": [{"nodes": 4, "requests_per_sec": 1e12}]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-json", "-table", "4",
+		"-baseline", self, "-baseline", other, "-tolerance", "0.9"}, io.Discard); err != nil {
+		t.Errorf("merged baselines regressed: %v", err)
 	}
 }
 

@@ -25,6 +25,10 @@
 //	                               client, simulator)
 //	revelio/attestation/softtee  — a second, in-process software-TEE
 //	                               provider (mock TDX-style quotes)
+//	revelio/gateway              — the attested gateway data plane: a
+//	                               TLS-terminating reverse proxy whose
+//	                               RA-TLS upstreams balance across every
+//	                               attested node (Service.ServeGateway)
 //	revelio/webclient            — the end-user browser + web extension
 //	revelio/apps/...             — the paper's use cases (cryptpad,
 //	                               boundary, ic)
@@ -51,6 +55,7 @@
 //	Table 3  (client-side attestation)   -> BenchmarkTable3_ClientSide
 //	Table 4  (attestation throughput)    -> BenchmarkTable4_AttestationThroughput
 //	Table 5  (fleet scalability)         -> BenchmarkTable5_FleetScalability
+//	Table 6  (gateway throughput)        -> BenchmarkTable6_GatewayThroughput
 //	Fig 5    (dm-crypt I/O)              -> BenchmarkFig5_DmCryptIO
 //	Fig 6    (dm-verity reads)           -> BenchmarkFig6_DmVerityRead
 //	ablations                            -> BenchmarkAblation_*
@@ -63,7 +68,11 @@
 // to fleets under churn: provisioning and join latency plus
 // steady-state attested-TLS throughput swept over fleet sizes, driven
 // by the fleet lifecycle engine (see DESIGN.md's "Fleet lifecycle").
+// Table 6 measures the attested gateway data plane: aggregate req/s
+// through the gateway vs direct-to-leader over fleet size × client
+// concurrency, plus zero failed requests while nodes are replaced
+// behind the proxy (see DESIGN.md's "Attested gateway").
 // revelio-bench -json emits every result as one machine-readable JSON
-// document for tracking across revisions, and -baseline regresses a run
-// against a stored document.
+// document for tracking across revisions, and -baseline (repeatable;
+// files merge per experiment) regresses a run against stored documents.
 package revelio

@@ -1,0 +1,71 @@
+// Package gateway is the public face of Revelio's attested data plane:
+// a TLS-terminating reverse proxy that load-balances across a fleet of
+// attested nodes, dialing every upstream over RA-TLS so a node that
+// stops proving its measured state is ejected from rotation.
+//
+// The usual wiring is one call on the facade — Service.ServeGateway —
+// or, for a churning fleet, a gateway over the fleet's serving view:
+//
+//	f, err := revelio.NewFleet(ctx, revelio.FleetConfig{Nodes: 8})
+//	gw, err := gateway.New(gateway.Config{
+//		Source:         f,                      // subscribable serving view
+//		Verifier:       f.Mux(),                // RA-TLS upstream trust
+//		GetCertificate: f.ServingCertificate,   // downstream termination
+//	})
+//	err = gw.Start()
+//	// browsers navigate to gw.Addr() and still see the attested origin
+//
+// Balancing is health-aware least-pending-requests with round-robin
+// tie-breaking; fleet churn drains through the gateway (zero failed
+// requests), and a policy-revision bump flushes the upstream pools so
+// revocations bite on the very next handshake.
+package gateway
+
+import (
+	"revelio/internal/fleet"
+	igateway "revelio/internal/gateway"
+)
+
+type (
+	// Gateway is the attested reverse proxy.
+	Gateway = igateway.Gateway
+	// Config describes a gateway (source, verifier, certificate).
+	Config = igateway.Config
+	// Source publishes the serving view a gateway routes over. Fleet
+	// implements it; View adapts any other membership owner.
+	Source = igateway.Source
+	// Stats is a point-in-time picture of the data plane.
+	Stats = igateway.Stats
+	// View is a standalone publishable serving view with the same drain
+	// semantics as the fleet engine's.
+	View = igateway.View
+
+	// Snapshot is one immutable version of a serving view.
+	Snapshot = fleet.Snapshot
+	// Endpoint is one node in a serving view.
+	Endpoint = fleet.Endpoint
+	// EndpointState is a node's serving-lifecycle position.
+	EndpointState = fleet.EndpointState
+)
+
+// Endpoint lifecycle states.
+const (
+	StateJoining  = fleet.StateJoining
+	StateServing  = fleet.StateServing
+	StateDraining = fleet.StateDraining
+)
+
+var (
+	// ErrNoUpstreams reports a request with no healthy endpoint to
+	// route to.
+	ErrNoUpstreams = igateway.ErrNoUpstreams
+	// ErrClosed reports use of a closed gateway.
+	ErrClosed = igateway.ErrClosed
+)
+
+// New builds a gateway over cfg; Start opens its TLS listener.
+func New(cfg Config) (*Gateway, error) { return igateway.New(cfg) }
+
+// NewView creates a publishable serving view (version 1) for sources
+// other than a Fleet.
+func NewView(domain string, eps ...Endpoint) *View { return igateway.NewView(domain, eps...) }

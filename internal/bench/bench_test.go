@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"revelio/internal/race"
 )
 
 func TestRunTable1(t *testing.T) {
@@ -220,6 +222,47 @@ func TestRunTable5(t *testing.T) {
 	}
 	out := res.Render()
 	for _, want := range []string{"Table 5", "Join(ms)", "Reqs/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+}
+
+func TestRunTable6(t *testing.T) {
+	cfg := Table6Config{
+		NodeCounts:   []int{1, 4},
+		Clients:      []int{16},
+		Requests:     512,
+		ServiceTime:  time.Millisecond,
+		ChurnNodes:   2,
+		ChurnClients: 4,
+	}
+	res, err := RunGatewayThroughput(cfg)
+	if err != nil {
+		t.Fatalf("RunGatewayThroughput: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.GatewayPerSec <= 0 || row.DirectPerSec <= 0 {
+			t.Errorf("n=%d: missing throughput: %+v", row.Nodes, row)
+		}
+	}
+	// The gateway's whole point: aggregate throughput grows with fleet
+	// size while direct-to-leader stays pinned at one node's capacity.
+	// Under -race the data plane's per-request overhead balloons past
+	// the per-node service time and masks the scaling, so the ratio is
+	// only asserted in normal builds.
+	if r0, r1 := res.Rows[0], res.Rows[1]; !race.Enabled && r1.GatewayPerSec < 1.5*r0.GatewayPerSec {
+		t.Errorf("gateway throughput did not scale: %.0f req/s (n=%d) -> %.0f req/s (n=%d)",
+			r0.GatewayPerSec, r0.Nodes, r1.GatewayPerSec, r1.Nodes)
+	}
+	if res.ChurnFailures != 0 || res.ChurnRequests == 0 {
+		t.Errorf("churn: %d failures over %d requests", res.ChurnFailures, res.ChurnRequests)
+	}
+	out := res.Render()
+	for _, want := range []string{"Table 6", "Gateway(req/s)", "Direct(req/s)", "Churn:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render lacks %q", want)
 		}

@@ -1,0 +1,397 @@
+package bench
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"revelio/internal/core"
+	"revelio/internal/fleet"
+	"revelio/internal/gateway"
+)
+
+// Table6Config drives the attested-gateway throughput experiment
+// ("Table 6"): aggregate req/s through the gateway data plane vs
+// direct-to-leader, swept over fleet size × client concurrency, plus a
+// throughput-under-churn scenario that replaces nodes behind the
+// gateway and asserts zero failed requests.
+//
+// Each node runs a capacity-limited application handler
+// (NodeConcurrency in-flight requests, ServiceTime apiece — the
+// stand-in for a real server's bounded workers), so per-node capacity
+// is finite and the experiment measures what the gateway exists for:
+// whether fleet capacity translates into serving throughput.
+type Table6Config struct {
+	// NodeCounts lists the fleet sizes to sweep.
+	NodeCounts []int
+	// Clients lists the client-concurrency levels to sweep per size.
+	Clients []int
+	// Requests is the number of requests per cell.
+	Requests int
+	// ServiceTime is the simulated per-request application work.
+	ServiceTime time.Duration
+	// NodeConcurrency caps in-flight requests per node (the bounded
+	// worker pool).
+	NodeConcurrency int
+	// ChurnNodes/ChurnReplaces/ChurnClients shape the churn scenario: a
+	// ChurnNodes fleet serves ChurnClients concurrent clients through
+	// the gateway while ChurnReplaces nodes are replaced one by one.
+	ChurnNodes    int
+	ChurnReplaces int
+	ChurnClients  int
+}
+
+// DefaultTable6Config sweeps to the paper-scale 64-node fleet.
+func DefaultTable6Config() Table6Config {
+	return Table6Config{
+		NodeCounts: []int{1, 4, 16, 64},
+		Clients:    []int{16, 128},
+		Requests:   4096,
+	}
+}
+
+func (c Table6Config) withDefaults() Table6Config {
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{1, 4, 16, 64}
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{16, 128}
+	}
+	if c.Requests <= 0 {
+		c.Requests = 4096
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = 2 * time.Millisecond
+	}
+	if c.NodeConcurrency <= 0 {
+		c.NodeConcurrency = 4
+	}
+	if c.ChurnNodes <= 0 {
+		c.ChurnNodes = 4
+	}
+	if c.ChurnReplaces <= 0 {
+		c.ChurnReplaces = 2
+	}
+	if c.ChurnClients <= 0 {
+		c.ChurnClients = 8
+	}
+	return c
+}
+
+// Table6Row is one (fleet size, client concurrency) cell.
+type Table6Row struct {
+	Nodes    int `json:"nodes"`
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// Gateway is the aggregate wall-clock and rate through the attested
+	// gateway, balancing over every node.
+	GatewayElapsed time.Duration `json:"gateway_elapsed_ns"`
+	GatewayPerSec  float64       `json:"requests_per_sec_gateway"`
+	// Direct is the same burst aimed at the leader node alone — the
+	// serving story before the gateway existed.
+	DirectElapsed time.Duration `json:"direct_elapsed_ns"`
+	DirectPerSec  float64       `json:"requests_per_sec_direct"`
+	// Speedup is GatewayPerSec / DirectPerSec.
+	Speedup float64 `json:"speedup"`
+}
+
+// Table6Result reports the sweep plus the churn scenario.
+type Table6Result struct {
+	Rows []Table6Row `json:"rows"`
+	// Churn: requests pushed through the gateway while ChurnReplaces
+	// nodes were replaced; Failures must be zero (it is asserted during
+	// the run — a non-zero count fails the experiment).
+	ChurnNodes    int           `json:"churn_nodes"`
+	ChurnReplaces int           `json:"churn_replaces"`
+	ChurnRequests int64         `json:"churn_requests"`
+	ChurnFailures int64         `json:"churn_failures"`
+	ChurnElapsed  time.Duration `json:"churn_elapsed_ns"`
+	ChurnPerSec   float64       `json:"requests_per_sec_churn"`
+}
+
+// boundedApp builds the per-node capacity-limited handler.
+func boundedApp(concurrency int, serviceTime time.Duration) func(*core.Node) http.Handler {
+	return func(*core.Node) http.Handler {
+		sem := make(chan struct{}, concurrency)
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if serviceTime > 0 {
+				time.Sleep(serviceTime)
+			}
+			_, _ = w.Write([]byte("ok"))
+		})
+	}
+}
+
+// webClient builds one pooled HTTPS client for a burst.
+func table6Client(roots *x509.CertPool, domain string) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{
+				RootCAs:            roots,
+				ServerName:         domain,
+				ClientSessionCache: tls.NewLRUClientSessionCache(0),
+			},
+			MaxIdleConnsPerHost: 256,
+		},
+		Timeout: 30 * time.Second,
+	}
+}
+
+// burst spreads `requests` GETs for url across `clients` goroutines
+// over one pooled client and returns the wall clock and count done.
+func burst(client *http.Client, url string, clients, requests int) (time.Duration, int, error) {
+	if clients <= 0 {
+		clients = 1
+	}
+	perClient := requests / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := client.Get(url)
+				if err != nil {
+					fail(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("status %d", resp.StatusCode))
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), int(done.Load()), firstErr
+}
+
+// RunGatewayThroughput produces Table 6. Every cell stands up a live
+// fleet (real boots, real provisioning, real RA-TLS upstreams) behind a
+// real gateway listener and pushes the same burst through the gateway
+// and directly at the leader.
+func RunGatewayThroughput(cfg Table6Config) (*Table6Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table6Result{}
+	ctx := context.Background()
+	for _, n := range cfg.NodeCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("bench: table6: invalid node count %d", n)
+		}
+		if err := table6Cells(ctx, cfg, n, res); err != nil {
+			return nil, fmt.Errorf("bench: table6 n=%d: %w", n, err)
+		}
+	}
+	if err := table6Churn(ctx, cfg, res); err != nil {
+		return nil, fmt.Errorf("bench: table6 churn: %w", err)
+	}
+	return res, nil
+}
+
+// table6Fleet stands up an n-node fleet with the bounded app and a
+// started gateway over it.
+func table6Fleet(ctx context.Context, cfg Table6Config, n int) (*fleet.Fleet, *gateway.Gateway, error) {
+	f, err := fleet.New(ctx, fleet.Config{
+		Nodes:  n,
+		Domain: "table6.example.org",
+		App:    boundedApp(cfg.NodeConcurrency, cfg.ServiceTime),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Source:         f,
+		Verifier:       f.Mux(),
+		GetCertificate: f.ServingCertificate,
+	})
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := gw.Start(); err != nil {
+		gw.Close()
+		f.Close()
+		return nil, nil, err
+	}
+	return f, gw, nil
+}
+
+func table6Cells(ctx context.Context, cfg Table6Config, n int, res *Table6Result) error {
+	f, gw, err := table6Fleet(ctx, cfg, n)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	defer gw.Close()
+
+	var leaderAddr string
+	for _, ep := range f.Endpoints().Serving() {
+		if ep.Leader {
+			leaderAddr = ep.WebAddr
+		}
+	}
+	if leaderAddr == "" {
+		return fmt.Errorf("no leader in the serving view")
+	}
+	roots := f.Deployment().CARootPool()
+
+	// measured runs one steady-state burst: a warm-up pass first (TLS
+	// handshakes client-to-gateway and gateway-to-node are connection
+	// costs, not per-request costs), then the timed burst over the warm
+	// pools.
+	measured := func(url string, clients int) (time.Duration, int, error) {
+		client := table6Client(roots, "table6.example.org")
+		defer client.CloseIdleConnections()
+		if _, _, err := burst(client, url, clients, clients*2); err != nil {
+			return 0, 0, err
+		}
+		return burst(client, url, clients, cfg.Requests)
+	}
+
+	for _, clients := range cfg.Clients {
+		row := Table6Row{Nodes: n, Clients: clients, Requests: cfg.Requests}
+
+		elapsed, done, err := measured("https://"+gw.Addr()+"/", clients)
+		if err != nil {
+			return fmt.Errorf("gateway burst: %w", err)
+		}
+		row.GatewayElapsed = elapsed
+		if elapsed > 0 {
+			row.GatewayPerSec = float64(done) / elapsed.Seconds()
+		}
+
+		elapsed, done, err = measured("https://"+leaderAddr+"/", clients)
+		if err != nil {
+			return fmt.Errorf("direct burst: %w", err)
+		}
+		row.DirectElapsed = elapsed
+		if elapsed > 0 {
+			row.DirectPerSec = float64(done) / elapsed.Seconds()
+		}
+		if row.DirectPerSec > 0 {
+			row.Speedup = row.GatewayPerSec / row.DirectPerSec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return nil
+}
+
+// table6Churn measures serving through the gateway while nodes are
+// replaced: ChurnClients request loops run for the whole duration of
+// ChurnReplaces sequential ReplaceNode operations, and every failure is
+// counted — the zero-failed-requests invariant, end to end through the
+// proxy.
+func table6Churn(ctx context.Context, cfg Table6Config, res *Table6Result) error {
+	f, gw, err := table6Fleet(ctx, cfg, cfg.ChurnNodes)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	defer gw.Close()
+
+	client := table6Client(f.Deployment().CARootPool(), "table6.example.org")
+	defer client.CloseIdleConnections()
+
+	var (
+		wg       sync.WaitGroup
+		requests atomic.Int64
+		failures atomic.Int64
+	)
+	stop := make(chan struct{})
+	start := time.Now()
+	for c := 0; c < cfg.ChurnClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				requests.Add(1)
+				resp, err := client.Get("https://" + gw.Addr() + "/")
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.ChurnReplaces; i++ {
+		if _, err := f.ReplaceNode(ctx, 0); err != nil {
+			close(stop)
+			wg.Wait()
+			return fmt.Errorf("replace node %d: %w", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.ChurnNodes = cfg.ChurnNodes
+	res.ChurnReplaces = cfg.ChurnReplaces
+	res.ChurnRequests = requests.Load()
+	res.ChurnFailures = failures.Load()
+	res.ChurnElapsed = elapsed
+	if elapsed > 0 {
+		res.ChurnPerSec = float64(requests.Load()) / elapsed.Seconds()
+	}
+	if res.ChurnFailures != 0 {
+		return fmt.Errorf("%d of %d requests failed through the gateway during churn",
+			res.ChurnFailures, res.ChurnRequests)
+	}
+	return nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table6Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%.1f", row.GatewayPerSec),
+			fmt.Sprintf("%.1f", row.DirectPerSec),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		})
+	}
+	out := "Table 6: Attested gateway throughput (fleet-wide balancing vs direct-to-leader)\n" +
+		table([]string{"Nodes", "Clients", "Gateway(req/s)", "Direct(req/s)", "Speedup"}, rows)
+	out += fmt.Sprintf(
+		"Churn: %d nodes, %d replacements under load: %d requests at %.1f req/s, %d failed\n",
+		r.ChurnNodes, r.ChurnReplaces, r.ChurnRequests, r.ChurnPerSec, r.ChurnFailures)
+	return out
+}

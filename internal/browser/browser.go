@@ -82,14 +82,27 @@ func (b *Browser) lookUp(domain string) (string, error) {
 // Get fetches https://domain/path, verifying the server certificate
 // against the browser roots for the *domain* (not the resolved address),
 // exactly like a real browser. The connection context for the domain is
-// updated.
+// updated. Cancelling ctx aborts the navigation at any stage — before
+// the simulated network latency, mid-dial, or mid-response — with a
+// wrapped context error.
 func (b *Browser) Get(ctx context.Context, domain, path string) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("browser: get %q: %w", domain, err)
+	}
 	addr, err := b.lookUp(domain)
 	if err != nil {
 		return nil, err
 	}
 	if b.rtt > 0 {
-		time.Sleep(b.rtt)
+		// The injected latency honours cancellation: a user closing the
+		// tab does not wait out the network simulation.
+		timer := time.NewTimer(b.rtt)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("browser: get %q: %w", domain, ctx.Err())
+		case <-timer.C:
+		}
 	}
 
 	transport := &http.Transport{

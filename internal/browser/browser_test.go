@@ -159,3 +159,38 @@ func TestRedirectUpdatesConnectionContext(t *testing.T) {
 		t.Error("connection context not updated after redirect")
 	}
 }
+
+// TestGetHonoursCancellation: a dead or dying context aborts the
+// navigation — including during the simulated network latency — with a
+// wrapped context error, and no connection context is recorded.
+func TestGetHonoursCancellation(t *testing.T) {
+	ca, zone, pool := newTestCA(t)
+	addr, _ := startTLSServer(t, ca, zone, "slow.example.org",
+		http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("late"))
+		}))
+	b := New(pool, 5*time.Second) // latency far beyond the test budget
+	b.Resolve("slow.example.org", addr)
+
+	// Already-dead context: refused before anything happens.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Get(dead, "slow.example.org", "/"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead ctx: %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-latency: returns promptly, not after the RTT.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := b.Get(ctx, "slow.example.org", "/")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-latency cancel: %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation waited out the simulated latency (%v)", elapsed)
+	}
+	if _, err := b.ConnectionPublicKey("slow.example.org"); !errors.Is(err, ErrNoConnection) {
+		t.Fatalf("aborted navigation recorded a connection context: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/ecdsa"
+	"crypto/tls"
 	"crypto/x509"
 	"encoding/binary"
 	"encoding/hex"
@@ -456,6 +457,17 @@ func (a *Agent) TLSCredentials() (certDER []byte, key *ecdsa.PrivateKey, err err
 		return nil, nil, ErrNotReady
 	}
 	return append([]byte(nil), a.certDER...), a.tlsKey, nil
+}
+
+// ServingCertificate packages TLSCredentials as a tls.Certificate —
+// the per-handshake shape TLS-terminating front ends (the node web
+// tier, an attested gateway) resolve.
+func (a *Agent) ServingCertificate() (*tls.Certificate, error) {
+	certDER, key, err := a.TLSCredentials()
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Certificate{Certificate: [][]byte{certDER}, PrivateKey: key}, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

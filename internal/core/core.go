@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"revelio/attestation/snp"
 	"revelio/internal/acme"
 	"revelio/internal/amdsp"
 	"revelio/internal/attest"
@@ -32,6 +33,7 @@ import (
 	"revelio/internal/kds"
 	"revelio/internal/measure"
 	"revelio/internal/netlab"
+	"revelio/internal/ratls"
 	"revelio/internal/registry"
 	"revelio/internal/sev"
 	"revelio/internal/vm"
@@ -76,6 +78,11 @@ type Node struct {
 	Chip    sev.ChipID
 	Control *httpServer // agent control endpoints (SP-facing)
 	Web     *httpServer // HTTPS front end (user-facing), nil until StartWeb
+	// Upstream is the node's RA-TLS listener: the same handler tree as
+	// Web, but terminated by a certificate whose embedded attestation
+	// evidence binds the listener key — what an attested gateway dials
+	// through attestation.Mux peer verification. Nil until StartWeb.
+	Upstream *httpServer
 
 	chip   *amdsp.SecureProcessor
 	disk   blockdev.Device
@@ -97,6 +104,15 @@ func (n *Node) WebAddr() string {
 		return ""
 	}
 	return n.Web.listener.Addr().String()
+}
+
+// UpstreamAddr returns the RA-TLS upstream address (host:port), or ""
+// before StartWeb.
+func (n *Node) UpstreamAddr() string {
+	if n.Upstream == nil {
+		return ""
+	}
+	return n.Upstream.listener.Addr().String()
 }
 
 // Deployment is a complete running Revelio system.
@@ -369,6 +385,7 @@ func (d *Deployment) RemoveNode(ctx context.Context, i int) (blockdev.Device, er
 	n := d.Nodes[i]
 	d.SP.Forget(n.ControlURL())
 	n.Web.close()
+	n.Upstream.close()
 	n.Control.close()
 	n.client.CloseIdleConnections()
 	d.Nodes = append(d.Nodes[:i], d.Nodes[i+1:]...)
@@ -418,8 +435,10 @@ func (d *Deployment) RebootNode(ctx context.Context, i int) error {
 	n := d.Nodes[i]
 	n.Control.close()
 	n.Web.close()
+	n.Upstream.close()
 	hadWeb := n.Web != nil
 	n.Web = nil
+	n.Upstream = nil
 
 	guest, err := hypervisor.New(n.chip).Launch(hypervisor.Config{
 		Firmware: d.Firmware,
@@ -520,7 +539,27 @@ func (d *Deployment) startNodeWeb(n *Node) error {
 	if err != nil {
 		return err
 	}
+
+	// The upstream listener serves the same handler tree, but its trust
+	// story is attestation rather than a CA: the certificate is minted
+	// fresh inside the guest with SEV-SNP evidence binding its key, so a
+	// gateway dialing it proves — per handshake, under current policy —
+	// that the request terminates inside this measured VM.
+	upstreamCert, err := ratls.CreateProviderCertificate(context.Background(),
+		snp.NewNodeProvider(n.VM, d.Verifier), d.cfg.Domain)
+	if err != nil {
+		web.close()
+		return fmt.Errorf("core: mint upstream RA-TLS certificate: %w", err)
+	}
+	upstream, err := startHTTPSDynamic(mux, func() (*tls.Certificate, error) {
+		return &upstreamCert, nil
+	})
+	if err != nil {
+		web.close()
+		return err
+	}
 	n.Web = web
+	n.Upstream = upstream
 	return nil
 }
 
@@ -548,6 +587,7 @@ func (d *Deployment) close() {
 			continue
 		}
 		n.Web.close()
+		n.Upstream.close()
 		n.Control.close()
 		n.client.CloseIdleConnections()
 	}

@@ -1,0 +1,252 @@
+package fleet
+
+import (
+	"crypto/tls"
+	"sync"
+
+	"revelio/internal/core"
+	"revelio/internal/measure"
+)
+
+// EndpointState is a node's position in the serving lifecycle, published
+// through the endpoint snapshot API.
+type EndpointState string
+
+const (
+	// StateJoining marks a node that is launched but not yet serving:
+	// it is being attested and provisioned and must receive no traffic.
+	StateJoining EndpointState = "joining"
+	// StateServing marks a fully provisioned node whose web tier is up.
+	StateServing EndpointState = "serving"
+	// StateDraining marks a node about to leave: in-flight requests are
+	// completing, new traffic should route elsewhere.
+	StateDraining EndpointState = "draining"
+)
+
+// Endpoint is one node in the fleet's published serving view.
+type Endpoint struct {
+	// ControlURL is the node's control-plane base URL (its stable
+	// identity across the snapshot stream).
+	ControlURL string
+	// WebAddr is the CA-certified HTTPS front end (host:port); empty
+	// until the node's web tier is up.
+	WebAddr string
+	// UpstreamAddr is the node's RA-TLS upstream listener (host:port) —
+	// what an attested gateway dials; empty until the web tier is up.
+	UpstreamAddr string
+	// Leader reports whether the node holds the leader role.
+	Leader bool
+	// State is the node's serving-lifecycle position.
+	State EndpointState
+	// Measurement is the launch measurement the node booted with.
+	Measurement measure.Measurement
+}
+
+// Snapshot is one immutable version of the fleet's serving view: the
+// single source of truth the zero-failed-request drain and the attested
+// gateway both consume. Snapshots are totally ordered by Version.
+type Snapshot struct {
+	// Version increments on every membership, role or policy change.
+	Version uint64
+	// Domain is the service's web domain (what upstream requests carry
+	// as their Host and what the shared certificate names).
+	Domain string
+	// LeaderURL is the standing leader's control URL.
+	LeaderURL string
+	// Endpoints lists every known node with its state; route traffic
+	// only to StateServing entries.
+	Endpoints []Endpoint
+}
+
+// Serving returns the endpoints that may receive traffic.
+func (s Snapshot) Serving() []Endpoint {
+	out := make([]Endpoint, 0, len(s.Endpoints))
+	for _, ep := range s.Endpoints {
+		if ep.State == StateServing {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// NodeEndpoint renders one serving node's published view — the single
+// mapping from a core.Node to its Endpoint, shared by the fleet engine
+// and every other serving-view publisher (the Service facade, tests).
+// The node's web tier must be up (or stably down): callers synchronize
+// with whatever starts and stops the node's servers.
+func NodeEndpoint(n *core.Node, leaderURL string, state EndpointState) Endpoint {
+	return Endpoint{
+		ControlURL:   n.ControlURL(),
+		WebAddr:      n.WebAddr(),
+		UpstreamAddr: n.UpstreamAddr(),
+		Leader:       n.ControlURL() == leaderURL,
+		State:        state,
+		Measurement:  n.VM.Measurement(),
+	}
+}
+
+// Subscribers is the latest-wins snapshot fan-out shared by every
+// snapshot publisher (the fleet engine, gateway views). It does no
+// locking of its own: callers guard it with whatever lock guards their
+// view.
+type Subscribers struct {
+	chans map[int]chan Snapshot
+	next  int
+}
+
+// Add registers a subscription seeded with snap and returns its channel
+// and id.
+func (s *Subscribers) Add(seed Snapshot) (chan Snapshot, int) {
+	if s.chans == nil {
+		s.chans = make(map[int]chan Snapshot)
+	}
+	ch := make(chan Snapshot, 1)
+	id := s.next
+	s.next++
+	s.chans[id] = ch
+	ch <- seed
+	return ch, id
+}
+
+// Remove unregisters and closes subscription id; it reports whether the
+// id was still registered (false after CloseAll or a previous Remove).
+func (s *Subscribers) Remove(id int) bool {
+	ch, ok := s.chans[id]
+	if !ok {
+		return false
+	}
+	delete(s.chans, id)
+	close(ch)
+	return true
+}
+
+// Publish delivers snap to every subscription, coalescing: a slow
+// consumer's stale pending snapshot is replaced by the newest one, and
+// delivery never blocks the publisher.
+func (s *Subscribers) Publish(snap Snapshot) {
+	for _, ch := range s.chans {
+		select {
+		case ch <- snap:
+		default:
+			// Replace the stale pending snapshot with the newest one.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- snap:
+			default:
+			}
+		}
+	}
+}
+
+// CloseAll ends every subscription.
+func (s *Subscribers) CloseAll() {
+	for id, ch := range s.chans {
+		delete(s.chans, id)
+		close(ch)
+	}
+}
+
+// snapshotLocked builds the current snapshot. Callers hold memberMu.
+func (f *Fleet) snapshotLocked() Snapshot {
+	snap := Snapshot{
+		Version:   f.version,
+		Domain:    f.cfg.Domain,
+		LeaderURL: f.leaderURL,
+	}
+	for _, n := range f.serving {
+		state := StateServing
+		if s, ok := f.states[n.ControlURL()]; ok {
+			state = s
+		}
+		snap.Endpoints = append(snap.Endpoints, NodeEndpoint(n, f.leaderURL, state))
+	}
+	// Nodes outside the serving view (joining ones) are published too,
+	// so subscribers can watch a join progress; their state says they
+	// must not receive traffic yet. Only their stable fields are read —
+	// the join is concurrently starting their web and upstream servers,
+	// and those addresses are meaningless until the node serves.
+	for url, s := range f.states {
+		if s != StateJoining {
+			continue
+		}
+		for _, n := range f.d.Nodes {
+			if n.ControlURL() == url {
+				snap.Endpoints = append(snap.Endpoints, Endpoint{
+					ControlURL:  url,
+					State:       s,
+					Measurement: n.VM.Measurement(),
+				})
+			}
+		}
+	}
+	return snap
+}
+
+// publishLocked bumps the view version, rebuilds the cached snapshot,
+// and hands it to every subscriber. Callers hold memberMu for writing.
+// Delivery is coalescing and never blocks: a slow subscriber sees the
+// latest snapshot, not every intermediate one.
+func (f *Fleet) publishLocked() {
+	f.version++
+	f.snap = f.snapshotLocked()
+	f.subs.Publish(f.snap)
+}
+
+// Endpoints returns the current serving-view snapshot. Snapshots are
+// immutable: they are rebuilt once per change (publishLocked), so this
+// — and the per-request Acquire — is a read of a cached value, not a
+// rebuild.
+func (f *Fleet) Endpoints() Snapshot {
+	f.memberMu.RLock()
+	defer f.memberMu.RUnlock()
+	return f.snap
+}
+
+// Subscribe registers for serving-view change notifications. Every
+// membership, leader or rollout change delivers the latest Snapshot on
+// the returned channel (coalesced — a slow consumer skips intermediate
+// versions, never blocks the fleet), seeded with the current view.
+// cancel unregisters and closes the channel; Close does the same for
+// every remaining subscriber.
+func (f *Fleet) Subscribe() (<-chan Snapshot, func()) {
+	f.memberMu.Lock()
+	ch, id := f.subs.Add(f.snap)
+	f.memberMu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			f.memberMu.Lock()
+			f.subs.Remove(id)
+			f.memberMu.Unlock()
+		})
+	}
+}
+
+// Acquire admits one request against the current membership: it returns
+// the serving-view snapshot plus a release func the caller must invoke
+// when the request completes. Lifecycle mutations wait for every
+// admitted request before touching the node set — holding the admission
+// is what makes the zero-failed-request drain work, for the internal
+// traffic driver and the attested gateway alike.
+func (f *Fleet) Acquire() (Snapshot, func()) {
+	f.memberMu.RLock()
+	return f.snap, f.memberMu.RUnlock
+}
+
+// ServingCertificate returns the fleet's shared serving credential (the
+// CA-issued certificate and its TEE-held key) from any ready node — what
+// a TLS-terminating gateway fronting the fleet serves with. The result
+// tracks rotations: call it per handshake (tls.Config.GetCertificate).
+func (f *Fleet) ServingCertificate() (*tls.Certificate, error) {
+	f.memberMu.RLock()
+	defer f.memberMu.RUnlock()
+	for _, n := range f.serving {
+		if cert, err := n.Agent.ServingCertificate(); err == nil {
+			return cert, nil
+		}
+	}
+	return nil, ErrNoLeader
+}

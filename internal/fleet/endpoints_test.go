@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"revelio/attestation"
+	"revelio/attestation/softtee"
+	"revelio/internal/measure"
+	"revelio/internal/registry"
+)
+
+// TestEndpointSnapshots: the published serving view carries every node
+// with URL, upstream address, leader role and measurement; versions are
+// strictly monotone; subscribers see joins pass through StateJoining
+// and removals through StateDraining.
+func TestEndpointSnapshots(t *testing.T) {
+	ctx := context.Background()
+	f, err := New(ctx, Config{Nodes: 2, Domain: "endpoints.test.example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	snap := f.Endpoints()
+	if snap.Version == 0 {
+		t.Fatal("initial snapshot has version 0")
+	}
+	if snap.Domain != "endpoints.test.example.org" {
+		t.Fatalf("snapshot domain = %q", snap.Domain)
+	}
+	if got := len(snap.Serving()); got != 2 {
+		t.Fatalf("serving endpoints = %d, want 2", got)
+	}
+	leaders := 0
+	for _, ep := range snap.Endpoints {
+		if ep.WebAddr == "" || ep.UpstreamAddr == "" || ep.ControlURL == "" {
+			t.Errorf("endpoint missing addresses: %+v", ep)
+		}
+		if ep.Measurement != f.Golden() {
+			t.Errorf("endpoint measurement = %s, want golden %s", ep.Measurement, f.Golden())
+		}
+		if ep.Leader {
+			leaders++
+			if ep.ControlURL != f.LeaderURL() {
+				t.Errorf("leader endpoint %q != LeaderURL %q", ep.ControlURL, f.LeaderURL())
+			}
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("snapshot marks %d leaders, want 1", leaders)
+	}
+
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	// The subscription is seeded with the current view.
+	seed := <-ch
+	if seed.Version != f.Endpoints().Version {
+		t.Fatalf("seed snapshot version %d, want current %d", seed.Version, f.Endpoints().Version)
+	}
+
+	// Drive a join and a removal, then replay the notification stream:
+	// versions must be strictly increasing, and the final view must be
+	// back to 2 serving nodes.
+	idx, err := f.AddNode(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RemoveNode(ctx, idx); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the (coalesced) notification stream: versions must be
+	// strictly increasing; intermediate views may be skipped.
+	last := seed
+	for {
+		select {
+		case snap := <-ch:
+			if snap.Version <= last.Version {
+				t.Fatalf("snapshot version went %d -> %d", last.Version, snap.Version)
+			}
+			last = snap
+			continue
+		default:
+		}
+		break
+	}
+	if got := len(f.Endpoints().Serving()); got != 2 {
+		t.Fatalf("serving endpoints after churn = %d, want 2", got)
+	}
+
+	// cancel is idempotent; a cancelled subscription's channel closes.
+	cancel()
+	if _, ok := <-ch; ok {
+		// A buffered snapshot may still be pending; the channel must be
+		// closed after draining it.
+		if _, ok := <-ch; ok {
+			t.Fatal("subscription channel not closed after cancel")
+		}
+	}
+}
+
+// TestAcquireDrains: a request admitted through Acquire blocks a
+// concurrent removal until released — the drain contract the gateway
+// builds on.
+func TestAcquireDrains(t *testing.T) {
+	ctx := context.Background()
+	f, err := New(ctx, Config{Nodes: 2, Domain: "acquire.test.example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	snap, release := f.Acquire()
+	if len(snap.Serving()) != 2 {
+		t.Fatalf("acquired %d serving endpoints, want 2", len(snap.Serving()))
+	}
+	removed := make(chan error, 1)
+	go func() { removed <- f.RemoveNode(ctx, 1) }()
+
+	// The removal must not complete while the admission is held. It
+	// publishes the draining state and then parks on the write lock.
+	select {
+	case err := <-removed:
+		t.Fatalf("RemoveNode completed under an active admission: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	release()
+	if err := <-removed; err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Size(); got != 1 {
+		t.Fatalf("fleet size after drain = %d, want 1", got)
+	}
+}
+
+// TestAttachProviderRaces: AttachProvider racing VerifyFleet and mux
+// verification under -race — the serving plane keeps judging while
+// operators hot-attach providers.
+func TestAttachProviderRaces(t *testing.T) {
+	ctx := context.Background()
+	f, err := New(ctx, Config{Nodes: 2, Domain: "attach.test.example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	platform, err := softtee.NewPlatform([]byte("attach-race"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var softGolden measure.Measurement
+	softGolden[0] = 0xA7
+	reg := registry.New(1)
+	reg.AddVoter("op")
+	if err := reg.Propose(softGolden, "soft"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Vote("op", softGolden); err != nil {
+		t.Fatal(err)
+	}
+	enclave := platform.Launch(softGolden)
+	verifier := softtee.NewVerifier(platform.PublicKey(), reg)
+	softEv, err := enclave.Issue(ctx, []byte("race payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.AttachProvider(softtee.NewProvider(enclave, verifier))
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f.VerifyFleet(ctx); err != nil {
+				t.Errorf("VerifyFleet during AttachProvider: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Depending on interleaving the provider may not be attached
+			// yet; both outcomes are legal, racing is the point.
+			if _, err := f.Mux().VerifyEvidence(ctx, softEv); err != nil &&
+				!isUnknownProvider(err) {
+				t.Errorf("soft evidence during AttachProvider: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := f.Mux().VerifyEvidence(ctx, softEv); err != nil {
+		t.Fatalf("soft evidence after attach settled: %v", err)
+	}
+}
+
+func isUnknownProvider(err error) bool {
+	return errors.Is(err, attestation.ErrUnknownProvider)
+}

@@ -102,12 +102,30 @@ type Fleet struct {
 	// is fully up. A joining node enters it strictly after provisioning
 	// and web start; a leaving node exits it before its servers close.
 	serving []*core.Node
+	// states annotates nodes with their lifecycle position (joining /
+	// draining) for the published snapshot; absence means StateServing.
+	states map[string]EndpointState
+	// version counts serving-view changes; snap caches the immutable
+	// snapshot for the current version (rebuilt by publishLocked, read
+	// by Endpoints/Acquire); subs receive each new snapshot.
+	version uint64
+	snap    Snapshot
+	subs    Subscribers
 
 	leaderURL string
 	certDER   []byte
 	golden    measure.Measurement
 	fwVersion string               // firmware build the fleet targets
 	rolling   *measure.Measurement // old golden during a staged rollout
+
+	// webTransport is the fleet's one pooled client-side transport for
+	// attested-TLS traffic: every traffic driver and invariant check
+	// shares its connection pool instead of opening a fresh pool (and
+	// fresh handshakes) per burst. webMu guards lazy init against the
+	// concurrent reap in Close.
+	webMu        sync.Mutex
+	webTransport *http.Transport
+	webShared    *http.Client
 
 	closeOnce sync.Once
 }
@@ -161,7 +179,8 @@ func New(ctx context.Context, cfg Config) (*Fleet, error) {
 	d.KDSClient.SetCaching(true)
 
 	f := &Fleet{d: d, trust: trust, cfg: cfg, golden: d.Golden, fwVersion: cfg.FirmwareVersion,
-		mux: attestation.NewMux()}
+		mux:    attestation.NewMux(),
+		states: make(map[string]EndpointState)}
 	f.mux.RegisterProvider(snp.NewProvider(d.Verifier))
 	if err := f.approveMeasurement(d.Golden, "firmware "+cfg.FirmwareVersion); err != nil {
 		d.Close()
@@ -177,7 +196,10 @@ func New(ctx context.Context, cfg Config) (*Fleet, error) {
 		d.Close()
 		return nil, err
 	}
+	f.memberMu.Lock()
 	f.serving = append(f.serving, d.Nodes...)
+	f.publishLocked()
+	f.memberMu.Unlock()
 	return f, nil
 }
 
@@ -240,6 +262,14 @@ func (f *Fleet) Close() {
 		f.memberMu.Lock()
 		defer f.memberMu.Unlock()
 		f.serving = nil
+		f.publishLocked()
+		// Every subscription ends with the (empty) final snapshot.
+		f.subs.CloseAll()
+		f.webMu.Lock()
+		if f.webTransport != nil {
+			f.webTransport.CloseIdleConnections()
+		}
+		f.webMu.Unlock()
 		f.d.Close()
 	})
 }
@@ -264,20 +294,33 @@ func (f *Fleet) addNodeLocked(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	f.memberMu.RLock()
-	leaderURL, certDER := f.leaderURL, f.certDER
-	f.memberMu.RUnlock()
 	node := f.d.Nodes[idx]
-	if err := f.d.SP.ProvisionNode(ctx, node.ControlURL(), leaderURL, certDER); err != nil {
+	f.memberMu.Lock()
+	leaderURL, certDER := f.leaderURL, f.certDER
+	// Publish the join in progress: subscribers see the node as
+	// StateJoining — visible, but ineligible for traffic.
+	f.states[node.ControlURL()] = StateJoining
+	f.publishLocked()
+	f.memberMu.Unlock()
+	abortJoin := func() {
+		f.memberMu.Lock()
+		delete(f.states, node.ControlURL())
+		f.publishLocked()
+		f.memberMu.Unlock()
 		_, _ = f.d.RemoveNode(context.Background(), idx)
+	}
+	if err := f.d.SP.ProvisionNode(ctx, node.ControlURL(), leaderURL, certDER); err != nil {
+		abortJoin()
 		return 0, fmt.Errorf("fleet: provision joining node: %w", err)
 	}
 	if err := f.d.StartNodeWeb(idx); err != nil {
-		_, _ = f.d.RemoveNode(context.Background(), idx)
+		abortJoin()
 		return 0, fmt.Errorf("fleet: start web on joining node: %w", err)
 	}
 	f.memberMu.Lock()
+	delete(f.states, node.ControlURL())
 	f.serving = append(f.serving, node)
+	f.publishLocked()
 	f.memberMu.Unlock()
 	return idx, nil
 }
@@ -308,12 +351,22 @@ func (f *Fleet) removeNodeLocked(ctx context.Context, i int) error {
 	}
 	node := f.d.Nodes[i]
 
+	// Announce the drain first: subscribers (the gateway) see the node
+	// flip to StateDraining and stop routing *new* requests to it while
+	// requests already admitted keep completing against open servers.
+	f.memberMu.Lock()
+	f.states[node.ControlURL()] = StateDraining
+	f.publishLocked()
+	f.memberMu.Unlock()
+
 	// Re-elect if needed and take the node out of the serving view.
 	// Acquiring the write lock waits out every in-flight request, so by
 	// the time we close the node's servers nothing is talking to them.
 	f.memberMu.Lock()
 	if node.ControlURL() == f.leaderURL {
 		if err := f.electLeaderLocked(i); err != nil {
+			delete(f.states, node.ControlURL())
+			f.publishLocked()
 			f.memberMu.Unlock()
 			return err
 		}
@@ -324,6 +377,8 @@ func (f *Fleet) removeNodeLocked(ctx context.Context, i int) error {
 			break
 		}
 	}
+	delete(f.states, node.ControlURL())
+	f.publishLocked()
 	f.memberMu.Unlock()
 
 	// Past the point of no return (leader re-elected, serving view
@@ -385,6 +440,7 @@ func (f *Fleet) RotateCertificates(ctx context.Context) (*certmgr.ProvisionResul
 	}
 	f.memberMu.Lock()
 	f.leaderURL, f.certDER = res.LeaderURL, res.CertDER
+	f.publishLocked()
 	f.memberMu.Unlock()
 	return res, nil
 }
@@ -447,6 +503,7 @@ func (f *Fleet) StageFirmware(ctx context.Context, version string) (measure.Meas
 	f.memberMu.Lock()
 	f.rolling = &old
 	f.golden = newGolden
+	f.publishLocked()
 	f.memberMu.Unlock()
 	return newGolden, nil
 }
@@ -495,18 +552,31 @@ func (f *Fleet) RollOut(ctx context.Context, version string) (measure.Measuremen
 	return newGolden, nil
 }
 
-// webClient builds an HTTPS client that trusts the deployment's CA and
-// pins the service domain regardless of the per-node address dialed.
+// webClient returns the fleet's shared HTTPS client: it trusts the
+// deployment's CA, pins the service domain regardless of the per-node
+// address dialed, and keeps one pooled transport for the fleet's whole
+// life — traffic bursts reuse warm connections instead of re-handshaking
+// per burst. Close reaps the pool.
 func (f *Fleet) webClient() *http.Client {
-	return &http.Client{
-		Transport: &http.Transport{
+	f.webMu.Lock()
+	defer f.webMu.Unlock()
+	if f.webShared == nil {
+		f.webTransport = &http.Transport{
 			TLSClientConfig: &tls.Config{
 				RootCAs:    f.d.CARootPool(),
 				ServerName: f.cfg.Domain,
+				// Session resumption across the pool: reconnects skip
+				// the full handshake.
+				ClientSessionCache: tls.NewLRUClientSessionCache(0),
 			},
-		},
-		Timeout: 10 * time.Second,
+			// Steady-state bursts run tens of concurrent clients against
+			// a handful of nodes; keep enough warm connections per node
+			// that none of them re-handshakes mid-burst.
+			MaxIdleConnsPerHost: 64,
+		}
+		f.webShared = &http.Client{Transport: f.webTransport, Timeout: 10 * time.Second}
 	}
+	return f.webShared
 }
 
 // VerifyFleet checks the full-fleet invariant an auditor cares about:
@@ -520,7 +590,6 @@ func (f *Fleet) VerifyFleet(ctx context.Context) error {
 	nodes := append([]*core.Node(nil), f.serving...)
 	f.memberMu.RUnlock()
 	client := f.webClient()
-	defer client.CloseIdleConnections()
 	for i, n := range nodes {
 		if !n.Agent.Ready() {
 			return fmt.Errorf("%w: node %d", ErrNodeNotReady, i)

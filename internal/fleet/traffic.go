@@ -37,12 +37,11 @@ func (f *Fleet) StartTraffic(clients int) *Traffic {
 		clients = 1
 	}
 	tr := &Traffic{f: f, stop: make(chan struct{})}
+	client := f.webClient()
 	for c := 0; c < clients; c++ {
 		tr.wg.Add(1)
 		go func(c int) {
 			defer tr.wg.Done()
-			client := f.webClient()
-			defer client.CloseIdleConnections()
 			for i := c; ; i++ {
 				select {
 				case <-tr.stop:
@@ -118,13 +117,12 @@ func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
 	}
 	var wg sync.WaitGroup
 	tr := &Traffic{f: f}
+	client := f.webClient()
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			client := f.webClient()
-			defer client.CloseIdleConnections()
 			for i := 0; i < perClient; i++ {
 				tr.one(client, c*perClient+i)
 				if tr.failures.Load() > 0 {

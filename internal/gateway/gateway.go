@@ -1,0 +1,541 @@
+// Package gateway is Revelio's attested data plane: a TLS-terminating
+// reverse proxy that turns N attested nodes into one scalable service.
+//
+// Downstream, the gateway serves the fleet's shared CA-issued
+// certificate (resolved per handshake, so rotations propagate), which
+// keeps the end-to-end client story intact: a browser running the
+// Revelio extension still pins the attested TLS key and still gets its
+// attestation bundle — proxied from a real node — bound to that same
+// key.
+//
+// Upstream, every connection is RA-TLS: the transport dials the nodes'
+// upstream listeners and verifies, per handshake, the attestation
+// evidence embedded in their certificates through an attestation
+// verifier — usually an attestation.Mux, so a mixed-provider fleet
+// proxies through one gateway. Verification is fail-closed: a node
+// whose evidence stops verifying (revoked measurement, expired
+// evidence, unknown provider) is ejected from rotation, and a bump of
+// any provider's policy revision flushes the connection pools so
+// already-established upstreams re-prove themselves.
+//
+// Routing is health-aware least-pending-requests with round-robin
+// tie-breaking, over the serving view published by a Source (the fleet
+// engine, or any snapshot publisher). Each proxied request holds the
+// source's admission (Source.Acquire) for its lifetime, which is the
+// same mechanism behind the fleet's zero-failed-request drain: a
+// lifecycle operation waits for admitted requests before closing a
+// node, so churn never surfaces as a failed request through the proxy.
+package gateway
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"revelio/attestation"
+	"revelio/internal/fleet"
+	"revelio/internal/ratls"
+)
+
+var (
+	// ErrNoUpstreams reports a request that found no healthy serving
+	// endpoint to route to.
+	ErrNoUpstreams = errors.New("gateway: no healthy upstream endpoints")
+	// ErrClosed reports use of a closed gateway.
+	ErrClosed = errors.New("gateway: closed")
+)
+
+// Source publishes the serving view the gateway routes over. The fleet
+// engine implements it; View adapts any other membership owner.
+type Source interface {
+	// Acquire admits one request: it returns the current snapshot and a
+	// release func the caller invokes when the request completes.
+	// Membership mutations must wait for admitted requests (the drain).
+	Acquire() (fleet.Snapshot, func())
+	// Subscribe returns a channel of view changes (latest-wins
+	// coalescing) and a cancel func.
+	Subscribe() (<-chan fleet.Snapshot, func())
+}
+
+// Config describes a gateway.
+type Config struct {
+	// Source publishes the serving view (required).
+	Source Source
+	// Verifier judges upstream RA-TLS evidence — typically the fleet's
+	// attestation.Mux, so every registered provider's nodes are
+	// dialable (required).
+	Verifier attestation.Verifier
+	// GetCertificate resolves the downstream serving certificate per
+	// handshake (required for Start; ServeHTTP alone works without).
+	// Fleet.ServingCertificate is the usual implementation.
+	GetCertificate func() (*tls.Certificate, error)
+	// MaxIdleConnsPerHost bounds the warm connection pool per node
+	// (default 64).
+	MaxIdleConnsPerHost int
+	// DialTimeout bounds one upstream dial+handshake (default 10s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds writing one response to a downstream client
+	// (default 30s). A proxied request holds the serving-view admission
+	// for its lifetime — that is the zero-failed-request drain — so
+	// this timeout is also the longest a stalled client can delay a
+	// fleet lifecycle operation.
+	WriteTimeout time.Duration
+}
+
+// upstream is the gateway's routing state for one endpoint.
+type upstream struct {
+	ep      fleet.Endpoint
+	pending atomic.Int64
+	ejected atomic.Bool
+}
+
+// Stats is a point-in-time picture of the data plane.
+type Stats struct {
+	// Requests counts proxied requests admitted so far.
+	Requests int64
+	// Retries counts upstream attempts beyond each request's first.
+	Retries int64
+	// Ejected lists upstream addresses currently out of rotation
+	// because their attestation stopped verifying.
+	Ejected []string
+	// PolicyFlushes counts connection-pool flushes triggered by policy
+	// revision changes.
+	PolicyFlushes int64
+}
+
+// Gateway is the attested reverse proxy.
+type Gateway struct {
+	cfg       Config
+	transport *http.Transport
+
+	mu      sync.Mutex
+	ups     map[string]*upstream // by UpstreamAddr
+	version uint64
+	closed  bool
+	// revs caches the policy-revision sources reachable through the
+	// verifier; rebuilt on every view change (sync) rather than walked
+	// through the mux per request.
+	revs []attestation.Revisioned
+
+	rr       atomic.Uint64
+	requests atomic.Int64
+	retries  atomic.Int64
+	flushes  atomic.Int64
+
+	// policyRev is the last-seen sum of provider policy revisions; a
+	// change means some provider's policy moved and pooled connections
+	// may predate it.
+	policyRev atomic.Uint64
+
+	server   *http.Server
+	listener net.Listener
+	unsub    func()
+	watchWG  sync.WaitGroup
+}
+
+// New builds a gateway over cfg. Call Start to open the listener, or
+// use the Gateway directly as an http.Handler behind your own server.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("gateway: nil source")
+	}
+	if cfg.Verifier == nil {
+		return nil, errors.New("gateway: nil verifier")
+	}
+	if cfg.MaxIdleConnsPerHost <= 0 {
+		cfg.MaxIdleConnsPerHost = 64
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	tlsCfg := ratls.ProviderClientConfig(cfg.Verifier)
+	g := &Gateway{
+		cfg: cfg,
+		ups: make(map[string]*upstream),
+		transport: &http.Transport{
+			TLSClientConfig:     tlsCfg,
+			TLSHandshakeTimeout: cfg.DialTimeout,
+			DialContext: (&net.Dialer{
+				Timeout: cfg.DialTimeout,
+			}).DialContext,
+			MaxIdleConnsPerHost: cfg.MaxIdleConnsPerHost,
+		},
+	}
+	g.revs = revisionSources(cfg.Verifier)
+	g.policyRev.Store(g.currentPolicyRev())
+	snap, release := cfg.Source.Acquire()
+	g.sync(snap)
+	release()
+
+	// Watch the view: on churn, retire departed endpoints promptly and
+	// drop their warm connections instead of waiting for the next
+	// request to notice.
+	ch, unsub := cfg.Source.Subscribe()
+	g.unsub = unsub
+	g.watchWG.Add(1)
+	go func() {
+		defer g.watchWG.Done()
+		for snap := range ch {
+			if g.sync(snap) {
+				g.transport.CloseIdleConnections()
+			}
+		}
+	}()
+	return g, nil
+}
+
+// revisionSources collects every policy-revision source reachable
+// through v: v itself, and — when v is a Mux — each registered
+// provider. The result is cached on the gateway and refreshed per view
+// change, so the per-request epoch check is a handful of atomic loads
+// instead of a mux walk.
+func revisionSources(v attestation.Verifier) []attestation.Revisioned {
+	var revs []attestation.Revisioned
+	if rev, ok := v.(attestation.Revisioned); ok {
+		revs = append(revs, rev)
+	}
+	if mux, ok := v.(*attestation.Mux); ok {
+		for _, name := range mux.Providers() {
+			if pv, ok := mux.Verifier(name); ok {
+				if rev, ok := pv.(attestation.Revisioned); ok {
+					revs = append(revs, rev)
+				}
+			}
+		}
+	}
+	return revs
+}
+
+// currentPolicyRev folds every cached provider policy revision into one
+// monotone number: revisions only increment, so any change moves the
+// sum. (The source list itself refreshes with the serving view; a
+// spurious flush when it grows is harmless.)
+func (g *Gateway) currentPolicyRev() uint64 {
+	g.mu.Lock()
+	revs := g.revs
+	g.mu.Unlock()
+	var total uint64
+	for _, rev := range revs {
+		total += rev.PolicyRevision()
+	}
+	return total
+}
+
+// checkPolicyEpoch flushes the upstream pools when any provider's
+// policy revision moved since the last request: pooled connections were
+// verified under the old policy, and fail-closed means they must
+// re-prove themselves under the new one. Ejections are cleared too —
+// the policy change may equally have reinstated a provider.
+func (g *Gateway) checkPolicyEpoch() {
+	rev := g.currentPolicyRev()
+	old := g.policyRev.Load()
+	if rev == old || !g.policyRev.CompareAndSwap(old, rev) {
+		return
+	}
+	g.flushes.Add(1)
+	g.transport.CloseIdleConnections()
+	g.mu.Lock()
+	for _, up := range g.ups {
+		up.ejected.Store(false)
+	}
+	g.mu.Unlock()
+}
+
+// sync reconciles the routing table with a snapshot, preserving pending
+// counts and ejection state for surviving endpoints. It reports whether
+// any endpoint departed (so callers must drop its pooled connections);
+// whichever path observes a version first — the per-request fast path
+// or the subscription watcher — consumes it, so both act on the result.
+func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if snap.Version <= g.version && g.version != 0 {
+		return false
+	}
+	g.version = snap.Version
+	// Refresh the revision sources alongside the view: providers are
+	// attached before their nodes join, so a membership change is the
+	// natural moment to notice them.
+	g.revs = revisionSources(g.cfg.Verifier)
+	keep := make(map[string]*upstream, len(snap.Endpoints))
+	for _, ep := range snap.Endpoints {
+		if ep.UpstreamAddr == "" {
+			continue
+		}
+		if up, ok := g.ups[ep.UpstreamAddr]; ok {
+			up.ep = ep
+			keep[ep.UpstreamAddr] = up
+			continue
+		}
+		keep[ep.UpstreamAddr] = &upstream{ep: ep}
+	}
+	for addr := range g.ups {
+		if _, ok := keep[addr]; !ok {
+			// Departure by address, not by count: a same-size swap
+			// (replace) retires an endpoint too.
+			removed = true
+			break
+		}
+	}
+	g.ups = keep
+	return removed
+}
+
+// pick selects the healthiest upstream: among serving, non-ejected,
+// non-excluded endpoints, the one with the fewest pending requests;
+// ties break round-robin so equal-load nodes share work evenly.
+func (g *Gateway) pick(excluded map[string]bool) *upstream {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	candidates := make([]*upstream, 0, len(g.ups))
+	for _, up := range g.ups {
+		if up.ep.State != fleet.StateServing || up.ejected.Load() || excluded[up.ep.UpstreamAddr] {
+			continue
+		}
+		candidates = append(candidates, up)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	start := int(g.rr.Add(1) % uint64(len(candidates)))
+	best := candidates[start]
+	bestPending := best.pending.Load()
+	for i := 1; i < len(candidates); i++ {
+		up := candidates[(start+i)%len(candidates)]
+		if p := up.pending.Load(); p < bestPending {
+			best, bestPending = up, p
+		}
+	}
+	return best
+}
+
+// isAttestationReject reports an upstream failure that means the node's
+// attestation no longer verifies — the fail-closed ejection triggers —
+// as against a transient transport error worth retrying elsewhere
+// without ejecting.
+func isAttestationReject(err error) bool {
+	return errors.Is(err, attestation.ErrPolicyRejected) ||
+		errors.Is(err, attestation.ErrEvidenceInvalid) ||
+		errors.Is(err, attestation.ErrEvidenceExpired) ||
+		errors.Is(err, attestation.ErrUnknownProvider) ||
+		errors.Is(err, ratls.ErrNoEvidence) ||
+		errors.Is(err, ratls.ErrKeyMismatch) ||
+		errors.Is(err, ratls.ErrNoPeerCertificate)
+}
+
+// hopByHop are the connection-scoped headers a proxy must not forward.
+var hopByHop = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func stripHopByHop(h http.Header) {
+	for _, f := range strings.Split(h.Get("Connection"), ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			h.Del(f)
+		}
+	}
+	for _, f := range hopByHop {
+		h.Del(f)
+	}
+}
+
+// retryable reports whether a request can be re-sent to another node
+// after a failed attempt: its body must be absent or replayable.
+func retryable(r *http.Request) bool {
+	return r.Body == nil || r.Body == http.NoBody || r.GetBody != nil
+}
+
+// ServeHTTP proxies one request to the healthiest attested node. The
+// request holds the source admission for its lifetime, so fleet churn
+// drains through the gateway exactly as it does for direct clients.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	snap, release := g.cfg.Source.Acquire()
+	defer release()
+	g.checkPolicyEpoch()
+	if g.sync(snap) {
+		// A node left the view since the last observed version: its
+		// warm connections must not linger in the pool.
+		g.transport.CloseIdleConnections()
+	}
+	g.requests.Add(1)
+
+	attempts := len(snap.Serving())
+	if attempts == 0 {
+		http.Error(w, ErrNoUpstreams.Error(), http.StatusBadGateway)
+		return
+	}
+	excluded := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		up := g.pick(excluded)
+		if up == nil {
+			break
+		}
+		if attempt > 0 {
+			g.retries.Add(1)
+		}
+		resp, err := g.forward(up, snap.Domain, r)
+		if err != nil {
+			lastErr = err
+			if isAttestationReject(err) {
+				// Fail closed: the node no longer proves its measured
+				// state; out of rotation until the policy moves again.
+				up.ejected.Store(true)
+			}
+			excluded[up.ep.UpstreamAddr] = true
+			if r.Context().Err() != nil || !retryable(r) {
+				break
+			}
+			continue
+		}
+		defer func() { _ = resp.Body.Close() }()
+		stripHopByHop(resp.Header)
+		for k, vv := range resp.Header {
+			for _, v := range vv {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+	if lastErr == nil {
+		lastErr = ErrNoUpstreams
+	}
+	http.Error(w, fmt.Sprintf("gateway: upstream failed: %v", lastErr), http.StatusBadGateway)
+}
+
+// forward sends one attempt to a node over RA-TLS.
+func (g *Gateway) forward(up *upstream, domain string, r *http.Request) (*http.Response, error) {
+	outreq := r.Clone(r.Context())
+	outreq.URL.Scheme = "https"
+	outreq.URL.Host = up.ep.UpstreamAddr
+	outreq.RequestURI = ""
+	outreq.Close = false
+	if domain != "" {
+		outreq.Host = domain
+	}
+	stripHopByHop(outreq.Header)
+	if r.GetBody != nil {
+		body, err := r.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		outreq.Body = body
+	}
+	if clientIP, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		prior := outreq.Header.Get("X-Forwarded-For")
+		if prior != "" {
+			clientIP = prior + ", " + clientIP
+		}
+		outreq.Header.Set("X-Forwarded-For", clientIP)
+	}
+
+	up.pending.Add(1)
+	defer up.pending.Add(-1)
+	return g.transport.RoundTrip(outreq)
+}
+
+// Start opens the gateway's TLS listener on a loopback port. The
+// serving certificate is resolved per handshake through
+// Config.GetCertificate, so rotations reach live listeners.
+func (g *Gateway) Start() error {
+	if g.cfg.GetCertificate == nil {
+		return errors.New("gateway: Start needs Config.GetCertificate")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	if g.listener != nil {
+		return errors.New("gateway: already started")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("gateway: listen: %w", err)
+	}
+	tlsLn := tls.NewListener(ln, &tls.Config{
+		GetCertificate: func(*tls.ClientHelloInfo) (*tls.Certificate, error) {
+			return g.cfg.GetCertificate()
+		},
+	})
+	g.listener = ln
+	g.server = &http.Server{
+		Handler:           g,
+		ReadHeaderTimeout: 10 * time.Second,
+		// WriteTimeout caps how long a slow or stalled client can hold
+		// the serving-view admission (see Config.WriteTimeout).
+		WriteTimeout: g.cfg.WriteTimeout,
+		IdleTimeout:  2 * time.Minute,
+	}
+	srv := g.server
+	go func() { _ = srv.Serve(tlsLn) }()
+	return nil
+}
+
+// Addr returns the gateway's listen address (host:port), or "" before
+// Start.
+func (g *Gateway) Addr() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.listener == nil {
+		return ""
+	}
+	return g.listener.Addr().String()
+}
+
+// Stats reports the data plane's counters and current ejections.
+func (g *Gateway) Stats() Stats {
+	s := Stats{
+		Requests:      g.requests.Load(),
+		Retries:       g.retries.Load(),
+		PolicyFlushes: g.flushes.Load(),
+	}
+	g.mu.Lock()
+	for addr, up := range g.ups {
+		if up.ejected.Load() {
+			s.Ejected = append(s.Ejected, addr)
+		}
+	}
+	g.mu.Unlock()
+	return s
+}
+
+// Close stops the listener, the view watcher, and the upstream pools.
+// Idempotent and safe for concurrent use.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	server, unsub := g.server, g.unsub
+	g.server, g.listener = nil, nil
+	g.mu.Unlock()
+
+	if unsub != nil {
+		unsub()
+	}
+	g.watchWG.Wait()
+	if server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = server.Shutdown(ctx)
+		cancel()
+		_ = server.Close()
+	}
+	g.transport.CloseIdleConnections()
+}

@@ -1,0 +1,436 @@
+package gateway
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"revelio/attestation"
+	"revelio/attestation/softtee"
+	"revelio/internal/fleet"
+	"revelio/internal/measure"
+	"revelio/internal/ratls"
+	"revelio/internal/registry"
+)
+
+const testDomain = "gw.test.example.org"
+
+// testProvider is a minimal second attestation provider: evidence is a
+// signed-by-assertion JSON document, and a flipped switch revokes the
+// whole provider — enough to prove the gateway's per-provider ejection
+// isolation without standing up real TEE machinery.
+type testProvider struct {
+	name    string
+	revoked atomic.Bool
+	rev     atomic.Uint64
+}
+
+func (p *testProvider) Name() string { return p.name }
+
+func (p *testProvider) PolicyRevision() uint64 { return p.rev.Load() }
+func (p *testProvider) Now() time.Time         { return time.Now() }
+
+func (p *testProvider) Issue(_ context.Context, payload []byte) (*attestation.Evidence, error) {
+	doc, err := json.Marshal(map[string][]byte{"payload": payload})
+	if err != nil {
+		return nil, err
+	}
+	return &attestation.Evidence{Provider: p.name, Payload: payload, Document: doc}, nil
+}
+
+func (p *testProvider) VerifyEvidence(_ context.Context, ev *attestation.Evidence) (*attestation.Result, error) {
+	if ev.Provider != p.name {
+		return nil, fmt.Errorf("%w: %q", attestation.ErrUnknownProvider, ev.Provider)
+	}
+	var doc map[string][]byte
+	if err := json.Unmarshal(ev.Document, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", attestation.ErrEvidenceInvalid, err)
+	}
+	if string(doc["payload"]) != string(ev.Payload) {
+		return nil, attestation.ErrBindingMismatch
+	}
+	if p.revoked.Load() {
+		return nil, fmt.Errorf("%w: test provider revoked", attestation.ErrRevoked)
+	}
+	return &attestation.Result{Provider: p.name, Payload: ev.Payload}, nil
+}
+
+// startUpstream opens an RA-TLS server whose certificate evidence comes
+// from issuer, serving handler.
+func startUpstream(t *testing.T, issuer attestation.Issuer, handler http.Handler) (addr string) {
+	t.Helper()
+	cert, err := ratls.CreateProviderCertificate(context.Background(), issuer, testDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String()
+}
+
+// plainUpstream opens a TLS server with an ordinary self-signed
+// certificate — no attestation evidence at all.
+func plainUpstream(t *testing.T, handler http.Handler) (addr string) {
+	t.Helper()
+	cert := selfSigned(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String()
+}
+
+func selfSigned(t *testing.T) tls.Certificate {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: testDomain},
+		DNSNames:     []string{testDomain},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+}
+
+// softProvider stands up a softtee platform/enclave/verifier with a
+// revocable registry policy.
+func softProvider(t *testing.T, seed string) (softtee.Provider, *registry.Registry, measure.Measurement) {
+	t.Helper()
+	platform, err := softtee.NewPlatform([]byte(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden measure.Measurement
+	copy(golden[:], seed)
+	reg := registry.New(1)
+	reg.AddVoter("op")
+	if err := reg.Propose(golden, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Vote("op", golden); err != nil {
+		t.Fatal(err)
+	}
+	verifier := softtee.NewVerifier(platform.PublicKey(), reg)
+	return softtee.NewProvider(platform.Launch(golden), verifier), reg, golden
+}
+
+func idHandler(id string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, id)
+	})
+}
+
+func serving(addr string) fleet.Endpoint {
+	return fleet.Endpoint{ControlURL: "ctl-" + addr, UpstreamAddr: addr, State: fleet.StateServing}
+}
+
+// startGateway builds and starts a gateway over the view, returning a
+// client that trusts whatever it serves.
+func startGateway(t *testing.T, src Source, v attestation.Verifier) (*Gateway, *http.Client) {
+	t.Helper()
+	cert := selfSigned(t)
+	g, err := New(Config{
+		Source:         src,
+		Verifier:       v,
+		GetCertificate: func() (*tls.Certificate, error) { return &cert, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	client := &http.Client{
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{InsecureSkipVerify: true}, //nolint:gosec // test client
+		},
+		Timeout: 10 * time.Second,
+	}
+	t.Cleanup(client.CloseIdleConnections)
+	return g, client
+}
+
+func get(t *testing.T, client *http.Client, url string) (string, int) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.StatusCode
+}
+
+// TestGatewayBalancesAcrossUpstreams: requests spread over every
+// serving node; joining and draining endpoints receive nothing.
+func TestGatewayBalancesAcrossUpstreams(t *testing.T) {
+	provider, _, _ := softProvider(t, "balance")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	var eps []fleet.Endpoint
+	ids := []string{"a", "b", "c"}
+	for _, id := range ids {
+		eps = append(eps, serving(startUpstream(t, provider, idHandler(id))))
+	}
+	// A joining node must receive no traffic even though it is listed.
+	joinAddr := startUpstream(t, provider, idHandler("joining"))
+	join := serving(joinAddr)
+	join.State = fleet.StateJoining
+	eps = append(eps, join)
+
+	view := NewView(testDomain, eps...)
+	g, client := startGateway(t, view, mux)
+
+	seen := map[string]int{}
+	for i := 0; i < 60; i++ {
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		seen[body]++
+	}
+	for _, id := range ids {
+		if seen[id] == 0 {
+			t.Errorf("upstream %q received no traffic: %v", id, seen)
+		}
+	}
+	if seen["joining"] != 0 {
+		t.Errorf("joining endpoint received %d requests", seen["joining"])
+	}
+	if s := g.Stats(); s.Requests != 60 || len(s.Ejected) != 0 {
+		t.Errorf("stats = %+v, want 60 requests, no ejections", s)
+	}
+}
+
+// TestGatewayProviderRevocationIsolation: two providers behind one mux;
+// revoking one provider's golden ejects only that provider's nodes, and
+// clients never see a failure because requests retry onto the healthy
+// provider's nodes.
+func TestGatewayProviderRevocationIsolation(t *testing.T) {
+	soft, softReg, softGolden := softProvider(t, "isolation")
+	other := &testProvider{name: "test-tee"}
+	mux := attestation.NewMux()
+	mux.RegisterProvider(soft)
+	mux.RegisterProvider(other)
+
+	softAddr := startUpstream(t, soft, idHandler("soft"))
+	otherAddr := startUpstream(t, other, idHandler("other"))
+	view := NewView(testDomain, serving(softAddr), serving(otherAddr))
+	g, client := startGateway(t, view, mux)
+
+	// Healthy estate: both providers' nodes serve.
+	seen := map[string]int{}
+	for i := 0; i < 20; i++ {
+		body, _ := get(t, client, "https://"+g.Addr()+"/")
+		seen[body]++
+	}
+	if seen["soft"] == 0 || seen["other"] == 0 {
+		t.Fatalf("expected both providers to serve, got %v", seen)
+	}
+
+	// Revoke the softtee golden. The policy bump flushes the gateway's
+	// warm pools, so the very next handshake against the softtee node
+	// fails closed and ejects it — while the other provider's node keeps
+	// serving every request.
+	if err := softReg.Revoke(softGolden); err != nil {
+		t.Fatal(err)
+	}
+	soft.InvalidatePolicy()
+
+	seen = map[string]int{}
+	for i := 0; i < 20; i++ {
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK {
+			t.Fatalf("request %d after revocation: status %d", i, status)
+		}
+		seen[body]++
+	}
+	if seen["soft"] != 0 {
+		t.Errorf("revoked provider's node still served %d requests", seen["soft"])
+	}
+	if seen["other"] != 20 {
+		t.Errorf("healthy provider's node served %d/20", seen["other"])
+	}
+	s := g.Stats()
+	if len(s.Ejected) != 1 || s.Ejected[0] != softAddr {
+		t.Errorf("ejected = %v, want [%s]", s.Ejected, softAddr)
+	}
+	if s.PolicyFlushes == 0 {
+		t.Error("policy revision bump did not flush the upstream pools")
+	}
+
+	// The revocation is per-provider: evidence from the other provider
+	// still verifies through the mux.
+	ev, err := other.Issue(context.Background(), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mux.VerifyEvidence(context.Background(), ev); err != nil {
+		t.Errorf("healthy provider's evidence stopped verifying: %v", err)
+	}
+}
+
+// TestGatewayRejectsUnattestedUpstream: a node serving a plain TLS
+// certificate (no evidence) is never proxied to — fail closed, with the
+// request retried onto an attested node.
+func TestGatewayRejectsUnattestedUpstream(t *testing.T) {
+	provider, _, _ := softProvider(t, "unattested")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	goodAddr := startUpstream(t, provider, idHandler("good"))
+	badAddr := plainUpstream(t, idHandler("bad"))
+	view := NewView(testDomain, serving(goodAddr), serving(badAddr))
+	g, client := startGateway(t, view, mux)
+
+	for i := 0; i < 10; i++ {
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK || body != "good" {
+			t.Fatalf("request %d: status=%d body=%q", i, status, body)
+		}
+	}
+	if s := g.Stats(); len(s.Ejected) != 1 || s.Ejected[0] != badAddr {
+		t.Errorf("ejected = %v, want [%s]", s.Ejected, badAddr)
+	}
+}
+
+// TestGatewayDrainZeroFailures: concurrent clients hammer the gateway
+// while an endpoint leaves the view; View.Set's drain means no admitted
+// request ever lands on a closed server, so the run is failure-free.
+func TestGatewayDrainZeroFailures(t *testing.T) {
+	provider, _, _ := softProvider(t, "drain")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	cert, err := ratls.CreateProviderCertificate(context.Background(), provider, testDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newUpstream := func(id string) (fleet.Endpoint, *http.Server) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: idHandler(id), ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = srv.Serve(tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})) }()
+		return serving(ln.Addr().String()), srv
+	}
+	epA, srvA := newUpstream("a")
+	epB, srvB := newUpstream("b")
+	defer func() { _ = srvA.Close() }()
+
+	view := NewView(testDomain, epA, epB)
+	g, client := startGateway(t, view, mux)
+
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get("https://" + g.Addr() + "/")
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Drain B out of the view, then close its server — the Set call
+	// returns only once every admitted request has released.
+	view.Set(epA)
+	_ = srvB.Close()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d failed requests through the gateway during drain", n)
+	}
+}
+
+// TestGatewayNoUpstreams: an empty view answers 502 rather than
+// hanging, and the error names the condition.
+func TestGatewayNoUpstreams(t *testing.T) {
+	provider, _, _ := softProvider(t, "empty")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+	view := NewView(testDomain)
+	g, client := startGateway(t, view, mux)
+	body, status := get(t, client, "https://"+g.Addr()+"/")
+	if status != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", status)
+	}
+	if !strings.Contains(body, ErrNoUpstreams.Error()) {
+		t.Fatalf("body = %q, want it to name %q", body, ErrNoUpstreams.Error())
+	}
+}
+
+// TestGatewayConfigValidation: missing pieces are refused up front.
+func TestGatewayConfigValidation(t *testing.T) {
+	provider, _, _ := softProvider(t, "cfg")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+	if _, err := New(Config{Verifier: mux}); err == nil {
+		t.Error("New without source succeeded")
+	}
+	if _, err := New(Config{Source: NewView(testDomain)}); err == nil {
+		t.Error("New without verifier succeeded")
+	}
+	g, err := New(Config{Source: NewView(testDomain), Verifier: mux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Start(); err == nil {
+		t.Error("Start without GetCertificate succeeded")
+	}
+}

@@ -1,0 +1,62 @@
+package gateway
+
+import (
+	"sync"
+
+	"revelio/internal/fleet"
+)
+
+// View is a standalone publishable serving view: a Source for
+// membership owners other than the fleet engine (the Service facade,
+// static test topologies). Set replaces the view under the write half
+// of the admission lock, so — exactly as in the fleet engine — a
+// membership change drains every admitted request before it lands, and
+// the zero-failed-request property holds through a gateway running over
+// a View.
+type View struct {
+	mu   sync.RWMutex
+	snap fleet.Snapshot
+	subs fleet.Subscribers
+}
+
+var _ Source = (*View)(nil)
+
+// NewView creates a view with the given endpoints (version 1).
+func NewView(domain string, eps ...fleet.Endpoint) *View {
+	return &View{
+		snap: fleet.Snapshot{Version: 1, Domain: domain, Endpoints: eps},
+	}
+}
+
+// Set replaces the view's endpoints and notifies subscribers. It
+// returns only after every request admitted against the previous view
+// has released — the drain a caller relies on before closing a
+// departed endpoint's servers.
+func (v *View) Set(eps ...fleet.Endpoint) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.snap.Version++
+	v.snap.Endpoints = eps
+	v.subs.Publish(v.snap)
+}
+
+// Acquire implements Source.
+func (v *View) Acquire() (fleet.Snapshot, func()) {
+	v.mu.RLock()
+	return v.snap, v.mu.RUnlock
+}
+
+// Subscribe implements Source.
+func (v *View) Subscribe() (<-chan fleet.Snapshot, func()) {
+	v.mu.Lock()
+	ch, id := v.subs.Add(v.snap)
+	v.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			v.mu.Lock()
+			v.subs.Remove(id)
+			v.mu.Unlock()
+		})
+	}
+}

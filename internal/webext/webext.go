@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"revelio/attestation"
 	"revelio/internal/attest"
 	"revelio/internal/browser"
 	"revelio/internal/measure"
@@ -31,18 +32,30 @@ import (
 	"revelio/internal/vm"
 )
 
+// The extension's user-facing failure modes. They live inside the SDK's
+// attestation taxonomy wherever a taxonomy class applies, so a caller
+// holding any webext error can branch with errors.Is against the
+// attestation sentinels: a measurement mismatch is a policy rejection
+// (attestation.ErrUntrustedMeasurement), a hijacked connection is a
+// binding failure (attestation.ErrBindingMismatch), and an
+// ErrAttestationFailed wraps whatever taxonomy error the verifier
+// produced (ErrRevoked, ErrKDSUnavailable, ErrEvidenceExpired, ...).
 var (
 	// ErrSiteNotRegistered reports navigation to a domain the extension
 	// does not manage (the request proceeds unprotected; callers decide).
 	ErrSiteNotRegistered = errors.New("webext: site not registered")
-	// ErrAttestationFailed reports a report that failed validation.
+	// ErrAttestationFailed reports a report that failed validation; the
+	// verifier's taxonomy error rides along, wrapped.
 	ErrAttestationFailed = errors.New("webext: attestation failed")
 	// ErrMeasurementMismatch reports a valid report with an unexpected
-	// measurement.
-	ErrMeasurementMismatch = errors.New("webext: measurement does not match golden value")
+	// measurement — the client-side analogue of a policy rejection.
+	ErrMeasurementMismatch = fmt.Errorf(
+		"webext: measurement does not match golden value: %w", attestation.ErrUntrustedMeasurement)
 	// ErrConnectionHijacked reports a TLS connection whose public key
-	// does not match the attested one — the redirect defence.
-	ErrConnectionHijacked = errors.New("webext: TLS connection key differs from attested key")
+	// does not match the attested one — the redirect defence; the
+	// evidence no longer binds the session key.
+	ErrConnectionHijacked = fmt.Errorf(
+		"webext: TLS connection key differs from attested key: %w", attestation.ErrBindingMismatch)
 	// ErrNoAttestation reports a site that offers no attestation bundle.
 	ErrNoAttestation = errors.New("webext: site offers no attestation endpoint")
 )
@@ -177,12 +190,18 @@ func (e *Extension) ImportSites(data []byte) error {
 // the site.
 func (e *Extension) Discover(ctx context.Context, domain string) (measure.Measurement, error) {
 	resp, err := e.browser.Get(ctx, domain, WellKnownPath)
-	if err != nil || resp.Status != 200 {
-		return measure.Measurement{}, fmt.Errorf("%w: %q", ErrNoAttestation, domain)
+	if err != nil {
+		// The browser error rides along wrapped, so cancellations and
+		// resolution failures stay distinguishable from a site that
+		// genuinely lacks the endpoint.
+		return measure.Measurement{}, fmt.Errorf("%w: %q: %w", ErrNoAttestation, domain, err)
+	}
+	if resp.Status != 200 {
+		return measure.Measurement{}, fmt.Errorf("%w: %q (status %d)", ErrNoAttestation, domain, resp.Status)
 	}
 	bundle, err := attest.DecodeBundle(resp.Body)
 	if err != nil {
-		return measure.Measurement{}, fmt.Errorf("%w: %q: %v", ErrNoAttestation, domain, err)
+		return measure.Measurement{}, fmt.Errorf("%w: %q: %w", ErrNoAttestation, domain, err)
 	}
 	res, err := e.verifier.VerifyBundle(ctx, bundle, vm.HashOf)
 	if err != nil {

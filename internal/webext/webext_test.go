@@ -19,6 +19,8 @@ import (
 	"revelio/internal/core"
 	"revelio/internal/imagebuild"
 	"revelio/internal/measure"
+
+	"revelio/attestation"
 )
 
 const domain = "pad.example.org"
@@ -375,5 +377,23 @@ func TestReplayedBundleRejected(t *testing.T) {
 	_, _, err = ext.Navigate(context.Background(), domain, "/")
 	if !errors.Is(err, ErrAttestationFailed) {
 		t.Errorf("err = %v, want ErrAttestationFailed (replay must not bind fresh nonce)", err)
+	}
+}
+
+// TestErrorsMapOntoAttestationTaxonomy: the extension's user-facing
+// failure modes are errors.Is-able against the SDK's attestation
+// sentinels, so one branch handles verdicts from any layer.
+func TestErrorsMapOntoAttestationTaxonomy(t *testing.T) {
+	if !errors.Is(ErrMeasurementMismatch, attestation.ErrUntrustedMeasurement) {
+		t.Error("ErrMeasurementMismatch is not an attestation.ErrUntrustedMeasurement")
+	}
+	if !errors.Is(ErrMeasurementMismatch, attestation.ErrPolicyRejected) {
+		t.Error("ErrMeasurementMismatch is not an attestation.ErrPolicyRejected")
+	}
+	if !errors.Is(ErrConnectionHijacked, attestation.ErrBindingMismatch) {
+		t.Error("ErrConnectionHijacked is not an attestation.ErrBindingMismatch")
+	}
+	if !errors.Is(ErrConnectionHijacked, attestation.ErrEvidenceInvalid) {
+		t.Error("ErrConnectionHijacked is not an attestation.ErrEvidenceInvalid")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"revelio/internal/certmgr"
 	"revelio/internal/core"
 	"revelio/internal/fleet"
+	"revelio/internal/gateway"
 	"revelio/internal/imagebuild"
 	"revelio/internal/measure"
 	"revelio/internal/registry"
@@ -46,6 +47,14 @@ type (
 	Fleet = fleet.Fleet
 	// FleetConfig describes a fleet.
 	FleetConfig = fleet.Config
+	// FleetEndpoint is one node in a fleet's published serving view.
+	FleetEndpoint = fleet.Endpoint
+	// FleetSnapshot is one immutable version of a fleet's serving view.
+	FleetSnapshot = fleet.Snapshot
+
+	// Gateway is the attested gateway data plane fronting a service or
+	// fleet (see revelio/gateway and Service.ServeGateway).
+	Gateway = gateway.Gateway
 )
 
 // ParseMeasurement parses a hex-encoded measurement.

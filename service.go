@@ -2,6 +2,7 @@ package revelio
 
 import (
 	"context"
+	"crypto/tls"
 	"crypto/x509"
 	"fmt"
 	"net/http"
@@ -11,7 +12,10 @@ import (
 	"revelio/attestation"
 	"revelio/attestation/snp"
 	"revelio/internal/acme"
+	"revelio/internal/certmgr"
 	"revelio/internal/core"
+	"revelio/internal/fleet"
+	igateway "revelio/internal/gateway"
 )
 
 // Option configures a Service.
@@ -108,6 +112,16 @@ type Service struct {
 	leaderURL   string // standing leader's control URL (re-elected on removal)
 	certDER     []byte // shared certificate handed to joining nodes
 	webStarted  bool
+
+	// view/gw carry the attested gateway once ServeGateway ran: view is
+	// the service's published serving view (lifecycle ops republish it,
+	// draining in-flight proxied requests first), gw the data plane.
+	// certAgents is the stable per-publication agent list the gateway's
+	// TLS handshakes resolve the serving credential from — handshake
+	// goroutines must never walk d.Nodes, which lifecycle ops mutate.
+	view       *igateway.View
+	gw         *igateway.Gateway
+	certAgents []*certmgr.Agent
 
 	closeOnce sync.Once
 }
@@ -228,6 +242,7 @@ func (s *Service) Provision(ctx context.Context) (*ProvisionReport, error) {
 	s.leaderURL = res.LeaderURL
 	s.certDER = res.CertDER
 	s.mu.Unlock()
+	s.republishGateway(-1)
 	return res, nil
 }
 
@@ -245,6 +260,120 @@ func (s *Service) ServeWeb(app func(*Node) http.Handler) error {
 	s.webStarted = true
 	s.mu.Unlock()
 	return nil
+}
+
+// ServeGateway opens the service's attested gateway: a TLS-terminating
+// reverse proxy over every serving node. Downstream it serves the
+// provisioned shared certificate (resolved per handshake, so rotations
+// propagate), which means a Revelio browser extension navigating to the
+// gateway still sees the attested TLS key and still validates the
+// attestation bundle — proxied from a real node — against it. Upstream,
+// every connection is RA-TLS through the service's provider mux:
+// fail-closed, with nodes that stop verifying ejected from rotation.
+//
+// The service must be provisioned and serving (Provision, ServeWeb)
+// first. Lifecycle operations republish the gateway's serving view and
+// drain in-flight proxied requests before touching a node, so AddNode
+// and RemoveNode are invisible to gateway clients. ServeGateway is
+// idempotent: subsequent calls return the running gateway.
+func (s *Service) ServeGateway(ctx context.Context) (*Gateway, error) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("revelio: serve gateway: %w", err)
+	}
+	s.mu.Lock()
+	provisioned, webStarted, gw := s.provisioned, s.webStarted, s.gw
+	s.mu.Unlock()
+	if gw != nil {
+		return gw, nil
+	}
+	if !provisioned || !webStarted {
+		return nil, fmt.Errorf("revelio: serve gateway: service must be provisioned and serving first")
+	}
+	eps, agents := s.endpoints(-1)
+	s.mu.Lock()
+	s.certAgents = agents
+	s.mu.Unlock()
+	view := igateway.NewView(s.domain, eps...)
+	gw, err := igateway.New(igateway.Config{
+		Source:         view,
+		Verifier:       s.mux,
+		GetCertificate: s.servingCertificate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := gw.Start(); err != nil {
+		gw.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.view, s.gw = view, gw
+	s.mu.Unlock()
+	return gw, nil
+}
+
+// Gateway returns the running attested gateway, or nil before
+// ServeGateway.
+func (s *Service) Gateway() *Gateway {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gw
+}
+
+// servingCertificate resolves the shared serving credential from any
+// provisioned node — the gateway's per-handshake certificate source.
+// It reads the published agent list, not d.Nodes: handshakes race
+// lifecycle operations, the node slice does not tolerate that.
+func (s *Service) servingCertificate() (*tls.Certificate, error) {
+	s.mu.Lock()
+	agents := s.certAgents
+	s.mu.Unlock()
+	for _, a := range agents {
+		if cert, err := a.ServingCertificate(); err == nil {
+			return cert, nil
+		}
+	}
+	return nil, fmt.Errorf("revelio: no provisioned node holds the serving certificate")
+}
+
+// endpoints renders the current node set as a serving view, skipping
+// node index `exclude` (pass -1 to include everyone) and any node whose
+// web tier is down. Callers hold opMu, which serializes every mutation
+// of d.Nodes.
+func (s *Service) endpoints(exclude int) ([]fleet.Endpoint, []*certmgr.Agent) {
+	s.mu.Lock()
+	leaderURL := s.leaderURL
+	s.mu.Unlock()
+	var eps []fleet.Endpoint
+	var agents []*certmgr.Agent
+	for i, n := range s.d.Nodes {
+		if i == exclude || n.WebAddr() == "" {
+			continue
+		}
+		eps = append(eps, fleet.NodeEndpoint(n, leaderURL, fleet.StateServing))
+		agents = append(agents, n.Agent)
+	}
+	return eps, agents
+}
+
+// republishGateway refreshes the gateway's serving view after a
+// lifecycle change. With exclude >= 0 the node at that index is dropped
+// from the view first — Set returns only once every in-flight proxied
+// request has drained, making it safe to close that node's servers.
+func (s *Service) republishGateway(exclude int) {
+	s.mu.Lock()
+	view := s.view
+	s.mu.Unlock()
+	if view == nil {
+		return
+	}
+	eps, agents := s.endpoints(exclude)
+	s.mu.Lock()
+	s.certAgents = agents
+	s.mu.Unlock()
+	view.Set(eps...)
 }
 
 // AddNode scales the service out by one node: launch, and — when the
@@ -282,6 +411,7 @@ func (s *Service) AddNode(ctx context.Context) (int, error) {
 			}
 		}
 	}
+	s.republishGateway(-1)
 	return idx, nil
 }
 
@@ -322,8 +452,12 @@ func (s *Service) RemoveNode(ctx context.Context, i int) error {
 		s.mu.Unlock()
 	}
 	// Past the election the removal runs to completion regardless of ctx
-	// (a half-decommissioned node serves nobody).
+	// (a half-decommissioned node serves nobody). The gateway view drops
+	// the node first and drains its in-flight proxied requests, so the
+	// servers close with nothing talking to them.
+	s.republishGateway(i)
 	_, err := s.d.RemoveNode(context.Background(), i)
+	s.republishGateway(-1)
 	return err
 }
 
@@ -333,7 +467,14 @@ func (s *Service) RemoveNode(ctx context.Context, i int) error {
 func (s *Service) RebootNode(ctx context.Context, i int) error {
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
-	return s.d.RebootNode(ctx, i)
+	if i >= 0 && i < len(s.d.Nodes) {
+		// Drain the node out of the gateway view for the power cycle;
+		// its listeners come back on fresh ports.
+		s.republishGateway(i)
+	}
+	err := s.d.RebootNode(ctx, i)
+	s.republishGateway(-1)
+	return err
 }
 
 // SetFirmware switches the deployment to a different measured firmware
@@ -354,7 +495,16 @@ func (s *Service) ObtainCertificate(domain string, csrDER []byte) ([]byte, error
 	return acme.NewClient(s.d.CA, s.d.Zone).ObtainCertificate(domain, csrDER)
 }
 
-// Close tears the service down. Idempotent and safe for concurrent use.
+// Close tears the service down — gateway first (stop admitting
+// traffic), then the deployment. Idempotent and safe for concurrent use.
 func (s *Service) Close() {
-	s.closeOnce.Do(s.d.Close)
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		gw := s.gw
+		s.mu.Unlock()
+		if gw != nil {
+			gw.Close()
+		}
+		s.d.Close()
+	})
 }

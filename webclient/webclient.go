@@ -30,7 +30,13 @@ type Extension = webext.Extension
 // validation).
 type Metrics = webext.Metrics
 
-// The extension's user-facing failure modes.
+// The extension's user-facing failure modes. Where a failure has a
+// class in the revelio/attestation taxonomy, the sentinel wraps it, so
+// errors.Is works against both vocabularies: ErrMeasurementMismatch is
+// an attestation.ErrUntrustedMeasurement (and hence ErrPolicyRejected),
+// ErrConnectionHijacked an attestation.ErrBindingMismatch, and an
+// ErrAttestationFailed carries the verifier's taxonomy error wrapped
+// (ErrRevoked, ErrKDSUnavailable, ErrEvidenceExpired, ...).
 var (
 	// ErrSiteNotRegistered reports navigation to an unregistered site.
 	ErrSiteNotRegistered = webext.ErrSiteNotRegistered

@@ -60,3 +60,67 @@ func TestAttestedNavigation(t *testing.T) {
 		t.Errorf("wrong golden: %v, want ErrMeasurementMismatch", err)
 	}
 }
+
+// TestAttestedNavigationThroughGateway: the browser navigates to the
+// service's gateway instead of a node and still gets the full attested
+// verdict — the gateway terminates TLS with the shared attested key, so
+// the extension's connection pinning and the proxied attestation bundle
+// agree. Scale-out and node removal behind the gateway stay invisible.
+func TestAttestedNavigationThroughGateway(t *testing.T) {
+	ctx := context.Background()
+	svc, err := revelio.New(ctx,
+		revelio.WithDomain("gateway.webclient.test.example.org"),
+		revelio.WithNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	if _, err := svc.Provision(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ServeWeb(func(*revelio.Node) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("balanced body"))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := svc.ServeGateway(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := webclient.NewBrowser(svc.CARootPool(), 0)
+	b.Resolve(svc.Domain(), gw.Addr())
+	ext := webclient.NewExtension(b, svc.Verifier())
+	ext.RegisterSite(svc.Domain(), svc.Golden())
+
+	resp, metrics, err := ext.Navigate(ctx, svc.Domain(), "/")
+	if err != nil {
+		t.Fatalf("Navigate through gateway: %v", err)
+	}
+	if string(resp.Body) != "balanced body" || !metrics.Attested {
+		t.Errorf("resp=%q attested=%v", resp.Body, metrics.Attested)
+	}
+
+	// Churn behind the gateway: scale out, drop the original node, and
+	// keep navigating — the attested-origin verdict must survive both.
+	if _, err := svc.AddNode(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RemoveNode(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		resp, _, err := ext.Navigate(ctx, svc.Domain(), "/")
+		if err != nil {
+			t.Fatalf("Navigate %d after churn: %v", i, err)
+		}
+		if string(resp.Body) != "balanced body" {
+			t.Errorf("navigation %d body = %q", i, resp.Body)
+		}
+	}
+	if stats := gw.Stats(); stats.Requests == 0 || len(stats.Ejected) != 0 {
+		t.Errorf("gateway stats = %+v", stats)
+	}
+}
