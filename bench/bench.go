@@ -40,6 +40,13 @@ type (
 	// Fig6Config / Fig6Result cover dm-verity read throughput.
 	Fig6Config = bench.Fig6Config
 	Fig6Result = bench.Fig6Result
+	// ChaosConfig / ChaosResult / ChaosRun cover the seeded chaos
+	// scheduler: randomized fault schedules against a live fleet serving
+	// attested-TLS traffic through the gateway, with deterministic
+	// per-seed replay.
+	ChaosConfig = bench.ChaosConfig
+	ChaosResult = bench.ChaosResult
+	ChaosRun    = bench.ChaosRun
 	// ScalabilityResult covers multi-node provisioning sweeps.
 	ScalabilityResult = bench.ScalabilityResult
 	// AblationVerityResult / AblationPBKDF2Result cover the ablations.
@@ -98,6 +105,15 @@ func DefaultTable6Config() Table6Config { return bench.DefaultTable6Config() }
 func RunGatewayThroughput(cfg Table6Config) (*Table6Result, error) {
 	return bench.RunGatewayThroughput(cfg)
 }
+
+// DefaultChaosConfig returns the CI chaos sweep shape (twenty seeds,
+// small profile).
+func DefaultChaosConfig() ChaosConfig { return bench.DefaultChaosConfig() }
+
+// RunChaos executes seeded fault schedules against live fleets and
+// reports every seed's outcome; failing seeds carry the seed and the
+// full schedule for exact replay.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) { return bench.RunChaos(cfg) }
 
 // RunFig5 measures dm-crypt I/O throughput.
 func RunFig5(cfg Fig5Config) (*Fig5Result, error) { return bench.RunFig5(cfg) }

@@ -14,6 +14,13 @@
 //	revelio-bench -json           # machine-readable JSON instead of tables
 //	revelio-bench -baseline FILE  # fail on regression vs a stored -json run
 //	                              # (repeatable; files are merged per table)
+//	revelio-bench -chaos          # seeded chaos sweep (20 seeds by default)
+//	revelio-bench -chaos.seed 7   # replay exactly one chaos seed
+//	revelio-bench -chaos -chaos.out FILE   # persist every schedule (CI artifact)
+//
+// A failing chaos seed prints the violated invariant plus the full fault
+// schedule and exits nonzero; re-running with -chaos.seed=N replays the
+// schedule byte for byte.
 package main
 
 import (
@@ -93,8 +100,29 @@ func run(args []string, stdout io.Writer) error {
 	var baselines fileList
 	fs.Var(&baselines, "baseline", "JSON file from a previous -json run to regress against (repeatable; files are merged per experiment)")
 	tolerance := fs.Float64("tolerance", 0.5, "fractional throughput drop tolerated by -baseline (0.5 = half)")
+	chaosMode := fs.Bool("chaos", false, "run the seeded chaos sweep instead of tables/figures")
+	chaosSeed := fs.Int64("chaos.seed", 0, "replay exactly this chaos seed (implies -chaos)")
+	chaosSeeds := fs.Int("chaos.seeds", 20, "number of consecutive chaos seeds, starting at 1")
+	chaosNodes := fs.Int("chaos.nodes", 2, "initial fleet size per chaos run")
+	chaosEvents := fs.Int("chaos.events", 8, "scheduled faults per chaos run")
+	chaosHeavy := fs.Bool("chaos.heavy", false, "include rollout-class chaos faults (nightly profile)")
+	chaosOut := fs.String("chaos.out", "", "write every executed chaos schedule to this file")
+	chaosVerbose := fs.Bool("chaos.v", false, "log every injected chaos fault as it runs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *chaosMode || *chaosSeed != 0 {
+		return runChaos(stdout, chaosFlags{
+			seed:    *chaosSeed,
+			seeds:   *chaosSeeds,
+			nodes:   *chaosNodes,
+			events:  *chaosEvents,
+			heavy:   *chaosHeavy,
+			out:     *chaosOut,
+			verbose: *chaosVerbose,
+			json:    *jsonOut,
+		})
 	}
 
 	selected := func(table, figure int) bool {
@@ -273,6 +301,64 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("regressions vs %s:\n  %s", name, strings.Join(regressions, "\n  "))
 		}
 		fmt.Fprintf(os.Stderr, "revelio-bench: no regressions vs %s (tolerance %.2f)\n", name, *tolerance)
+	}
+	return nil
+}
+
+// chaosFlags carries the parsed -chaos.* flag values.
+type chaosFlags struct {
+	seed    int64
+	seeds   int
+	nodes   int
+	events  int
+	heavy   bool
+	out     string
+	verbose bool
+	json    bool
+}
+
+// runChaos executes the chaos sweep, persists schedules when asked, and
+// exits nonzero when any seed failed — after rendering the failure with
+// its seed and full schedule, so the replay recipe is always printed.
+func runChaos(stdout io.Writer, f chaosFlags) error {
+	cfg := bench.DefaultChaosConfig()
+	cfg.Seeds = f.seeds
+	cfg.Nodes = f.nodes
+	cfg.Events = f.events
+	cfg.Heavy = f.heavy
+	if f.seed != 0 {
+		cfg.FirstSeed, cfg.Seeds = f.seed, 1
+	}
+	if f.verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := bench.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	if f.out != "" {
+		var b strings.Builder
+		for _, row := range res.Rows {
+			b.WriteString(row.Schedule)
+		}
+		if err := os.WriteFile(f.out, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("write schedules: %w", err)
+		}
+	}
+	if f.json {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"chaos": res}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(stdout, res.Render())
+	}
+	if len(res.FailedSeeds) > 0 {
+		return fmt.Errorf("chaos: %d of %d seeds failed: %v (replay with -chaos.seed=N)",
+			len(res.FailedSeeds), len(res.Rows), res.FailedSeeds)
 	}
 	return nil
 }

@@ -59,6 +59,7 @@
 //	Fig 5    (dm-crypt I/O)              -> BenchmarkFig5_DmCryptIO
 //	Fig 6    (dm-verity reads)           -> BenchmarkFig6_DmVerityRead
 //	ablations                            -> BenchmarkAblation_*
+//	chaos    (seeded fault scheduler)    -> revelio-bench -chaos, bench.RunChaos
 //
 // Table 4 is this reproduction's extension of the paper's Table 3
 // caching argument: verifications/sec cold, with a warm VCEK cache, and
@@ -75,4 +76,13 @@
 // revelio-bench -json emits every result as one machine-readable JSON
 // document for tracking across revisions, and -baseline (repeatable;
 // files merge per experiment) regresses a run against stored documents.
+// The chaos sweep (revelio-bench -chaos, bench.RunChaos) is not a
+// benchmark but a property check: seeded, deterministic fault schedules
+// — churn, KDS outages and partitions, policy storms, crashes mid-join
+// and mid-rollout, cert-expiry waves — run against a live fleet serving
+// attested-TLS traffic through the gateway, asserting zero failed
+// requests outside fault windows, fail-closed verification, gateway
+// coherence, and leak-free teardown; a failing seed prints its full
+// schedule and -chaos.seed=N replays it byte for byte (see DESIGN.md's
+// "Chaos harness").
 package revelio

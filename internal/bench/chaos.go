@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"revelio/internal/chaos"
+)
+
+// ChaosConfig parameterizes a chaos sweep: a range of consecutive seeds,
+// each run as one seeded fault schedule against a live fleet serving
+// attested-TLS traffic through the gateway (see internal/chaos).
+type ChaosConfig struct {
+	// FirstSeed is the first seed of the sweep (default 1).
+	FirstSeed int64 `json:"first_seed"`
+	// Seeds is how many consecutive seeds to run (default 20).
+	Seeds int `json:"seeds"`
+	// Nodes is the initial fleet size per run (default 2).
+	Nodes int `json:"nodes"`
+	// Events is the number of scheduled faults per run (default 8).
+	Events int `json:"events"`
+	// Clients is the number of concurrent traffic loops per run
+	// (default 4).
+	Clients int `json:"clients"`
+	// Heavy includes the rollout-class faults (full and crashed rolling
+	// upgrades).
+	Heavy bool `json:"heavy"`
+	// Log, when set, receives per-event progress lines.
+	Log func(format string, args ...any) `json:"-"`
+}
+
+// DefaultChaosConfig returns the CI sweep shape: twenty seeds over the
+// small profile.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{FirstSeed: 1, Seeds: 20, Nodes: 2, Events: 8, Clients: 4}
+}
+
+// ChaosRun is one seed's outcome. Schedule is the full deterministic
+// fault plan; Failure, when non-empty, carries the violated invariant
+// plus the replay instructions.
+type ChaosRun struct {
+	Seed             int64  `json:"seed"`
+	Events           int    `json:"events"`
+	Requests         int64  `json:"requests"`
+	WindowedFailures int64  `json:"windowed_failures"`
+	Violations       int64  `json:"violations"`
+	PolicyFlushes    int64  `json:"policy_flushes"`
+	GoroutineDelta   int    `json:"goroutine_delta"`
+	Schedule         string `json:"schedule"`
+	Failure          string `json:"failure,omitempty"`
+}
+
+// ChaosResult aggregates a sweep. FailedSeeds is the replay list: every
+// listed seed reproduces its failure deterministically via
+// `revelio-bench -chaos.seed=N`.
+type ChaosResult struct {
+	Rows        []ChaosRun `json:"rows"`
+	FailedSeeds []int64    `json:"failed_seeds,omitempty"`
+}
+
+// RunChaos executes the sweep. Failing seeds do not abort the sweep —
+// every seed runs so one report covers the whole range — and are
+// reported in the result rather than as an error, so callers can render
+// and persist the schedules before deciding exit status.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.FirstSeed <= 0 {
+		cfg.FirstSeed = 1
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 1
+	}
+	res := &ChaosResult{}
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.FirstSeed + int64(i)
+		one, err := chaos.Run(context.Background(), chaos.Config{
+			Seed:    seed,
+			Nodes:   cfg.Nodes,
+			Events:  cfg.Events,
+			Clients: cfg.Clients,
+			Heavy:   cfg.Heavy,
+			Log:     cfg.Log,
+		})
+		row := ChaosRun{
+			Seed:             one.Seed,
+			Events:           one.Events,
+			Requests:         one.Requests,
+			WindowedFailures: one.WindowedFailures,
+			Violations:       one.Violations,
+			PolicyFlushes:    one.PolicyFlushes,
+			GoroutineDelta:   one.GoroutineDelta,
+			Schedule:         one.Schedule,
+		}
+		if err != nil {
+			row.Failure = err.Error()
+			res.FailedSeeds = append(res.FailedSeeds, seed)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the per-seed table plus, for every failing seed, the
+// failure with its seed and full schedule — the replay recipe.
+func (r *ChaosResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		verdict := "ok"
+		if row.Failure != "" {
+			verdict = "FAIL"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Seed),
+			fmt.Sprintf("%d", row.Events),
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.WindowedFailures),
+			fmt.Sprintf("%d", row.Violations),
+			fmt.Sprintf("%d", row.PolicyFlushes),
+			fmt.Sprintf("%d", row.GoroutineDelta),
+			verdict,
+		})
+	}
+	out := "Chaos: seeded fault schedules against the attested data plane\n" +
+		table([]string{"Seed", "Events", "Requests", "Windowed", "Violations", "Flushes", "GoroutineΔ", "Verdict"}, rows)
+	if len(r.FailedSeeds) == 0 {
+		out += fmt.Sprintf("All %d seeds passed (zero violations, clean teardown)\n", len(r.Rows))
+		return out
+	}
+	out += fmt.Sprintf("%d of %d seeds FAILED: %v\n", len(r.FailedSeeds), len(r.Rows), r.FailedSeeds)
+	for _, row := range r.Rows {
+		if row.Failure != "" {
+			out += "\n" + row.Failure + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,448 @@
+// Package chaos is a seeded, reproducible randomized fault scheduler
+// for the attested data plane. A run stands up a live fleet serving
+// attested-TLS traffic through the gateway, derives a deterministic
+// fault schedule from a seed, executes it — membership churn,
+// certificate rotation, KDS outages and partitions, latency flaps,
+// deterministic loss, policy-revision storms, crashes mid-join and
+// mid-rollout, cert-expiry waves via the injected verification clock —
+// and asserts the system's invariants as properties throughout:
+//
+//  1. Zero failed requests through every drain: traffic failures
+//     outside an explicitly opened fault window are violations.
+//  2. Fail-closed verification: joins during KDS unavailability must
+//     fail; an expiry wave must take verification (and, after a pool
+//     flush, serving) down rather than serving stale trust.
+//  3. Gateway coherence: the routing table tracks the serving view,
+//     ejections never reference departed endpoints, and a policy bump
+//     always reaches the pools.
+//  4. Clean teardown: no goroutine leaks after the run.
+//
+// A failing run's error carries the seed and the full schedule;
+// re-running with the same Config reproduces the schedule byte for
+// byte (`revelio-bench -chaos -chaos.seed=N`, or `go test
+// ./internal/chaos -chaos.seed=N`).
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"revelio/internal/core"
+	"revelio/internal/fleet"
+	"revelio/internal/gateway"
+)
+
+// chaosDomain is the service domain chaos fleets serve under.
+const chaosDomain = "chaos.example.org"
+
+// goroutineSlack tolerates lazily started process-wide singletons
+// (resolver, timer, pool reapers) that outlive a single run.
+const goroutineSlack = 10
+
+// errInjected marks faults the scheduler itself injected.
+var errInjected = errors.New("chaos: injected fault")
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed derives the fault schedule; the same Config replays the same
+	// schedule byte for byte.
+	Seed int64
+	// Nodes is the initial fleet size (default 2, minimum 2).
+	Nodes int
+	// Events is the number of scheduled faults (default 8).
+	Events int
+	// Clients is the number of concurrent traffic loops driven through
+	// the gateway for the whole run (default 4).
+	Clients int
+	// Heavy includes the rollout-class faults (full and crashed rolling
+	// upgrades) — the nightly profile.
+	Heavy bool
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes < 2 {
+		c.Nodes = 2
+	}
+	if c.Events <= 0 {
+		c.Events = 8
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// Result reports one run's totals. It is populated even when Run
+// returns an error, so callers can render what happened up to the
+// failure.
+type Result struct {
+	Seed     int64  `json:"seed"`
+	Events   int    `json:"events"`
+	Schedule string `json:"schedule"`
+	// Requests is the total traffic attempts through the gateway.
+	Requests int64 `json:"requests"`
+	// WindowedFailures failed while a fault window was open —
+	// expected-possible, not violations.
+	WindowedFailures int64 `json:"windowed_failures"`
+	// Violations failed with no fault window open; any nonzero count
+	// fails the run.
+	Violations         int64 `json:"violations"`
+	PolicyFlushes      int64 `json:"policy_flushes"`
+	TruncatedResponses int64 `json:"truncated_responses"`
+	// GoroutineDelta is the post-teardown goroutine count minus the
+	// pre-run baseline.
+	GoroutineDelta int `json:"goroutine_delta"`
+}
+
+// run is the live harness: fleet + gateway + traffic.
+type run struct {
+	cfg     Config
+	f       *fleet.Fleet
+	gw      *gateway.Gateway
+	tr      *traffic
+	rollVer int
+}
+
+func newRun(ctx context.Context, cfg Config) (*run, error) {
+	f, err := fleet.New(ctx, fleet.Config{
+		Nodes:  cfg.Nodes,
+		Domain: chaosDomain,
+		App: func(*core.Node) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				_, _ = w.Write([]byte("ok"))
+			})
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Source:         f,
+		Verifier:       f.Mux(),
+		GetCertificate: f.ServingCertificate,
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	if err := gw.Start(); err != nil {
+		gw.Close()
+		f.Close()
+		return nil, fmt.Errorf("gateway start: %w", err)
+	}
+	r := &run{cfg: cfg, f: f, gw: gw}
+	r.tr = startTraffic("https://"+gw.Addr()+"/", f.Deployment().CARootPool(), chaosDomain, cfg.Clients)
+	return r, nil
+}
+
+func (r *run) teardown() {
+	_, _, _, _ = r.tr.halt()
+	r.gw.Close()
+	r.f.Close()
+}
+
+// Run executes the schedule derived from cfg against a live data plane
+// and checks every invariant. The returned Result is always populated;
+// a non-nil error carries the seed and schedule for exact replay.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sched := Generate(cfg)
+	res := &Result{Seed: cfg.Seed, Events: len(sched.Events), Schedule: sched.String()}
+	fail := func(step int, op Op, err error) error {
+		return fmt.Errorf("chaos: seed %d: %s at event %d: %v\nreplay with -chaos.seed=%d\n%s",
+			cfg.Seed, op, step, err, cfg.Seed, strings.TrimRight(res.Schedule, "\n"))
+	}
+
+	baseline := runtime.NumGoroutine()
+	r, err := newRun(ctx, cfg)
+	if err != nil {
+		return res, fmt.Errorf("chaos: seed %d: setup: %w", cfg.Seed, err)
+	}
+
+	for _, ev := range sched.Events {
+		if err := ctx.Err(); err != nil {
+			r.teardown()
+			return res, fail(ev.Step, ev.Op, err)
+		}
+		if ev.Pause > 0 {
+			time.Sleep(ev.Pause)
+		}
+		cfg.Log("chaos seed %d: [%02d] %s arg=%d", cfg.Seed, ev.Step, ev.Op, ev.Arg)
+		if err := r.execute(ctx, ev); err != nil {
+			r.teardown()
+			return res, fail(ev.Step, ev.Op, err)
+		}
+		if err := r.coherent(); err != nil {
+			r.teardown()
+			return res, fail(ev.Step, ev.Op, err)
+		}
+	}
+
+	// Final reconcile and probes: the fleet verifies end to end, one
+	// more policy bump clears any residual ejections, and the gateway
+	// serves steadily with a clean estate.
+	finalStep := len(sched.Events)
+	if err := r.f.VerifyFleet(ctx); err != nil {
+		r.teardown()
+		return res, fail(finalStep, "final-verify", err)
+	}
+	r.f.Deployment().Verifier.InvalidatePolicy()
+	if err := r.probeServes(ctx, 3, 10*time.Second); err != nil {
+		r.teardown()
+		return res, fail(finalStep, "final-serve", err)
+	}
+	if s := r.gw.Stats(); len(s.Ejected) != 0 {
+		r.teardown()
+		return res, fail(finalStep, "final-eject", fmt.Errorf("ejections survived reconciliation: %v", s.Ejected))
+	}
+
+	gwStats := r.gw.Stats()
+	res.PolicyFlushes = gwStats.PolicyFlushes
+	res.TruncatedResponses = gwStats.TruncatedResponses
+	total, windowed, violations, firstViolation := r.tr.halt()
+	res.Requests, res.WindowedFailures, res.Violations = total, windowed, violations
+	r.teardown()
+
+	if violations > 0 {
+		return res, fail(finalStep, "traffic",
+			fmt.Errorf("%d of %d requests failed outside any fault window; first: %v", violations, total, firstViolation))
+	}
+
+	// Leak probe: teardown must return the process to its baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		res.GoroutineDelta = n - baseline
+		if n <= baseline+goroutineSlack {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fail(finalStep, "teardown",
+				fmt.Errorf("goroutine leak: %d before, %d after teardown", baseline, n))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return res, nil
+}
+
+// execute injects one scheduled fault and asserts its local invariants.
+func (r *run) execute(ctx context.Context, ev Event) error {
+	switch ev.Op {
+	case OpAddNode:
+		_, err := r.f.AddNode(ctx)
+		return err
+	case OpRemoveNode:
+		return r.f.RemoveNode(ctx, ev.Arg%r.f.Size())
+	case OpRotateCerts:
+		_, err := r.f.RotateCertificates(ctx)
+		return err
+	case OpKDSFlap:
+		return r.failClosedOutage(ctx,
+			func() { r.f.FailKDS(errInjected) },
+			func() { r.f.RestoreKDS() })
+	case OpKDSPartition:
+		net := r.f.Deployment().KDSNet()
+		host := strings.TrimPrefix(r.f.Deployment().KDSURL(), "http://")
+		return r.failClosedOutage(ctx,
+			func() { net.Partition(errInjected, host) },
+			func() { net.HealPartition() })
+	case OpLatencyFlap:
+		net := r.f.Deployment().KDSNet()
+		net.SetRTT(time.Duration(ev.Arg) * time.Millisecond)
+		err := r.f.VerifyFleet(ctx)
+		net.ClearRTT()
+		return err
+	case OpLossBurst:
+		net := r.f.Deployment().KDSNet()
+		net.SetLoss(ev.Arg)
+		// Cached verification must ride out KDS-path loss untouched.
+		err := r.f.VerifyFleet(ctx)
+		net.SetLoss(0)
+		return err
+	case OpPolicyStorm:
+		return r.policyStorm(ctx, ev.Arg)
+	case OpCrashJoin:
+		return r.crashJoin(ctx, ev.Arg)
+	case OpExpiryWave:
+		return r.expiryWave(ctx)
+	case OpCrashRollout:
+		return r.crashRollout(ctx)
+	case OpRollout:
+		r.rollVer++
+		_, err := r.f.RollOut(ctx, fmt.Sprintf("chaos-%d-%d", r.cfg.Seed, r.rollVer))
+		return err
+	default:
+		return fmt.Errorf("unknown op %q", ev.Op)
+	}
+}
+
+// failClosedOutage asserts the fail-closed join invariant under a KDS
+// fault: a join must fail and roll back, while already-proven evidence
+// keeps verifying from the caches. heal always runs.
+func (r *run) failClosedOutage(ctx context.Context, induce, heal func()) error {
+	size := r.f.Size()
+	induce()
+	defer heal()
+	if _, err := r.f.AddNode(ctx); err == nil {
+		return errors.New("join succeeded during KDS unavailability (fail-open)")
+	}
+	if got := r.f.Size(); got != size {
+		return fmt.Errorf("failed join changed fleet size: %d -> %d", size, got)
+	}
+	if err := r.f.VerifyFleet(ctx); err != nil {
+		return fmt.Errorf("cached verification failed during KDS fault: %w", err)
+	}
+	return nil
+}
+
+// policyStorm bumps the policy revision `bumps` times and asserts the
+// gateway observes the epoch move — pools flush — and keeps serving.
+func (r *run) policyStorm(ctx context.Context, bumps int) error {
+	if bumps < 1 {
+		bumps = 1
+	}
+	before := r.gw.Stats().PolicyFlushes
+	for i := 0; i < bumps; i++ {
+		r.f.Deployment().Verifier.InvalidatePolicy()
+	}
+	if err := r.probeServes(ctx, 1, 5*time.Second); err != nil {
+		return err
+	}
+	if after := r.gw.Stats().PolicyFlushes; after <= before {
+		return fmt.Errorf("policy storm did not flush pools: flushes %d -> %d", before, after)
+	}
+	return nil
+}
+
+// crashJoin crashes a join at one of its crash points and asserts the
+// rollback leaves the fleet at its old size and fully serviceable.
+func (r *run) crashJoin(ctx context.Context, which int) error {
+	points := []fleet.CrashPoint{fleet.CrashJoinAfterLaunch, fleet.CrashJoinAfterProvision}
+	point := points[which%len(points)]
+	size := r.f.Size()
+	r.f.SetCrashHook(func(p fleet.CrashPoint) error {
+		if p == point {
+			return errInjected
+		}
+		return nil
+	})
+	_, err := r.f.AddNode(ctx)
+	r.f.SetCrashHook(nil)
+	if !errors.Is(err, errInjected) {
+		return fmt.Errorf("crashed join at %s returned %v, want injected fault", point, err)
+	}
+	if got := r.f.Size(); got != size {
+		return fmt.Errorf("crash at %s changed fleet size: %d -> %d", point, size, got)
+	}
+	return r.f.VerifyFleet(ctx)
+}
+
+// expiryWave skews the verification clock past every credential's
+// validity: fleet verification must fail expired, a pool flush must
+// take gateway serving down (fail closed end to end), and restoring the
+// clock plus one policy bump must bring serving back.
+func (r *run) expiryWave(ctx context.Context) error {
+	const skew = 25 * 365 * 24 * time.Hour
+	r.tr.openWindow()
+	defer r.tr.closeWindow()
+	r.f.SetClockSkew(skew)
+	restored := false
+	defer func() {
+		if !restored {
+			r.f.SetClockSkew(0)
+		}
+	}()
+
+	err := r.f.VerifyFleet(ctx)
+	if err == nil {
+		return errors.New("fleet verified with every credential expired (fail-open)")
+	}
+	if !errors.Is(err, attestationExpired) {
+		return fmt.Errorf("expiry wave failed with the wrong error: %v", err)
+	}
+	// Flush the warm pools: re-proving under the skewed clock must fail.
+	// Connections that were busy at flush time can drain a few more
+	// requests, but every fresh handshake fails and ejects its node, so
+	// the gateway must stop serving within the window — observing even
+	// one refused request proves fail-closed reached the data plane.
+	r.f.Deployment().Verifier.InvalidatePolicy()
+	refuseBy := time.Now().Add(10 * time.Second)
+	for {
+		status, err := r.get()
+		if err != nil || status != http.StatusOK {
+			break
+		}
+		if time.Now().After(refuseBy) {
+			return errors.New("gateway kept serving with every upstream credential expired (fail-open)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Recovery: clock restored, one more bump reinstates the estate.
+	r.f.SetClockSkew(0)
+	restored = true
+	r.f.Deployment().Verifier.InvalidatePolicy()
+	return r.probeServes(ctx, 3, 10*time.Second)
+}
+
+// crashRollout crashes a rolling upgrade between replacements, asserts
+// the mixed-measurement fleet still verifies, and resumes the roll to
+// completion.
+func (r *run) crashRollout(ctx context.Context) error {
+	r.rollVer++
+	version := fmt.Sprintf("chaos-%d-%d", r.cfg.Seed, r.rollVer)
+	var fired atomic.Bool
+	r.f.SetCrashHook(func(p fleet.CrashPoint) error {
+		if p == fleet.CrashRolloutMidReplace && fired.CompareAndSwap(false, true) {
+			return errInjected
+		}
+		return nil
+	})
+	_, err := r.f.RollOut(ctx, version)
+	r.f.SetCrashHook(nil)
+	if !errors.Is(err, errInjected) {
+		return fmt.Errorf("crashed rollout returned %v, want injected fault", err)
+	}
+	if err := r.f.VerifyFleet(ctx); err != nil {
+		return fmt.Errorf("mixed fleet after rollout crash failed verification: %w", err)
+	}
+	return r.finishRollout(ctx)
+}
+
+// finishRollout replaces every node still on an old measurement and
+// commits the staged rollout.
+func (r *run) finishRollout(ctx context.Context) error {
+	d := r.f.Deployment()
+	for {
+		idx := -1
+		golden := r.f.Golden()
+		for i, n := range d.Nodes {
+			if n.VM.Measurement() != golden {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if _, err := r.f.ReplaceNode(ctx, idx); err != nil {
+			return fmt.Errorf("resume rollout: %w", err)
+		}
+	}
+	if err := r.f.CommitRollOut(); err != nil {
+		return fmt.Errorf("commit resumed rollout: %w", err)
+	}
+	return r.f.VerifyFleet(ctx)
+}

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"context"
+	"flag"
+	"strconv"
+	"testing"
+)
+
+var (
+	chaosSeed = flag.Int64("chaos.seed", 0,
+		"replay exactly one chaos seed (0 = run the default seed range)")
+	chaosSeeds = flag.Int("chaos.seeds", 2,
+		"number of sequential seeds TestChaosSeeds runs (starting at 1)")
+	chaosRounds = flag.String("chaos.rounds", "small",
+		"profile: small (2 nodes, 8 events) or nightly (4 nodes, 24 events, rollout faults)")
+)
+
+// profileConfig maps the -chaos.rounds flag to a run configuration.
+func profileConfig(t *testing.T, seed int64) Config {
+	cfg := Config{Seed: seed, Log: t.Logf}
+	switch *chaosRounds {
+	case "nightly":
+		cfg.Nodes, cfg.Events, cfg.Clients, cfg.Heavy = 4, 24, 8, true
+	case "small":
+		cfg.Nodes, cfg.Events, cfg.Clients = 2, 8, 4
+	default:
+		t.Fatalf("unknown -chaos.rounds profile %q", *chaosRounds)
+	}
+	return cfg
+}
+
+// TestScheduleDeterministic: the same config generates the same
+// schedule byte for byte — the replay contract — and distinct seeds
+// diverge.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Nodes: 3, Events: 20, Heavy: true}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same seed generated different schedules:\n%s\nvs\n%s", a, b)
+	}
+	cfg.Seed = 43
+	if c := Generate(cfg); c.String() == a.String() {
+		t.Error("seeds 42 and 43 generated identical schedules")
+	}
+}
+
+// TestScheduleMembershipStaysLegal: over many seeds, the generator's
+// size model never schedules a remove below two nodes or an add beyond
+// the cap.
+func TestScheduleMembershipStaysLegal(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		cfg := Config{Seed: seed, Nodes: 2, Events: 30, Heavy: true}
+		size, maxSize := 2, 4
+		for _, ev := range Generate(cfg).Events {
+			switch ev.Op {
+			case OpAddNode:
+				size++
+			case OpRemoveNode:
+				size--
+			}
+			if size < 2 || size > maxSize {
+				t.Fatalf("seed %d: size %d outside [2,%d] at event %d", seed, size, maxSize, ev.Step)
+			}
+		}
+	}
+}
+
+// TestChaosSeeds runs the scheduler end to end against a live fleet and
+// gateway: one seed when -chaos.seed is set (exact replay), otherwise
+// seeds 1..-chaos.seeds. Any invariant violation fails with the seed
+// and full schedule in the error.
+func TestChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs stand up live fleets; skipped in -short")
+	}
+	seeds := make([]int64, 0, *chaosSeeds)
+	if *chaosSeed != 0 {
+		seeds = append(seeds, *chaosSeed)
+	} else {
+		for s := int64(1); s <= int64(*chaosSeeds); s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("seed-"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			res, err := Run(context.Background(), profileConfig(t, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed %d: %d events, %d requests (%d windowed failures), %d flushes, goroutine delta %d",
+				res.Seed, res.Events, res.Requests, res.WindowedFailures, res.PolicyFlushes, res.GoroutineDelta)
+			if res.Requests == 0 {
+				t.Error("traffic drove no requests through the gateway")
+			}
+			if res.Violations != 0 {
+				t.Errorf("%d violations reported without an error", res.Violations)
+			}
+		})
+	}
+}

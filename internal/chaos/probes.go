@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"revelio/attestation"
+)
+
+// attestationExpired is the error class an expiry wave must surface.
+var attestationExpired = attestation.ErrEvidenceExpired
+
+// coherent asserts the gateway's routing state tracks the fleet: the
+// gateway has observed the current serving-view version, and every
+// ejection references an endpoint that still exists (no ghost
+// ejections for departed nodes). The view propagates through a
+// subscription, so the check polls briefly.
+func (r *run) coherent() error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := r.f.Endpoints()
+		s := r.gw.Stats()
+		ghost := ""
+		if s.ViewVersion >= snap.Version {
+			known := make(map[string]bool, len(snap.Endpoints))
+			for _, ep := range snap.Endpoints {
+				known[ep.UpstreamAddr] = true
+			}
+			for _, addr := range s.Ejected {
+				if !known[addr] {
+					ghost = addr
+					break
+				}
+			}
+			if ghost == "" {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if ghost != "" {
+				return fmt.Errorf("gateway ejection references departed endpoint %s (view v%d, gateway v%d)",
+					ghost, snap.Version, s.ViewVersion)
+			}
+			return fmt.Errorf("gateway never observed view v%d (still at v%d)", snap.Version, s.ViewVersion)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// probeServes requires `consecutive` back-to-back successful requests
+// through the gateway within the deadline — the recovery probe after a
+// fault window.
+func (r *run) probeServes(ctx context.Context, consecutive int, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	streak := 0
+	var last error
+	for streak < consecutive {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway did not serve %d consecutive requests within %s; last: %v",
+				consecutive, within, last)
+		}
+		status, err := r.get()
+		if err == nil && status == http.StatusOK {
+			streak++
+			continue
+		}
+		streak = 0
+		if err != nil {
+			last = err
+		} else {
+			last = fmt.Errorf("status %d", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// get issues one probe request through the gateway.
+func (r *run) get() (int, error) {
+	resp, err := r.tr.client.Get(r.tr.url)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}

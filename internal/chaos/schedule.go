@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Op names one fault class the scheduler can inject. Every op composes
+// over a seam the production stack already exposes — netlab transports,
+// the fleet's lifecycle engine and crash hooks, the verification plane's
+// policy revisions and injected clocks — so a chaos run exercises the
+// exact code paths real operations do.
+type Op string
+
+const (
+	// OpAddNode joins a node through the attested key-acquisition path.
+	OpAddNode Op = "add-node"
+	// OpRemoveNode drains and decommissions node (Arg mod size).
+	OpRemoveNode Op = "remove-node"
+	// OpRotateCerts re-runs full certificate provisioning under load.
+	OpRotateCerts Op = "rotate-certs"
+	// OpKDSFlap blackholes the KDS, asserts a join fails closed while
+	// cached proofs keep verifying, then restores the path.
+	OpKDSFlap Op = "kds-flap"
+	// OpKDSPartition cuts only the KDS link (per-link partition) with
+	// the same fail-closed join assertion, then heals it.
+	OpKDSPartition Op = "kds-partition"
+	// OpLatencyFlap spikes the KDS RTT to Arg milliseconds and clears it.
+	OpLatencyFlap Op = "latency-flap"
+	// OpLossBurst drops every Arg-th KDS request (deterministic loss),
+	// asserts cached verification rides it out, then clears it.
+	OpLossBurst Op = "loss-burst"
+	// OpPolicyStorm bumps the policy revision Arg times in a row and
+	// asserts the gateway flushes and keeps serving.
+	OpPolicyStorm Op = "policy-storm"
+	// OpCrashJoin crashes a join at one of its crash points (Arg picks
+	// which) and asserts the rollback leaves the fleet intact.
+	OpCrashJoin Op = "crash-join"
+	// OpExpiryWave skews the verification clock far past every
+	// credential's validity, asserts fleet-wide fail-closed, restores
+	// the clock and asserts recovery.
+	OpExpiryWave Op = "expiry-wave"
+	// OpCrashRollout crashes a rolling upgrade mid-replace, then resumes
+	// it to completion (heavy profiles only).
+	OpCrashRollout Op = "crash-rollout"
+	// OpRollout performs a complete rolling upgrade (heavy profiles
+	// only).
+	OpRollout Op = "rollout"
+)
+
+// Event is one scheduled fault: the op, its argument, and the pause the
+// runner sleeps before injecting it (pauses vary the interleaving with
+// the concurrent traffic, and are part of the schedule so replays pace
+// identically).
+type Event struct {
+	Step  int
+	Op    Op
+	Arg   int
+	Pause time.Duration
+}
+
+// Schedule is the full, deterministic fault plan for one seed. The
+// runner executes it top to bottom; String() renders it byte-for-byte
+// reproducibly, which is what makes a failing seed replayable.
+type Schedule struct {
+	Seed   int64
+	Nodes  int
+	Events []Event
+}
+
+// String renders the schedule. Two Generate calls with the same Config
+// produce identical output — the replay contract.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos schedule seed=%d nodes=%d events=%d\n", s.Seed, s.Nodes, len(s.Events))
+	for _, ev := range s.Events {
+		fmt.Fprintf(&b, "  [%02d] %-14s arg=%-3d pause=%s\n", ev.Step, ev.Op, ev.Arg, ev.Pause)
+	}
+	return b.String()
+}
+
+// opWeights is the fault mix: membership churn and verification-plane
+// faults dominate; expensive or specialized faults appear less often.
+var opWeights = []struct {
+	op Op
+	w  int
+}{
+	{OpAddNode, 2},
+	{OpRemoveNode, 2},
+	{OpRotateCerts, 2},
+	{OpKDSFlap, 2},
+	{OpKDSPartition, 1},
+	{OpLatencyFlap, 2},
+	{OpLossBurst, 1},
+	{OpPolicyStorm, 2},
+	{OpCrashJoin, 1},
+	{OpExpiryWave, 1},
+}
+
+var heavyWeights = []struct {
+	op Op
+	w  int
+}{
+	{OpCrashRollout, 1},
+	{OpRollout, 1},
+}
+
+// Generate derives the fault schedule for cfg. Generation is a pure
+// function of the config: it uses a seeded math/rand source and models
+// fleet-size evolution so every membership op is legal when it runs
+// (size never drops below 2 or grows beyond Nodes+2).
+func Generate(cfg Config) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := opWeights
+	if cfg.Heavy {
+		weights = append(append([]struct {
+			op Op
+			w  int
+		}{}, opWeights...), heavyWeights...)
+	}
+	var picks []Op
+	for _, w := range weights {
+		for i := 0; i < w.w; i++ {
+			picks = append(picks, w.op)
+		}
+	}
+
+	size, maxSize := cfg.Nodes, cfg.Nodes+2
+	sched := Schedule{Seed: cfg.Seed, Nodes: cfg.Nodes}
+	for step := 0; step < cfg.Events; step++ {
+		op := picks[rng.Intn(len(picks))]
+		// Keep membership legal for the size the fleet will have here.
+		if op == OpAddNode && size >= maxSize {
+			op = OpRotateCerts
+		}
+		if op == OpRemoveNode && size <= 2 {
+			op = OpPolicyStorm
+		}
+		var arg int
+		switch op {
+		case OpAddNode:
+			size++
+		case OpRemoveNode:
+			arg = rng.Intn(size)
+			size--
+		case OpLatencyFlap:
+			arg = 5 + rng.Intn(40) // RTT spike, milliseconds
+		case OpLossBurst:
+			arg = 2 + rng.Intn(3) // drop every arg-th request
+		case OpPolicyStorm:
+			arg = 1 + rng.Intn(3) // consecutive revision bumps
+		case OpCrashJoin:
+			arg = rng.Intn(2) // which join crash point
+		}
+		sched.Events = append(sched.Events, Event{
+			Step:  step,
+			Op:    op,
+			Arg:   arg,
+			Pause: time.Duration(rng.Intn(30)) * time.Millisecond,
+		})
+	}
+	return sched
+}

@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// traffic drives concurrent attested-TLS clients through the gateway
+// for the whole chaos run and classifies every failure: a failure while
+// a fault window is open is expected-possible (the fault may legally
+// surface to clients, e.g. an expiry wave); a failure outside every
+// window is a violation of the zero-failed-request invariant.
+type traffic struct {
+	url    string
+	client *http.Client
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// window counts currently open fault windows (they can nest).
+	window atomic.Int32
+
+	total      atomic.Int64
+	windowed   atomic.Int64
+	violations atomic.Int64
+
+	mu             sync.Mutex
+	firstViolation error
+
+	haltOnce sync.Once
+}
+
+// startTraffic launches `clients` request loops against the gateway at
+// url, trusting the fleet CA for the service domain.
+func startTraffic(url string, roots *x509.CertPool, domain string, clients int) *traffic {
+	t := &traffic{
+		url:  url,
+		stop: make(chan struct{}),
+		client: &http.Client{
+			Transport: &http.Transport{
+				TLSClientConfig: &tls.Config{
+					RootCAs:            roots,
+					ServerName:         domain,
+					ClientSessionCache: tls.NewLRUClientSessionCache(0),
+				},
+				MaxIdleConnsPerHost: 64,
+			},
+			Timeout: 10 * time.Second,
+		},
+	}
+	for c := 0; c < clients; c++ {
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for {
+				select {
+				case <-t.stop:
+					return
+				default:
+				}
+				t.one()
+				// Pace the loop: the point is continuous load across
+				// every fault, not a throughput benchmark.
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	return t
+}
+
+// one issues a single request and classifies the outcome. The window
+// state is sampled both before and after the attempt: a request is a
+// violation only if no fault window was open at either point — a window
+// opening or closing mid-request means the fault could have hit it.
+func (t *traffic) one() {
+	openAtStart := t.window.Load() > 0
+	t.total.Add(1)
+	var failure error
+	resp, err := t.client.Get(t.url)
+	if err != nil {
+		failure = err
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			failure = fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+	if failure == nil {
+		return
+	}
+	if openAtStart || t.window.Load() > 0 {
+		t.windowed.Add(1)
+		return
+	}
+	t.violations.Add(1)
+	t.mu.Lock()
+	if t.firstViolation == nil {
+		t.firstViolation = failure
+	}
+	t.mu.Unlock()
+}
+
+// openWindow marks that a fault which may legally surface to clients is
+// active; closeWindow ends it. Callers must pair them.
+func (t *traffic) openWindow()  { t.window.Add(1) }
+func (t *traffic) closeWindow() { t.window.Add(-1) }
+
+// halt stops the drive and returns totals. Idempotent: later calls
+// return the same settled totals.
+func (t *traffic) halt() (total, windowed, violations int64, firstViolation error) {
+	t.haltOnce.Do(func() {
+		close(t.stop)
+		t.wg.Wait()
+		t.client.CloseIdleConnections()
+	})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total.Load(), t.windowed.Load(), t.violations.Load(), t.firstViolation
+}

@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"revelio/attestation/snp"
@@ -134,9 +135,32 @@ type Deployment struct {
 	appHandler func(n *Node) http.Handler
 	closeOnce  sync.Once
 	kdsNet     *netlab.Transport // verifier-side KDS path (outage injection)
+	spNet      *netlab.Transport // SP-to-node control path (partition injection)
 	clients    []*http.Client    // every client we created, for idle-conn reaping
 	seq        int               // chip seed counter across launches
+
+	// clockSkew offsets the deployment's verification-plane clock (the
+	// attestation verifier's certificate-validity checks and the KDS
+	// client's TTL expiry) from the wall clock. Chaos scenarios advance
+	// it to rehearse cert-expiry waves; zero means wall time.
+	clockSkew atomic.Int64
 }
+
+// now is the deployment's verification-plane clock: wall time plus the
+// injected skew.
+func (d *Deployment) now() time.Time {
+	return time.Now().Add(time.Duration(d.clockSkew.Load()))
+}
+
+// SetClockSkew offsets the verification-plane clock by skew, mid-flight
+// safe. Skewing past certificate validity makes every fresh verification
+// fail closed (ErrEvidenceExpired) — cached proofs are validity-bounded
+// with the same clock, so they expire too. Restoring the skew to zero
+// makes the same evidence verify again.
+func (d *Deployment) SetClockSkew(skew time.Duration) { d.clockSkew.Store(int64(skew)) }
+
+// ClockSkew returns the current verification-plane clock offset.
+func (d *Deployment) ClockSkew() time.Duration { return time.Duration(d.clockSkew.Load()) }
 
 // httpServer is a minimal managed HTTP(S) server on a loopback listener.
 type httpServer struct {
@@ -220,7 +244,7 @@ func New(cfg Config) (*Deployment, error) {
 	d.kdsNet = &netlab.Transport{RTT: cfg.KDSRTT}
 	kdsClient := &http.Client{Transport: d.kdsNet}
 	d.clients = append(d.clients, kdsClient)
-	d.KDSClient = kds.NewClient(d.KDSServer.url, kdsClient)
+	d.KDSClient = kds.NewClient(d.KDSServer.url, kdsClient, kds.WithClock(d.now))
 
 	if d.Image, err = imagebuild.NewBuilder(cfg.Registry).Build(cfg.Spec); err != nil {
 		d.Close()
@@ -236,7 +260,7 @@ func New(cfg Config) (*Deployment, error) {
 	if cfg.TrustRegistry != nil {
 		policy = cfg.TrustRegistry
 	}
-	d.Verifier = attest.NewVerifier(d.KDSClient, policy)
+	d.Verifier = attest.NewVerifier(d.KDSClient, policy, attest.WithClock(d.now))
 
 	d.Zone = acme.NewZone()
 	if d.CA, err = acme.NewCA(d.Zone, acme.WithLatency(cfg.CARTT)); err != nil {
@@ -265,8 +289,12 @@ func New(cfg Config) (*Deployment, error) {
 		d.CAServer = caServer
 		certbot = acme.NewHTTPClient(caServer.url, d.Zone, d.netClient(cfg.CARTT))
 	}
-	d.SP = certmgr.NewSPNode(d.Verifier, certbot, cfg.Domain, approved,
-		d.netClient(cfg.SPNetRTT))
+	// The SP's outbound path gets its own named transport so fault
+	// injection (partitioning a node's control link) can target it.
+	d.spNet = &netlab.Transport{RTT: cfg.SPNetRTT}
+	spClient := &http.Client{Transport: d.spNet}
+	d.clients = append(d.clients, spClient)
+	d.SP = certmgr.NewSPNode(d.Verifier, certbot, cfg.Domain, approved, spClient)
 	return d, nil
 }
 
@@ -291,6 +319,15 @@ func (d *Deployment) nextChipSeed() []byte {
 // the KDS. Fleet scenarios inject latency changes and outages through it
 // (netlab.Transport.SetOutage) to rehearse KDS failure and recovery.
 func (d *Deployment) KDSNet() *netlab.Transport { return d.kdsNet }
+
+// SPNet exposes the SP node's outbound transport to the nodes' control
+// servers. Chaos scenarios partition individual control links through it
+// (netlab.Transport.Partition) to rehearse provisioning-path failures.
+func (d *Deployment) SPNet() *netlab.Transport { return d.spNet }
+
+// KDSURL returns the simulated AMD KDS base URL. Per-link chaos faults
+// key netlab partitions on its host.
+func (d *Deployment) KDSURL() string { return d.KDSServer.url }
 
 func (d *Deployment) bootBlobs() hypervisor.BootBlobs {
 	return hypervisor.BootBlobs{
@@ -332,6 +369,9 @@ func (d *Deployment) launchNode(chipSeed []byte) (*Node, error) {
 	agent := certmgr.NewAgent(guestVM, d.Verifier, client)
 	control, err := startHTTP(agent)
 	if err != nil {
+		// A crash between client creation and server start must not
+		// strand the client's pool: nothing else will ever reap it.
+		client.CloseIdleConnections()
 		return nil, err
 	}
 	return &Node{
@@ -387,7 +427,9 @@ func (d *Deployment) RemoveNode(ctx context.Context, i int) (blockdev.Device, er
 	n.Web.close()
 	n.Upstream.close()
 	n.Control.close()
-	n.client.CloseIdleConnections()
+	if n.client != nil {
+		n.client.CloseIdleConnections()
+	}
 	d.Nodes = append(d.Nodes[:i], d.Nodes[i+1:]...)
 	return n.disk, nil
 }
@@ -460,10 +502,12 @@ func (d *Deployment) RebootNode(ctx context.Context, i int) error {
 	client := netlab.Client(d.cfg.SPNetRTT, nil)
 	agent := certmgr.NewAgent(guestVM, d.Verifier, client)
 	if err := agent.RestoreFromPersist(); err != nil {
+		client.CloseIdleConnections()
 		return fmt.Errorf("core: node %d restore credentials: %w", i, err)
 	}
 	control, err := startHTTP(agent)
 	if err != nil {
+		client.CloseIdleConnections()
 		return err
 	}
 	n.VM = guestVM
@@ -589,7 +633,9 @@ func (d *Deployment) close() {
 		n.Web.close()
 		n.Upstream.close()
 		n.Control.close()
-		n.client.CloseIdleConnections()
+		if n.client != nil {
+			n.client.CloseIdleConnections()
+		}
 	}
 	d.CAServer.close()
 	d.KDSServer.close()

@@ -6,8 +6,10 @@ import (
 	"crypto/tls"
 	"errors"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"revelio/internal/attest"
 	"revelio/internal/certmgr"
@@ -462,5 +464,65 @@ func TestRemoteCAProvisioning(t *testing.T) {
 		if !n.Agent.Ready() {
 			t.Errorf("node %d not ready", i)
 		}
+	}
+}
+
+// TestClockSkewExpiryWave: advancing the verification-plane clock past
+// certificate validity fails fresh *and* cached verification closed
+// (ErrEvidenceExpired); restoring the skew makes the same evidence
+// verify again — the seam behind the chaos harness's cert-expiry waves.
+func TestClockSkewExpiryWave(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rep, err := d.Nodes[0].VM.Report([64]byte{0x5C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Prime the proof caches so the wave is tested against the warm path.
+	for i := 0; i < 2; i++ {
+		if _, err := d.Verifier.VerifyReport(ctx, rep); err != nil {
+			t.Fatalf("prime pass %d: %v", i, err)
+		}
+	}
+
+	// Simulated AMD certificates are valid for 20 years; 25 puts the
+	// clock past every link of the proving chain.
+	d.SetClockSkew(25 * 365 * 24 * time.Hour)
+	if got := d.ClockSkew(); got != 25*365*24*time.Hour {
+		t.Fatalf("ClockSkew = %v", got)
+	}
+	if _, err := d.Verifier.VerifyReport(ctx, rep); !errors.Is(err, attest.ErrEvidenceExpired) {
+		t.Errorf("verification during expiry wave: %v, want ErrEvidenceExpired", err)
+	}
+
+	d.SetClockSkew(0)
+	if _, err := d.Verifier.VerifyReport(ctx, rep); err != nil {
+		t.Errorf("verification after skew restored: %v", err)
+	}
+}
+
+// TestSPNetPartition: cutting one node's control link through the SP's
+// transport fails provisioning cleanly; healing the partition restores
+// it. This is the per-link fault the chaos scheduler composes.
+func TestSPNetPartition(t *testing.T) {
+	cfg, _ := testConfig(1)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	host := strings.TrimPrefix(d.Nodes[0].ControlURL(), "http://")
+	d.SPNet().Partition(errors.New("control link cut"), host)
+	if _, err := d.ProvisionCertificates(context.Background()); err == nil {
+		t.Fatal("provisioning succeeded across a partitioned control link")
+	}
+	d.SPNet().HealPartition()
+	if _, err := d.ProvisionCertificates(context.Background()); err != nil {
+		t.Errorf("provisioning after heal: %v", err)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"revelio/attestation"
@@ -62,6 +63,24 @@ var (
 
 // operator is the registry voter the fleet engine votes with.
 const operator = "fleet-operator"
+
+// CrashPoint names a seam inside a lifecycle operation where a crash
+// hook (SetCrashHook) can abort the operation — the chaos harness uses
+// these to rehearse a process dying mid-join or mid-rollout and to
+// assert the engine's rollback leaves the fleet consistent.
+type CrashPoint string
+
+const (
+	// CrashJoinAfterLaunch crashes a join after the node is launched
+	// and registered but before it is attested and provisioned.
+	CrashJoinAfterLaunch CrashPoint = "join/after-launch"
+	// CrashJoinAfterProvision crashes a join after provisioning
+	// completes but before the node's web tier opens.
+	CrashJoinAfterProvision CrashPoint = "join/after-provision"
+	// CrashRolloutMidReplace crashes a rolling upgrade between node
+	// replacements, leaving a staged, mixed-measurement fleet behind.
+	CrashRolloutMidReplace CrashPoint = "rollout/mid-replace"
+)
 
 // Config describes a fleet.
 type Config struct {
@@ -127,8 +146,41 @@ type Fleet struct {
 	webTransport *http.Transport
 	webShared    *http.Client
 
+	// crashHook, when set, is consulted at every CrashPoint; a non-nil
+	// error aborts the surrounding operation as a crash there would.
+	crashHook atomic.Pointer[func(CrashPoint) error]
+
 	closeOnce sync.Once
 }
+
+// SetCrashHook installs (or, with nil, clears) the crash-point hook.
+// The hook runs inside lifecycle operations at each CrashPoint; a
+// non-nil return aborts the operation exactly where a real crash would,
+// with the engine's usual rollback. Safe to flip while operations run.
+func (f *Fleet) SetCrashHook(fn func(CrashPoint) error) {
+	if fn == nil {
+		f.crashHook.Store(nil)
+		return
+	}
+	f.crashHook.Store(&fn)
+}
+
+// crash consults the installed crash hook at point p.
+func (f *Fleet) crash(p CrashPoint) error {
+	if fn := f.crashHook.Load(); fn != nil {
+		if err := (*fn)(p); err != nil {
+			return fmt.Errorf("fleet: crash injected at %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// SetClockSkew offsets the deployment's verification-plane clock — the
+// cert-expiry-wave seam (see core.Deployment.SetClockSkew).
+func (f *Fleet) SetClockSkew(skew time.Duration) { f.d.SetClockSkew(skew) }
+
+// ClockSkew returns the current verification-plane clock offset.
+func (f *Fleet) ClockSkew() time.Duration { return f.d.ClockSkew() }
 
 // New builds the image, boots the initial nodes, provisions the shared
 // certificate through the SP node, and opens the web tier. The trust
@@ -294,6 +346,10 @@ func (f *Fleet) addNodeLocked(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := f.crash(CrashJoinAfterLaunch); err != nil {
+		_, _ = f.d.RemoveNode(context.Background(), idx)
+		return 0, err
+	}
 	node := f.d.Nodes[idx]
 	f.memberMu.Lock()
 	leaderURL, certDER := f.leaderURL, f.certDER
@@ -312,6 +368,10 @@ func (f *Fleet) addNodeLocked(ctx context.Context) (int, error) {
 	if err := f.d.SP.ProvisionNode(ctx, node.ControlURL(), leaderURL, certDER); err != nil {
 		abortJoin()
 		return 0, fmt.Errorf("fleet: provision joining node: %w", err)
+	}
+	if err := f.crash(CrashJoinAfterProvision); err != nil {
+		abortJoin()
+		return 0, err
 	}
 	if err := f.d.StartNodeWeb(idx); err != nil {
 		abortJoin()
@@ -544,6 +604,12 @@ func (f *Fleet) RollOut(ctx context.Context, version string) (measure.Measuremen
 		// shifts survivors left while replacements append at the end.
 		if _, err := f.ReplaceNode(ctx, 0); err != nil {
 			return measure.Measurement{}, fmt.Errorf("fleet: roll node: %w", err)
+		}
+		// A crash here leaves the rollout staged and the fleet mixed-
+		// measurement — recoverable by replacing the remaining old nodes
+		// and committing, which is exactly what the chaos probe rehearses.
+		if err := f.crash(CrashRolloutMidReplace); err != nil {
+			return measure.Measurement{}, err
 		}
 	}
 	if err := f.CommitRollOut(); err != nil {

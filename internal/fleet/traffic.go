@@ -59,6 +59,9 @@ func (f *Fleet) StartTraffic(clients int) *Traffic {
 func (tr *Traffic) one(client *http.Client, i int) {
 	tr.f.memberMu.RLock()
 	defer tr.f.memberMu.RUnlock()
+	// Count the attempt before any failure path: every failure is also a
+	// request, so failures can never exceed requests in the totals.
+	tr.requests.Add(1)
 	nodes := tr.f.serving
 	if len(nodes) == 0 {
 		tr.fail(fmt.Errorf("fleet: no nodes to serve traffic"))
@@ -70,7 +73,6 @@ func (tr *Traffic) one(client *http.Client, i int) {
 		tr.fail(fmt.Errorf("fleet: node %d has no web front end", i%len(nodes)))
 		return
 	}
-	tr.requests.Add(1)
 	resp, err := client.Get("https://" + addr + certmgr.WellKnownPath)
 	if err != nil {
 		tr.fail(err)
@@ -104,9 +106,10 @@ func (tr *Traffic) Stop() (requests, failures int64, firstErr error) {
 // ServeBurst measures steady-state serving: `clients` concurrent
 // attested-TLS clients spread `requests` requests round-robin across
 // the serving nodes and the wall-clock for the whole burst is returned
-// with the number of requests actually performed (each client issues at
-// least one). The first failed request aborts the burst — throughput
-// numbers from a partially failing fleet would be meaningless.
+// with the number of requests actually served (each client issues at
+// least one). The first failed request aborts the burst across all
+// clients — throughput numbers from a partially failing fleet would be
+// meaningless — and failed attempts are excluded from the served count.
 func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
 	if clients <= 0 {
 		clients = 1
@@ -124,10 +127,12 @@ func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				tr.one(client, c*perClient+i)
+				// Check before each attempt, not after: once any client
+				// fails, the rest stop issuing new requests immediately.
 				if tr.failures.Load() > 0 {
 					return
 				}
+				tr.one(client, c*perClient+i)
 			}
 		}(c)
 	}
@@ -136,5 +141,6 @@ func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
 	tr.mu.Lock()
 	firstErr := tr.firstErr
 	tr.mu.Unlock()
-	return elapsed, int(tr.requests.Load()), firstErr
+	served := int(tr.requests.Load() - tr.failures.Load())
+	return elapsed, served, firstErr
 }

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"revelio/internal/core"
+)
+
+// TestTrafficAccountingCountsEveryAttempt: the no-nodes and no-web-addr
+// failure paths must count the attempt they fail. Regression: one() used
+// to bail on these paths before touching the request counter, so a
+// driver could report more failures than requests.
+func TestTrafficAccountingCountsEveryAttempt(t *testing.T) {
+	t.Run("no nodes", func(t *testing.T) {
+		tr := &Traffic{f: &Fleet{}}
+		tr.one(nil, 0)
+		if got := tr.requests.Load(); got != 1 {
+			t.Errorf("requests = %d, want 1", got)
+		}
+		if got := tr.failures.Load(); got != 1 {
+			t.Errorf("failures = %d, want 1", got)
+		}
+		if tr.firstErr == nil || !strings.Contains(tr.firstErr.Error(), "no nodes") {
+			t.Errorf("firstErr = %v, want no-nodes error", tr.firstErr)
+		}
+	})
+	t.Run("no web front end", func(t *testing.T) {
+		tr := &Traffic{f: &Fleet{serving: []*core.Node{{}}}}
+		tr.one(nil, 0)
+		if got := tr.requests.Load(); got != 1 {
+			t.Errorf("requests = %d, want 1", got)
+		}
+		if got := tr.failures.Load(); got != 1 {
+			t.Errorf("failures = %d, want 1", got)
+		}
+		if tr.firstErr == nil || !strings.Contains(tr.firstErr.Error(), "web front end") {
+			t.Errorf("firstErr = %v, want no-web-front-end error", tr.firstErr)
+		}
+	})
+}
+
+// failingTransport fails every round trip at the wire.
+type failingTransport struct{}
+
+func (failingTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return nil, errors.New("injected transport failure")
+}
+
+// TestServeBurstExcludesFailures: a burst whose requests fail must
+// report an error and must not fold the failed attempts into the served
+// count. Regression: ServeBurst used to return the raw request counter,
+// so a failing fleet still showed nonzero "throughput".
+func TestServeBurstExcludesFailures(t *testing.T) {
+	f := newTestFleet(t, 1)
+	f.webMu.Lock()
+	f.webShared = &http.Client{Transport: failingTransport{}}
+	f.webMu.Unlock()
+	_, served, err := f.ServeBurst(4, 64)
+	if err == nil {
+		t.Fatal("ServeBurst succeeded against a failing transport")
+	}
+	if served != 0 {
+		t.Errorf("served = %d, want 0 (failed attempts folded into throughput)", served)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -104,11 +105,20 @@ type Stats struct {
 	// Retries counts upstream attempts beyond each request's first.
 	Retries int64
 	// Ejected lists upstream addresses currently out of rotation
-	// because their attestation stopped verifying.
+	// because their attestation stopped verifying, sorted.
 	Ejected []string
 	// PolicyFlushes counts connection-pool flushes triggered by policy
 	// revision changes.
 	PolicyFlushes int64
+	// TruncatedResponses counts proxied responses aborted mid-body
+	// because the upstream copy failed after headers were sent.
+	TruncatedResponses int64
+	// PolicyEpoch is the gateway's monotone policy epoch: the sum of
+	// every per-source policy-revision increment observed so far.
+	PolicyEpoch uint64
+	// ViewVersion is the serving-view version the routing table last
+	// reconciled against.
+	ViewVersion uint64
 }
 
 // Gateway is the attested reverse proxy.
@@ -124,16 +134,23 @@ type Gateway struct {
 	// verifier; rebuilt on every view change (sync) rather than walked
 	// through the mux per request.
 	revs []attestation.Revisioned
+	// epoch accumulates per-source policy-revision *increments* into one
+	// monotone number (guarded by mu, with lastRevs tracking each
+	// source's high-water revision). Summing raw revisions is not enough:
+	// when a source deregisters the sum shrinks, and a later bump can
+	// land the sum back on its old value — silently skipping the
+	// fail-closed pool flush that bump demands.
+	epoch    uint64
+	lastRevs map[attestation.Revisioned]uint64
 
-	rr       atomic.Uint64
-	requests atomic.Int64
-	retries  atomic.Int64
-	flushes  atomic.Int64
+	rr        atomic.Uint64
+	requests  atomic.Int64
+	retries   atomic.Int64
+	flushes   atomic.Int64
+	truncated atomic.Int64
 
-	// policyRev is the last-seen sum of provider policy revisions; a
-	// change means some provider's policy moved and pooled connections
-	// may predate it.
-	policyRev atomic.Uint64
+	// flushedEpoch is the policy epoch the pools were last flushed at.
+	flushedEpoch atomic.Uint64
 
 	server   *http.Server
 	listener net.Listener
@@ -161,8 +178,9 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	tlsCfg := ratls.ProviderClientConfig(cfg.Verifier)
 	g := &Gateway{
-		cfg: cfg,
-		ups: make(map[string]*upstream),
+		cfg:      cfg,
+		ups:      make(map[string]*upstream),
+		lastRevs: make(map[attestation.Revisioned]uint64),
 		transport: &http.Transport{
 			TLSClientConfig:     tlsCfg,
 			TLSHandshakeTimeout: cfg.DialTimeout,
@@ -173,7 +191,9 @@ func New(cfg Config) (*Gateway, error) {
 		},
 	}
 	g.revs = revisionSources(cfg.Verifier)
-	g.policyRev.Store(g.currentPolicyRev())
+	g.mu.Lock()
+	g.flushedEpoch.Store(g.advanceEpochLocked())
+	g.mu.Unlock()
 	snap, release := cfg.Source.Acquire()
 	g.sync(snap)
 	release()
@@ -217,19 +237,26 @@ func revisionSources(v attestation.Verifier) []attestation.Revisioned {
 	return revs
 }
 
-// currentPolicyRev folds every cached provider policy revision into one
-// monotone number: revisions only increment, so any change moves the
-// sum. (The source list itself refreshes with the serving view; a
-// spurious flush when it grows is harmless.)
-func (g *Gateway) currentPolicyRev() uint64 {
-	g.mu.Lock()
-	revs := g.revs
-	g.mu.Unlock()
-	var total uint64
-	for _, rev := range revs {
-		total += rev.PolicyRevision()
+// advanceEpochLocked folds each source's current policy revision into
+// the monotone epoch: only per-source increases count, so the epoch
+// never goes backwards even as sources register and deregister. A
+// source seen for the first time contributes its full revision — a
+// spurious flush on discovery is harmless; a missed one is not.
+// Callers hold g.mu.
+func (g *Gateway) advanceEpochLocked() uint64 {
+	for _, rev := range g.revs {
+		cur := rev.PolicyRevision()
+		last, seen := g.lastRevs[rev]
+		switch {
+		case !seen:
+			g.epoch += cur
+			g.lastRevs[rev] = cur
+		case cur > last:
+			g.epoch += cur - last
+			g.lastRevs[rev] = cur
+		}
 	}
-	return total
+	return g.epoch
 }
 
 // checkPolicyEpoch flushes the upstream pools when any provider's
@@ -238,9 +265,11 @@ func (g *Gateway) currentPolicyRev() uint64 {
 // re-prove themselves under the new one. Ejections are cleared too —
 // the policy change may equally have reinstated a provider.
 func (g *Gateway) checkPolicyEpoch() {
-	rev := g.currentPolicyRev()
-	old := g.policyRev.Load()
-	if rev == old || !g.policyRev.CompareAndSwap(old, rev) {
+	g.mu.Lock()
+	epoch := g.advanceEpochLocked()
+	g.mu.Unlock()
+	old := g.flushedEpoch.Load()
+	if epoch == old || !g.flushedEpoch.CompareAndSwap(old, epoch) {
 		return
 	}
 	g.flushes.Add(1)
@@ -266,8 +295,18 @@ func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 	g.version = snap.Version
 	// Refresh the revision sources alongside the view: providers are
 	// attached before their nodes join, so a membership change is the
-	// natural moment to notice them.
+	// natural moment to notice them. Prune the high-water map to the
+	// live sources; the epoch itself keeps whatever they contributed.
 	g.revs = revisionSources(g.cfg.Verifier)
+	live := make(map[attestation.Revisioned]bool, len(g.revs))
+	for _, rev := range g.revs {
+		live[rev] = true
+	}
+	for rev := range g.lastRevs {
+		if !live[rev] {
+			delete(g.lastRevs, rev)
+		}
+	}
 	keep := make(map[string]*upstream, len(snap.Endpoints))
 	for _, ep := range snap.Endpoints {
 		if ep.UpstreamAddr == "" {
@@ -408,7 +447,15 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		w.WriteHeader(resp.StatusCode)
-		_, _ = io.Copy(w, resp.Body)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			// Headers and part of the body are already on the wire, so
+			// the truncation cannot be turned into an error response.
+			// Abort the downstream connection instead of letting the
+			// server close out the encoding as if the body were complete
+			// — a silently truncated 200 is worse than a torn connection.
+			g.truncated.Add(1)
+			panic(http.ErrAbortHandler)
+		}
 		return
 	}
 	if lastErr == nil {
@@ -435,11 +482,12 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request) (*http.R
 		}
 		outreq.Body = body
 	}
+	// The gateway terminates TLS for outside clients, so it is the trust
+	// boundary: any X-Forwarded-For the client sent is attacker-
+	// controlled and must not reach the nodes, where it would read as an
+	// upstream proxy's word on the client address. Replace, never append.
+	outreq.Header.Del("X-Forwarded-For")
 	if clientIP, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-		prior := outreq.Header.Get("X-Forwarded-For")
-		if prior != "" {
-			clientIP = prior + ", " + clientIP
-		}
 		outreq.Header.Set("X-Forwarded-For", clientIP)
 	}
 
@@ -500,17 +548,21 @@ func (g *Gateway) Addr() string {
 // Stats reports the data plane's counters and current ejections.
 func (g *Gateway) Stats() Stats {
 	s := Stats{
-		Requests:      g.requests.Load(),
-		Retries:       g.retries.Load(),
-		PolicyFlushes: g.flushes.Load(),
+		Requests:           g.requests.Load(),
+		Retries:            g.retries.Load(),
+		PolicyFlushes:      g.flushes.Load(),
+		TruncatedResponses: g.truncated.Load(),
 	}
 	g.mu.Lock()
+	s.PolicyEpoch = g.epoch
+	s.ViewVersion = g.version
 	for addr, up := range g.ups {
 		if up.ejected.Load() {
 			s.Ejected = append(s.Ejected, addr)
 		}
 	}
 	g.mu.Unlock()
+	sort.Strings(s.Ejected)
 	return s
 }
 

@@ -2,7 +2,8 @@
 // clients, standing in for the paper's testbed network (wireless client,
 // WAN path to the AMD KDS). The client-side experiments of Table 3 need a
 // stable, configurable base latency; netlab provides it without leaving
-// the process.
+// the process. The live fault seams — SetOutage, SetRTT, Partition,
+// SetLoss — are what the chaos scheduler flips mid-traffic.
 package netlab
 
 import (
@@ -28,11 +29,27 @@ type Transport struct {
 
 	// outage, when set, fails every request — the switchable whole-service
 	// blackout (a KDS outage) as against Fail's per-request predicate.
-	outage   atomic.Pointer[outageState]
-	requests atomic.Int64
+	outage atomic.Pointer[outageState]
+	// partition, when set, fails requests to a named set of hosts — the
+	// per-link half of SetOutage's whole-service blackout.
+	partition atomic.Pointer[partitionState]
+	// rttOverride, when set, replaces RTT — the flappable latency knob.
+	rttOverride atomic.Pointer[time.Duration]
+	// lossEvery > 0 drops every lossEvery-th request (counted by
+	// lossCount) — deterministic loss, no RNG in the data path.
+	lossEvery atomic.Int64
+	lossCount atomic.Int64
+	requests  atomic.Int64
 }
 
 type outageState struct{ err error }
+
+// partitionState names the hosts cut off and the error their requests
+// fail with.
+type partitionState struct {
+	err   error
+	hosts map[string]bool
+}
 
 var _ http.RoundTripper = (*Transport)(nil)
 
@@ -47,18 +64,57 @@ func (t *Transport) SetOutage(err error) {
 	t.outage.Store(&outageState{err: err})
 }
 
+// Partition cuts the link to the given hosts (host:port, as dialed):
+// every request to them fails with err until HealPartition. Unlike Fail
+// it is safe to flip while requests are in flight — it is the chaos
+// scheduler's per-link fault, where SetOutage is the whole-service one.
+func (t *Transport) Partition(err error, hosts ...string) {
+	set := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		set[h] = true
+	}
+	t.partition.Store(&partitionState{err: err, hosts: set})
+}
+
+// HealPartition restores every partitioned link.
+func (t *Transport) HealPartition() { t.partition.Store(nil) }
+
+// SetRTT overrides the base RTT until ClearRTT — the latency-flap seam,
+// safe to flip while requests are in flight (the RTT field itself is
+// read-only after the transport is shared).
+func (t *Transport) SetRTT(d time.Duration) { t.rttOverride.Store(&d) }
+
+// ClearRTT removes the SetRTT override, restoring the base RTT.
+func (t *Transport) ClearRTT() { t.rttOverride.Store(nil) }
+
+// SetLoss drops every n-th request (n <= 0 disables). Loss is counted,
+// not sampled, so a schedule that injects loss is exactly reproducible:
+// the i-th request through the transport either always or never fails
+// for a given interleaving.
+func (t *Transport) SetLoss(n int) { t.lossEvery.Store(int64(n)) }
+
 // RoundTrip implements http.RoundTripper.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if o := t.outage.Load(); o != nil {
 		return nil, fmt.Errorf("netlab: injected outage: %w", o.err)
+	}
+	if p := t.partition.Load(); p != nil && p.hosts[req.URL.Host] {
+		return nil, fmt.Errorf("netlab: partitioned link to %s: %w", req.URL.Host, p.err)
+	}
+	if n := t.lossEvery.Load(); n > 0 && t.lossCount.Add(1)%n == 0 {
+		return nil, fmt.Errorf("netlab: injected loss (every %d)", n)
 	}
 	if t.Fail != nil {
 		if err := t.Fail(req); err != nil {
 			return nil, fmt.Errorf("netlab: injected failure: %w", err)
 		}
 	}
-	if t.RTT > 0 {
-		time.Sleep(t.RTT)
+	rtt := t.RTT
+	if o := t.rttOverride.Load(); o != nil {
+		rtt = *o
+	}
+	if rtt > 0 {
+		time.Sleep(rtt)
 	}
 	t.requests.Add(1)
 	inner := t.Inner

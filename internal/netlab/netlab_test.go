@@ -97,6 +97,106 @@ func TestOutageInjectionAndRecovery(t *testing.T) {
 	}
 }
 
+// TestPartitionIsPerLink: a partition cuts only the named hosts; other
+// links keep working, and healing restores the cut one.
+func TestPartitionIsPerLink(t *testing.T) {
+	newServer := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))
+	}
+	a, b := newServer(), newServer()
+	defer a.Close()
+	defer b.Close()
+
+	tr := &Transport{}
+	client := &http.Client{Transport: tr}
+	get := func(url string) error {
+		resp, err := client.Get(url)
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+		return err
+	}
+
+	cut := errors.New("link down")
+	tr.Partition(cut, a.Listener.Addr().String())
+	if err := get(a.URL); err == nil || !errors.Is(err, cut) {
+		t.Errorf("partitioned link err = %v, want wrapped %v", err, cut)
+	}
+	if err := get(b.URL); err != nil {
+		t.Errorf("unpartitioned link failed: %v", err)
+	}
+	tr.HealPartition()
+	if err := get(a.URL); err != nil {
+		t.Errorf("after heal: %v", err)
+	}
+}
+
+// TestRTTOverrideFlap: SetRTT replaces the base latency mid-flight and
+// ClearRTT restores it.
+func TestRTTOverrideFlap(t *testing.T) {
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer server.Close()
+
+	tr := &Transport{}
+	client := &http.Client{Transport: tr}
+	get := func() time.Duration {
+		start := time.Now()
+		resp, err := client.Get(server.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		return time.Since(start)
+	}
+
+	const flap = 20 * time.Millisecond
+	tr.SetRTT(flap)
+	if elapsed := get(); elapsed < flap {
+		t.Errorf("flapped request took %v, want >= %v", elapsed, flap)
+	}
+	tr.ClearRTT()
+	if elapsed := get(); elapsed >= flap {
+		t.Errorf("cleared request took %v, want < %v", elapsed, flap)
+	}
+}
+
+// TestDeterministicLoss: SetLoss(n) drops exactly every n-th request —
+// counted, not sampled, so the pattern is reproducible.
+func TestDeterministicLoss(t *testing.T) {
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer server.Close()
+
+	tr := &Transport{}
+	client := &http.Client{Transport: tr}
+	tr.SetLoss(3)
+	var failed []int
+	for i := 1; i <= 9; i++ {
+		resp, err := client.Get(server.URL)
+		if err != nil {
+			failed = append(failed, i)
+			continue
+		}
+		_ = resp.Body.Close()
+	}
+	if len(failed) != 3 || failed[0] != 3 || failed[1] != 6 || failed[2] != 9 {
+		t.Errorf("lost requests %v, want [3 6 9]", failed)
+	}
+	tr.SetLoss(0)
+	for i := 0; i < 4; i++ {
+		resp, err := client.Get(server.URL)
+		if err != nil {
+			t.Fatalf("request %d failed after loss disabled: %v", i, err)
+		}
+		_ = resp.Body.Close()
+	}
+}
+
 func TestCloseIdleConnectionsDelegates(t *testing.T) {
 	inner := &countingCloser{RoundTripper: http.DefaultTransport}
 	tr := &Transport{Inner: inner}
