@@ -16,6 +16,7 @@
 //	                              # (repeatable; files are merged per table)
 //	revelio-bench -chaos          # seeded chaos sweep (20 seeds by default)
 //	revelio-bench -chaos.seed 7   # replay exactly one chaos seed
+//	revelio-bench -chaos -chaos.gray       # graceful-degradation fault mix
 //	revelio-bench -chaos -chaos.out FILE   # persist every schedule (CI artifact)
 //
 // A failing chaos seed prints the violated invariant plus the full fault
@@ -106,6 +107,7 @@ func run(args []string, stdout io.Writer) error {
 	chaosNodes := fs.Int("chaos.nodes", 2, "initial fleet size per chaos run")
 	chaosEvents := fs.Int("chaos.events", 8, "scheduled faults per chaos run")
 	chaosHeavy := fs.Bool("chaos.heavy", false, "include rollout-class chaos faults (nightly profile)")
+	chaosGray := fs.Bool("chaos.gray", false, "include graceful-degradation chaos faults (gray failures, overload storms, slow drip)")
 	chaosOut := fs.String("chaos.out", "", "write every executed chaos schedule to this file")
 	chaosVerbose := fs.Bool("chaos.v", false, "log every injected chaos fault as it runs")
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +121,7 @@ func run(args []string, stdout io.Writer) error {
 			nodes:   *chaosNodes,
 			events:  *chaosEvents,
 			heavy:   *chaosHeavy,
+			gray:    *chaosGray,
 			out:     *chaosOut,
 			verbose: *chaosVerbose,
 			json:    *jsonOut,
@@ -235,9 +238,12 @@ func run(args []string, stdout io.Writer) error {
 		cfg := bench.DefaultTable6Config()
 		if *quick {
 			cfg = bench.Table6Config{
-				NodeCounts: []int{1, 2, 4, 8},
-				Clients:    []int{32},
-				Requests:   512,
+				NodeCounts:          []int{1, 2, 4, 8},
+				Clients:             []int{32},
+				Requests:            512,
+				OverloadClients:     32,
+				OverloadMaxInFlight: 8,
+				OverloadRequests:    256,
 			}
 		}
 		res, err := bench.RunGatewayThroughput(cfg)
@@ -312,6 +318,7 @@ type chaosFlags struct {
 	nodes   int
 	events  int
 	heavy   bool
+	gray    bool
 	out     string
 	verbose bool
 	json    bool
@@ -326,6 +333,7 @@ func runChaos(stdout io.Writer, f chaosFlags) error {
 	cfg.Nodes = f.nodes
 	cfg.Events = f.events
 	cfg.Heavy = f.heavy
+	cfg.Gray = f.gray
 	if f.seed != 0 {
 		cfg.FirstSeed, cfg.Seeds = f.seed, 1
 	}
@@ -412,6 +420,10 @@ func compareBaseline(current map[string]any, base map[string]any, tol float64) (
 		// compared strictly.
 		if cv, ok := c["churn_failures"].(float64); ok && cv != 0 {
 			fail("table6: %.0f requests failed through the gateway during churn", cv)
+		}
+		// So is graceful degradation: overload must shed, not starve.
+		if cv, ok := c["overload_served"].(float64); ok && cv == 0 {
+			fail("table6: zero goodput under overload")
 		}
 	}
 	return regressions, nil

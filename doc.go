@@ -28,7 +28,10 @@
 //	revelio/gateway              — the attested gateway data plane: a
 //	                               TLS-terminating reverse proxy whose
 //	                               RA-TLS upstreams balance across every
-//	                               attested node (Service.ServeGateway)
+//	                               attested node (Service.ServeGateway),
+//	                               with circuit breakers, retry budgets,
+//	                               deadline propagation, and load
+//	                               shedding (Config.Resilience)
 //	revelio/webclient            — the end-user browser + web extension
 //	revelio/apps/...             — the paper's use cases (cryptpad,
 //	                               boundary, ic)
@@ -71,18 +74,24 @@
 // by the fleet lifecycle engine (see DESIGN.md's "Fleet lifecycle").
 // Table 6 measures the attested gateway data plane: aggregate req/s
 // through the gateway vs direct-to-leader over fleet size × client
-// concurrency, plus zero failed requests while nodes are replaced
-// behind the proxy (see DESIGN.md's "Attested gateway").
+// concurrency, zero failed requests while nodes are replaced behind
+// the proxy, and the overload cell — far more clients than the
+// admission bound, where every response must be a success or a
+// deliberate shed (see DESIGN.md's "Attested gateway" and "Resilience
+// layer").
 // revelio-bench -json emits every result as one machine-readable JSON
 // document for tracking across revisions, and -baseline (repeatable;
 // files merge per experiment) regresses a run against stored documents.
 // The chaos sweep (revelio-bench -chaos, bench.RunChaos) is not a
 // benchmark but a property check: seeded, deterministic fault schedules
 // — churn, KDS outages and partitions, policy storms, crashes mid-join
-// and mid-rollout, cert-expiry waves — run against a live fleet serving
-// attested-TLS traffic through the gateway, asserting zero failed
-// requests outside fault windows, fail-closed verification, gateway
-// coherence, and leak-free teardown; a failing seed prints its full
-// schedule and -chaos.seed=N replays it byte for byte (see DESIGN.md's
-// "Chaos harness").
+// and mid-rollout, cert-expiry waves, and (with -chaos.gray) stalled-
+// node gray failures, overload storms, and slow-drip bodies — run
+// against a live fleet serving attested-TLS traffic through the
+// gateway, asserting zero failed requests outside fault windows,
+// fail-closed verification, gateway coherence, graceful degradation
+// (breaker-open nodes see probes only, retry amplification stays under
+// budget, admitted requests meet their deadlines), and leak-free
+// teardown; a failing seed prints its full schedule and -chaos.seed=N
+// replays it byte for byte (see DESIGN.md's "Chaos harness").
 package revelio

@@ -19,6 +19,13 @@
 // tie-breaking; fleet churn drains through the gateway (zero failed
 // requests), and a policy-revision bump flushes the upstream pools so
 // revocations bite on the very next handshake.
+//
+// Degradation under failure and overload is governed by Config's
+// Resilience knobs: per-upstream circuit breakers (with active attested
+// health probes re-admitting recovered nodes), a fixed retry budget
+// with jittered backoff, per-attempt deadlines carved from the request
+// deadline (propagated via DeadlineHeader), and bounded-in-flight
+// admission that sheds overload with 503 + Retry-After.
 package gateway
 
 import (
@@ -36,6 +43,9 @@ type (
 	Source = igateway.Source
 	// Stats is a point-in-time picture of the data plane.
 	Stats = igateway.Stats
+	// Resilience tunes circuit breaking, retry budgets, deadline
+	// propagation, and load shedding (zero value = all defaults).
+	Resilience = igateway.Resilience
 	// View is a standalone publishable serving view with the same drain
 	// semantics as the fleet engine's.
 	View = igateway.View
@@ -53,6 +63,17 @@ const (
 	StateJoining  = fleet.StateJoining
 	StateServing  = fleet.StateServing
 	StateDraining = fleet.StateDraining
+)
+
+const (
+	// DeadlineHeader carries a request's remaining deadline budget in
+	// integer milliseconds: clients set it to bound the proxied request;
+	// the gateway rewrites it per attempt with that attempt's carved
+	// budget.
+	DeadlineHeader = igateway.DeadlineHeader
+	// HealthPath is the node health endpoint active breaker probes hit
+	// over RA-TLS.
+	HealthPath = fleet.HealthPath
 )
 
 var (

@@ -230,12 +230,15 @@ func TestRunTable5(t *testing.T) {
 
 func TestRunTable6(t *testing.T) {
 	cfg := Table6Config{
-		NodeCounts:   []int{1, 4},
-		Clients:      []int{16},
-		Requests:     512,
-		ServiceTime:  time.Millisecond,
-		ChurnNodes:   2,
-		ChurnClients: 4,
+		NodeCounts:          []int{1, 4},
+		Clients:             []int{16},
+		Requests:            512,
+		ServiceTime:         time.Millisecond,
+		ChurnNodes:          2,
+		ChurnClients:        4,
+		OverloadClients:     16,
+		OverloadMaxInFlight: 4,
+		OverloadRequests:    96,
 	}
 	res, err := RunGatewayThroughput(cfg)
 	if err != nil {
@@ -261,8 +264,20 @@ func TestRunTable6(t *testing.T) {
 	if res.ChurnFailures != 0 || res.ChurnRequests == 0 {
 		t.Errorf("churn: %d failures over %d requests", res.ChurnFailures, res.ChurnRequests)
 	}
+	// Overload: a populated result implies zero outright failures (they
+	// abort the run); the bound must actually bite, and goodput survive.
+	if res.OverloadServed == 0 {
+		t.Error("overload: zero requests served")
+	}
+	if res.OverloadShed == 0 {
+		t.Errorf("overload: %d clients vs admission bound %d shed nothing",
+			cfg.OverloadClients, cfg.OverloadMaxInFlight)
+	}
+	if res.OverloadShedRate <= 0 || res.OverloadShedRate >= 1 {
+		t.Errorf("overload: shed rate %.2f outside (0,1)", res.OverloadShedRate)
+	}
 	out := res.Render()
-	for _, want := range []string{"Table 6", "Gateway(req/s)", "Direct(req/s)", "Churn:"} {
+	for _, want := range []string{"Table 6", "Gateway(req/s)", "Direct(req/s)", "Churn:", "Overload:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render lacks %q", want)
 		}

@@ -25,6 +25,10 @@ type ChaosConfig struct {
 	// Heavy includes the rollout-class faults (full and crashed rolling
 	// upgrades).
 	Heavy bool `json:"heavy"`
+	// Gray includes the graceful-degradation faults (stalled-node gray
+	// failures, overload storms, slow-drip bodies) with the tightened
+	// breaker/probe/admission knobs of the gray profile.
+	Gray bool `json:"gray"`
 	// Log, when set, receives per-event progress lines.
 	Log func(format string, args ...any) `json:"-"`
 }
@@ -39,15 +43,23 @@ func DefaultChaosConfig() ChaosConfig {
 // fault plan; Failure, when non-empty, carries the violated invariant
 // plus the replay instructions.
 type ChaosRun struct {
-	Seed             int64  `json:"seed"`
-	Events           int    `json:"events"`
-	Requests         int64  `json:"requests"`
-	WindowedFailures int64  `json:"windowed_failures"`
-	Violations       int64  `json:"violations"`
-	PolicyFlushes    int64  `json:"policy_flushes"`
-	GoroutineDelta   int    `json:"goroutine_delta"`
-	Schedule         string `json:"schedule"`
-	Failure          string `json:"failure,omitempty"`
+	Seed             int64 `json:"seed"`
+	Events           int   `json:"events"`
+	Requests         int64 `json:"requests"`
+	WindowedFailures int64 `json:"windowed_failures"`
+	Violations       int64 `json:"violations"`
+	// Shedded counts requests deliberately refused with 503 + Retry-After
+	// under overload — graceful degradation, not failures.
+	Shedded       int64 `json:"shedded"`
+	PolicyFlushes int64 `json:"policy_flushes"`
+	// BreakerOpens / ProbeSuccesses / ProbeFailures count circuit-breaker
+	// trips and the active health probes that resolve them.
+	BreakerOpens   int64  `json:"breaker_opens"`
+	ProbeSuccesses int64  `json:"probe_successes"`
+	ProbeFailures  int64  `json:"probe_failures"`
+	GoroutineDelta int    `json:"goroutine_delta"`
+	Schedule       string `json:"schedule"`
+	Failure        string `json:"failure,omitempty"`
 }
 
 // ChaosResult aggregates a sweep. FailedSeeds is the replay list: every
@@ -78,6 +90,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			Events:  cfg.Events,
 			Clients: cfg.Clients,
 			Heavy:   cfg.Heavy,
+			Gray:    cfg.Gray,
 			Log:     cfg.Log,
 		})
 		row := ChaosRun{
@@ -86,7 +99,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			Requests:         one.Requests,
 			WindowedFailures: one.WindowedFailures,
 			Violations:       one.Violations,
+			Shedded:          one.Shedded,
 			PolicyFlushes:    one.PolicyFlushes,
+			BreakerOpens:     one.BreakerOpens,
+			ProbeSuccesses:   one.ProbeSuccesses,
+			ProbeFailures:    one.ProbeFailures,
 			GoroutineDelta:   one.GoroutineDelta,
 			Schedule:         one.Schedule,
 		}
@@ -108,19 +125,25 @@ func (r *ChaosResult) Render() string {
 		if row.Failure != "" {
 			verdict = "FAIL"
 		}
+		shedRate := "0%"
+		if total := row.Requests; total > 0 {
+			shedRate = fmt.Sprintf("%.0f%%", float64(row.Shedded)/float64(total)*100)
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", row.Seed),
 			fmt.Sprintf("%d", row.Events),
 			fmt.Sprintf("%d", row.Requests),
 			fmt.Sprintf("%d", row.WindowedFailures),
 			fmt.Sprintf("%d", row.Violations),
+			fmt.Sprintf("%d (%s)", row.Shedded, shedRate),
 			fmt.Sprintf("%d", row.PolicyFlushes),
+			fmt.Sprintf("%d", row.BreakerOpens),
 			fmt.Sprintf("%d", row.GoroutineDelta),
 			verdict,
 		})
 	}
 	out := "Chaos: seeded fault schedules against the attested data plane\n" +
-		table([]string{"Seed", "Events", "Requests", "Windowed", "Violations", "Flushes", "GoroutineΔ", "Verdict"}, rows)
+		table([]string{"Seed", "Events", "Requests", "Windowed", "Violations", "Shed(rate)", "Flushes", "Breakers", "GoroutineΔ", "Verdict"}, rows)
 	if len(r.FailedSeeds) == 0 {
 		out += fmt.Sprintf("All %d seeds passed (zero violations, clean teardown)\n", len(r.Rows))
 		return out

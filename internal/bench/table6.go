@@ -45,6 +45,15 @@ type Table6Config struct {
 	ChurnNodes    int
 	ChurnReplaces int
 	ChurnClients  int
+	// OverloadClients/OverloadMaxInFlight/OverloadRequests shape the
+	// overload scenario: OverloadClients concurrent clients push
+	// OverloadRequests total requests at a two-node fleet whose gateway
+	// admits at most OverloadMaxInFlight in flight. Every response must
+	// be a success or a deliberate shed (503 + Retry-After) — an outright
+	// failure fails the experiment.
+	OverloadClients     int
+	OverloadMaxInFlight int
+	OverloadRequests    int
 }
 
 // DefaultTable6Config sweeps to the paper-scale 64-node fleet.
@@ -81,6 +90,15 @@ func (c Table6Config) withDefaults() Table6Config {
 	if c.ChurnClients <= 0 {
 		c.ChurnClients = 8
 	}
+	if c.OverloadClients <= 0 {
+		c.OverloadClients = 64
+	}
+	if c.OverloadMaxInFlight <= 0 {
+		c.OverloadMaxInFlight = 16
+	}
+	if c.OverloadRequests <= 0 {
+		c.OverloadRequests = 512
+	}
 	return c
 }
 
@@ -113,6 +131,17 @@ type Table6Result struct {
 	ChurnFailures int64         `json:"churn_failures"`
 	ChurnElapsed  time.Duration `json:"churn_elapsed_ns"`
 	ChurnPerSec   float64       `json:"requests_per_sec_churn"`
+	// Overload: OverloadClients concurrent clients against a gateway
+	// admitting OverloadMaxInFlight; Served completed 200, Shed were
+	// refused with 503 + Retry-After (ShedRate = Shed / total). Outright
+	// failures abort the experiment, so a populated result implies zero.
+	OverloadClients     int           `json:"overload_clients"`
+	OverloadMaxInFlight int           `json:"overload_max_in_flight"`
+	OverloadServed      int64         `json:"overload_served"`
+	OverloadShed        int64         `json:"overload_shed"`
+	OverloadShedRate    float64       `json:"overload_shed_rate"`
+	OverloadElapsed     time.Duration `json:"overload_elapsed_ns"`
+	OverloadGoodput     float64       `json:"overload_goodput_per_sec"`
 }
 
 // boundedApp builds the per-node capacity-limited handler.
@@ -211,6 +240,9 @@ func RunGatewayThroughput(cfg Table6Config) (*Table6Result, error) {
 	}
 	if err := table6Churn(ctx, cfg, res); err != nil {
 		return nil, fmt.Errorf("bench: table6 churn: %w", err)
+	}
+	if err := table6Overload(ctx, cfg, res); err != nil {
+		return nil, fmt.Errorf("bench: table6 overload: %w", err)
 	}
 	return res, nil
 }
@@ -376,6 +408,125 @@ func table6Churn(ctx context.Context, cfg Table6Config, res *Table6Result) error
 	return nil
 }
 
+// overloadServiceTime is the per-request application work in the
+// overload scenario — long enough that admitted work holds its slot and
+// excess arrivals must be shed rather than absorbed.
+const overloadServiceTime = 20 * time.Millisecond
+
+// table6Overload measures graceful degradation under deliberate
+// overload: far more concurrent clients than the gateway's admission
+// bound. The invariant is the shape of the refusals — every response is
+// either a served 200 or a deliberate shed (503 + Retry-After), never
+// an outright failure — and goodput stays positive throughout.
+func table6Overload(ctx context.Context, cfg Table6Config, res *Table6Result) error {
+	f, err := fleet.New(ctx, fleet.Config{
+		Nodes:  2,
+		Domain: "table6.example.org",
+		App:    boundedApp(cfg.OverloadMaxInFlight, overloadServiceTime),
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gw, err := gateway.New(gateway.Config{
+		Source:         f,
+		Verifier:       f.Mux(),
+		GetCertificate: f.ServingCertificate,
+		Resilience:     gateway.Resilience{MaxInFlight: cfg.OverloadMaxInFlight},
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	if err := gw.Start(); err != nil {
+		return err
+	}
+
+	client := table6Client(f.Deployment().CARootPool(), "table6.example.org")
+	defer client.CloseIdleConnections()
+	url := "https://" + gw.Addr() + "/"
+
+	perClient := cfg.OverloadRequests / cfg.OverloadClients
+	if perClient == 0 {
+		perClient = 1
+	}
+	var (
+		served, shed atomic.Int64
+		mu           sync.Mutex
+		firstErr     error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// One untimed warm-up round per client (TLS handshakes are
+	// connection costs; sheds during warm-up are fine), then the timed
+	// classified burst.
+	rounds := []bool{false, true}
+	var start time.Time
+	for _, timed := range rounds {
+		if timed {
+			start = time.Now()
+		}
+		n := 1
+		if timed {
+			n = perClient
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < cfg.OverloadClients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					resp, err := client.Get(url)
+					if err != nil {
+						fail(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+					if !timed {
+						continue
+					}
+					switch {
+					case resp.StatusCode == http.StatusOK:
+						served.Add(1)
+					case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+						shed.Add(1)
+					default:
+						fail(fmt.Errorf("status %d", resp.StatusCode))
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	if firstErr != nil {
+		return fmt.Errorf("request failed outright under overload (want 200 or shed): %w", firstErr)
+	}
+	if served.Load() == 0 {
+		return fmt.Errorf("zero goodput under overload: shedding must degrade service, not black it out")
+	}
+	res.OverloadClients = cfg.OverloadClients
+	res.OverloadMaxInFlight = cfg.OverloadMaxInFlight
+	res.OverloadServed = served.Load()
+	res.OverloadShed = shed.Load()
+	if total := served.Load() + shed.Load(); total > 0 {
+		res.OverloadShedRate = float64(shed.Load()) / float64(total)
+	}
+	res.OverloadElapsed = elapsed
+	if elapsed > 0 {
+		res.OverloadGoodput = float64(served.Load()) / elapsed.Seconds()
+	}
+	return nil
+}
+
 // Render prints the table in the paper's layout.
 func (r *Table6Result) Render() string {
 	rows := make([][]string, 0, len(r.Rows))
@@ -393,5 +544,9 @@ func (r *Table6Result) Render() string {
 	out += fmt.Sprintf(
 		"Churn: %d nodes, %d replacements under load: %d requests at %.1f req/s, %d failed\n",
 		r.ChurnNodes, r.ChurnReplaces, r.ChurnRequests, r.ChurnPerSec, r.ChurnFailures)
+	out += fmt.Sprintf(
+		"Overload: %d clients vs admission bound %d: %d served, %d shed (%.0f%% shed rate), 0 failed, goodput %.1f req/s\n",
+		r.OverloadClients, r.OverloadMaxInFlight, r.OverloadServed, r.OverloadShed,
+		r.OverloadShedRate*100, r.OverloadGoodput)
 	return out
 }

@@ -17,6 +17,14 @@
 //     always reaches the pools.
 //  4. Clean teardown: no goroutine leaks after the run.
 //
+// Gray profiles (Config.Gray) add the graceful-degradation faults —
+// stalled-node gray failures, overload storms, slow-drip KDS bodies —
+// and three more invariants: a breaker-open node receives probes only
+// (no client traffic), retry amplification never exceeds the configured
+// budget, and every admitted request is answered within its propagated
+// deadline (overload is shed with 503 + Retry-After, never admitted and
+// then timed out).
+//
 // A failing run's error carries the seed and the full schedule;
 // re-running with the same Config reproduces the schedule byte for
 // byte (`revelio-bench -chaos -chaos.seed=N`, or `go test
@@ -27,9 +35,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +54,15 @@ const chaosDomain = "chaos.example.org"
 // goroutineSlack tolerates lazily started process-wide singletons
 // (resolver, timer, pool reapers) that outlive a single run.
 const goroutineSlack = 10
+
+// Gray-profile resilience knobs. The retry budget matches the gateway
+// default so the amplification invariant (Retries <= Requests*(budget-1))
+// holds for gray and plain profiles alike; the breaker and probe timings
+// are tightened so trips and re-admissions happen within a run.
+const (
+	chaosRetryBudget = 3
+	chaosMaxInFlight = 16
+)
 
 // errInjected marks faults the scheduler itself injected.
 var errInjected = errors.New("chaos: injected fault")
@@ -63,6 +82,11 @@ type Config struct {
 	// Heavy includes the rollout-class faults (full and crashed rolling
 	// upgrades) — the nightly profile.
 	Heavy bool
+	// Gray includes the graceful-degradation faults (stalled-node gray
+	// failures, overload storms, slow-drip bodies) and tightens the
+	// gateway's resilience knobs so breakers trip and recover within the
+	// run. Off by default so pre-existing seeds replay unchanged.
+	Gray bool
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -97,12 +121,47 @@ type Result struct {
 	WindowedFailures int64 `json:"windowed_failures"`
 	// Violations failed with no fault window open; any nonzero count
 	// fails the run.
-	Violations         int64 `json:"violations"`
+	Violations int64 `json:"violations"`
+	// Shedded requests were deliberately refused with 503 + Retry-After
+	// under overload — graceful degradation, not failures.
+	Shedded            int64 `json:"shedded"`
 	PolicyFlushes      int64 `json:"policy_flushes"`
 	TruncatedResponses int64 `json:"truncated_responses"`
+	// BreakerOpens counts circuit-breaker trips across the run;
+	// ProbeSuccesses and ProbeFailures count the active health probes
+	// that re-admit (or keep out) tripped upstreams.
+	BreakerOpens   int64 `json:"breaker_opens"`
+	ProbeSuccesses int64 `json:"probe_successes"`
+	ProbeFailures  int64 `json:"probe_failures"`
 	// GoroutineDelta is the post-teardown goroutine count minus the
 	// pre-run baseline.
 	GoroutineDelta int `json:"goroutine_delta"`
+}
+
+// nodeApp is the per-node application the chaos fleet serves: a plain
+// "ok" responder with two fault seams the gray ops flip — a stall
+// switch (connection completes, response never comes) and a
+// per-request delay for overload storms. It is the node's catch-all
+// handler, so a stalled app stalls its health probes too: re-admission
+// genuinely requires the application to answer again.
+type nodeApp struct {
+	stalled atomic.Bool
+	delay   atomic.Int64 // per-request service time, nanoseconds
+	hits    atomic.Int64 // non-probe requests reaching the app
+}
+
+func (a *nodeApp) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != fleet.HealthPath {
+		a.hits.Add(1)
+	}
+	if a.stalled.Load() {
+		<-r.Context().Done()
+		return
+	}
+	if d := a.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	_, _ = w.Write([]byte("ok"))
 }
 
 // run is the live harness: fleet + gateway + traffic.
@@ -112,25 +171,64 @@ type run struct {
 	gw      *gateway.Gateway
 	tr      *traffic
 	rollVer int
+
+	appMu sync.Mutex
+	apps  map[string]*nodeApp // keyed by node ControlURL
+}
+
+// app returns the application serving the node at ctl, nil if unknown.
+func (r *run) app(ctl string) *nodeApp {
+	r.appMu.Lock()
+	defer r.appMu.Unlock()
+	return r.apps[ctl]
+}
+
+// appList snapshots every registered application (including ones whose
+// node has since departed — flipping their seams is harmless).
+func (r *run) appList() []*nodeApp {
+	r.appMu.Lock()
+	defer r.appMu.Unlock()
+	out := make([]*nodeApp, 0, len(r.apps))
+	for _, a := range r.apps {
+		out = append(out, a)
+	}
+	return out
 }
 
 func newRun(ctx context.Context, cfg Config) (*run, error) {
+	r := &run{cfg: cfg, apps: make(map[string]*nodeApp)}
 	f, err := fleet.New(ctx, fleet.Config{
 		Nodes:  cfg.Nodes,
 		Domain: chaosDomain,
-		App: func(*core.Node) http.Handler {
-			return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-				_, _ = w.Write([]byte("ok"))
-			})
+		App: func(n *core.Node) http.Handler {
+			a := &nodeApp{}
+			r.appMu.Lock()
+			r.apps[n.ControlURL()] = a
+			r.appMu.Unlock()
+			return a
 		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
+	var res gateway.Resilience
+	if cfg.Gray {
+		res = gateway.Resilience{
+			RetryBudget:     chaosRetryBudget,
+			PerTryTimeout:   500 * time.Millisecond,
+			BackoffBase:     2 * time.Millisecond,
+			BackoffMax:      20 * time.Millisecond,
+			BreakerFailures: 3,
+			BreakerOpenFor:  200 * time.Millisecond,
+			ProbeInterval:   50 * time.Millisecond,
+			MaxInFlight:     chaosMaxInFlight,
+		}
+	}
 	gw, err := gateway.New(gateway.Config{
 		Source:         f,
 		Verifier:       f.Mux(),
 		GetCertificate: f.ServingCertificate,
+		Resilience:     res,
 	})
 	if err != nil {
 		f.Close()
@@ -141,13 +239,13 @@ func newRun(ctx context.Context, cfg Config) (*run, error) {
 		f.Close()
 		return nil, fmt.Errorf("gateway start: %w", err)
 	}
-	r := &run{cfg: cfg, f: f, gw: gw}
+	r.f, r.gw = f, gw
 	r.tr = startTraffic("https://"+gw.Addr()+"/", f.Deployment().CARootPool(), chaosDomain, cfg.Clients)
 	return r, nil
 }
 
 func (r *run) teardown() {
-	_, _, _, _ = r.tr.halt()
+	_, _, _, _, _ = r.tr.halt()
 	r.gw.Close()
 	r.f.Close()
 }
@@ -206,12 +304,34 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		r.teardown()
 		return res, fail(finalStep, "final-eject", fmt.Errorf("ejections survived reconciliation: %v", s.Ejected))
 	}
+	// With every fault healed, open breakers must drain: the active
+	// probes re-admit each node, leaving no upstream out of rotation.
+	if err := r.waitGateway(10*time.Second, func(s gateway.Stats) bool {
+		return len(s.BreakerOpen) == 0
+	}, "breakers never re-closed after the last fault healed"); err != nil {
+		r.teardown()
+		return res, fail(finalStep, "final-breaker", err)
+	}
 
 	gwStats := r.gw.Stats()
 	res.PolicyFlushes = gwStats.PolicyFlushes
 	res.TruncatedResponses = gwStats.TruncatedResponses
-	total, windowed, violations, firstViolation := r.tr.halt()
+	res.BreakerOpens = gwStats.BreakerOpens
+	res.ProbeSuccesses = gwStats.ProbeSuccesses
+	res.ProbeFailures = gwStats.ProbeFailures
+	total, windowed, shedded, violations, firstViolation := r.tr.halt()
 	res.Requests, res.WindowedFailures, res.Violations = total, windowed, violations
+	res.Shedded = shedded
+
+	// Retry amplification is bounded by the budget, not fleet size: the
+	// gateway may add at most budget-1 extra attempts per admitted
+	// request, whatever the schedule did to the fleet.
+	if maxRetries := gwStats.Requests * int64(chaosRetryBudget-1); gwStats.Retries > maxRetries {
+		r.teardown()
+		return res, fail(finalStep, "amplification",
+			fmt.Errorf("%d retries for %d admitted requests exceeds the budget-%d bound of %d",
+				gwStats.Retries, gwStats.Requests, chaosRetryBudget, maxRetries))
+	}
 	r.teardown()
 
 	if violations > 0 {
@@ -283,9 +403,184 @@ func (r *run) execute(ctx context.Context, ev Event) error {
 		r.rollVer++
 		_, err := r.f.RollOut(ctx, fmt.Sprintf("chaos-%d-%d", r.cfg.Seed, r.rollVer))
 		return err
+	case OpGrayFailure:
+		return r.grayFailure(ctx, ev.Arg)
+	case OpOverloadStorm:
+		return r.overloadStorm(ctx, ev.Arg)
+	case OpSlowDrip:
+		net := r.f.Deployment().KDSNet()
+		net.SetDrip(time.Duration(ev.Arg) * time.Millisecond)
+		// Cached verification must ride out crawling KDS bodies just as
+		// it rides out loss: slow-but-alive is not an outage.
+		err := r.f.VerifyFleet(ctx)
+		net.ClearDrip()
+		return err
 	default:
 		return fmt.Errorf("unknown op %q", ev.Op)
 	}
+}
+
+// waitGateway polls the gateway's stats until cond holds or the wait
+// expires.
+func (r *run) waitGateway(within time.Duration, cond func(gateway.Stats) bool, msg string) error {
+	deadline := time.Now().Add(within)
+	for {
+		if cond(r.gw.Stats()) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func containsAddr(addrs []string, addr string) bool {
+	for _, a := range addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// grayFailure stalls one serving node's application — connections
+// complete, responses never come — and asserts the graceful-degradation
+// invariants end to end: the node's breaker trips on per-attempt
+// timeouts while client traffic fails over with no fault window open;
+// while the breaker is open the node sees probes only; and once the
+// application answers again, a successful probe (not client traffic)
+// re-admits it.
+func (r *run) grayFailure(ctx context.Context, which int) error {
+	serving := r.f.Endpoints().Serving()
+	if len(serving) < 2 {
+		return nil // need a healthy peer to absorb the failover
+	}
+	ep := serving[which%len(serving)]
+	app := r.app(ep.ControlURL)
+	if app == nil {
+		return fmt.Errorf("no chaos app registered for node %s", ep.ControlURL)
+	}
+	app.stalled.Store(true)
+	unstalled := false
+	defer func() {
+		if !unstalled {
+			app.stalled.Store(false)
+		}
+	}()
+
+	// Concurrent traffic keeps flowing: every attempt at the stalled
+	// node burns one per-try budget and fails over, so the breaker must
+	// trip without a single client-visible failure.
+	if err := r.waitGateway(10*time.Second, func(s gateway.Stats) bool {
+		return containsAddr(s.BreakerOpen, ep.UpstreamAddr)
+	}, "breaker never opened for stalled node "+ep.UpstreamAddr); err != nil {
+		return err
+	}
+
+	// Breaker-open means probes only. Let attempts dispatched before the
+	// trip land, then require the app's client-request counter to hold
+	// still (health probes are excluded from the counter).
+	time.Sleep(100 * time.Millisecond)
+	before := app.hits.Load()
+	time.Sleep(300 * time.Millisecond)
+	if after := app.hits.Load(); after != before {
+		return fmt.Errorf("breaker-open node received %d client requests (want probes only)", after-before)
+	}
+
+	// Recovery is the probes' decision: unstall, and the node must leave
+	// the open set via a successful probe, then carry traffic again.
+	app.stalled.Store(false)
+	unstalled = true
+	if err := r.waitGateway(10*time.Second, func(s gateway.Stats) bool {
+		return !containsAddr(s.BreakerOpen, ep.UpstreamAddr) && s.ProbeSuccesses > 0
+	}, "probe never re-admitted recovered node "+ep.UpstreamAddr); err != nil {
+		return err
+	}
+	return r.probeServes(ctx, 3, 10*time.Second)
+}
+
+// overloadStorm slows every node and fires a burst of concurrent
+// deadline-tagged requests far past the gateway's admission bound. The
+// invariant is the shape of degradation: every response is either a
+// success inside its deadline or a deliberate shed (503 + Retry-After)
+// — never an outright failure, and never an admitted request that the
+// gateway then lets blow its deadline.
+func (r *run) overloadStorm(ctx context.Context, extra int) error {
+	const (
+		serviceTime = 75 * time.Millisecond
+		stormMillis = "5000"
+		stormSlack  = time.Second
+	)
+	apps := r.appList()
+	for _, a := range apps {
+		a.delay.Store(int64(serviceTime))
+	}
+	defer func() {
+		for _, a := range apps {
+			a.delay.Store(0)
+		}
+	}()
+
+	n := 48 + extra
+	var ok, shed, other, late atomic.Int64
+	var firstOther atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodGet, r.tr.url, nil)
+			if err != nil {
+				other.Add(1)
+				firstOther.CompareAndSwap(nil, &err)
+				return
+			}
+			req.Header.Set(gateway.DeadlineHeader, stormMillis)
+			start := time.Now()
+			resp, err := r.tr.client.Do(req)
+			if err != nil {
+				other.Add(1)
+				firstOther.CompareAndSwap(nil, &err)
+				return
+			}
+			elapsed := time.Since(start)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				ok.Add(1)
+				if elapsed > 5*time.Second+stormSlack {
+					late.Add(1)
+				}
+			case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+				shed.Add(1)
+			default:
+				err := fmt.Errorf("status %d", resp.StatusCode)
+				other.Add(1)
+				firstOther.CompareAndSwap(nil, &err)
+			}
+		}()
+	}
+	wg.Wait()
+	r.cfg.Log("chaos seed %d: overload storm: %d ok, %d shed, %d failed of %d",
+		r.cfg.Seed, ok.Load(), shed.Load(), other.Load(), n)
+	if o := other.Load(); o > 0 {
+		return fmt.Errorf("overload storm: %d of %d requests failed outright (want success or shed); first: %v",
+			o, n, *firstOther.Load())
+	}
+	if ok.Load() == 0 {
+		return errors.New("overload storm: zero goodput — shedding must degrade service, not black it out")
+	}
+	if l := late.Load(); l > 0 {
+		return fmt.Errorf("overload storm: %d admitted requests blew their %sms deadline", l, stormMillis)
+	}
+	// The storm must leave no residue: restore full speed and require
+	// steady serving.
+	for _, a := range apps {
+		a.delay.Store(0)
+	}
+	return r.probeServes(ctx, 3, 10*time.Second)
 }
 
 // failClosedOutage asserts the fail-closed join invariant under a KDS

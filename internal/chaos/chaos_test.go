@@ -13,7 +13,7 @@ var (
 	chaosSeeds = flag.Int("chaos.seeds", 2,
 		"number of sequential seeds TestChaosSeeds runs (starting at 1)")
 	chaosRounds = flag.String("chaos.rounds", "small",
-		"profile: small (2 nodes, 8 events) or nightly (4 nodes, 24 events, rollout faults)")
+		"profile: small (2 nodes, 8 events), gray (3 nodes, graceful-degradation faults), or nightly (4 nodes, 24 events, rollout faults)")
 )
 
 // profileConfig maps the -chaos.rounds flag to a run configuration.
@@ -22,6 +22,8 @@ func profileConfig(t *testing.T, seed int64) Config {
 	switch *chaosRounds {
 	case "nightly":
 		cfg.Nodes, cfg.Events, cfg.Clients, cfg.Heavy = 4, 24, 8, true
+	case "gray":
+		cfg.Nodes, cfg.Events, cfg.Clients, cfg.Gray = 3, 8, 4, true
 	case "small":
 		cfg.Nodes, cfg.Events, cfg.Clients = 2, 8, 4
 	default:
@@ -42,6 +44,33 @@ func TestScheduleDeterministic(t *testing.T) {
 	cfg.Seed = 43
 	if c := Generate(cfg); c.String() == a.String() {
 		t.Error("seeds 42 and 43 generated identical schedules")
+	}
+}
+
+// TestScheduleGrayGated: the graceful-degradation ops are mixed in only
+// when Gray is set — a non-gray config never schedules them (so every
+// pre-existing seed replays byte for byte), and gray configs do reach
+// them across a small seed range.
+func TestScheduleGrayGated(t *testing.T) {
+	grayOps := map[Op]bool{OpGrayFailure: true, OpOverloadStorm: true, OpSlowDrip: true}
+	sawGray := false
+	for seed := int64(1); seed <= 20; seed++ {
+		plain := Config{Seed: seed, Nodes: 3, Events: 20, Heavy: true}
+		for _, ev := range Generate(plain).Events {
+			if grayOps[ev.Op] {
+				t.Fatalf("seed %d: non-gray schedule contains %s", seed, ev.Op)
+			}
+		}
+		gray := plain
+		gray.Gray = true
+		for _, ev := range Generate(gray).Events {
+			if grayOps[ev.Op] {
+				sawGray = true
+			}
+		}
+	}
+	if !sawGray {
+		t.Error("no gray op scheduled across 20 gray seeds")
 	}
 }
 
@@ -89,8 +118,9 @@ func TestChaosSeeds(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			t.Logf("seed %d: %d events, %d requests (%d windowed failures), %d flushes, goroutine delta %d",
-				res.Seed, res.Events, res.Requests, res.WindowedFailures, res.PolicyFlushes, res.GoroutineDelta)
+			t.Logf("seed %d: %d events, %d requests (%d windowed failures, %d shed), %d flushes, %d breaker opens, goroutine delta %d",
+				res.Seed, res.Events, res.Requests, res.WindowedFailures, res.Shedded,
+				res.PolicyFlushes, res.BreakerOpens, res.GoroutineDelta)
 			if res.Requests == 0 {
 				t.Error("traffic drove no requests through the gateway")
 			}

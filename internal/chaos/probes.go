@@ -14,16 +14,16 @@ import (
 var attestationExpired = attestation.ErrEvidenceExpired
 
 // coherent asserts the gateway's routing state tracks the fleet: the
-// gateway has observed the current serving-view version, and every
-// ejection references an endpoint that still exists (no ghost
-// ejections for departed nodes). The view propagates through a
-// subscription, so the check polls briefly.
+// gateway has observed the current serving-view version, and neither an
+// ejection nor an open breaker references an endpoint that no longer
+// exists (no ghost state for departed nodes). The view propagates
+// through a subscription, so the check polls briefly.
 func (r *run) coherent() error {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		snap := r.f.Endpoints()
 		s := r.gw.Stats()
-		ghost := ""
+		ghost, list := "", ""
 		if s.ViewVersion >= snap.Version {
 			known := make(map[string]bool, len(snap.Endpoints))
 			for _, ep := range snap.Endpoints {
@@ -31,8 +31,16 @@ func (r *run) coherent() error {
 			}
 			for _, addr := range s.Ejected {
 				if !known[addr] {
-					ghost = addr
+					ghost, list = addr, "ejection"
 					break
+				}
+			}
+			if ghost == "" {
+				for _, addr := range s.BreakerOpen {
+					if !known[addr] {
+						ghost, list = addr, "open breaker"
+						break
+					}
 				}
 			}
 			if ghost == "" {
@@ -41,8 +49,8 @@ func (r *run) coherent() error {
 		}
 		if time.Now().After(deadline) {
 			if ghost != "" {
-				return fmt.Errorf("gateway ejection references departed endpoint %s (view v%d, gateway v%d)",
-					ghost, snap.Version, s.ViewVersion)
+				return fmt.Errorf("gateway %s references departed endpoint %s (view v%d, gateway v%d)",
+					list, ghost, snap.Version, s.ViewVersion)
 			}
 			return fmt.Errorf("gateway never observed view v%d (still at v%d)", snap.Version, s.ViewVersion)
 		}

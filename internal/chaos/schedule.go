@@ -48,6 +48,23 @@ const (
 	// OpRollout performs a complete rolling upgrade (heavy profiles
 	// only).
 	OpRollout Op = "rollout"
+	// OpGrayFailure stalls one node's application (Arg picks which
+	// serving node): connections still complete but no response ever
+	// comes. The node's circuit breaker must trip, client traffic must
+	// fail over cleanly (no fault window opens), the open node must see
+	// probes only, and unstalling must re-admit it through a successful
+	// probe (gray profiles only).
+	OpGrayFailure Op = "gray-failure"
+	// OpOverloadStorm fires a burst of 48+Arg concurrent deadline-tagged
+	// requests against slowed nodes: every response must be a success
+	// within its deadline or a deliberate shed (503 + Retry-After) —
+	// never an outright failure (gray profiles only).
+	OpOverloadStorm Op = "overload-storm"
+	// OpSlowDrip rations KDS response bodies to a crawl (Arg ms per
+	// chunk) and asserts cached verification rides it out, like
+	// loss-burst but for the slow-but-alive failure mode (gray profiles
+	// only).
+	OpSlowDrip Op = "slow-drip"
 )
 
 // Event is one scheduled fault: the op, its argument, and the pause the
@@ -107,6 +124,17 @@ var heavyWeights = []struct {
 	{OpRollout, 1},
 }
 
+// grayWeights is the graceful-degradation fault mix, mixed in only when
+// Config.Gray is set so pre-existing seeds replay unchanged.
+var grayWeights = []struct {
+	op Op
+	w  int
+}{
+	{OpGrayFailure, 2},
+	{OpOverloadStorm, 1},
+	{OpSlowDrip, 1},
+}
+
 // Generate derives the fault schedule for cfg. Generation is a pure
 // function of the config: it uses a seeded math/rand source and models
 // fleet-size evolution so every membership op is legal when it runs
@@ -115,11 +143,17 @@ func Generate(cfg Config) Schedule {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	weights := opWeights
-	if cfg.Heavy {
-		weights = append(append([]struct {
+	if cfg.Heavy || cfg.Gray {
+		weights = append([]struct {
 			op Op
 			w  int
-		}{}, opWeights...), heavyWeights...)
+		}{}, opWeights...)
+		if cfg.Heavy {
+			weights = append(weights, heavyWeights...)
+		}
+		if cfg.Gray {
+			weights = append(weights, grayWeights...)
+		}
 	}
 	var picks []Op
 	for _, w := range weights {
@@ -154,6 +188,12 @@ func Generate(cfg Config) Schedule {
 			arg = 1 + rng.Intn(3) // consecutive revision bumps
 		case OpCrashJoin:
 			arg = rng.Intn(2) // which join crash point
+		case OpGrayFailure:
+			arg = rng.Intn(size) // which serving node stalls
+		case OpOverloadStorm:
+			arg = rng.Intn(32) // extra concurrent storm clients
+		case OpSlowDrip:
+			arg = 2 + rng.Intn(8) // ms pause per dripped chunk
 		}
 		sched.Events = append(sched.Events, Event{
 			Step:  step,

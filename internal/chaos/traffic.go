@@ -6,16 +6,29 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"revelio/internal/gateway"
 )
 
+// trafficDeadline is the deadline every traffic request declares via
+// the gateway's deadline header. A successful response arriving later
+// than this (plus slack) violates the admitted-requests-meet-their-
+// deadline invariant.
+const trafficDeadline = 8 * time.Second
+
+var trafficDeadlineMillis = strconv.FormatInt(trafficDeadline.Milliseconds(), 10)
+
 // traffic drives concurrent attested-TLS clients through the gateway
-// for the whole chaos run and classifies every failure: a failure while
-// a fault window is open is expected-possible (the fault may legally
-// surface to clients, e.g. an expiry wave); a failure outside every
-// window is a violation of the zero-failed-request invariant.
+// for the whole chaos run and classifies every outcome: a deliberate
+// load shed (503 + Retry-After) is graceful degradation, counted but
+// never a failure; a failure while a fault window is open is
+// expected-possible (the fault may legally surface to clients, e.g. an
+// expiry wave); a failure outside every window is a violation of the
+// zero-failed-request invariant.
 type traffic struct {
 	url    string
 	client *http.Client
@@ -27,6 +40,7 @@ type traffic struct {
 
 	total      atomic.Int64
 	windowed   atomic.Int64
+	shedded    atomic.Int64
 	violations atomic.Int64
 
 	mu             sync.Mutex
@@ -81,14 +95,31 @@ func (t *traffic) one() {
 	openAtStart := t.window.Load() > 0
 	t.total.Add(1)
 	var failure error
-	resp, err := t.client.Get(t.url)
+	req, err := http.NewRequest(http.MethodGet, t.url, nil)
 	if err != nil {
 		failure = err
 	} else {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		_ = resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			failure = fmt.Errorf("status %d", resp.StatusCode)
+		req.Header.Set(gateway.DeadlineHeader, trafficDeadlineMillis)
+		start := time.Now()
+		resp, doErr := t.client.Do(req)
+		if doErr != nil {
+			failure = doErr
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+				// Deliberate shed under overload: degradation, not failure.
+				t.shedded.Add(1)
+				return
+			case resp.StatusCode != http.StatusOK:
+				failure = fmt.Errorf("status %d", resp.StatusCode)
+			default:
+				if elapsed := time.Since(start); elapsed > trafficDeadline+time.Second {
+					// Admitted, answered — but past its declared deadline.
+					failure = fmt.Errorf("succeeded %s after its %s deadline", elapsed, trafficDeadline)
+				}
+			}
 		}
 	}
 	if failure == nil {
@@ -113,7 +144,7 @@ func (t *traffic) closeWindow() { t.window.Add(-1) }
 
 // halt stops the drive and returns totals. Idempotent: later calls
 // return the same settled totals.
-func (t *traffic) halt() (total, windowed, violations int64, firstViolation error) {
+func (t *traffic) halt() (total, windowed, shedded, violations int64, firstViolation error) {
 	t.haltOnce.Do(func() {
 		close(t.stop)
 		t.wg.Wait()
@@ -121,5 +152,5 @@ func (t *traffic) halt() (total, windowed, violations int64, firstViolation erro
 	})
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.total.Load(), t.windowed.Load(), t.violations.Load(), t.firstViolation
+	return t.total.Load(), t.windowed.Load(), t.shedded.Load(), t.violations.Load(), t.firstViolation
 }

@@ -40,6 +40,14 @@ import (
 	"revelio/internal/vm"
 )
 
+// HealthPath is the node health endpoint the gateway's active probes
+// hit over RA-TLS. When a deployment runs without an application
+// handler a trivial ok handler answers it; with one, the application's
+// catch-all serves the path — deliberately, so a stalled or gray-failed
+// application stalls its probes too and probe-based re-entry reflects
+// real serving health, not just a live listener.
+const HealthPath = "/.well-known/revelio/health"
+
 // Config describes a deployment.
 type Config struct {
 	// Spec is the image specification (see imagebuild profiles).
@@ -562,10 +570,19 @@ func (d *Deployment) startNodeWeb(n *Node) error {
 	}
 	mux := http.NewServeMux()
 	mux.Handle(certmgr.WellKnownPath, n.Agent)
+	mounted := false
 	if d.appHandler != nil {
 		if h := d.appHandler(n); h != nil {
 			mux.Handle("/", h)
+			mounted = true
 		}
+	}
+	if !mounted {
+		// No application: answer health probes directly. With an
+		// application its catch-all owns HealthPath (see the const doc).
+		mux.HandleFunc(HealthPath, func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("ok"))
+		})
 	}
 	// ...but resolve the certificate per handshake, so an SP-driven
 	// rotation propagates to the serving tier the moment the agent

@@ -82,6 +82,11 @@ const (
 	CrashRolloutMidReplace CrashPoint = "rollout/mid-replace"
 )
 
+// HealthPath is the node health endpoint served on every upstream
+// listener (see core.HealthPath); the gateway's active breaker probes
+// target it by default.
+const HealthPath = core.HealthPath
+
 // Config describes a fleet.
 type Config struct {
 	// Nodes is the initial fleet size.

@@ -25,6 +25,17 @@
 // same mechanism behind the fleet's zero-failed-request drain: a
 // lifecycle operation waits for admitted requests before closing a
 // node, so churn never surfaces as a failed request through the proxy.
+//
+// Degradation is governed by the resilience layer (see Resilience):
+// each upstream carries a circuit breaker fed by passive
+// failure/latency observation and re-closed only by an active RA-TLS
+// health probe, so transport-failed and gray-failed (slow-but-alive)
+// nodes leave rotation globally — distinct from, and composing with,
+// the fail-closed attestation ejection. Retries are paced by
+// exponential backoff with jitter under a fixed attempt budget, every
+// attempt gets its own response-header deadline carved from the request
+// deadline, and bounded in-flight admission sheds overload with 503 +
+// Retry-After instead of queueing behind the serving-view lock.
 package gateway
 
 import (
@@ -36,6 +47,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +56,7 @@ import (
 	"revelio/attestation"
 	"revelio/internal/fleet"
 	"revelio/internal/ratls"
+	"revelio/internal/resilience"
 )
 
 var (
@@ -53,6 +66,13 @@ var (
 	// ErrClosed reports use of a closed gateway.
 	ErrClosed = errors.New("gateway: closed")
 )
+
+// DeadlineHeader carries a request's remaining deadline budget in
+// integer milliseconds. Inbound, a client (or an upstream gateway) sets
+// it to bound the whole proxied request; outbound, the gateway rewrites
+// it per attempt to that attempt's carved budget, so nodes — and nested
+// gateways — can shed work the caller has already given up on.
+const DeadlineHeader = "Revelio-Deadline-Ms"
 
 // Source publishes the serving view the gateway routes over. The fleet
 // engine implements it; View adapts any other membership owner.
@@ -64,6 +84,100 @@ type Source interface {
 	// Subscribe returns a channel of view changes (latest-wins
 	// coalescing) and a cancel func.
 	Subscribe() (<-chan fleet.Snapshot, func())
+}
+
+// Resilience configures the gateway's graceful-degradation layer. The
+// zero value means "all defaults"; every knob has one.
+type Resilience struct {
+	// RetryBudget caps upstream attempts per request, first attempt
+	// included (default 3). This — not the fleet size — bounds the
+	// worst-case attempt amplification of one client request.
+	RetryBudget int
+	// PerTryTimeout bounds one attempt's dial + request + response
+	// headers (default 2s). It is also installed as the transport's
+	// ResponseHeaderTimeout, so a node that accepts the connection and
+	// never answers fails the attempt instead of stalling the client.
+	PerTryTimeout time.Duration
+	// RequestTimeout bounds a whole proxied request when the client sent
+	// no DeadlineHeader (default 15s).
+	RequestTimeout time.Duration
+	// BackoffBase and BackoffMax shape the exponential equal-jitter
+	// backoff between attempts (defaults 5ms and 100ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerFailures is how many consecutive failed (or slow) attempts
+	// open an upstream's circuit breaker (default 3).
+	BreakerFailures int
+	// BreakerSlow, when positive, additionally counts successful
+	// attempts slower than this toward the trip — the gray-failure
+	// detector. Zero (the default) disables latency tripping.
+	BreakerSlow time.Duration
+	// BreakerOpenFor is the open-state dwell before an active health
+	// probe may run (default 500ms).
+	BreakerOpenFor time.Duration
+	// ProbeInterval paces the background probe loop that re-admits
+	// breaker-open upstreams (default 250ms).
+	ProbeInterval time.Duration
+	// ProbePath is the upstream health endpoint probed over RA-TLS
+	// (default fleet.HealthPath). Probes ride the same attested
+	// transport as traffic, so a node whose evidence stopped verifying
+	// cannot probe its way back into rotation.
+	ProbePath string
+	// MaxInFlight bounds concurrently admitted requests per gateway
+	// (default 1024); beyond it requests shed with 503 + Retry-After.
+	MaxInFlight int
+	// MaxPerUpstream bounds in-flight attempts per upstream (default
+	// 256); a node at its bound is skipped like an unhealthy one.
+	MaxPerUpstream int
+	// MinDeadline is the smallest remaining deadline worth an upstream
+	// attempt (default 5ms); below it the request sheds instead.
+	MinDeadline time.Duration
+	// Rand is the backoff jitter source returning values in [0, 1), and
+	// Now the breaker dwell clock — both injectable so chaos schedules
+	// and tests replay deterministically (defaults math/rand.Float64 and
+	// time.Now).
+	Rand func() float64
+	Now  func() time.Time
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.RetryBudget <= 0 {
+		r.RetryBudget = 3
+	}
+	if r.PerTryTimeout <= 0 {
+		r.PerTryTimeout = 2 * time.Second
+	}
+	if r.RequestTimeout <= 0 {
+		r.RequestTimeout = 15 * time.Second
+	}
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = 5 * time.Millisecond
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = 100 * time.Millisecond
+	}
+	if r.BreakerFailures <= 0 {
+		r.BreakerFailures = 3
+	}
+	if r.BreakerOpenFor <= 0 {
+		r.BreakerOpenFor = 500 * time.Millisecond
+	}
+	if r.ProbeInterval <= 0 {
+		r.ProbeInterval = 250 * time.Millisecond
+	}
+	if r.ProbePath == "" {
+		r.ProbePath = fleet.HealthPath
+	}
+	if r.MaxInFlight <= 0 {
+		r.MaxInFlight = 1024
+	}
+	if r.MaxPerUpstream <= 0 {
+		r.MaxPerUpstream = 256
+	}
+	if r.MinDeadline <= 0 {
+		r.MinDeadline = 5 * time.Millisecond
+	}
+	return r
 }
 
 // Config describes a gateway.
@@ -89,6 +203,9 @@ type Config struct {
 	// this timeout is also the longest a stalled client can delay a
 	// fleet lifecycle operation.
 	WriteTimeout time.Duration
+	// Resilience tunes circuit breaking, retry budgets, deadlines, and
+	// load shedding; the zero value takes every default.
+	Resilience Resilience
 }
 
 // upstream is the gateway's routing state for one endpoint.
@@ -96,17 +213,31 @@ type upstream struct {
 	ep      fleet.Endpoint
 	pending atomic.Int64
 	ejected atomic.Bool
+	breaker *resilience.Breaker
 }
 
 // Stats is a point-in-time picture of the data plane.
 type Stats struct {
-	// Requests counts proxied requests admitted so far.
+	// Requests counts proxied requests admitted so far (shed requests
+	// are refused before admission and do not count here).
 	Requests int64
 	// Retries counts upstream attempts beyond each request's first.
 	Retries int64
+	// SheddedRequests counts requests refused with 503 + Retry-After by
+	// admission control or deadline-aware shedding.
+	SheddedRequests int64
+	// BreakerOpens counts closed→open circuit-breaker trips.
+	BreakerOpens int64
+	// ProbeSuccesses and ProbeFailures count active health probes sent
+	// to breaker-open upstreams and their outcomes.
+	ProbeSuccesses int64
+	ProbeFailures  int64
 	// Ejected lists upstream addresses currently out of rotation
 	// because their attestation stopped verifying, sorted.
 	Ejected []string
+	// BreakerOpen lists upstream addresses whose circuit breaker is not
+	// closed (open or half-open), sorted. These receive probes only.
+	BreakerOpen []string
 	// PolicyFlushes counts connection-pool flushes triggered by policy
 	// revision changes.
 	PolicyFlushes int64
@@ -124,11 +255,15 @@ type Stats struct {
 // Gateway is the attested reverse proxy.
 type Gateway struct {
 	cfg       Config
+	res       Resilience
+	retry     resilience.RetryPolicy
+	admission *resilience.Admission
 	transport *http.Transport
 
 	mu      sync.Mutex
 	ups     map[string]*upstream // by UpstreamAddr
 	version uint64
+	domain  string
 	closed  bool
 	// revs caches the policy-revision sources reachable through the
 	// verifier; rebuilt on every view change (sync) rather than walked
@@ -143,19 +278,24 @@ type Gateway struct {
 	epoch    uint64
 	lastRevs map[attestation.Revisioned]uint64
 
-	rr        atomic.Uint64
-	requests  atomic.Int64
-	retries   atomic.Int64
-	flushes   atomic.Int64
-	truncated atomic.Int64
+	rr           atomic.Uint64
+	requests     atomic.Int64
+	retries      atomic.Int64
+	shed         atomic.Int64
+	breakerOpens atomic.Int64
+	probeOK      atomic.Int64
+	probeFail    atomic.Int64
+	flushes      atomic.Int64
+	truncated    atomic.Int64
 
 	// flushedEpoch is the policy epoch the pools were last flushed at.
 	flushedEpoch atomic.Uint64
 
-	server   *http.Server
-	listener net.Listener
-	unsub    func()
-	watchWG  sync.WaitGroup
+	server    *http.Server
+	listener  net.Listener
+	unsub     func()
+	probeStop chan struct{}
+	watchWG   sync.WaitGroup
 }
 
 // New builds a gateway over cfg. Call Start to open the listener, or
@@ -176,11 +316,21 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 30 * time.Second
 	}
+	res := cfg.Resilience.withDefaults()
 	tlsCfg := ratls.ProviderClientConfig(cfg.Verifier)
 	g := &Gateway{
-		cfg:      cfg,
-		ups:      make(map[string]*upstream),
-		lastRevs: make(map[attestation.Revisioned]uint64),
+		cfg: cfg,
+		res: res,
+		retry: resilience.RetryPolicy{
+			Budget:      res.RetryBudget,
+			BackoffBase: res.BackoffBase,
+			BackoffMax:  res.BackoffMax,
+			Rand:        res.Rand,
+		}.WithDefaults(),
+		admission: resilience.NewAdmission(res.MaxInFlight),
+		ups:       make(map[string]*upstream),
+		lastRevs:  make(map[attestation.Revisioned]uint64),
+		probeStop: make(chan struct{}),
 		transport: &http.Transport{
 			TLSClientConfig:     tlsCfg,
 			TLSHandshakeTimeout: cfg.DialTimeout,
@@ -188,6 +338,10 @@ func New(cfg Config) (*Gateway, error) {
 				Timeout: cfg.DialTimeout,
 			}).DialContext,
 			MaxIdleConnsPerHost: cfg.MaxIdleConnsPerHost,
+			// The per-attempt header deadline: a node that accepts the
+			// connection but never sends headers fails this attempt
+			// instead of pinning the client until WriteTimeout.
+			ResponseHeaderTimeout: res.PerTryTimeout,
 		},
 	}
 	g.revs = revisionSources(cfg.Verifier)
@@ -212,7 +366,22 @@ func New(cfg Config) (*Gateway, error) {
 			}
 		}
 	}()
+	// Probe loop: breaker-open upstreams re-enter rotation only through
+	// a successful attested health probe.
+	g.watchWG.Add(1)
+	go g.probeLoop()
 	return g, nil
+}
+
+// breakerConfig derives each upstream's breaker parameters from the
+// gateway's resilience knobs.
+func (g *Gateway) breakerConfig() resilience.BreakerConfig {
+	return resilience.BreakerConfig{
+		FailureThreshold: g.res.BreakerFailures,
+		SlowThreshold:    g.res.BreakerSlow,
+		OpenFor:          g.res.BreakerOpenFor,
+		Now:              g.res.Now,
+	}
 }
 
 // revisionSources collects every policy-revision source reachable
@@ -263,7 +432,9 @@ func (g *Gateway) advanceEpochLocked() uint64 {
 // policy revision moved since the last request: pooled connections were
 // verified under the old policy, and fail-closed means they must
 // re-prove themselves under the new one. Ejections are cleared too —
-// the policy change may equally have reinstated a provider.
+// the policy change may equally have reinstated a provider. Circuit
+// breakers are left alone: they track transport health, not policy, and
+// re-close only through a successful probe.
 func (g *Gateway) checkPolicyEpoch() {
 	g.mu.Lock()
 	epoch := g.advanceEpochLocked()
@@ -282,10 +453,11 @@ func (g *Gateway) checkPolicyEpoch() {
 }
 
 // sync reconciles the routing table with a snapshot, preserving pending
-// counts and ejection state for surviving endpoints. It reports whether
-// any endpoint departed (so callers must drop its pooled connections);
-// whichever path observes a version first — the per-request fast path
-// or the subscription watcher — consumes it, so both act on the result.
+// counts, ejection state, and breaker state for surviving endpoints. It
+// reports whether any endpoint departed (so callers must drop its
+// pooled connections); whichever path observes a version first — the
+// per-request fast path or the subscription watcher — consumes it, so
+// both act on the result.
 func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -293,6 +465,7 @@ func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 		return false
 	}
 	g.version = snap.Version
+	g.domain = snap.Domain
 	// Refresh the revision sources alongside the view: providers are
 	// attached before their nodes join, so a membership change is the
 	// natural moment to notice them. Prune the high-water map to the
@@ -317,7 +490,10 @@ func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 			keep[ep.UpstreamAddr] = up
 			continue
 		}
-		keep[ep.UpstreamAddr] = &upstream{ep: ep}
+		keep[ep.UpstreamAddr] = &upstream{
+			ep:      ep,
+			breaker: resilience.NewBreaker(g.breakerConfig()),
+		}
 	}
 	for addr := range g.ups {
 		if _, ok := keep[addr]; !ok {
@@ -332,31 +508,41 @@ func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 }
 
 // pick selects the healthiest upstream: among serving, non-ejected,
-// non-excluded endpoints, the one with the fewest pending requests;
-// ties break round-robin so equal-load nodes share work evenly.
-func (g *Gateway) pick(excluded map[string]bool) *upstream {
+// breaker-closed, non-excluded endpoints under their in-flight bound,
+// the one with the fewest pending requests; ties break round-robin so
+// equal-load nodes share work evenly. saturated reports that healthy
+// candidates existed but every one was at its in-flight bound — worth
+// a paced re-pick, unlike a genuinely empty rotation.
+func (g *Gateway) pick(excluded map[string]bool) (up *upstream, saturated bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	candidates := make([]*upstream, 0, len(g.ups))
-	for _, up := range g.ups {
-		if up.ep.State != fleet.StateServing || up.ejected.Load() || excluded[up.ep.UpstreamAddr] {
+	for _, u := range g.ups {
+		if u.ep.State != fleet.StateServing || u.ejected.Load() || excluded[u.ep.UpstreamAddr] {
 			continue
 		}
-		candidates = append(candidates, up)
+		if !u.breaker.Allow() {
+			continue
+		}
+		if u.pending.Load() >= int64(g.res.MaxPerUpstream) {
+			saturated = true
+			continue
+		}
+		candidates = append(candidates, u)
 	}
 	if len(candidates) == 0 {
-		return nil
+		return nil, saturated
 	}
 	start := int(g.rr.Add(1) % uint64(len(candidates)))
 	best := candidates[start]
 	bestPending := best.pending.Load()
 	for i := 1; i < len(candidates); i++ {
-		up := candidates[(start+i)%len(candidates)]
-		if p := up.pending.Load(); p < bestPending {
-			best, bestPending = up, p
+		u := candidates[(start+i)%len(candidates)]
+		if p := u.pending.Load(); p < bestPending {
+			best, bestPending = u, p
 		}
 	}
-	return best
+	return best, false
 }
 
 // isAttestationReject reports an upstream failure that means the node's
@@ -396,10 +582,56 @@ func retryable(r *http.Request) bool {
 	return r.Body == nil || r.Body == http.NoBody || r.GetBody != nil
 }
 
+// shedResponse refuses one request with 503 + Retry-After: the
+// machine-readable "back off briefly" that distinguishes deliberate
+// load shedding from upstream failure (502).
+func shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "gateway: overloaded, retry later", http.StatusServiceUnavailable)
+}
+
+// sleepCtx pauses for d, reporting false if ctx fires first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // ServeHTTP proxies one request to the healthiest attested node. The
 // request holds the source admission for its lifetime, so fleet churn
 // drains through the gateway exactly as it does for direct clients.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Admission runs before the serving view is touched: overload must
+	// shed promptly, not queue behind the drain lock.
+	if !g.admission.TryAcquire() {
+		g.shed.Add(1)
+		shedResponse(w)
+		return
+	}
+	defer g.admission.Release()
+
+	timeout := g.res.RequestTimeout
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if timeout < g.res.MinDeadline {
+		// Deadline-aware shed: the caller's remaining budget cannot fit
+		// even one attempt, so refuse cheaply rather than burn a node.
+		g.shed.Add(1)
+		shedResponse(w)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	r = r.WithContext(ctx)
+
 	snap, release := g.cfg.Source.Acquire()
 	defer release()
 	g.checkPolicyEpoch()
@@ -410,22 +642,40 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	g.requests.Add(1)
 
-	attempts := len(snap.Serving())
-	if attempts == 0 {
-		http.Error(w, ErrNoUpstreams.Error(), http.StatusBadGateway)
-		return
-	}
+	deadline, _ := ctx.Deadline()
 	excluded := make(map[string]bool)
 	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		up := g.pick(excluded)
-		if up == nil {
+	forwards := 0
+	sawSaturation := false
+	for attempt := 0; attempt < g.res.RetryBudget; attempt++ {
+		if attempt > 0 {
+			// Pace the retry; give up if the request deadline fires
+			// mid-backoff.
+			if !sleepCtx(ctx, g.retry.Backoff(attempt)) {
+				break
+			}
+		}
+		if time.Until(deadline) < g.res.MinDeadline {
 			break
 		}
-		if attempt > 0 {
+		up, saturated := g.pick(excluded)
+		if up == nil {
+			if !saturated {
+				break
+			}
+			// Every healthy node is at its in-flight bound; the next
+			// backoff may free capacity.
+			sawSaturation = true
+			continue
+		}
+		if forwards > 0 {
+			// Retries counts real extra upstream attempts, so
+			// Retries <= Requests*(RetryBudget-1) is the amplification
+			// invariant the chaos harness asserts.
 			g.retries.Add(1)
 		}
-		resp, err := g.forward(up, snap.Domain, r)
+		forwards++
+		resp, err := g.forward(up, snap.Domain, r, g.res.RetryBudget-attempt)
 		if err != nil {
 			lastErr = err
 			if isAttestationReject(err) {
@@ -458,15 +708,50 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if lastErr == nil {
-		lastErr = ErrNoUpstreams
+	switch {
+	case lastErr != nil:
+		http.Error(w, fmt.Sprintf("gateway: upstream failed: %v", lastErr), http.StatusBadGateway)
+	case sawSaturation:
+		// Healthy nodes existed but stayed at capacity through every
+		// paced re-pick: that is overload, not failure.
+		g.shed.Add(1)
+		shedResponse(w)
+	default:
+		http.Error(w, ErrNoUpstreams.Error(), http.StatusBadGateway)
 	}
-	http.Error(w, fmt.Sprintf("gateway: upstream failed: %v", lastErr), http.StatusBadGateway)
 }
 
-// forward sends one attempt to a node over RA-TLS.
-func (g *Gateway) forward(up *upstream, domain string, r *http.Request) (*http.Response, error) {
-	outreq := r.Clone(r.Context())
+// cancelBody releases an attempt's context when the proxied body is
+// closed; the context must outlive forward because the caller streams
+// the body after it returns.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// forward sends one attempt to a node over RA-TLS. attemptsLeft (this
+// attempt included) shares the remaining request deadline between the
+// attempts still in budget.
+func (g *Gateway) forward(up *upstream, domain string, r *http.Request, attemptsLeft int) (*http.Response, error) {
+	parent := r.Context()
+	perTry := g.res.PerTryTimeout
+	if dl, ok := parent.Deadline(); ok {
+		perTry = resilience.CarveTry(perTry, time.Until(dl), attemptsLeft)
+	}
+	// The per-try clock covers dial + request + response headers; once
+	// headers arrive the attempt has succeeded and the timer stops, so a
+	// slow client draining a long body is bounded by the request
+	// deadline and WriteTimeout, not mistaken for a stalled node.
+	tryCtx, cancel := context.WithCancel(parent)
+	timer := time.AfterFunc(perTry, cancel)
+
+	outreq := r.Clone(tryCtx)
 	outreq.URL.Scheme = "https"
 	outreq.URL.Host = up.ep.UpstreamAddr
 	outreq.RequestURI = ""
@@ -478,10 +763,15 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request) (*http.R
 	if r.GetBody != nil {
 		body, err := r.GetBody()
 		if err != nil {
+			timer.Stop()
+			cancel()
 			return nil, err
 		}
 		outreq.Body = body
 	}
+	// Rewrite — never forward — the client's deadline header: the node
+	// sees this attempt's carved budget, not whatever the client sent.
+	outreq.Header.Set(DeadlineHeader, strconv.FormatInt(int64(perTry/time.Millisecond), 10))
 	// The gateway terminates TLS for outside clients, so it is the trust
 	// boundary: any X-Forwarded-For the client sent is attacker-
 	// controlled and must not reach the nodes, where it would read as an
@@ -492,8 +782,87 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request) (*http.R
 	}
 
 	up.pending.Add(1)
-	defer up.pending.Add(-1)
-	return g.transport.RoundTrip(outreq)
+	start := time.Now()
+	resp, err := g.transport.RoundTrip(outreq)
+	latency := time.Since(start)
+	up.pending.Add(-1)
+	timer.Stop()
+	if parent.Err() == nil {
+		// Only outcomes the request deadline did not cause feed the
+		// breaker: a client hanging up is not the node's fault.
+		if up.breaker.Observe(latency, err != nil) {
+			g.breakerOpens.Add(1)
+		}
+	}
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// probeLoop drives active health probing: every ProbeInterval it asks
+// each breaker whether its open dwell has elapsed (ProbeDue claims the
+// half-open slot, so exactly one probe flies per dwell) and probes the
+// claimed upstreams concurrently.
+func (g *Gateway) probeLoop() {
+	defer g.watchWG.Done()
+	ticker := time.NewTicker(g.res.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-ticker.C:
+		}
+		g.mu.Lock()
+		domain := g.domain
+		var due []*upstream
+		for _, up := range g.ups {
+			if up.breaker.ProbeDue() {
+				due = append(due, up)
+			}
+		}
+		g.mu.Unlock()
+		for _, up := range due {
+			g.watchWG.Add(1)
+			go func(up *upstream) {
+				defer g.watchWG.Done()
+				g.probe(up, domain)
+			}(up)
+		}
+	}
+}
+
+// probe sends one attested health check to a half-open upstream and
+// reports the outcome to its breaker. Probes ride the gateway's RA-TLS
+// transport, so a node whose attestation stopped verifying cannot pass.
+func (g *Gateway) probe(up *upstream, domain string) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.res.PerTryTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"https://"+up.ep.UpstreamAddr+g.res.ProbePath, nil)
+	if err != nil {
+		g.probeFail.Add(1)
+		up.breaker.ProbeResult(false)
+		return
+	}
+	if domain != "" {
+		req.Host = domain
+	}
+	resp, err := g.transport.RoundTrip(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if err == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+	}
+	if ok {
+		g.probeOK.Add(1)
+	} else {
+		g.probeFail.Add(1)
+	}
+	up.breaker.ProbeResult(ok)
 }
 
 // Start opens the gateway's TLS listener on a loopback port. The
@@ -550,6 +919,10 @@ func (g *Gateway) Stats() Stats {
 	s := Stats{
 		Requests:           g.requests.Load(),
 		Retries:            g.retries.Load(),
+		SheddedRequests:    g.shed.Load(),
+		BreakerOpens:       g.breakerOpens.Load(),
+		ProbeSuccesses:     g.probeOK.Load(),
+		ProbeFailures:      g.probeFail.Load(),
 		PolicyFlushes:      g.flushes.Load(),
 		TruncatedResponses: g.truncated.Load(),
 	}
@@ -560,14 +933,18 @@ func (g *Gateway) Stats() Stats {
 		if up.ejected.Load() {
 			s.Ejected = append(s.Ejected, addr)
 		}
+		if up.breaker.State() != resilience.BreakerClosed {
+			s.BreakerOpen = append(s.BreakerOpen, addr)
+		}
 	}
 	g.mu.Unlock()
 	sort.Strings(s.Ejected)
+	sort.Strings(s.BreakerOpen)
 	return s
 }
 
-// Close stops the listener, the view watcher, and the upstream pools.
-// Idempotent and safe for concurrent use.
+// Close stops the listener, the view watcher, the probe loop, and the
+// upstream pools. Idempotent and safe for concurrent use.
 func (g *Gateway) Close() {
 	g.mu.Lock()
 	if g.closed {
@@ -575,6 +952,7 @@ func (g *Gateway) Close() {
 		return
 	}
 	g.closed = true
+	close(g.probeStop)
 	server, unsub := g.server, g.unsub
 	g.server, g.listener = nil, nil
 	g.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 
 	"revelio/attestation"
 	"revelio/internal/fleet"
+	"revelio/internal/resilience"
 )
 
 // TestGatewayStripsClientForwardedFor: the gateway is the trust
@@ -162,7 +163,10 @@ func TestStatsEjectedSorted(t *testing.T) {
 
 	g.mu.Lock()
 	for _, addr := range []string{"9.9.9.9:1", "1.1.1.1:1", "5.5.5.5:1"} {
-		up := &upstream{ep: fleet.Endpoint{UpstreamAddr: addr, State: fleet.StateServing}}
+		up := &upstream{
+			ep:      fleet.Endpoint{UpstreamAddr: addr, State: fleet.StateServing},
+			breaker: resilience.NewBreaker(g.breakerConfig()),
+		}
 		up.ejected.Store(true)
 		g.ups[addr] = up
 	}

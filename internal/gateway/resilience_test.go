@@ -1,0 +1,531 @@
+package gateway
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"revelio/attestation"
+	"revelio/internal/fleet"
+)
+
+// startGatewayRes is startGateway with explicit resilience knobs.
+func startGatewayRes(t *testing.T, src Source, v attestation.Verifier, res Resilience) (*Gateway, *http.Client) {
+	t.Helper()
+	cert := selfSigned(t)
+	g, err := New(Config{
+		Source:         src,
+		Verifier:       v,
+		GetCertificate: func() (*tls.Certificate, error) { return &cert, nil },
+		Resilience:     res,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	client := &http.Client{
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{InsecureSkipVerify: true}, //nolint:gosec // test client
+		},
+		Timeout: 30 * time.Second,
+	}
+	t.Cleanup(client.CloseIdleConnections)
+	return g, client
+}
+
+// stallHandler blocks every request — health probes included — while
+// stalled, and serves id otherwise. It also counts non-probe hits, so
+// tests can prove a breaker-open node receives no client traffic.
+type stallHandler struct {
+	id      string
+	stalled atomic.Bool
+	hits    atomic.Int64
+}
+
+func (h *stallHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != fleet.HealthPath {
+		h.hits.Add(1)
+	}
+	if h.stalled.Load() {
+		<-r.Context().Done()
+		return
+	}
+	_, _ = w.Write([]byte(h.id))
+}
+
+// blackhole opens a listener that accepts and immediately closes every
+// connection — a node that is reachable but never completes a
+// handshake — counting accepts so tests can measure attempt
+// amplification and post-trip pick suppression.
+func blackhole(t *testing.T) (addr string, accepts *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.Add(1)
+			_ = c.Close()
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln.Addr().String(), &n
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, within time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v: %s", within, msg)
+}
+
+// TestGatewayStalledUpstreamFailsOverWithinPerTryBudget: a node that
+// accepts the connection and never sends response headers must cost a
+// request at most the per-try budget before it fails over — not the
+// 30s WriteTimeout it cost before the per-attempt deadline existed.
+func TestGatewayStalledUpstreamFailsOverWithinPerTryBudget(t *testing.T) {
+	provider, _, _ := softProvider(t, "stall")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	stalled := &stallHandler{id: "stalled"}
+	stalled.stalled.Store(true)
+	stalledAddr := startUpstream(t, provider, stalled)
+	okAddr := startUpstream(t, provider, idHandler("ok"))
+
+	view := NewView(testDomain, serving(stalledAddr), serving(okAddr))
+	g, client := startGatewayRes(t, view, mux, Resilience{
+		PerTryTimeout:  250 * time.Millisecond,
+		BreakerOpenFor: time.Minute, // keep the tripped node out for the whole test
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+	})
+
+	// Every request must land on the healthy node within roughly one
+	// per-try budget, whichever node the balancer tries first.
+	for i := 0; i < 6; i++ {
+		start := time.Now()
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		elapsed := time.Since(start)
+		if status != http.StatusOK || body != "ok" {
+			t.Fatalf("request %d: status=%d body=%q", i, status, body)
+		}
+		if elapsed > 1500*time.Millisecond {
+			t.Fatalf("request %d took %v; failover must cost at most the per-try budget", i, elapsed)
+		}
+	}
+}
+
+// TestGatewayBreakerStopsPicksAfterTrip: consecutive transport failures
+// must take a node out of rotation globally — before the breaker, the
+// exclusion map was rebuilt per request, so a dead node kept receiving
+// a connection attempt from every new request forever.
+func TestGatewayBreakerStopsPicksAfterTrip(t *testing.T) {
+	provider, _, _ := softProvider(t, "blackhole")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	deadAddr, accepts := blackhole(t)
+	okAddr := startUpstream(t, provider, idHandler("ok"))
+
+	view := NewView(testDomain, serving(deadAddr), serving(okAddr))
+	g, client := startGatewayRes(t, view, mux, Resilience{
+		BreakerFailures: 2,
+		BreakerOpenFor:  time.Minute, // no probe re-entry during the test
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      4 * time.Millisecond,
+	})
+
+	// Drive traffic until the breaker trips; every request still
+	// succeeds by failing over to the healthy node.
+	tripped := false
+	for i := 0; i < 20 && !tripped; i++ {
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK || body != "ok" {
+			t.Fatalf("request %d: status=%d body=%q", i, status, body)
+		}
+		s := g.Stats()
+		tripped = len(s.BreakerOpen) == 1 && s.BreakerOpen[0] == deadAddr
+	}
+	if !tripped {
+		t.Fatalf("breaker never tripped for %s: stats=%+v", deadAddr, g.Stats())
+	}
+	if s := g.Stats(); s.BreakerOpens == 0 {
+		t.Fatalf("BreakerOpens = 0 after a trip: %+v", s)
+	}
+
+	// The tripped node must receive no further connection attempts from
+	// client traffic (and no probes either — the dwell is a minute).
+	before := accepts.Load()
+	for i := 0; i < 20; i++ {
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK || body != "ok" {
+			t.Fatalf("post-trip request %d: status=%d body=%q", i, status, body)
+		}
+	}
+	if after := accepts.Load(); after != before {
+		t.Fatalf("breaker-open node received %d connection attempts after the trip", after-before)
+	}
+}
+
+// TestGatewayRetryAmplificationBounded: under a full-fleet blackhole,
+// the total upstream attempts for one client request is the configured
+// retry budget — not len(Serving()), which is what the pre-budget
+// retry loop amplified to.
+func TestGatewayRetryAmplificationBounded(t *testing.T) {
+	for _, budget := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			provider, _, _ := softProvider(t, "amplify")
+			mux := attestation.NewMux()
+			mux.RegisterProvider(provider)
+
+			// Five dead nodes: more than any budget in the table, so the
+			// old walk-the-fleet behavior would exceed every bound here.
+			const fleetSize = 5
+			counters := make([]*atomic.Int64, fleetSize)
+			eps := make([]fleet.Endpoint, fleetSize)
+			for i := range eps {
+				addr, accepts := blackhole(t)
+				counters[i] = accepts
+				eps[i] = serving(addr)
+			}
+
+			view := NewView(testDomain, eps...)
+			g, client := startGatewayRes(t, view, mux, Resilience{
+				RetryBudget:     budget,
+				BreakerFailures: 100, // keep breakers out of the attempt count
+				BackoffBase:     time.Millisecond,
+				BackoffMax:      2 * time.Millisecond,
+			})
+
+			_, status := get(t, client, "https://"+g.Addr()+"/")
+			if status != http.StatusBadGateway {
+				t.Fatalf("status = %d, want 502 under a full blackhole", status)
+			}
+			var total int64
+			for _, c := range counters {
+				total += c.Load()
+			}
+			if total > int64(budget) {
+				t.Fatalf("one request made %d upstream attempts, budget is %d", total, budget)
+			}
+			if total == 0 {
+				t.Fatal("request made no upstream attempts at all")
+			}
+			if s := g.Stats(); s.Retries != total-1 {
+				t.Fatalf("Retries = %d, want %d (attempts beyond the first)", s.Retries, total-1)
+			}
+		})
+	}
+}
+
+// TestGatewayShedsOverload: beyond MaxInFlight the gateway answers 503
+// + Retry-After immediately instead of queueing, and the shed is
+// counted separately from failures.
+func TestGatewayShedsOverload(t *testing.T) {
+	provider, _, _ := softProvider(t, "overload")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	release := make(chan struct{})
+	var entered atomic.Int64
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		_, _ = w.Write([]byte("done"))
+	})
+	addr := startUpstream(t, provider, slow)
+
+	view := NewView(testDomain, serving(addr))
+	g, client := startGatewayRes(t, view, mux, Resilience{
+		MaxInFlight:    2,
+		PerTryTimeout:  5 * time.Second,
+		RequestTimeout: 10 * time.Second,
+	})
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			body, status := get(t, client, "https://"+g.Addr()+"/")
+			if status != http.StatusOK || body != "done" {
+				results <- fmt.Errorf("held request: status=%d body=%q", status, body)
+				return
+			}
+			results <- nil
+		}()
+	}
+	waitFor(t, 5*time.Second, func() bool { return entered.Load() == 2 },
+		"both held requests in flight")
+
+	resp, err := client.Get("https://" + g.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 shed beyond MaxInFlight", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if s := g.Stats(); s.SheddedRequests == 0 {
+		t.Fatalf("SheddedRequests = 0 after a shed: %+v", s)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGatewayPerUpstreamBoundSheds: a single upstream at its in-flight
+// bound is skipped as saturated; when every paced re-pick finds only
+// saturation, the request sheds rather than reporting upstream failure.
+func TestGatewayPerUpstreamBoundSheds(t *testing.T) {
+	provider, _, _ := softProvider(t, "saturate")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	release := make(chan struct{})
+	var entered atomic.Int64
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		_, _ = w.Write([]byte("done"))
+	})
+	addr := startUpstream(t, provider, slow)
+
+	view := NewView(testDomain, serving(addr))
+	g, client := startGatewayRes(t, view, mux, Resilience{
+		MaxPerUpstream: 1,
+		PerTryTimeout:  5 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     2 * time.Millisecond,
+	})
+
+	held := make(chan error, 1)
+	go func() {
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK || body != "done" {
+			held <- fmt.Errorf("held request: status=%d body=%q", status, body)
+			return
+		}
+		held <- nil
+	}()
+	waitFor(t, 5*time.Second, func() bool { return entered.Load() == 1 },
+		"held request in flight")
+
+	resp, err := client.Get("https://" + g.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 when the only upstream is saturated", resp.StatusCode)
+	}
+
+	close(release)
+	if err := <-held; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayDeadlineHeaderPropagation: an inbound deadline below
+// MinDeadline sheds without an upstream attempt; a workable one reaches
+// the node rewritten to the attempt's carved budget.
+func TestGatewayDeadlineHeaderPropagation(t *testing.T) {
+	provider, _, _ := softProvider(t, "deadline")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	var sawBudget atomic.Int64
+	echo := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ms, err := strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64); err == nil {
+			sawBudget.Store(ms)
+		}
+		_, _ = w.Write([]byte("ok"))
+	})
+	addr := startUpstream(t, provider, echo)
+	view := NewView(testDomain, serving(addr))
+	g, client := startGatewayRes(t, view, mux, Resilience{})
+
+	// 1ms of budget is below the default MinDeadline: shed, no attempt.
+	req, err := http.NewRequest(http.MethodGet, "https://"+g.Addr()+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DeadlineHeader, "1")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 for a sub-MinDeadline budget", resp.StatusCode)
+	}
+	if n := sawBudget.Load(); n != 0 {
+		t.Fatalf("shed request still reached the upstream (saw %dms)", n)
+	}
+
+	// A 5s budget is carved across the retry budget and forwarded.
+	req.Header.Set(DeadlineHeader, "5000")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if n := sawBudget.Load(); n <= 0 || n > 5000 {
+		t.Fatalf("upstream saw %dms of budget, want within (0, 5000]", n)
+	}
+}
+
+// TestGatewayProbeReadmitsRecoveredUpstream: a tripped node re-enters
+// rotation only through a successful health probe — and while open it
+// receives probes only, never client traffic.
+func TestGatewayProbeReadmitsRecoveredUpstream(t *testing.T) {
+	provider, _, _ := softProvider(t, "probe")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	flaky := &stallHandler{id: "flaky"}
+	flaky.stalled.Store(true)
+	flakyAddr := startUpstream(t, provider, flaky)
+	okAddr := startUpstream(t, provider, idHandler("ok"))
+
+	view := NewView(testDomain, serving(flakyAddr), serving(okAddr))
+	g, client := startGatewayRes(t, view, mux, Resilience{
+		PerTryTimeout:   150 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerOpenFor:  50 * time.Millisecond,
+		ProbeInterval:   20 * time.Millisecond,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      4 * time.Millisecond,
+	})
+
+	// Trip the stalled node's breaker through normal traffic.
+	for i := 0; i < 20; i++ {
+		if _, status := get(t, client, "https://"+g.Addr()+"/"); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		if s := g.Stats(); len(s.BreakerOpen) == 1 && s.BreakerOpen[0] == flakyAddr {
+			break
+		}
+	}
+	if s := g.Stats(); len(s.BreakerOpen) != 1 || s.BreakerOpen[0] != flakyAddr {
+		t.Fatalf("breaker never tripped: %+v", s)
+	}
+
+	// While still stalled, probes run and fail: the node stays open and
+	// sees no client traffic (the stall handler counts non-probe hits).
+	clientHits := flaky.hits.Load()
+	waitFor(t, 3*time.Second, func() bool { return g.Stats().ProbeFailures > 0 },
+		"failed probes against the still-stalled node")
+	for i := 0; i < 10; i++ {
+		if body, status := get(t, client, "https://"+g.Addr()+"/"); status != http.StatusOK || body != "ok" {
+			t.Fatalf("request during open state: status=%d body=%q", status, body)
+		}
+	}
+	if n := flaky.hits.Load(); n != clientHits {
+		t.Fatalf("breaker-open node received %d client requests (probes only allowed)", n-clientHits)
+	}
+
+	// Recover the node: the next successful probe closes the breaker and
+	// traffic returns.
+	flaky.stalled.Store(false)
+	waitFor(t, 5*time.Second, func() bool { return len(g.Stats().BreakerOpen) == 0 },
+		"breaker to close after recovery")
+	if s := g.Stats(); s.ProbeSuccesses == 0 {
+		t.Fatalf("breaker closed without a successful probe: %+v", s)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		_, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK {
+			t.Fatalf("post-recovery request: status %d", status)
+		}
+		return flaky.hits.Load() > clientHits
+	}, "recovered node to receive client traffic again")
+}
+
+// TestGatewayGrayFailureTrips: a node that answers successfully but
+// slower than BreakerSlow is treated as failed — the gray-failure
+// detector — and leaves rotation like a dead one.
+func TestGatewayGrayFailureTrips(t *testing.T) {
+	provider, _, _ := softProvider(t, "gray")
+	mux := attestation.NewMux()
+	mux.RegisterProvider(provider)
+
+	var slowHits atomic.Int64
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != fleet.HealthPath {
+			slowHits.Add(1)
+		}
+		time.Sleep(60 * time.Millisecond)
+		_, _ = w.Write([]byte("slow"))
+	})
+	slowAddr := startUpstream(t, provider, slow)
+	okAddr := startUpstream(t, provider, idHandler("ok"))
+
+	view := NewView(testDomain, serving(slowAddr), serving(okAddr))
+	g, client := startGatewayRes(t, view, mux, Resilience{
+		BreakerFailures: 2,
+		BreakerSlow:     20 * time.Millisecond,
+		BreakerOpenFor:  time.Minute, // stay open for the whole test
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      4 * time.Millisecond,
+	})
+
+	tripped := false
+	for i := 0; i < 30 && !tripped; i++ {
+		if _, status := get(t, client, "https://"+g.Addr()+"/"); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		s := g.Stats()
+		tripped = len(s.BreakerOpen) == 1 && s.BreakerOpen[0] == slowAddr
+	}
+	if !tripped {
+		t.Fatalf("slow-but-alive node never tripped: %+v", g.Stats())
+	}
+
+	before := slowHits.Load()
+	for i := 0; i < 15; i++ {
+		body, status := get(t, client, "https://"+g.Addr()+"/")
+		if status != http.StatusOK || body != "ok" {
+			t.Fatalf("post-trip request %d: status=%d body=%q", i, status, body)
+		}
+	}
+	if after := slowHits.Load(); after != before {
+		t.Fatalf("gray-failed node received %d requests after the trip", after-before)
+	}
+}

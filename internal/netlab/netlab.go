@@ -3,11 +3,12 @@
 // WAN path to the AMD KDS). The client-side experiments of Table 3 need a
 // stable, configurable base latency; netlab provides it without leaving
 // the process. The live fault seams — SetOutage, SetRTT, Partition,
-// SetLoss — are what the chaos scheduler flips mid-traffic.
+// SetLoss, SetDrip — are what the chaos scheduler flips mid-traffic.
 package netlab
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -39,7 +40,11 @@ type Transport struct {
 	// lossCount) — deterministic loss, no RNG in the data path.
 	lossEvery atomic.Int64
 	lossCount atomic.Int64
-	requests  atomic.Int64
+	// drip, when set, slows every response body to small chunks with a
+	// per-read pause — the slow-drip gray failure: headers arrive
+	// promptly, the payload crawls.
+	drip     atomic.Pointer[time.Duration]
+	requests atomic.Int64
 }
 
 type outageState struct{ err error }
@@ -93,6 +98,41 @@ func (t *Transport) ClearRTT() { t.rttOverride.Store(nil) }
 // for a given interleaving.
 func (t *Transport) SetLoss(n int) { t.lossEvery.Store(int64(n)) }
 
+// SetDrip makes every subsequent response body arrive in small chunks
+// with pause d between reads — the slow-drip gray failure, where the
+// request "succeeds" (headers land promptly) but the payload crawls.
+// Safe to flip while requests are in flight; clear with ClearDrip.
+func (t *Transport) SetDrip(d time.Duration) {
+	if d <= 0 {
+		t.drip.Store(nil)
+		return
+	}
+	t.drip.Store(&d)
+}
+
+// ClearDrip restores full-speed response bodies.
+func (t *Transport) ClearDrip() { t.drip.Store(nil) }
+
+// dripBody rations a response body: at most chunk bytes per Read, with
+// a pause before each. The pause is fixed per response — captured when
+// the response was created — so clearing the drip mid-body does not
+// change an in-flight response's pacing (deterministic replay).
+type dripBody struct {
+	inner io.ReadCloser
+	pause time.Duration
+	chunk int
+}
+
+func (b *dripBody) Read(p []byte) (int, error) {
+	time.Sleep(b.pause)
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	return b.inner.Read(p)
+}
+
+func (b *dripBody) Close() error { return b.inner.Close() }
+
 // RoundTrip implements http.RoundTripper.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if o := t.outage.Load(); o != nil {
@@ -121,7 +161,13 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if inner == nil {
 		inner = http.DefaultTransport
 	}
-	return inner.RoundTrip(req)
+	resp, err := inner.RoundTrip(req)
+	if err == nil && resp.Body != nil {
+		if d := t.drip.Load(); d != nil {
+			resp.Body = &dripBody{inner: resp.Body, pause: *d, chunk: 512}
+		}
+	}
+	return resp, err
 }
 
 // Requests returns the number of round trips performed. Requests aborted

@@ -2,6 +2,7 @@ package netlab
 
 import (
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -234,5 +235,59 @@ func TestSelectiveFailure(t *testing.T) {
 	_ = resp.Body.Close()
 	if _, err := client.Get(server.URL + "/blocked"); err == nil {
 		t.Error("blocked path succeeded")
+	}
+}
+
+func TestSlowDripRationsResponseBodies(t *testing.T) {
+	payload := make([]byte, 4096)
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write(payload)
+	}))
+	defer server.Close()
+
+	tr := &Transport{}
+	client := &http.Client{Transport: tr}
+
+	// Undripped: the body arrives essentially instantly.
+	resp, err := client.Get(server.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || len(body) != len(payload) {
+		t.Fatalf("baseline read: %d bytes, err=%v", len(body), err)
+	}
+
+	// Dripped: 4096 bytes at 512 per read with a 5ms pause each is at
+	// least 8 reads * 5ms. Headers still land promptly — the request
+	// itself "succeeds".
+	const pause = 5 * time.Millisecond
+	tr.SetDrip(pause)
+	start := time.Now()
+	resp, err = client.Get(server.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	elapsed := time.Since(start)
+	if err != nil || len(body) != len(payload) {
+		t.Fatalf("dripped read: %d bytes, err=%v", len(body), err)
+	}
+	if min := 8 * pause; elapsed < min {
+		t.Errorf("dripped body arrived in %v, want >= %v", elapsed, min)
+	}
+
+	// Cleared: full speed again.
+	tr.ClearDrip()
+	resp, err = client.Get(server.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if len(body) != len(payload) {
+		t.Fatalf("post-clear read: %d bytes", len(body))
 	}
 }
