@@ -17,6 +17,7 @@
 //	revelio-bench -chaos          # seeded chaos sweep (20 seeds by default)
 //	revelio-bench -chaos.seed 7   # replay exactly one chaos seed
 //	revelio-bench -chaos -chaos.gray       # graceful-degradation fault mix
+//	revelio-bench -chaos -chaos.routed     # context-aware routing fault mix
 //	revelio-bench -chaos -chaos.out FILE   # persist every schedule (CI artifact)
 //
 // A failing chaos seed prints the violated invariant plus the full fault
@@ -108,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 	chaosEvents := fs.Int("chaos.events", 8, "scheduled faults per chaos run")
 	chaosHeavy := fs.Bool("chaos.heavy", false, "include rollout-class chaos faults (nightly profile)")
 	chaosGray := fs.Bool("chaos.gray", false, "include graceful-degradation chaos faults (gray failures, overload storms, slow drip)")
+	chaosRouted := fs.Bool("chaos.routed", false, "install a context-aware routing policy and include the routing chaos faults (broken-canary rollouts, zone bursts)")
 	chaosOut := fs.String("chaos.out", "", "write every executed chaos schedule to this file")
 	chaosVerbose := fs.Bool("chaos.v", false, "log every injected chaos fault as it runs")
 	if err := fs.Parse(args); err != nil {
@@ -122,6 +124,7 @@ func run(args []string, stdout io.Writer) error {
 			events:  *chaosEvents,
 			heavy:   *chaosHeavy,
 			gray:    *chaosGray,
+			routed:  *chaosRouted,
 			out:     *chaosOut,
 			verbose: *chaosVerbose,
 			json:    *jsonOut,
@@ -244,6 +247,9 @@ func run(args []string, stdout io.Writer) error {
 				OverloadClients:     32,
 				OverloadMaxInFlight: 8,
 				OverloadRequests:    256,
+				CanaryNodes:         2,
+				CanaryWeight:        25,
+				CanaryRequests:      200,
 			}
 		}
 		res, err := bench.RunGatewayThroughput(cfg)
@@ -319,6 +325,7 @@ type chaosFlags struct {
 	events  int
 	heavy   bool
 	gray    bool
+	routed  bool
 	out     string
 	verbose bool
 	json    bool
@@ -334,6 +341,7 @@ func runChaos(stdout io.Writer, f chaosFlags) error {
 	cfg.Events = f.events
 	cfg.Heavy = f.heavy
 	cfg.Gray = f.gray
+	cfg.Routed = f.routed
 	if f.seed != 0 {
 		cfg.FirstSeed, cfg.Seeds = f.seed, 1
 	}
@@ -424,6 +432,14 @@ func compareBaseline(current map[string]any, base map[string]any, tol float64) (
 		// So is graceful degradation: overload must shed, not starve.
 		if cv, ok := c["overload_served"].(float64); ok && cv == 0 {
 			fail("table6: zero goodput under overload")
+		}
+		// And canary routing: a broken canary rolls back exactly once and
+		// the rolled-back measurement receives nothing afterwards.
+		if cv, ok := c["canary_rollbacks"].(float64); ok && cv != 1 {
+			fail("table6: canary rollback fired %.0f times, want exactly once", cv)
+		}
+		if cv, ok := c["canary_stray_after_rollback"].(float64); ok && cv != 0 {
+			fail("table6: %.0f requests reached the rolled-back canary measurement", cv)
 		}
 	}
 	return regressions, nil

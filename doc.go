@@ -31,7 +31,13 @@
 //	                               attested node (Service.ServeGateway),
 //	                               with circuit breakers, retry budgets,
 //	                               deadline propagation, and load
-//	                               shedding (Config.Resilience)
+//	                               shedding (Config.Resilience), plus
+//	                               context-aware routing policy: path
+//	                               classes constrained by TCB floor,
+//	                               provider, measurement, or locality,
+//	                               provider traffic splits, and canary
+//	                               rollouts with measurement-based
+//	                               auto-rollback (Config.Routing)
 //	revelio/webclient            — the end-user browser + web extension
 //	revelio/apps/...             — the paper's use cases (cryptpad,
 //	                               boundary, ic)
@@ -75,23 +81,30 @@
 // Table 6 measures the attested gateway data plane: aggregate req/s
 // through the gateway vs direct-to-leader over fleet size × client
 // concurrency, zero failed requests while nodes are replaced behind
-// the proxy, and the overload cell — far more clients than the
+// the proxy, the overload cell — far more clients than the
 // admission bound, where every response must be a success or a
-// deliberate shed (see DESIGN.md's "Attested gateway" and "Resilience
-// layer").
+// deliberate shed — and the canary cell: a staged firmware rollout
+// whose canary serves errors, reporting the observed canary fraction,
+// the attempts and wall time until the router's auto-rollback, and a
+// strict zero requests reaching the canary afterwards (see DESIGN.md's
+// "Attested gateway", "Resilience layer", and "Context-aware
+// routing").
 // revelio-bench -json emits every result as one machine-readable JSON
 // document for tracking across revisions, and -baseline (repeatable;
 // files merge per experiment) regresses a run against stored documents.
 // The chaos sweep (revelio-bench -chaos, bench.RunChaos) is not a
 // benchmark but a property check: seeded, deterministic fault schedules
 // — churn, KDS outages and partitions, policy storms, crashes mid-join
-// and mid-rollout, cert-expiry waves, and (with -chaos.gray) stalled-
-// node gray failures, overload storms, and slow-drip bodies — run
-// against a live fleet serving attested-TLS traffic through the
-// gateway, asserting zero failed requests outside fault windows,
-// fail-closed verification, gateway coherence, graceful degradation
-// (breaker-open nodes see probes only, retry amplification stays under
-// budget, admitted requests meet their deadlines), and leak-free
-// teardown; a failing seed prints its full schedule and -chaos.seed=N
-// replays it byte for byte (see DESIGN.md's "Chaos harness").
+// and mid-rollout, cert-expiry waves, (with -chaos.gray) stalled-
+// node gray failures, overload storms, and slow-drip bodies, and
+// (with -chaos.routed) broken-canary rollouts and zone bursts against
+// a routing policy — run against a live fleet serving attested-TLS
+// traffic through the gateway, asserting zero failed requests outside
+// fault windows, fail-closed verification, gateway coherence,
+// graceful degradation (breaker-open nodes see probes only, retry
+// amplification stays under budget, admitted requests meet their
+// deadlines), zero out-of-policy requests under the routed profile,
+// and leak-free teardown; a failing seed prints its full schedule and
+// -chaos.seed=N replays it byte for byte (see DESIGN.md's "Chaos
+// harness").
 package revelio

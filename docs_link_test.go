@@ -1,0 +1,136 @@
+package revelio_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks checks every relative link and anchor in the
+// repository's top-level markdown docs: linked files must exist and
+// linked #fragments must match a heading in the target file (GitHub
+// anchor rules). External http(s) links are out of scope — CI must not
+// depend on the network.
+func TestMarkdownLinks(t *testing.T) {
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found at the repository root")
+	}
+	// PAPERS.md and SNIPPETS.md are verbatim extractions of external
+	// reference material (papers, exemplar repos); their dangling image
+	// and cross-file links are artifacts of the extraction, not doc rot
+	// this repository can fix. ISSUE.md is task-tracker input.
+	skip := map[string]bool{"PAPERS.md": true, "SNIPPETS.md": true, "ISSUE.md": true}
+	kept := files[:0]
+	for _, f := range files {
+		if !skip[f] {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	anchors := make(map[string]map[string]bool, len(files))
+	links := make(map[string][]string, len(files))
+	for _, f := range files {
+		heads, targets, err := scanMarkdown(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors[f] = heads
+		links[f] = targets
+	}
+
+	for _, f := range files {
+		for _, target := range links[f] {
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			pathPart, frag, _ := strings.Cut(target, "#")
+			dest := f
+			if pathPart != "" {
+				dest = filepath.Join(filepath.Dir(f), pathPart)
+				if _, err := os.Stat(dest); err != nil {
+					t.Errorf("%s: broken link %q: %v", f, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			heads, ok := anchors[dest]
+			if !ok {
+				// Anchors are only checked in the markdown files this
+				// test scanned; a fragment into anything else is opaque.
+				if strings.HasSuffix(dest, ".md") {
+					t.Errorf("%s: link %q targets an unscanned markdown file", f, target)
+				}
+				continue
+			}
+			if !heads[frag] {
+				t.Errorf("%s: link %q: no heading in %s produces anchor %q", f, target, dest, frag)
+			}
+		}
+	}
+}
+
+var (
+	mdHeadingRE = regexp.MustCompile("^#{1,6}\\s+(.+?)\\s*$")
+	mdLinkRE    = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+)
+
+// scanMarkdown returns the file's heading anchors (GitHub slugs) and
+// every markdown link target, skipping fenced code blocks.
+func scanMarkdown(path string) (heads map[string]bool, targets []string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	heads = make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := mdHeadingRE.FindStringSubmatch(line); m != nil {
+			slug := githubSlug(m[1])
+			// GitHub de-duplicates repeated headings with -1, -2, ...;
+			// register the base form for each (first wins is enough
+			// for link checking).
+			for i := 0; heads[slug]; i++ {
+				slug = fmt.Sprintf("%s-%d", githubSlug(m[1]), i+1)
+			}
+			heads[slug] = true
+		}
+		for _, m := range mdLinkRE.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return heads, targets, nil
+}
+
+// githubSlug reproduces GitHub's heading-to-anchor rule: lowercase,
+// drop everything but letters, digits, spaces, and hyphens, then turn
+// spaces into hyphens.
+func githubSlug(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

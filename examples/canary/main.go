@@ -1,0 +1,200 @@
+// Canary: the context-aware routing loop from OPERATIONS.md, written
+// entirely against the public SDK (package revelio + revelio/gateway —
+// no internal imports).
+//
+//  1. Run a two-node attested fleet behind the gateway with canary
+//     routing configured: during a staged firmware rollout, 50% of
+//     traffic prefers nodes on the new golden measurement, and the
+//     gateway auto-rolls the canary back at a 50% failure rate over at
+//     least 5 canary requests.
+//  2. Stage a new measured image and add a canary node (joins during a
+//     staged rollout boot the new firmware); watch the gateway steer
+//     the configured fraction to it.
+//  3. Break the canary (it starts serving 500s) and watch the
+//     measurement-based accounting roll it back: the canary
+//     measurement becomes a hard routing exclusion and traffic
+//     continues on the baseline nodes.
+//  4. Recover per the runbook: remove the canary node first, then
+//     abort the rollout (revoking the canary measurement), re-verify
+//     the fleet, and confirm serving.
+//
+// Run with: go run ./examples/canary
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"revelio"
+	"revelio/gateway"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "canary:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Shared seams the per-node apps read: the canary measurement (set
+	// once the rollout is staged), the broken switch, and a counter of
+	// requests the canary actually served.
+	var (
+		canaryMeas atomic.Value // revelio.Measurement
+		broken     atomic.Bool
+		canaryHits atomic.Int64
+	)
+	isCanary := func(m revelio.Measurement) bool {
+		cm, ok := canaryMeas.Load().(revelio.Measurement)
+		return ok && m == cm
+	}
+
+	f, err := revelio.NewFleet(ctx, revelio.FleetConfig{
+		Nodes: 2,
+		App: func(n *revelio.Node) http.Handler {
+			m := n.VM.Measurement()
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == gateway.HealthPath {
+					io.WriteString(w, "ok")
+					return
+				}
+				if isCanary(m) {
+					canaryHits.Add(1)
+					if broken.Load() {
+						http.Error(w, "canary regression", http.StatusInternalServerError)
+						return
+					}
+				}
+				io.WriteString(w, "ok from "+m.String()[:8])
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	gw, err := gateway.New(gateway.Config{
+		Source:         f,
+		Verifier:       f.Mux(),
+		GetCertificate: f.ServingCertificate,
+		Routing: gateway.Routing{
+			Canary: gateway.CanaryConfig{Weight: 50, MaxFailureRate: 0.5, MinSamples: 5},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := gw.Start(); err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	client := &http.Client{Transport: &http.Transport{TLSClientConfig: &tls.Config{
+		RootCAs:    f.Deployment().CARootPool(),
+		ServerName: f.Endpoints().Domain,
+	}}}
+	get := func() (int, error) {
+		resp, err := client.Get("https://" + gw.Addr() + "/")
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// --- Stage the rollout and add the canary --------------------------
+	newGolden, err := f.StageFirmware(ctx, "2026.08-cvm")
+	if err != nil {
+		return err
+	}
+	canaryMeas.Store(newGolden)
+	if _, err := f.AddNode(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("staged rollout to %s...; canary node joined\n", newGolden.String()[:8])
+
+	// The canary fraction is driven by a deterministic counter, so the
+	// weight is exact over every 100-request block — not statistical.
+	for i := 0; i < 100; i++ {
+		if _, err := get(); err != nil {
+			return err
+		}
+	}
+	s := gw.Stats()
+	fmt.Printf("healthy canary: %d of 100 requests steered to the new image (weight 50%%)\n",
+		s.CanaryRequests)
+
+	// --- Break the canary and let the router catch it ------------------
+	broken.Store(true)
+	deadline := time.Now().Add(30 * time.Second)
+	for !gw.Stats().CanaryRolledBack {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no rollback after 30s: %+v", gw.Stats())
+		}
+		// Canary 500s are client-visible (the gateway never replays a
+		// served response); that is exactly the failure signal the
+		// accounting consumes.
+		if _, err := get(); err != nil {
+			return err
+		}
+	}
+	broken.Store(false)
+	s = gw.Stats()
+	fmt.Printf("rolled back: %d canary failures over %d canary requests; measurement %s... excluded\n",
+		s.CanaryFailures, s.CanaryRequests, s.CanaryMeasurement[:8])
+
+	// Traffic continues on the baseline nodes; the canary serves nothing.
+	frozen := canaryHits.Load()
+	for i := 0; i < 20; i++ {
+		code, err := get()
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("post-rollback request got %d", code)
+		}
+	}
+	fmt.Printf("after rollback: 20 requests served, %d reached the canary\n",
+		canaryHits.Load()-frozen)
+
+	// --- Recover: runbook order — canary nodes out, then abort ---------
+	for {
+		idx := -1
+		for i, n := range f.Deployment().Nodes {
+			if n.VM.Measurement() == newGolden {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if err := f.RemoveNode(ctx, idx); err != nil {
+			return err
+		}
+	}
+	if err := f.AbortRollOut(ctx); err != nil {
+		return err
+	}
+	if err := f.VerifyFleet(ctx); err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		if code, err := get(); err != nil || code != http.StatusOK {
+			return fmt.Errorf("post-abort request: code %d, err %v", code, err)
+		}
+	}
+	fmt.Println("rollout aborted; fleet re-verified on the restored golden and serving")
+	return nil
+}

@@ -15,10 +15,20 @@
 //	err = gw.Start()
 //	// browsers navigate to gw.Addr() and still see the attested origin
 //
-// Balancing is health-aware least-pending-requests with round-robin
-// tie-breaking; fleet churn drains through the gateway (zero failed
-// requests), and a policy-revision bump flushes the upstream pools so
-// revocations bite on the very next handshake.
+// Routing is context-aware: Config.Routing evaluates operator policy
+// over each node's published attestation context (TCB version,
+// provider, locality, launch measurement) per request. Hard rules pin
+// route classes to constraints ("only TCB ≥ 8 serves /payments");
+// traffic splits weight providers in mixed fleets; and during a staged
+// firmware rollout, canary routing steers a configured fraction of
+// traffic to nodes on the new measurement and rolls it back
+// automatically — routing away from the canary and surfacing the event
+// in Stats — when its failure rate crosses the threshold. The policy
+// filter is tier 1 of the decision order; attestation ejection, the
+// circuit breaker, and least-pending balancing with round-robin
+// tie-breaking follow. Fleet churn drains through the gateway (zero
+// failed requests), and a policy-revision bump flushes the upstream
+// pools so revocations bite on the very next handshake.
 //
 // Degradation under failure and overload is governed by Config's
 // Resilience knobs: per-upstream circuit breakers (with active attested
@@ -46,6 +56,18 @@ type (
 	// Resilience tunes circuit breaking, retry budgets, deadline
 	// propagation, and load shedding (zero value = all defaults).
 	Resilience = igateway.Resilience
+	// Routing configures the context-aware policy layer: hard rules,
+	// provider splits, and canary routing (zero value = disabled).
+	Routing = igateway.Routing
+	// RouteRule pins a path class to TCB / provider / locality
+	// constraints; all set constraints must hold.
+	RouteRule = igateway.RouteRule
+	// TrafficSplit weights one provider's share of steered traffic.
+	TrafficSplit = igateway.TrafficSplit
+	// CanaryConfig tunes measurement-based canary routing during a
+	// staged rollout: steer Weight percent to the new measurement,
+	// auto-rollback past MaxFailureRate over MinSamples attempts.
+	CanaryConfig = igateway.CanaryConfig
 	// View is a standalone publishable serving view with the same drain
 	// semantics as the fleet engine's.
 	View = igateway.View
@@ -82,6 +104,9 @@ var (
 	ErrNoUpstreams = igateway.ErrNoUpstreams
 	// ErrClosed reports use of a closed gateway.
 	ErrClosed = igateway.ErrClosed
+	// ErrNoPolicyUpstreams reports a request every serving endpoint was
+	// excluded from by the routing policy (503, no Retry-After).
+	ErrNoPolicyUpstreams = igateway.ErrNoPolicyUpstreams
 )
 
 // New builds a gateway over cfg; Start opens its TLS listener.

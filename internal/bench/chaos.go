@@ -29,6 +29,10 @@ type ChaosConfig struct {
 	// failures, overload storms, slow-drip bodies) with the tightened
 	// breaker/probe/admission knobs of the gray profile.
 	Gray bool `json:"gray"`
+	// Routed spreads each run's fleet across two localities with a
+	// context-aware routing policy installed and includes the routing
+	// faults (broken-canary rollouts, zone bursts).
+	Routed bool `json:"routed"`
 	// Log, when set, receives per-event progress lines.
 	Log func(format string, args ...any) `json:"-"`
 }
@@ -91,6 +95,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			Clients: cfg.Clients,
 			Heavy:   cfg.Heavy,
 			Gray:    cfg.Gray,
+			Routed:  cfg.Routed,
 			Log:     cfg.Log,
 		})
 		row := ChaosRun{

@@ -14,6 +14,7 @@ import (
 	"revelio/internal/core"
 	"revelio/internal/fleet"
 	"revelio/internal/gateway"
+	"revelio/internal/measure"
 )
 
 // Table6Config drives the attested-gateway throughput experiment
@@ -54,6 +55,16 @@ type Table6Config struct {
 	OverloadClients     int
 	OverloadMaxInFlight int
 	OverloadRequests    int
+	// CanaryNodes/CanaryWeight/CanaryRequests shape the canary-routing
+	// scenario: a CanaryNodes fleet stages a firmware rollout, joins one
+	// canary node on the new measurement, and the gateway steers
+	// CanaryWeight percent of traffic at it. The cell measures the
+	// observed steering share over CanaryRequests healthy requests, then
+	// breaks the canary and measures how fast auto-rollback fires; zero
+	// requests may reach the rolled-back measurement afterwards.
+	CanaryNodes    int
+	CanaryWeight   uint
+	CanaryRequests int
 }
 
 // DefaultTable6Config sweeps to the paper-scale 64-node fleet.
@@ -99,6 +110,15 @@ func (c Table6Config) withDefaults() Table6Config {
 	if c.OverloadRequests <= 0 {
 		c.OverloadRequests = 512
 	}
+	if c.CanaryNodes <= 0 {
+		c.CanaryNodes = 3
+	}
+	if c.CanaryWeight == 0 || c.CanaryWeight > 100 {
+		c.CanaryWeight = 25
+	}
+	if c.CanaryRequests <= 0 {
+		c.CanaryRequests = 400
+	}
 	return c
 }
 
@@ -142,6 +162,22 @@ type Table6Result struct {
 	OverloadShedRate    float64       `json:"overload_shed_rate"`
 	OverloadElapsed     time.Duration `json:"overload_elapsed_ns"`
 	OverloadGoodput     float64       `json:"overload_goodput_per_sec"`
+	// Canary: a staged rollout steers CanaryWeight percent of traffic at
+	// the canary node; ObservedPct is the share it actually received
+	// over the healthy burst. After the canary breaks,
+	// CanaryRollbackAttempts canary-measurement attempts (and
+	// CanaryRollbackLatency of wall clock) elapse before auto-rollback
+	// fires; CanaryStrayAfterRollback counts requests that reached the
+	// rolled-back measurement afterwards and must be zero (asserted
+	// during the run, like the churn invariant).
+	CanaryNodes              int           `json:"canary_nodes"`
+	CanaryWeight             uint          `json:"canary_weight_pct"`
+	CanaryRequests           int64         `json:"canary_requests"`
+	CanaryObservedPct        float64       `json:"canary_observed_pct"`
+	CanaryRollbacks          int64         `json:"canary_rollbacks"`
+	CanaryRollbackAttempts   int64         `json:"canary_rollback_attempts"`
+	CanaryRollbackLatency    time.Duration `json:"canary_rollback_latency_ns"`
+	CanaryStrayAfterRollback int64         `json:"canary_stray_after_rollback"`
 }
 
 // boundedApp builds the per-node capacity-limited handler.
@@ -243,6 +279,9 @@ func RunGatewayThroughput(cfg Table6Config) (*Table6Result, error) {
 	}
 	if err := table6Overload(ctx, cfg, res); err != nil {
 		return nil, fmt.Errorf("bench: table6 overload: %w", err)
+	}
+	if err := table6Canary(ctx, cfg, res); err != nil {
+		return nil, fmt.Errorf("bench: table6 canary: %w", err)
 	}
 	return res, nil
 }
@@ -527,6 +566,132 @@ func table6Overload(ctx context.Context, cfg Table6Config, res *Table6Result) er
 	return nil
 }
 
+// table6Canary measures the gateway's measurement-based canary routing
+// end to end: a staged firmware rollout with one canary node, the
+// observed steering share over a healthy burst, and — after the canary
+// image breaks — the number of canary attempts and the wall clock until
+// auto-rollback fires. The machine-independent invariants are asserted
+// in-line: rollback fires exactly once, and not one request reaches the
+// rolled-back measurement afterwards.
+func table6Canary(ctx context.Context, cfg Table6Config, res *Table6Result) error {
+	var (
+		failMeas   atomic.Value // measure.Measurement served with 500s
+		canaryMeas atomic.Value // the staged rollout's measurement
+		canaryHits atomic.Int64
+	)
+	f, err := fleet.New(ctx, fleet.Config{
+		Nodes:  cfg.CanaryNodes,
+		Domain: "table6.example.org",
+		App: func(n *core.Node) http.Handler {
+			meas := n.VM.Measurement()
+			return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				if cm, ok := canaryMeas.Load().(measure.Measurement); ok && cm == meas {
+					canaryHits.Add(1)
+				}
+				if fm, ok := failMeas.Load().(measure.Measurement); ok && fm == meas {
+					http.Error(w, "canary failing", http.StatusInternalServerError)
+					return
+				}
+				_, _ = w.Write([]byte("ok"))
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gw, err := gateway.New(gateway.Config{
+		Source:         f,
+		Verifier:       f.Mux(),
+		GetCertificate: f.ServingCertificate,
+		Routing: gateway.Routing{
+			Canary: gateway.CanaryConfig{Weight: cfg.CanaryWeight, MaxFailureRate: 0.5, MinSamples: 20},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	if err := gw.Start(); err != nil {
+		return err
+	}
+
+	newGolden, err := f.StageFirmware(ctx, "table6-canary")
+	if err != nil {
+		return fmt.Errorf("stage firmware: %w", err)
+	}
+	canaryMeas.Store(newGolden)
+	if _, err := f.AddNode(ctx); err != nil {
+		return fmt.Errorf("join canary node: %w", err)
+	}
+
+	client := table6Client(f.Deployment().CARootPool(), "table6.example.org")
+	defer client.CloseIdleConnections()
+	url := "https://" + gw.Addr() + "/"
+	one := func() (int, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Healthy phase: the steering share observed over the burst.
+	for i := 0; i < cfg.CanaryRequests; i++ {
+		status, err := one()
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("healthy canary request %d: status %d err %v", i, status, err)
+		}
+	}
+	res.CanaryNodes = cfg.CanaryNodes
+	res.CanaryWeight = cfg.CanaryWeight
+	res.CanaryRequests = int64(cfg.CanaryRequests)
+	res.CanaryObservedPct = float64(canaryHits.Load()) / float64(cfg.CanaryRequests) * 100
+
+	// Broken phase: 500s from the canary are client-visible (the gateway
+	// does not retry served responses) until the failure-rate accounting
+	// trips the rollback. The rate is judged over the whole rollout, so
+	// the healthy attempts above are part of the denominator.
+	attemptsBefore := gw.Stats().CanaryRequests
+	failMeas.Store(newGolden)
+	start := time.Now()
+	maxAttempts := cfg.CanaryRequests * 10
+	for i := 0; ; i++ {
+		if s := gw.Stats(); s.CanaryRolledBack {
+			res.CanaryRollbacks = s.CanaryRollbacks
+			res.CanaryRollbackAttempts = s.CanaryRequests - attemptsBefore
+			res.CanaryRollbackLatency = time.Since(start)
+			break
+		}
+		if i >= maxAttempts {
+			return fmt.Errorf("auto-rollback never fired within %d requests", maxAttempts)
+		}
+		if _, err := one(); err != nil {
+			return fmt.Errorf("broken-phase request %d: %w", i, err)
+		}
+	}
+	if res.CanaryRollbacks != 1 {
+		return fmt.Errorf("rollback fired %d times, want exactly once", res.CanaryRollbacks)
+	}
+
+	// Rolled back: every request serves from the base nodes and the
+	// canary measurement receives nothing.
+	strayBefore := canaryHits.Load()
+	for i := 0; i < 100; i++ {
+		status, err := one()
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("post-rollback request %d: status %d err %v", i, status, err)
+		}
+	}
+	res.CanaryStrayAfterRollback = canaryHits.Load() - strayBefore
+	if res.CanaryStrayAfterRollback != 0 {
+		return fmt.Errorf("%d requests reached the rolled-back canary measurement", res.CanaryStrayAfterRollback)
+	}
+	return nil
+}
+
 // Render prints the table in the paper's layout.
 func (r *Table6Result) Render() string {
 	rows := make([][]string, 0, len(r.Rows))
@@ -548,5 +713,9 @@ func (r *Table6Result) Render() string {
 		"Overload: %d clients vs admission bound %d: %d served, %d shed (%.0f%% shed rate), 0 failed, goodput %.1f req/s\n",
 		r.OverloadClients, r.OverloadMaxInFlight, r.OverloadServed, r.OverloadShed,
 		r.OverloadShedRate*100, r.OverloadGoodput)
+	out += fmt.Sprintf(
+		"Canary: weight %d%% observed %.1f%% over %d requests; broken canary rolled back after %d attempts in %s, %d stray requests after rollback\n",
+		r.CanaryWeight, r.CanaryObservedPct, r.CanaryRequests,
+		r.CanaryRollbackAttempts, r.CanaryRollbackLatency.Round(time.Millisecond), r.CanaryStrayAfterRollback)
 	return out
 }

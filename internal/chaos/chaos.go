@@ -25,6 +25,16 @@
 // deadline (overload is shed with 503 + Retry-After, never admitted and
 // then timed out).
 //
+// Routed profiles (Config.Routed) stand the fleet up across two
+// localities with a context-aware routing policy installed — a rule
+// pinning the /zone-a path class to zone-a nodes, plus canary routing —
+// and add the routing faults and invariants: a broken-canary rollout
+// must trip the gateway's auto-rollback exactly once and freeze all
+// client traffic to the rolled-back measurement, and a zone-pinned
+// request is either served in zone or refused as out of policy, never
+// served out of zone (the per-node counters prove it after every
+// event).
+//
 // A failing run's error carries the seed and the full schedule;
 // re-running with the same Config reproduces the schedule byte for
 // byte (`revelio-bench -chaos -chaos.seed=N`, or `go test
@@ -64,6 +74,18 @@ const (
 	chaosMaxInFlight = 16
 )
 
+// Routed-profile topology and policy knobs: two zones round-robined
+// across launches, a rule pinning the /zone-a path class to zone-a
+// nodes, and canary routing tuned so a broken canary rolls back within
+// an event (a third of traffic steered, judged after five attempts).
+const (
+	chaosZoneA            = "zone-a"
+	chaosZoneB            = "zone-b"
+	chaosZonePath         = "/zone-a"
+	chaosCanaryWeight     = 30
+	chaosCanaryMinSamples = 5
+)
+
 // errInjected marks faults the scheduler itself injected.
 var errInjected = errors.New("chaos: injected fault")
 
@@ -87,6 +109,12 @@ type Config struct {
 	// gateway's resilience knobs so breakers trip and recover within the
 	// run. Off by default so pre-existing seeds replay unchanged.
 	Gray bool
+	// Routed spreads the fleet across two localities, installs a
+	// context-aware routing policy on the gateway (a zone-pinned path
+	// class plus canary routing), and includes the routing faults
+	// (broken-canary rollouts, zone bursts). Off by default so
+	// pre-existing seeds replay unchanged.
+	Routed bool
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -133,29 +161,49 @@ type Result struct {
 	BreakerOpens   int64 `json:"breaker_opens"`
 	ProbeSuccesses int64 `json:"probe_successes"`
 	ProbeFailures  int64 `json:"probe_failures"`
+	// CanaryRollbacks counts gateway auto-rollbacks fired by routed
+	// profiles' broken-canary rollouts.
+	CanaryRollbacks int64 `json:"canary_rollbacks,omitempty"`
+	// PolicyRejected counts requests refused because the routing policy
+	// excluded every serving endpoint (routed profiles).
+	PolicyRejected int64 `json:"policy_rejected,omitempty"`
 	// GoroutineDelta is the post-teardown goroutine count minus the
 	// pre-run baseline.
 	GoroutineDelta int `json:"goroutine_delta"`
 }
 
 // nodeApp is the per-node application the chaos fleet serves: a plain
-// "ok" responder with two fault seams the gray ops flip — a stall
-// switch (connection completes, response never comes) and a
-// per-request delay for overload storms. It is the node's catch-all
-// handler, so a stalled app stalls its health probes too: re-admission
-// genuinely requires the application to answer again.
+// "ok" responder with fault seams the ops flip — a stall switch
+// (connection completes, response never comes), a per-request delay for
+// overload storms, and a failing switch that serves 500s for the
+// broken-canary rollout (health excluded, so the failure mode is the
+// application's, not the transport's — breakers stay closed and the
+// gateway's canary accounting, not its breaker, must catch it). The
+// stall seam is the node's catch-all, so a stalled app stalls its
+// health probes too: re-admission genuinely requires the application to
+// answer again.
 type nodeApp struct {
-	stalled atomic.Bool
-	delay   atomic.Int64 // per-request service time, nanoseconds
-	hits    atomic.Int64 // non-probe requests reaching the app
+	locality  string
+	stalled   atomic.Bool
+	failing   atomic.Bool
+	delay     atomic.Int64 // per-request service time, nanoseconds
+	hits      atomic.Int64 // non-probe requests reaching the app
+	zoneAHits atomic.Int64 // non-probe requests under the zone-pinned path
 }
 
 func (a *nodeApp) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != fleet.HealthPath {
 		a.hits.Add(1)
+		if strings.HasPrefix(r.URL.Path, chaosZonePath) {
+			a.zoneAHits.Add(1)
+		}
 	}
 	if a.stalled.Load() {
 		<-r.Context().Done()
+		return
+	}
+	if a.failing.Load() && r.URL.Path != fleet.HealthPath {
+		http.Error(w, "chaos: injected canary failure", http.StatusInternalServerError)
 		return
 	}
 	if d := a.delay.Load(); d > 0 {
@@ -197,11 +245,16 @@ func (r *run) appList() []*nodeApp {
 
 func newRun(ctx context.Context, cfg Config) (*run, error) {
 	r := &run{cfg: cfg, apps: make(map[string]*nodeApp)}
+	var localities []string
+	if cfg.Routed {
+		localities = []string{chaosZoneA, chaosZoneB}
+	}
 	f, err := fleet.New(ctx, fleet.Config{
-		Nodes:  cfg.Nodes,
-		Domain: chaosDomain,
+		Nodes:      cfg.Nodes,
+		Domain:     chaosDomain,
+		Localities: localities,
 		App: func(n *core.Node) http.Handler {
-			a := &nodeApp{}
+			a := &nodeApp{locality: n.Locality()}
 			r.appMu.Lock()
 			r.apps[n.ControlURL()] = a
 			r.appMu.Unlock()
@@ -224,11 +277,27 @@ func newRun(ctx context.Context, cfg Config) (*run, error) {
 			MaxInFlight:     chaosMaxInFlight,
 		}
 	}
+	var routing gateway.Routing
+	if cfg.Routed {
+		routing = gateway.Routing{
+			Rules: []gateway.RouteRule{{
+				Name:       "zone-pinned",
+				PathPrefix: chaosZonePath,
+				Localities: []string{chaosZoneA},
+			}},
+			Canary: gateway.CanaryConfig{
+				Weight:         chaosCanaryWeight,
+				MaxFailureRate: 0.5,
+				MinSamples:     chaosCanaryMinSamples,
+			},
+		}
+	}
 	gw, err := gateway.New(gateway.Config{
 		Source:         f,
 		Verifier:       f.Mux(),
 		GetCertificate: f.ServingCertificate,
 		Resilience:     res,
+		Routing:        routing,
 	})
 	if err != nil {
 		f.Close()
@@ -319,6 +388,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res.BreakerOpens = gwStats.BreakerOpens
 	res.ProbeSuccesses = gwStats.ProbeSuccesses
 	res.ProbeFailures = gwStats.ProbeFailures
+	res.CanaryRollbacks = gwStats.CanaryRollbacks
+	res.PolicyRejected = gwStats.PolicyRejected
 	total, windowed, shedded, violations, firstViolation := r.tr.halt()
 	res.Requests, res.WindowedFailures, res.Violations = total, windowed, violations
 	res.Shedded = shedded
@@ -415,6 +486,10 @@ func (r *run) execute(ctx context.Context, ev Event) error {
 		err := r.f.VerifyFleet(ctx)
 		net.ClearDrip()
 		return err
+	case OpCanaryRollout:
+		return r.canaryRollout(ctx)
+	case OpZoneBurst:
+		return r.zoneBurst(ctx, ev.Arg)
 	default:
 		return fmt.Errorf("unknown op %q", ev.Op)
 	}
@@ -714,6 +789,128 @@ func (r *run) crashRollout(ctx context.Context) error {
 		return fmt.Errorf("mixed fleet after rollout crash failed verification: %w", err)
 	}
 	return r.finishRollout(ctx)
+}
+
+// canaryRollout drives a broken canary through the gateway's routing
+// policy, end to end: stage a firmware image (the fleet publishes the
+// rollout context), join a canary node on the new measurement, break
+// its application while concurrent traffic is steered at it, and
+// require the gateway to (1) fire its measurement-based auto-rollback
+// exactly once, (2) stop routing any client traffic to the rolled-back
+// measurement — the canary app's hit counter must hold still — and then
+// (3) recover through the emergency runbook in order: retire the canary
+// node, abort the rollout (revoking the canary measurement), and verify
+// the surviving fleet. The canary's 500s are client-visible by design
+// (the gateway does not retry served responses), so they happen inside
+// an open fault window.
+func (r *run) canaryRollout(ctx context.Context) error {
+	r.rollVer++
+	version := fmt.Sprintf("chaos-canary-%d-%d", r.cfg.Seed, r.rollVer)
+	newGolden, err := r.f.StageFirmware(ctx, version)
+	if err != nil {
+		return fmt.Errorf("stage canary firmware: %w", err)
+	}
+	idx, err := r.f.AddNode(ctx)
+	if err != nil {
+		return fmt.Errorf("join canary node: %w", err)
+	}
+	ctl := r.f.Deployment().Nodes[idx].ControlURL()
+	app := r.app(ctl)
+	if app == nil {
+		return fmt.Errorf("no chaos app registered for canary node %s", ctl)
+	}
+	rollbacksBefore := r.gw.Stats().CanaryRollbacks
+
+	// Break the canary under the concurrent traffic that the canary
+	// config steers at it. Its 500s surface to clients until the
+	// rollback fires, so the window stays open until the app is healed.
+	r.tr.openWindow()
+	app.failing.Store(true)
+	err = r.waitGateway(20*time.Second, func(s gateway.Stats) bool {
+		return s.CanaryRollbacks > rollbacksBefore
+	}, "canary auto-rollback never fired for measurement "+newGolden.String())
+	app.failing.Store(false)
+	r.tr.closeWindow()
+	if err != nil {
+		return err
+	}
+
+	// Rolled back: the canary measurement is excluded as hard as a rule.
+	// Let attempts dispatched before the rollback land, then require the
+	// canary app's client-request counter to hold still under continuing
+	// traffic (probes are excluded from the counter).
+	time.Sleep(100 * time.Millisecond)
+	before := app.hits.Load()
+	if err := r.probeServes(ctx, 5, 10*time.Second); err != nil {
+		return err
+	}
+	time.Sleep(200 * time.Millisecond)
+	if after := app.hits.Load(); after != before {
+		return fmt.Errorf("rolled-back canary node received %d client requests (want none)", after-before)
+	}
+	if got := r.gw.Stats().CanaryRollbacks; got != rollbacksBefore+1 {
+		return fmt.Errorf("canary rollback fired %d times this rollout, want exactly once", got-rollbacksBefore)
+	}
+
+	// Emergency runbook, in order: canary nodes out first, then abort
+	// (which revokes the canary measurement), then verify end to end.
+	for {
+		idx := -1
+		for i, n := range r.f.Deployment().Nodes {
+			if n.VM.Measurement() == newGolden {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if err := r.f.RemoveNode(ctx, idx); err != nil {
+			return fmt.Errorf("retire canary node: %w", err)
+		}
+	}
+	if err := r.f.AbortRollOut(ctx); err != nil {
+		return fmt.Errorf("abort canary rollout: %w", err)
+	}
+	if err := r.f.VerifyFleet(ctx); err != nil {
+		return fmt.Errorf("fleet failed verification after canary abort: %w", err)
+	}
+	return r.probeServes(ctx, 3, 10*time.Second)
+}
+
+// zoneBurst fires a burst of requests at the zone-pinned path class.
+// Each is either served (by an in-zone node — the coherence check's
+// per-node counters prove that) or refused as out of policy when no
+// zone-a node is serving; any other outcome is a violation. The burst
+// runs outside any fault window: zone pinning must hold under whatever
+// the schedule last did to the fleet.
+func (r *run) zoneBurst(_ context.Context, extra int) error {
+	n := 20 + extra
+	var served, denied int
+	for i := 0; i < n; i++ {
+		resp, err := r.tr.client.Get(r.tr.url + strings.TrimPrefix(chaosZonePath, "/"))
+		if err != nil {
+			return fmt.Errorf("zone burst request %d: %w", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			served++
+		case resp.StatusCode == http.StatusServiceUnavailable &&
+			strings.Contains(string(body), gateway.ErrNoPolicyUpstreams.Error()):
+			denied++
+		default:
+			return fmt.Errorf("zone burst request %d: status %d body %q (want 200 in zone or policy 503)",
+				i, resp.StatusCode, body)
+		}
+	}
+	r.cfg.Log("chaos seed %d: zone burst: %d served in zone, %d refused out of policy of %d",
+		r.cfg.Seed, served, denied, n)
+	if served+denied != n {
+		return fmt.Errorf("zone burst accounted for %d of %d requests", served+denied, n)
+	}
+	return nil
 }
 
 // finishRollout replaces every node still on an old measurement and

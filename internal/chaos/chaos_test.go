@@ -13,7 +13,7 @@ var (
 	chaosSeeds = flag.Int("chaos.seeds", 2,
 		"number of sequential seeds TestChaosSeeds runs (starting at 1)")
 	chaosRounds = flag.String("chaos.rounds", "small",
-		"profile: small (2 nodes, 8 events), gray (3 nodes, graceful-degradation faults), or nightly (4 nodes, 24 events, rollout faults)")
+		"profile: small (2 nodes, 8 events), gray (3 nodes, graceful-degradation faults), routed (3 nodes, context-aware routing faults), or nightly (4 nodes, 24 events, rollout faults)")
 )
 
 // profileConfig maps the -chaos.rounds flag to a run configuration.
@@ -24,6 +24,8 @@ func profileConfig(t *testing.T, seed int64) Config {
 		cfg.Nodes, cfg.Events, cfg.Clients, cfg.Heavy = 4, 24, 8, true
 	case "gray":
 		cfg.Nodes, cfg.Events, cfg.Clients, cfg.Gray = 3, 8, 4, true
+	case "routed":
+		cfg.Nodes, cfg.Events, cfg.Clients, cfg.Routed = 3, 8, 4, true
 	case "small":
 		cfg.Nodes, cfg.Events, cfg.Clients = 2, 8, 4
 	default:
@@ -71,6 +73,32 @@ func TestScheduleGrayGated(t *testing.T) {
 	}
 	if !sawGray {
 		t.Error("no gray op scheduled across 20 gray seeds")
+	}
+}
+
+// TestScheduleRoutedGated: the routing ops are mixed in only when
+// Routed is set — same replay-compatibility contract as the gray
+// gating — and routed configs do reach them across a small seed range.
+func TestScheduleRoutedGated(t *testing.T) {
+	routedOps := map[Op]bool{OpCanaryRollout: true, OpZoneBurst: true}
+	sawRouted := false
+	for seed := int64(1); seed <= 20; seed++ {
+		plain := Config{Seed: seed, Nodes: 3, Events: 20, Heavy: true, Gray: true}
+		for _, ev := range Generate(plain).Events {
+			if routedOps[ev.Op] {
+				t.Fatalf("seed %d: non-routed schedule contains %s", seed, ev.Op)
+			}
+		}
+		routed := plain
+		routed.Routed = true
+		for _, ev := range Generate(routed).Events {
+			if routedOps[ev.Op] {
+				sawRouted = true
+			}
+		}
+	}
+	if !sawRouted {
+		t.Error("no routed op scheduled across 20 routed seeds")
 	}
 }
 

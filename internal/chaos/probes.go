@@ -17,8 +17,20 @@ var attestationExpired = attestation.ErrEvidenceExpired
 // gateway has observed the current serving-view version, and neither an
 // ejection nor an open breaker references an endpoint that no longer
 // exists (no ghost state for departed nodes). The view propagates
-// through a subscription, so the check polls briefly.
+// through a subscription, so the check polls briefly. Routed profiles
+// add the zone-pinning invariant: across everything the schedule has
+// done so far, not one request under the zone-pinned path class may
+// have reached an out-of-zone node — the per-node app counters (which
+// survive a node's departure) are the evidence.
 func (r *run) coherent() error {
+	if r.cfg.Routed {
+		for _, a := range r.appList() {
+			if a.locality != chaosZoneA && a.zoneAHits.Load() > 0 {
+				return fmt.Errorf("zone-pinned path served by a %q node (%d hits) — policy filter leaked",
+					a.locality, a.zoneAHits.Load())
+			}
+		}
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		snap := r.f.Endpoints()

@@ -65,6 +65,18 @@ const (
 	// loss-burst but for the slow-but-alive failure mode (gray profiles
 	// only).
 	OpSlowDrip Op = "slow-drip"
+	// OpCanaryRollout drives a full broken-canary rollout through the
+	// gateway's routing policy: stage a firmware image, join a canary
+	// node on the new measurement, break its application mid-rollout,
+	// require the gateway's auto-rollback to fire exactly once and the
+	// rolled-back measurement to stop receiving client traffic, then
+	// recover through the emergency runbook — retire the canary, abort
+	// the rollout, verify the fleet (routed profiles only).
+	OpCanaryRollout Op = "canary-rollout"
+	// OpZoneBurst fires 20+Arg requests at the zone-pinned path class:
+	// every one must be served by an in-zone node or refused as out of
+	// policy — never served out of zone (routed profiles only).
+	OpZoneBurst Op = "zone-burst"
 )
 
 // Event is one scheduled fault: the op, its argument, and the pause the
@@ -135,6 +147,17 @@ var grayWeights = []struct {
 	{OpSlowDrip, 1},
 }
 
+// routedWeights is the context-aware-routing fault mix, mixed in only
+// when Config.Routed is set — same gating discipline as grayWeights, so
+// every pre-existing seed replays byte for byte.
+var routedWeights = []struct {
+	op Op
+	w  int
+}{
+	{OpCanaryRollout, 1},
+	{OpZoneBurst, 2},
+}
+
 // Generate derives the fault schedule for cfg. Generation is a pure
 // function of the config: it uses a seeded math/rand source and models
 // fleet-size evolution so every membership op is legal when it runs
@@ -143,7 +166,7 @@ func Generate(cfg Config) Schedule {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	weights := opWeights
-	if cfg.Heavy || cfg.Gray {
+	if cfg.Heavy || cfg.Gray || cfg.Routed {
 		weights = append([]struct {
 			op Op
 			w  int
@@ -153,6 +176,9 @@ func Generate(cfg Config) Schedule {
 		}
 		if cfg.Gray {
 			weights = append(weights, grayWeights...)
+		}
+		if cfg.Routed {
+			weights = append(weights, routedWeights...)
 		}
 	}
 	var picks []Op
@@ -194,6 +220,8 @@ func Generate(cfg Config) Schedule {
 			arg = rng.Intn(32) // extra concurrent storm clients
 		case OpSlowDrip:
 			arg = 2 + rng.Intn(8) // ms pause per dripped chunk
+		case OpZoneBurst:
+			arg = rng.Intn(16) // extra zone-pinned requests
 		}
 		sched.Events = append(sched.Events, Event{
 			Step:  step,

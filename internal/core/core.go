@@ -78,6 +78,13 @@ type Config struct {
 	// SkipVerityVerifyPass skips the boot-time full-device verification
 	// (ablation knob; per-read verification always stays on).
 	SkipVerityVerifyPass bool
+	// Localities labels nodes with deployment zones: each launched node
+	// takes the next label round-robin in launch order, so a three-node
+	// deployment over ["zone-a", "zone-b"] lands in zone-a, zone-b,
+	// zone-a. Empty means every node reports an empty locality. The label
+	// is advisory routing context (it feeds the fleet endpoint snapshot);
+	// it never affects attestation or provisioning.
+	Localities []string
 }
 
 // Node is one running Revelio VM with its agent and servers.
@@ -93,10 +100,27 @@ type Node struct {
 	// through attestation.Mux peer verification. Nil until StartWeb.
 	Upstream *httpServer
 
-	chip   *amdsp.SecureProcessor
-	disk   blockdev.Device
-	client *http.Client // the agent's outbound client, reaped at removal
+	chip     *amdsp.SecureProcessor
+	disk     blockdev.Device
+	client   *http.Client // the agent's outbound client, reaped at removal
+	locality string       // zone label from Config.Localities, "" when unset
+	inflight atomic.Int64 // requests currently inside the node's handler tree
 }
+
+// TCB returns the chip's reported trusted-computing-base version — the
+// same value the node's attestation reports carry, exposed here so the
+// serving view can publish it as routing context.
+func (n *Node) TCB() uint64 { return n.chip.TCB() }
+
+// Locality returns the node's zone label (Config.Localities, assigned
+// round-robin at launch), or "" when the deployment runs unzoned.
+func (n *Node) Locality() string { return n.locality }
+
+// InFlight returns the number of requests currently being served by the
+// node's handler tree (web and upstream listeners combined). It is a
+// point-in-time sample published as advisory load context; the gateway's
+// live balancing keeps its own per-upstream pending counters.
+func (n *Node) InFlight() int64 { return n.inflight.Load() }
 
 // ControlURL returns the node's control-plane base URL.
 func (n *Node) ControlURL() string { return n.Control.url }
@@ -146,6 +170,7 @@ type Deployment struct {
 	spNet      *netlab.Transport // SP-to-node control path (partition injection)
 	clients    []*http.Client    // every client we created, for idle-conn reaping
 	seq        int               // chip seed counter across launches
+	launches   int               // locality round-robin counter across launches
 
 	// clockSkew offsets the deployment's verification-plane clock (the
 	// attestation verifier's certificate-validity checks and the KDS
@@ -382,14 +407,20 @@ func (d *Deployment) launchNode(chipSeed []byte) (*Node, error) {
 		client.CloseIdleConnections()
 		return nil, err
 	}
+	var locality string
+	if len(d.cfg.Localities) > 0 {
+		locality = d.cfg.Localities[d.launches%len(d.cfg.Localities)]
+	}
+	d.launches++
 	return &Node{
-		VM:      guestVM,
-		Agent:   agent,
-		Chip:    chip.ChipID(),
-		Control: control,
-		chip:    chip,
-		disk:    disk,
-		client:  client,
+		VM:       guestVM,
+		Agent:    agent,
+		Chip:     chip.ChipID(),
+		Control:  control,
+		chip:     chip,
+		disk:     disk,
+		client:   client,
+		locality: locality,
 	}, nil
 }
 
@@ -584,13 +615,21 @@ func (d *Deployment) startNodeWeb(n *Node) error {
 			_, _ = w.Write([]byte("ok"))
 		})
 	}
+	// Both listeners count their live requests into the node's in-flight
+	// gauge; the fleet samples it at snapshot publication as advisory
+	// load context for context-aware routing.
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.inflight.Add(1)
+		defer n.inflight.Add(-1)
+		mux.ServeHTTP(w, r)
+	})
 	// ...but resolve the certificate per handshake, so an SP-driven
 	// rotation propagates to the serving tier the moment the agent
 	// installs the renewed credentials — no listener restart, no window
 	// where a client sees a refused connection. The old certificate keeps
 	// serving until the atomic install, and both chain to the same CA.
 	agent := n.Agent
-	web, err := startHTTPSDynamic(mux, func() (*tls.Certificate, error) {
+	web, err := startHTTPSDynamic(counted, func() (*tls.Certificate, error) {
 		certDER, key, err := agent.TLSCredentials()
 		if err != nil {
 			return nil, err
@@ -612,7 +651,7 @@ func (d *Deployment) startNodeWeb(n *Node) error {
 		web.close()
 		return fmt.Errorf("core: mint upstream RA-TLS certificate: %w", err)
 	}
-	upstream, err := startHTTPSDynamic(mux, func() (*tls.Certificate, error) {
+	upstream, err := startHTTPSDynamic(counted, func() (*tls.Certificate, error) {
 		return &upstreamCert, nil
 	})
 	if err != nil {

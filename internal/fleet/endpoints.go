@@ -4,6 +4,7 @@ import (
 	"crypto/tls"
 	"sync"
 
+	"revelio/attestation/snp"
 	"revelio/internal/core"
 	"revelio/internal/measure"
 )
@@ -40,6 +41,21 @@ type Endpoint struct {
 	State EndpointState
 	// Measurement is the launch measurement the node booted with.
 	Measurement measure.Measurement
+	// TCB is the trusted-computing-base version the node's chip reports —
+	// the same value its attestation evidence carries. Routing rules can
+	// demand a floor ("only TCB ≥ X serves /payments").
+	TCB uint64
+	// Provider names the attestation provider backing the node's evidence
+	// (e.g. "sev-snp", "soft-tdx"). Routing rules can pin route classes
+	// to providers or split traffic across them.
+	Provider string
+	// Load is the node's in-flight request count sampled when this
+	// snapshot was published — advisory context for routing policy; the
+	// gateway's live balancing keeps its own pending counters.
+	Load int64
+	// Locality is the node's zone label (core.Config.Localities), "" in
+	// unzoned deployments.
+	Locality string
 }
 
 // Snapshot is one immutable version of the fleet's serving view: the
@@ -56,6 +72,16 @@ type Snapshot struct {
 	// Endpoints lists every known node with its state; route traffic
 	// only to StateServing entries.
 	Endpoints []Endpoint
+	// Golden is the measurement the fleet currently trusts for new
+	// launches. While a rollout is staged it is the *new* (canary) golden
+	// image's measurement.
+	Golden measure.Measurement
+	// PriorGolden is non-nil exactly while a StageFirmware rollout is in
+	// progress: it holds the pre-rollout golden measurement, so a
+	// snapshot consumer (the gateway's canary router) can tell baseline
+	// nodes (PriorGolden) from canary nodes (Golden) without extra
+	// wiring. CommitRollOut and AbortRollOut clear it.
+	PriorGolden *measure.Measurement
 }
 
 // Serving returns the endpoints that may receive traffic.
@@ -82,6 +108,10 @@ func NodeEndpoint(n *core.Node, leaderURL string, state EndpointState) Endpoint 
 		Leader:       n.ControlURL() == leaderURL,
 		State:        state,
 		Measurement:  n.VM.Measurement(),
+		TCB:          n.TCB(),
+		Provider:     snp.ProviderName,
+		Load:         n.InFlight(),
+		Locality:     n.Locality(),
 	}
 }
 
@@ -155,6 +185,11 @@ func (f *Fleet) snapshotLocked() Snapshot {
 		Version:   f.version,
 		Domain:    f.cfg.Domain,
 		LeaderURL: f.leaderURL,
+		Golden:    f.golden,
+	}
+	if f.rolling != nil {
+		prior := *f.rolling
+		snap.PriorGolden = &prior
 	}
 	for _, n := range f.serving {
 		state := StateServing
@@ -178,6 +213,9 @@ func (f *Fleet) snapshotLocked() Snapshot {
 					ControlURL:  url,
 					State:       s,
 					Measurement: n.VM.Measurement(),
+					TCB:         n.TCB(),
+					Provider:    snp.ProviderName,
+					Locality:    n.Locality(),
 				})
 			}
 		}

@@ -102,6 +102,10 @@ type Config struct {
 	SPNetRTT, KDSRTT, CARTT time.Duration
 	// PersistSize overrides the persistent-volume size (default 256 KiB).
 	PersistSize int64
+	// Localities labels nodes with zones, assigned round-robin in launch
+	// order (see core.Config.Localities). The labels surface in the
+	// endpoint snapshot as routing context.
+	Localities []string
 }
 
 // Fleet drives a deployment through lifecycle operations.
@@ -141,6 +145,10 @@ type Fleet struct {
 	golden    measure.Measurement
 	fwVersion string               // firmware build the fleet targets
 	rolling   *measure.Measurement // old golden during a staged rollout
+	// rollingVersion is the firmware build the fleet was on before the
+	// staged rollout — what AbortRollOut restores. Guarded by opMu, like
+	// fwVersion.
+	rollingVersion string
 
 	// webTransport is the fleet's one pooled client-side transport for
 	// attested-TLS traffic: every traffic driver and invariant check
@@ -226,6 +234,7 @@ func New(ctx context.Context, cfg Config) (*Fleet, error) {
 		KDSRTT:          cfg.KDSRTT,
 		CARTT:           cfg.CARTT,
 		TrustRegistry:   trust,
+		Localities:      cfg.Localities,
 	})
 	if err != nil {
 		return nil, err
@@ -565,6 +574,7 @@ func (f *Fleet) StageFirmware(ctx context.Context, version string) (measure.Meas
 		return measure.Measurement{}, err
 	}
 	f.fwVersion = version
+	f.rollingVersion = oldVersion
 	f.memberMu.Lock()
 	f.rolling = &old
 	f.golden = newGolden
@@ -582,11 +592,55 @@ func (f *Fleet) CommitRollOut() error {
 	f.memberMu.Lock()
 	old := f.rolling
 	f.rolling = nil
+	if old != nil {
+		// Snapshot consumers (the gateway's canary router) key on
+		// PriorGolden being set; tell them the rollout is over.
+		f.publishLocked()
+	}
 	f.memberMu.Unlock()
 	if old == nil {
 		return errors.New("fleet: no rollout staged")
 	}
+	f.rollingVersion = ""
 	if err := f.trust.Revoke(*old); err != nil {
+		return err
+	}
+	f.d.Verifier.InvalidatePolicy()
+	return nil
+}
+
+// AbortRollOut cancels a staged rollout without adopting the new image:
+// the fleet reverts to its pre-stage firmware target and golden
+// measurement, the staged (canary) measurement is revoked so nothing can
+// join — or keep verifying — on the aborted image, and the policy
+// revision bumps so no cached proof of it survives. Remove or replace
+// any node already running the staged measurement *before* aborting;
+// afterwards its evidence is revoked and it fails verification (the
+// emergency-revocation runbook in OPERATIONS.md walks the order). A ctx
+// cancellation observed before the revert completes leaves the rollout
+// staged.
+func (f *Fleet) AbortRollOut(ctx context.Context) error {
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+	f.memberMu.RLock()
+	staged := f.rolling != nil
+	canary := f.golden
+	f.memberMu.RUnlock()
+	if !staged {
+		return errors.New("fleet: no rollout staged")
+	}
+	if _, err := f.d.SetFirmware(ctx, f.rollingVersion); err != nil {
+		return fmt.Errorf("fleet: abort rollout: %w", err)
+	}
+	f.fwVersion = f.rollingVersion
+	f.rollingVersion = ""
+	f.memberMu.Lock()
+	old := *f.rolling
+	f.rolling = nil
+	f.golden = old
+	f.publishLocked()
+	f.memberMu.Unlock()
+	if err := f.trust.Revoke(canary); err != nil {
 		return err
 	}
 	f.d.Verifier.InvalidatePolicy()

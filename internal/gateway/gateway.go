@@ -18,11 +18,15 @@
 // any provider's policy revision flushes the connection pools so
 // already-established upstreams re-prove themselves.
 //
-// Routing is health-aware least-pending-requests with round-robin
-// tie-breaking, over the serving view published by a Source (the fleet
-// engine, or any snapshot publisher). Each proxied request holds the
-// source's admission (Source.Acquire) for its lifetime, which is the
-// same mechanism behind the fleet's zero-failed-request drain: a
+// Routing is context-aware and runs in four tiers per attempt: the
+// policy filter (Config.Routing — hard rule constraints over the
+// snapshot's TCB, provider and locality context, plus canary routing
+// during a staged rollout), then attestation ejection, then the circuit
+// breaker, then least-pending-requests with round-robin tie-breaking
+// over the survivors. The serving view is published by a Source (the
+// fleet engine, or any snapshot publisher). Each proxied request holds
+// the source's admission (Source.Acquire) for its lifetime, which is
+// the same mechanism behind the fleet's zero-failed-request drain: a
 // lifecycle operation waits for admitted requests before closing a
 // node, so churn never surfaces as a failed request through the proxy.
 //
@@ -206,6 +210,11 @@ type Config struct {
 	// Resilience tunes circuit breaking, retry budgets, deadlines, and
 	// load shedding; the zero value takes every default.
 	Resilience Resilience
+	// Routing configures the context-aware policy layer: hard rules
+	// (TCB floors, provider and locality constraints by path class),
+	// per-provider traffic splits, and measurement-based canary routing
+	// with auto-rollback. The zero value disables the layer.
+	Routing Routing
 }
 
 // upstream is the gateway's routing state for one endpoint.
@@ -250,6 +259,27 @@ type Stats struct {
 	// ViewVersion is the serving-view version the routing table last
 	// reconciled against.
 	ViewVersion uint64
+	// PolicyRejected counts requests refused with 503 because the
+	// routing policy excluded every serving endpoint (no Retry-After:
+	// unlike a shed, backing off does not help until the policy or the
+	// fleet changes).
+	PolicyRejected int64
+	// CanaryRequests and CanaryFailures count upstream attempts that
+	// landed on the staged canary measurement during the current (or
+	// just-ended) rollout, and how many of them failed (transport error
+	// or 5xx).
+	CanaryRequests int64
+	CanaryFailures int64
+	// CanaryRollbacks counts canary auto-rollbacks fired over the
+	// gateway's lifetime.
+	CanaryRollbacks int64
+	// CanaryRolledBack reports that the currently staged rollout's
+	// canary measurement has been rolled back: the gateway routes no
+	// traffic to it until the rollout is committed or aborted.
+	CanaryRolledBack bool
+	// CanaryMeasurement is the hex launch measurement of the current
+	// (or last rolled-back) canary group, "" before any rollout.
+	CanaryMeasurement string
 }
 
 // Gateway is the attested reverse proxy.
@@ -259,6 +289,7 @@ type Gateway struct {
 	retry     resilience.RetryPolicy
 	admission *resilience.Admission
 	transport *http.Transport
+	router    *router
 
 	mu      sync.Mutex
 	ups     map[string]*upstream // by UpstreamAddr
@@ -328,6 +359,7 @@ func New(cfg Config) (*Gateway, error) {
 			Rand:        res.Rand,
 		}.WithDefaults(),
 		admission: resilience.NewAdmission(res.MaxInFlight),
+		router:    newRouter(cfg.Routing),
 		ups:       make(map[string]*upstream),
 		lastRevs:  make(map[attestation.Revisioned]uint64),
 		probeStop: make(chan struct{}),
@@ -466,6 +498,9 @@ func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 	}
 	g.version = snap.Version
 	g.domain = snap.Domain
+	// Track the rollout context for canary routing: a newly staged
+	// rollout resets the canary accounting, the rollout ending clears it.
+	g.router.observe(snap)
 	// Refresh the revision sources alongside the view: providers are
 	// attached before their nodes join, so a membership change is the
 	// natural moment to notice them. Prune the high-water map to the
@@ -507,18 +542,40 @@ func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 	return removed
 }
 
-// pick selects the healthiest upstream: among serving, non-ejected,
-// breaker-closed, non-excluded endpoints under their in-flight bound,
-// the one with the fewest pending requests; ties break round-robin so
-// equal-load nodes share work evenly. saturated reports that healthy
-// candidates existed but every one was at its in-flight bound — worth
-// a paced re-pick, unlike a genuinely empty rotation.
-func (g *Gateway) pick(excluded map[string]bool) (up *upstream, saturated bool) {
+// pick selects the upstream for one attempt through the four routing
+// tiers, in documented precedence order:
+//
+//	tier 1 — policy filter   (hard: rule constraints, rolled-back canary)
+//	tier 2 — attestation ejection (fail-closed, + per-request exclusion)
+//	tier 3 — circuit breaker (transport health)
+//	tier 4 — least-pending balancing under the per-upstream bound
+//
+// Soft preferences (canary fraction, provider splits) narrow the
+// surviving candidate set between tiers 3 and 4 but fall back to the
+// full in-policy set when no preferred node is healthy — a preference
+// never fails a servable request. saturated reports that healthy
+// in-policy candidates existed but every one was at its in-flight bound
+// — worth a paced re-pick, unlike a genuinely empty rotation. denied
+// reports that serving endpoints existed but tier 1 excluded all of
+// them: the request must be refused as out of policy, not retried.
+func (g *Gateway) pick(d decision, excluded map[string]bool) (up *upstream, saturated, denied bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	candidates := make([]*upstream, 0, len(g.ups))
+	serving, inPolicy := 0, 0
 	for _, u := range g.ups {
-		if u.ep.State != fleet.StateServing || u.ejected.Load() || excluded[u.ep.UpstreamAddr] {
+		if u.ep.State != fleet.StateServing {
+			continue
+		}
+		serving++
+		if d.rule != nil && !d.rule.allows(u.ep) {
+			continue
+		}
+		if d.avoid != nil && u.ep.Measurement == *d.avoid {
+			continue
+		}
+		inPolicy++
+		if u.ejected.Load() || excluded[u.ep.UpstreamAddr] {
 			continue
 		}
 		if !u.breaker.Allow() {
@@ -531,8 +588,9 @@ func (g *Gateway) pick(excluded map[string]bool) (up *upstream, saturated bool) 
 		candidates = append(candidates, u)
 	}
 	if len(candidates) == 0 {
-		return nil, saturated
+		return nil, saturated, serving > 0 && inPolicy == 0
 	}
+	candidates = preferCandidates(candidates, d)
 	start := int(g.rr.Add(1) % uint64(len(candidates)))
 	best := candidates[start]
 	bestPending := best.pending.Load()
@@ -542,7 +600,37 @@ func (g *Gateway) pick(excluded map[string]bool) (up *upstream, saturated bool) 
 			best, bestPending = u, p
 		}
 	}
-	return best, false
+	return best, false, false
+}
+
+// preferCandidates applies the decision's soft preferences — the canary
+// fraction first, then the provider split within the surviving set.
+// Each narrows only when a preferred candidate exists; otherwise the
+// set passes through unchanged.
+func preferCandidates(candidates []*upstream, d decision) []*upstream {
+	if d.canaryMeas != nil {
+		sub := make([]*upstream, 0, len(candidates))
+		for _, u := range candidates {
+			if (u.ep.Measurement == *d.canaryMeas) == d.preferCanary {
+				sub = append(sub, u)
+			}
+		}
+		if len(sub) > 0 {
+			candidates = sub
+		}
+	}
+	if d.provider != "" {
+		sub := make([]*upstream, 0, len(candidates))
+		for _, u := range candidates {
+			if u.ep.Provider == d.provider {
+				sub = append(sub, u)
+			}
+		}
+		if len(sub) > 0 {
+			candidates = sub
+		}
+	}
+	return candidates
 }
 
 // isAttestationReject reports an upstream failure that means the node's
@@ -642,11 +730,20 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	g.requests.Add(1)
 
+	// The routing decision is computed once per request and applied to
+	// every attempt, so retries stay inside the same policy verdict
+	// (rule, split side, canary side).
+	var d decision
+	if g.router.enabled() {
+		d = g.router.decide(r.URL.Path)
+	}
+
 	deadline, _ := ctx.Deadline()
 	excluded := make(map[string]bool)
 	var lastErr error
 	forwards := 0
 	sawSaturation := false
+	policyDenied := false
 	for attempt := 0; attempt < g.res.RetryBudget; attempt++ {
 		if attempt > 0 {
 			// Pace the retry; give up if the request deadline fires
@@ -658,8 +755,14 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if time.Until(deadline) < g.res.MinDeadline {
 			break
 		}
-		up, saturated := g.pick(excluded)
+		up, saturated, denied := g.pick(d, excluded)
 		if up == nil {
+			if denied {
+				// Tier 1 excluded every serving endpoint: retrying
+				// cannot help until the policy or the fleet changes.
+				policyDenied = true
+				break
+			}
 			if !saturated {
 				break
 			}
@@ -678,6 +781,11 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		resp, err := g.forward(up, snap.Domain, r, g.res.RetryBudget-attempt)
 		if err != nil {
 			lastErr = err
+			if r.Context().Err() == nil {
+				// Canary accounting mirrors the breaker's rule: outcomes
+				// the client's own deadline caused are nobody's failure.
+				g.router.recordCanary(up.ep.Measurement, true)
+			}
 			if isAttestationReject(err) {
 				// Fail closed: the node no longer proves its measured
 				// state; out of rotation until the policy moves again.
@@ -689,6 +797,10 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
+		// A 5xx is returned to the client as-is (the gateway does not
+		// retry served responses), but it counts against the canary:
+		// a failing canary image typically fails with clean 500s.
+		g.router.recordCanary(up.ep.Measurement, resp.StatusCode >= 500)
 		defer func() { _ = resp.Body.Close() }()
 		stripHopByHop(resp.Header)
 		for k, vv := range resp.Header {
@@ -711,6 +823,12 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case lastErr != nil:
 		http.Error(w, fmt.Sprintf("gateway: upstream failed: %v", lastErr), http.StatusBadGateway)
+	case policyDenied:
+		// Serving endpoints exist but the routing policy excludes all of
+		// them. 503 without Retry-After: unlike a shed, backing off does
+		// not help until the policy or the fleet changes.
+		g.router.policyDeny.Add(1)
+		http.Error(w, ErrNoPolicyUpstreams.Error(), http.StatusServiceUnavailable)
 	case sawSaturation:
 		// Healthy nodes existed but stayed at capacity through every
 		// paced re-pick: that is overload, not failure.
@@ -926,6 +1044,7 @@ func (g *Gateway) Stats() Stats {
 		PolicyFlushes:      g.flushes.Load(),
 		TruncatedResponses: g.truncated.Load(),
 	}
+	g.router.snapshotStats(&s)
 	g.mu.Lock()
 	s.PolicyEpoch = g.epoch
 	s.ViewVersion = g.version

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"revelio/internal/fleet"
+	"revelio/internal/measure"
 )
 
 // View is a standalone publishable serving view: a Source for
@@ -37,6 +38,26 @@ func (v *View) Set(eps ...fleet.Endpoint) {
 	defer v.mu.Unlock()
 	v.snap.Version++
 	v.snap.Endpoints = eps
+	v.subs.Publish(v.snap)
+}
+
+// SetRollout publishes rollout context alongside the endpoints: golden
+// is the measurement new launches target (the canary image while a
+// rollout is staged), and prior — non-nil exactly while a rollout is in
+// progress — the pre-rollout golden. The fleet engine publishes the
+// same context from StageFirmware/CommitRollOut/AbortRollOut; View
+// owners stage and clear it explicitly.
+func (v *View) SetRollout(golden measure.Measurement, prior *measure.Measurement) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.snap.Version++
+	v.snap.Golden = golden
+	if prior != nil {
+		p := *prior
+		v.snap.PriorGolden = &p
+	} else {
+		v.snap.PriorGolden = nil
+	}
 	v.subs.Publish(v.snap)
 }
 
