@@ -36,6 +36,7 @@ var publicPackages = []string{
 	"apps/cryptpad",
 	"apps/ic",
 	"bench",
+	"lint",
 }
 
 // surfaceLines parses one package directory (tests excluded) and

@@ -9,6 +9,7 @@ package snp
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -152,7 +153,7 @@ func (p *Provider) InvalidatePolicy() { p.verifier.InvalidatePolicy() }
 // wrapped in the neutral envelope.
 func (p *Provider) Issue(_ context.Context, payload []byte) (*attestation.Evidence, error) {
 	if p.signer == nil {
-		return nil, fmt.Errorf("snp: provider has no report signer (relying-party side)")
+		return nil, fmt.Errorf("%w: snp: provider has no report signer (relying-party side)", errors.ErrUnsupported)
 	}
 	report, err := p.signer.Report(vm.HashOf(payload))
 	if err != nil {

@@ -1,0 +1,33 @@
+// Command revelio-lint is the multichecker for revelio's custom
+// analyzer suite (revelio/lint): the repo's standing invariants —
+// fail-closed error taxonomy, deterministic time/rand seams, the
+// context-first lifecycle, sync.Pool scratch discipline, and mutex
+// guard annotations — mechanized so CI enforces them.
+//
+// Usage:
+//
+//	revelio-lint [-run name,name] [-list] packages...
+//	go vet -vettool=$(which revelio-lint) ./...
+//
+// In the first form it loads packages itself (via `go list -export`)
+// and prints every finding as file:line:col: [analyzer] message,
+// exiting 1 when any survive suppression. The second form speaks just
+// enough of cmd/go's vettool protocol (-V=full, the JSON .cfg package
+// summary, the .vetx facts output) to ride go vet's build graph and
+// caching; it is implemented in-repo because the offline toolchain has
+// no golang.org/x/tools unitchecker to import.
+//
+// Suppressions: //revelio:allow <analyzer> <reason> on the offending
+// line or the line above. Unexplained, unknown, and stale directives
+// are diagnostics themselves — see DESIGN.md "Static analysis".
+package main
+
+import (
+	"os"
+
+	"revelio/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

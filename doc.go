@@ -69,6 +69,7 @@
 //	Fig 6    (dm-verity reads)           -> BenchmarkFig6_DmVerityRead
 //	ablations                            -> BenchmarkAblation_*
 //	chaos    (seeded fault scheduler)    -> revelio-bench -chaos, bench.RunChaos
+//	lint     (invariant analyzers)       -> revelio-lint ./..., go vet -vettool
 //
 // Table 4 is this reproduction's extension of the paper's Table 3
 // caching argument: verifications/sec cold, with a warm VCEK cache, and
@@ -107,4 +108,10 @@
 // and leak-free teardown; a failing seed prints its full schedule and
 // -chaos.seed=N replays it byte for byte (see DESIGN.md's "Chaos
 // harness").
+// The repo's standing invariants — the error taxonomy, the
+// deterministic time/rand seams those chaos replays depend on, the
+// context-first lifecycle, and the lock and pool disciplines — are
+// additionally mechanized as a custom analyzer suite, revelio-lint,
+// run in CI both standalone and as a go vet -vettool (see DESIGN.md's
+// "Static analysis").
 package revelio

@@ -113,7 +113,7 @@ func run() error {
 	defer local.close()
 
 	for i := 1; i <= 3; i++ {
-		reply, err := sw.Call(http.DefaultClient, local.url, "counter", ic.KindUpdate, "inc", nil)
+		reply, err := sw.Call(ctx, http.DefaultClient, local.url, "counter", ic.KindUpdate, "inc", nil)
 		if err != nil {
 			return err
 		}
@@ -122,7 +122,7 @@ func run() error {
 
 	// --- The attack: a malicious BN rewrites replies -----------------------
 	proxy.TamperReplies(true)
-	_, err = sw.Call(http.DefaultClient, local.url, "counter", ic.KindQuery, "get", nil)
+	_, err = sw.Call(ctx, http.DefaultClient, local.url, "counter", ic.KindQuery, "get", nil)
 	if !errors.Is(err, boundary.ErrTampered) {
 		return fmt.Errorf("tampered reply not detected: %v", err)
 	}

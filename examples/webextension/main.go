@@ -97,7 +97,7 @@ func run() error {
 
 	// 4. Failure mode B: DNS redirect onto an attacker server that even
 	// holds a browser-valid certificate for the domain.
-	attackerAddr, err := startAttacker(svc)
+	attackerAddr, err := startAttacker(ctx, svc)
 	if err != nil {
 		return err
 	}
@@ -114,7 +114,7 @@ func run() error {
 
 // startAttacker runs a phishing server with a CA-valid certificate for
 // the domain (the attacker controls DNS, so DNS-01 passes).
-func startAttacker(svc *revelio.Service) (string, error) {
+func startAttacker(ctx context.Context, svc *revelio.Service) (string, error) {
 	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
 	if err != nil {
 		return "", err
@@ -126,7 +126,7 @@ func startAttacker(svc *revelio.Service) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	certDER, err := svc.ObtainCertificate(domain, csr)
+	certDER, err := svc.ObtainCertificate(ctx, domain, csr)
 	if err != nil {
 		return "", err
 	}

@@ -10,6 +10,7 @@
 package acme
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -257,8 +258,13 @@ func NewClient(ca *CA, zone *Zone) *Client {
 }
 
 // ObtainCertificate runs the full ACME flow for domain with the given CSR
-// and returns the DER certificate.
-func (cl *Client) ObtainCertificate(domain string, csrDER []byte) ([]byte, error) {
+// and returns the DER certificate. The in-process flow performs no I/O,
+// but the ctx keeps the contract aligned with the wire-protocol client:
+// a caller's cancellation is honoured between steps.
+func (cl *Client) ObtainCertificate(ctx context.Context, domain string, csrDER []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	order, err := cl.ca.NewOrder(domain, csrDER)
 	if err != nil {
 		return nil, err

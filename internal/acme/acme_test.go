@@ -2,6 +2,7 @@ package acme
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -40,7 +41,7 @@ func TestObtainCertificateHappyPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	csr, key := newCSR(t, "service.example.org")
-	certDER, err := NewClient(ca, zone).ObtainCertificate("service.example.org", csr)
+	certDER, err := NewClient(ca, zone).ObtainCertificate(context.Background(), "service.example.org", csr)
 	if err != nil {
 		t.Fatalf("ObtainCertificate: %v", err)
 	}
@@ -118,21 +119,21 @@ func TestRateLimit(t *testing.T) {
 	client := NewClient(ca, zone)
 	csr, _ := newCSR(t, "busy.example.org")
 	for i := 0; i < 3; i++ {
-		if _, err := client.ObtainCertificate("busy.example.org", csr); err != nil {
+		if _, err := client.ObtainCertificate(context.Background(), "busy.example.org", csr); err != nil {
 			t.Fatalf("issuance %d: %v", i, err)
 		}
 	}
-	if _, err := client.ObtainCertificate("busy.example.org", csr); !errors.Is(err, ErrRateLimited) {
+	if _, err := client.ObtainCertificate(context.Background(), "busy.example.org", csr); !errors.Is(err, ErrRateLimited) {
 		t.Errorf("4th issuance: err = %v, want ErrRateLimited", err)
 	}
 	// Another domain is unaffected (per-domain limit).
 	otherCSR, _ := newCSR(t, "calm.example.org")
-	if _, err := client.ObtainCertificate("calm.example.org", otherCSR); err != nil {
+	if _, err := client.ObtainCertificate(context.Background(), "calm.example.org", otherCSR); err != nil {
 		t.Errorf("other domain: %v", err)
 	}
 	// The window slides: a day later issuance works again.
 	clock = clock.Add(25 * time.Hour)
-	if _, err := client.ObtainCertificate("busy.example.org", csr); err != nil {
+	if _, err := client.ObtainCertificate(context.Background(), "busy.example.org", csr); err != nil {
 		t.Errorf("after window: %v", err)
 	}
 }
@@ -151,7 +152,7 @@ func TestSharedCertificateAvoidsRateLimit(t *testing.T) {
 
 	// Shared scheme: one CSR, one cert, distributed to all nodes.
 	sharedCSR, _ := newCSR(t, "svc.example.org")
-	if _, err := client.ObtainCertificate("svc.example.org", sharedCSR); err != nil {
+	if _, err := client.ObtainCertificate(context.Background(), "svc.example.org", sharedCSR); err != nil {
 		t.Fatalf("shared issuance: %v", err)
 	}
 
@@ -159,7 +160,7 @@ func TestSharedCertificateAvoidsRateLimit(t *testing.T) {
 	var limited bool
 	for i := 0; i < nodes; i++ {
 		csr, _ := newCSR(t, "pernode.example.org")
-		if _, err := client.ObtainCertificate("pernode.example.org", csr); err != nil {
+		if _, err := client.ObtainCertificate(context.Background(), "pernode.example.org", csr); err != nil {
 			if !errors.Is(err, ErrRateLimited) {
 				t.Fatalf("unexpected error: %v", err)
 			}
@@ -183,7 +184,7 @@ func TestHTTPProtocolRoundTrip(t *testing.T) {
 
 	client := NewHTTPClient(server.URL, zone, nil)
 	csr, key := newCSR(t, "wire.example.org")
-	certDER, err := client.ObtainCertificate("wire.example.org", csr)
+	certDER, err := client.ObtainCertificate(context.Background(), "wire.example.org", csr)
 	if err != nil {
 		t.Fatalf("ObtainCertificate over HTTP: %v", err)
 	}
@@ -220,22 +221,22 @@ func TestHTTPProtocolErrors(t *testing.T) {
 	attackerZone := NewZone()
 	attacker := NewHTTPClient(server.URL, attackerZone, nil)
 	csr, _ := newCSR(t, "victim.example.org")
-	if _, err := attacker.ObtainCertificate("victim.example.org", csr); !errors.Is(err, ErrChallengeFailed) {
+	if _, err := attacker.ObtainCertificate(context.Background(), "victim.example.org", csr); !errors.Is(err, ErrChallengeFailed) {
 		t.Errorf("no DNS control: err = %v, want ErrChallengeFailed", err)
 	}
 
 	// Garbage CSR is rejected at new-order.
 	legit := NewHTTPClient(server.URL, zone, nil)
-	if _, err := legit.ObtainCertificate("victim.example.org", []byte("junk")); err == nil {
+	if _, err := legit.ObtainCertificate(context.Background(), "victim.example.org", []byte("junk")); err == nil {
 		t.Error("junk CSR accepted over HTTP")
 	}
 
 	// Rate limit surfaces as ErrRateLimited across the wire.
 	goodCSR, _ := newCSR(t, "busy.example.org")
-	if _, err := legit.ObtainCertificate("busy.example.org", goodCSR); err != nil {
+	if _, err := legit.ObtainCertificate(context.Background(), "busy.example.org", goodCSR); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := legit.ObtainCertificate("busy.example.org", goodCSR); !errors.Is(err, ErrRateLimited) {
+	if _, err := legit.ObtainCertificate(context.Background(), "busy.example.org", goodCSR); !errors.Is(err, ErrRateLimited) {
 		t.Errorf("rate limit over HTTP: err = %v, want ErrRateLimited", err)
 	}
 
@@ -251,15 +252,15 @@ func TestHTTPProtocolErrors(t *testing.T) {
 	}
 
 	// Orders are single-use: finalizing twice fails.
-	order, err := legit.newOrder("busy2.example.org", mustCSR(t, "busy2.example.org"))
+	order, err := legit.newOrder(context.Background(), "busy2.example.org", mustCSR(t, "busy2.example.org"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	zone.SetTXT("_acme-challenge.busy2.example.org", challengeValue(order.Token))
-	if _, err := legit.finalize(order.OrderID); err != nil {
+	if _, err := legit.finalize(context.Background(), order.OrderID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := legit.finalize(order.OrderID); !errors.Is(err, ErrUnknownOrder) {
+	if _, err := legit.finalize(context.Background(), order.OrderID); !errors.Is(err, ErrUnknownOrder) {
 		t.Errorf("double finalize: err = %v, want ErrUnknownOrder", err)
 	}
 }

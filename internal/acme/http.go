@@ -160,28 +160,29 @@ func NewHTTPClient(base string, zone *Zone, httpc *http.Client) *HTTPClient {
 }
 
 // ObtainCertificate runs new-order → publish TXT → finalize and returns
-// the DER certificate. It satisfies the same contract as Client.
-func (c *HTTPClient) ObtainCertificate(domain string, csrDER []byte) ([]byte, error) {
-	orderResp, err := c.newOrder(domain, csrDER)
+// the DER certificate. It satisfies the same contract as Client; ctx
+// bounds both wire calls.
+func (c *HTTPClient) ObtainCertificate(ctx context.Context, domain string, csrDER []byte) ([]byte, error) {
+	orderResp, err := c.newOrder(ctx, domain, csrDER)
 	if err != nil {
 		return nil, err
 	}
 	c.zone.SetTXT(challengeName(domain), challengeValue(orderResp.Token))
 	defer c.zone.SetTXT(challengeName(domain)) // clean up like certbot
 
-	certDER, err := c.finalize(orderResp.OrderID)
+	certDER, err := c.finalize(ctx, orderResp.OrderID)
 	if err != nil {
 		return nil, err
 	}
 	return certDER, nil
 }
 
-func (c *HTTPClient) newOrder(domain string, csrDER []byte) (*newOrderResponse, error) {
+func (c *HTTPClient) newOrder(ctx context.Context, domain string, csrDER []byte) (*newOrderResponse, error) {
 	body, err := json.Marshal(newOrderRequest{Domain: domain, CSRDER: csrDER})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.post(NewOrderPath, body)
+	resp, err := c.post(ctx, NewOrderPath, body)
 	if err != nil {
 		return nil, err
 	}
@@ -195,16 +196,16 @@ func (c *HTTPClient) newOrder(domain string, csrDER []byte) (*newOrderResponse, 
 	return &out, nil
 }
 
-func (c *HTTPClient) finalize(orderID string) ([]byte, error) {
+func (c *HTTPClient) finalize(ctx context.Context, orderID string) ([]byte, error) {
 	body, err := json.Marshal(finalizeRequest{OrderID: orderID})
 	if err != nil {
 		return nil, err
 	}
-	return c.post(FinalizePath, body)
+	return c.post(ctx, FinalizePath, body)
 }
 
-func (c *HTTPClient) post(path string, body []byte) ([]byte, error) {
-	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+func (c *HTTPClient) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err

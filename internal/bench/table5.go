@@ -143,7 +143,7 @@ func table5Cell(ctx context.Context, cfg Table5Config, n int) (Table5Row, error)
 
 	// Steady state: Clients concurrent attested-TLS clients spreading
 	// Requests across the fleet round-robin.
-	elapsed, done, err := f.ServeBurst(cfg.Clients, cfg.Requests)
+	elapsed, done, err := f.ServeBurst(ctx, cfg.Clients, cfg.Requests)
 	if err != nil {
 		return row, err
 	}

@@ -10,6 +10,7 @@
 package boundary
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -196,8 +197,8 @@ func NewServiceWorker(keys ...ic.SubnetPublicKey) *ServiceWorker {
 }
 
 // Call posts a request through the Boundary Node at baseURL and verifies
-// the certificate before returning the reply.
-func (sw *ServiceWorker) Call(client *http.Client, baseURL, canisterID string, kind ic.RequestKind, method string, arg []byte) ([]byte, error) {
+// the certificate before returning the reply. ctx bounds the wire call.
+func (sw *ServiceWorker) Call(ctx context.Context, client *http.Client, baseURL, canisterID string, kind ic.RequestKind, method string, arg []byte) ([]byte, error) {
 	callKind := "query"
 	if kind == ic.KindUpdate {
 		callKind = "call"
@@ -207,7 +208,12 @@ func (sw *ServiceWorker) Call(client *http.Client, baseURL, canisterID string, k
 		return nil, err
 	}
 	url := baseURL + QueryPathPrefix + canisterID + "/" + callKind
-	resp, err := client.Post(url, "application/json", strings.NewReader(string(body)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("boundary: post %s: %w", url, err)
 	}

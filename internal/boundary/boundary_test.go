@@ -2,6 +2,7 @@ package boundary
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -48,7 +49,7 @@ func newStack(t *testing.T) (*ic.Subnet, *Proxy, *httptest.Server) {
 func TestQueryThroughProxy(t *testing.T) {
 	subnet, _, server := newStack(t)
 	sw := NewServiceWorker(subnet.PublicKey())
-	reply, err := sw.Call(server.Client(), server.URL, "echo", ic.KindQuery, "greet", []byte("world"))
+	reply, err := sw.Call(context.Background(), server.Client(), server.URL, "echo", ic.KindQuery, "greet", []byte("world"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -60,7 +61,7 @@ func TestQueryThroughProxy(t *testing.T) {
 func TestUpdateThroughProxy(t *testing.T) {
 	subnet, _, server := newStack(t)
 	sw := NewServiceWorker(subnet.PublicKey())
-	reply, err := sw.Call(server.Client(), server.URL, "echo", ic.KindUpdate, "store", []byte("v"))
+	reply, err := sw.Call(context.Background(), server.Client(), server.URL, "echo", ic.KindUpdate, "store", []byte("v"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
@@ -76,7 +77,7 @@ func TestMaliciousProxyDetected(t *testing.T) {
 	subnet, proxy, server := newStack(t)
 	proxy.TamperReplies(true)
 	sw := NewServiceWorker(subnet.PublicKey())
-	_, err := sw.Call(server.Client(), server.URL, "echo", ic.KindQuery, "greet", []byte("x"))
+	_, err := sw.Call(context.Background(), server.Client(), server.URL, "echo", ic.KindQuery, "greet", []byte("x"))
 	if !errors.Is(err, ErrTampered) {
 		t.Errorf("err = %v, want ErrTampered", err)
 	}
@@ -177,7 +178,7 @@ func TestProxyErrorMapping(t *testing.T) {
 func TestServiceWorkerUnknownSubnet(t *testing.T) {
 	_, _, server := newStack(t)
 	sw := NewServiceWorker() // holds no subnet keys
-	_, err := sw.Call(server.Client(), server.URL, "echo", ic.KindQuery, "greet", nil)
+	_, err := sw.Call(context.Background(), server.Client(), server.URL, "echo", ic.KindQuery, "greet", nil)
 	if !errors.Is(err, ErrTampered) {
 		t.Errorf("err = %v, want ErrTampered", err)
 	}

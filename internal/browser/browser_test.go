@@ -32,7 +32,7 @@ func startTLSServer(t *testing.T, ca *acme.CA, zone *acme.Zone, domain string, h
 	if err != nil {
 		t.Fatal(err)
 	}
-	certDER, err := acme.NewClient(ca, zone).ObtainCertificate(domain, csr)
+	certDER, err := acme.NewClient(ca, zone).ObtainCertificate(context.Background(), domain, csr)
 	if err != nil {
 		t.Fatal(err)
 	}

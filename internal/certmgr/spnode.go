@@ -44,9 +44,10 @@ type ProvisionResult struct {
 }
 
 // CertificateObtainer abstracts the certbot flow: both the in-process
-// acme.Client and the wire-protocol acme.HTTPClient satisfy it.
+// acme.Client and the wire-protocol acme.HTTPClient satisfy it. The ctx
+// bounds the issuance — over the wire it reaches every request.
 type CertificateObtainer interface {
-	ObtainCertificate(domain string, csrDER []byte) ([]byte, error)
+	ObtainCertificate(ctx context.Context, domain string, csrDER []byte) ([]byte, error)
 }
 
 var (
@@ -151,7 +152,7 @@ func (sp *SPNode) Provision(ctx context.Context, nodeURLs []string) (*ProvisionR
 	// Step 3: pick the leader and obtain the certificate for its CSR.
 	leader := evidence[0]
 	t0 = time.Now()
-	certDER, err := sp.certbot.ObtainCertificate(sp.domain, leader.bundle.Payload)
+	certDER, err := sp.certbot.ObtainCertificate(ctx, sp.domain, leader.bundle.Payload)
 	if err != nil {
 		return nil, fmt.Errorf("certmgr: obtain certificate: %w", err)
 	}

@@ -115,6 +115,11 @@ type Config struct {
 	// (broken-canary rollouts, zone bursts). Off by default so
 	// pre-existing seeds replay unchanged.
 	Routed bool
+	// Clock injects the runner's wall-clock reads and sleeps; nil means
+	// the real clock. The schedule itself never depends on it (Generate
+	// is a pure function of the seed) — the clock governs the *executed*
+	// run: event pacing, latency measurement, recovery waits.
+	Clock *Clock
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -128,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clients <= 0 {
 		c.Clients = 4
+	}
+	if c.Clock == nil {
+		c.Clock = realClock()
 	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
@@ -184,6 +192,7 @@ type Result struct {
 // answer again.
 type nodeApp struct {
 	locality  string
+	sleep     func(time.Duration) // the run's clock seam, for delay
 	stalled   atomic.Bool
 	failing   atomic.Bool
 	delay     atomic.Int64 // per-request service time, nanoseconds
@@ -207,7 +216,7 @@ func (a *nodeApp) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if d := a.delay.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+		a.sleep(time.Duration(d))
 	}
 	_, _ = w.Write([]byte("ok"))
 }
@@ -215,6 +224,7 @@ func (a *nodeApp) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // run is the live harness: fleet + gateway + traffic.
 type run struct {
 	cfg     Config
+	clock   *Clock
 	f       *fleet.Fleet
 	gw      *gateway.Gateway
 	tr      *traffic
@@ -244,7 +254,7 @@ func (r *run) appList() []*nodeApp {
 }
 
 func newRun(ctx context.Context, cfg Config) (*run, error) {
-	r := &run{cfg: cfg, apps: make(map[string]*nodeApp)}
+	r := &run{cfg: cfg, clock: cfg.Clock, apps: make(map[string]*nodeApp)}
 	var localities []string
 	if cfg.Routed {
 		localities = []string{chaosZoneA, chaosZoneB}
@@ -254,7 +264,7 @@ func newRun(ctx context.Context, cfg Config) (*run, error) {
 		Domain:     chaosDomain,
 		Localities: localities,
 		App: func(n *core.Node) http.Handler {
-			a := &nodeApp{locality: n.Locality()}
+			a := &nodeApp{locality: n.Locality(), sleep: r.clock.Sleep}
 			r.appMu.Lock()
 			r.apps[n.ControlURL()] = a
 			r.appMu.Unlock()
@@ -309,7 +319,7 @@ func newRun(ctx context.Context, cfg Config) (*run, error) {
 		return nil, fmt.Errorf("gateway start: %w", err)
 	}
 	r.f, r.gw = f, gw
-	r.tr = startTraffic("https://"+gw.Addr()+"/", f.Deployment().CARootPool(), chaosDomain, cfg.Clients)
+	r.tr = startTraffic(ctx, "https://"+gw.Addr()+"/", f.Deployment().CARootPool(), chaosDomain, cfg.Clients, r.clock)
 	return r, nil
 }
 
@@ -343,7 +353,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			return res, fail(ev.Step, ev.Op, err)
 		}
 		if ev.Pause > 0 {
-			time.Sleep(ev.Pause)
+			cfg.Clock.Sleep(ev.Pause)
 		}
 		cfg.Log("chaos seed %d: [%02d] %s arg=%d", cfg.Seed, ev.Step, ev.Op, ev.Arg)
 		if err := r.execute(ctx, ev); err != nil {
@@ -411,7 +421,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Leak probe: teardown must return the process to its baseline.
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := cfg.Clock.Now().Add(10 * time.Second)
 	for {
 		runtime.GC()
 		n := runtime.NumGoroutine()
@@ -419,11 +429,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if n <= baseline+goroutineSlack {
 			break
 		}
-		if time.Now().After(deadline) {
+		if cfg.Clock.Now().After(deadline) {
 			return res, fail(finalStep, "teardown",
 				fmt.Errorf("goroutine leak: %d before, %d after teardown", baseline, n))
 		}
-		time.Sleep(50 * time.Millisecond)
+		cfg.Clock.Sleep(50 * time.Millisecond)
 	}
 	return res, nil
 }
@@ -498,15 +508,15 @@ func (r *run) execute(ctx context.Context, ev Event) error {
 // waitGateway polls the gateway's stats until cond holds or the wait
 // expires.
 func (r *run) waitGateway(within time.Duration, cond func(gateway.Stats) bool, msg string) error {
-	deadline := time.Now().Add(within)
+	deadline := r.clock.Now().Add(within)
 	for {
 		if cond(r.gw.Stats()) {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if r.clock.Now().After(deadline) {
 			return errors.New(msg)
 		}
-		time.Sleep(5 * time.Millisecond)
+		r.clock.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -556,9 +566,9 @@ func (r *run) grayFailure(ctx context.Context, which int) error {
 	// Breaker-open means probes only. Let attempts dispatched before the
 	// trip land, then require the app's client-request counter to hold
 	// still (health probes are excluded from the counter).
-	time.Sleep(100 * time.Millisecond)
+	r.clock.Sleep(100 * time.Millisecond)
 	before := app.hits.Load()
-	time.Sleep(300 * time.Millisecond)
+	r.clock.Sleep(300 * time.Millisecond)
 	if after := app.hits.Load(); after != before {
 		return fmt.Errorf("breaker-open node received %d client requests (want probes only)", after-before)
 	}
@@ -605,21 +615,21 @@ func (r *run) overloadStorm(ctx context.Context, extra int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			req, err := http.NewRequest(http.MethodGet, r.tr.url, nil)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.tr.url, nil)
 			if err != nil {
 				other.Add(1)
 				firstOther.CompareAndSwap(nil, &err)
 				return
 			}
 			req.Header.Set(gateway.DeadlineHeader, stormMillis)
-			start := time.Now()
+			start := r.clock.Now()
 			resp, err := r.tr.client.Do(req)
 			if err != nil {
 				other.Add(1)
 				firstOther.CompareAndSwap(nil, &err)
 				return
 			}
-			elapsed := time.Since(start)
+			elapsed := r.clock.Since(start)
 			_, _ = io.Copy(io.Discard, resp.Body)
 			_ = resp.Body.Close()
 			switch {
@@ -748,16 +758,16 @@ func (r *run) expiryWave(ctx context.Context) error {
 	// the gateway must stop serving within the window — observing even
 	// one refused request proves fail-closed reached the data plane.
 	r.f.Deployment().Verifier.InvalidatePolicy()
-	refuseBy := time.Now().Add(10 * time.Second)
+	refuseBy := r.clock.Now().Add(10 * time.Second)
 	for {
-		status, err := r.get()
+		status, err := r.get(ctx)
 		if err != nil || status != http.StatusOK {
 			break
 		}
-		if time.Now().After(refuseBy) {
+		if r.clock.Now().After(refuseBy) {
 			return errors.New("gateway kept serving with every upstream credential expired (fail-open)")
 		}
-		time.Sleep(5 * time.Millisecond)
+		r.clock.Sleep(5 * time.Millisecond)
 	}
 
 	// Recovery: clock restored, one more bump reinstates the estate.
@@ -839,12 +849,12 @@ func (r *run) canaryRollout(ctx context.Context) error {
 	// Let attempts dispatched before the rollback land, then require the
 	// canary app's client-request counter to hold still under continuing
 	// traffic (probes are excluded from the counter).
-	time.Sleep(100 * time.Millisecond)
+	r.clock.Sleep(100 * time.Millisecond)
 	before := app.hits.Load()
 	if err := r.probeServes(ctx, 5, 10*time.Second); err != nil {
 		return err
 	}
-	time.Sleep(200 * time.Millisecond)
+	r.clock.Sleep(200 * time.Millisecond)
 	if after := app.hits.Load(); after != before {
 		return fmt.Errorf("rolled-back canary node received %d client requests (want none)", after-before)
 	}
@@ -884,11 +894,16 @@ func (r *run) canaryRollout(ctx context.Context) error {
 // zone-a node is serving; any other outcome is a violation. The burst
 // runs outside any fault window: zone pinning must hold under whatever
 // the schedule last did to the fleet.
-func (r *run) zoneBurst(_ context.Context, extra int) error {
+func (r *run) zoneBurst(ctx context.Context, extra int) error {
 	n := 20 + extra
 	var served, denied int
 	for i := 0; i < n; i++ {
-		resp, err := r.tr.client.Get(r.tr.url + strings.TrimPrefix(chaosZonePath, "/"))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			r.tr.url+strings.TrimPrefix(chaosZonePath, "/"), nil)
+		if err != nil {
+			return fmt.Errorf("zone burst request %d: %w", i, err)
+		}
+		resp, err := r.tr.client.Do(req)
 		if err != nil {
 			return fmt.Errorf("zone burst request %d: %w", i, err)
 		}

@@ -1,0 +1,32 @@
+package chaos
+
+import "time"
+
+// Clock is the chaos runner's injected time seam: every wall-clock read
+// and every sleep in the runner, its traffic loops, and its probes flows
+// through exactly one of these. The production default is the real
+// clock; replays and tests inject their own so the *executed* run — the
+// pacing between events, the measured latencies, the recovery waits —
+// is as deterministic as the printed schedule. A naked time.Now or
+// time.Sleep anywhere else in this package is a replay-determinism bug
+// (and a timeseam lint diagnostic).
+type Clock struct {
+	// Now reads the current time.
+	Now func() time.Time
+	// Sleep blocks for d.
+	Sleep func(d time.Duration)
+}
+
+// Since is the seam's time.Since: elapsed wall time as Now sees it.
+func (c *Clock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// realClock is the production seam: the one place in the package the
+// wall clock is read directly.
+func realClock() *Clock {
+	return &Clock{
+		Now:   time.Now,   //revelio:allow timeseam the clock seam's single real-time definition
+		Sleep: time.Sleep, //revelio:allow timeseam the clock seam's single real-time definition
+	}
+}

@@ -31,7 +31,7 @@ func (r *run) coherent() error {
 			}
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := r.clock.Now().Add(5 * time.Second)
 	for {
 		snap := r.f.Endpoints()
 		s := r.gw.Stats()
@@ -59,14 +59,14 @@ func (r *run) coherent() error {
 				return nil
 			}
 		}
-		if time.Now().After(deadline) {
+		if r.clock.Now().After(deadline) {
 			if ghost != "" {
 				return fmt.Errorf("gateway %s references departed endpoint %s (view v%d, gateway v%d)",
 					list, ghost, snap.Version, s.ViewVersion)
 			}
 			return fmt.Errorf("gateway never observed view v%d (still at v%d)", snap.Version, s.ViewVersion)
 		}
-		time.Sleep(5 * time.Millisecond)
+		r.clock.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -74,18 +74,18 @@ func (r *run) coherent() error {
 // through the gateway within the deadline — the recovery probe after a
 // fault window.
 func (r *run) probeServes(ctx context.Context, consecutive int, within time.Duration) error {
-	deadline := time.Now().Add(within)
+	deadline := r.clock.Now().Add(within)
 	streak := 0
 	var last error
 	for streak < consecutive {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if time.Now().After(deadline) {
+		if r.clock.Now().After(deadline) {
 			return fmt.Errorf("gateway did not serve %d consecutive requests within %s; last: %v",
 				consecutive, within, last)
 		}
-		status, err := r.get()
+		status, err := r.get(ctx)
 		if err == nil && status == http.StatusOK {
 			streak++
 			continue
@@ -96,14 +96,18 @@ func (r *run) probeServes(ctx context.Context, consecutive int, within time.Dura
 		} else {
 			last = fmt.Errorf("status %d", status)
 		}
-		time.Sleep(10 * time.Millisecond)
+		r.clock.Sleep(10 * time.Millisecond)
 	}
 	return nil
 }
 
 // get issues one probe request through the gateway.
-func (r *run) get() (int, error) {
-	resp, err := r.tr.client.Get(r.tr.url)
+func (r *run) get(ctx context.Context) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.tr.url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.tr.client.Do(req)
 	if err != nil {
 		return 0, err
 	}

@@ -2,7 +2,7 @@ package chaos
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //revelio:allow timeseam Generate is a pure function of the seed — this seeded source IS the injected randomness
 	"strings"
 	"time"
 )

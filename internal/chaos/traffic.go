@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
@@ -32,6 +33,7 @@ var trafficDeadlineMillis = strconv.FormatInt(trafficDeadline.Milliseconds(), 10
 type traffic struct {
 	url    string
 	client *http.Client
+	clock  *Clock
 	stop   chan struct{}
 	wg     sync.WaitGroup
 
@@ -50,11 +52,13 @@ type traffic struct {
 }
 
 // startTraffic launches `clients` request loops against the gateway at
-// url, trusting the fleet CA for the service domain.
-func startTraffic(url string, roots *x509.CertPool, domain string, clients int) *traffic {
+// url, trusting the fleet CA for the service domain. The loops carry
+// ctx into every request and pace themselves through the run's clock.
+func startTraffic(ctx context.Context, url string, roots *x509.CertPool, domain string, clients int, clock *Clock) *traffic {
 	t := &traffic{
-		url:  url,
-		stop: make(chan struct{}),
+		url:   url,
+		clock: clock,
+		stop:  make(chan struct{}),
 		client: &http.Client{
 			Transport: &http.Transport{
 				TLSClientConfig: &tls.Config{
@@ -77,10 +81,10 @@ func startTraffic(url string, roots *x509.CertPool, domain string, clients int) 
 					return
 				default:
 				}
-				t.one()
+				t.one(ctx)
 				// Pace the loop: the point is continuous load across
 				// every fault, not a throughput benchmark.
-				time.Sleep(2 * time.Millisecond)
+				t.clock.Sleep(2 * time.Millisecond)
 			}
 		}()
 	}
@@ -91,16 +95,16 @@ func startTraffic(url string, roots *x509.CertPool, domain string, clients int) 
 // state is sampled both before and after the attempt: a request is a
 // violation only if no fault window was open at either point — a window
 // opening or closing mid-request means the fault could have hit it.
-func (t *traffic) one() {
+func (t *traffic) one(ctx context.Context) {
 	openAtStart := t.window.Load() > 0
 	t.total.Add(1)
 	var failure error
-	req, err := http.NewRequest(http.MethodGet, t.url, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url, nil)
 	if err != nil {
 		failure = err
 	} else {
 		req.Header.Set(gateway.DeadlineHeader, trafficDeadlineMillis)
-		start := time.Now()
+		start := t.clock.Now()
 		resp, doErr := t.client.Do(req)
 		if doErr != nil {
 			failure = doErr
@@ -115,7 +119,7 @@ func (t *traffic) one() {
 			case resp.StatusCode != http.StatusOK:
 				failure = fmt.Errorf("status %d", resp.StatusCode)
 			default:
-				if elapsed := time.Since(start); elapsed > trafficDeadline+time.Second {
+				if elapsed := t.clock.Since(start); elapsed > trafficDeadline+time.Second {
 					// Admitted, answered — but past its declared deadline.
 					failure = fmt.Errorf("succeeded %s after its %s deadline", elapsed, trafficDeadline)
 				}

@@ -240,6 +240,7 @@ func (s *httpServer) close() {
 	if s == nil {
 		return
 	}
+	//revelio:allow ctxfirst teardown path with no caller context; the drain deadline is the bound
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	// Graceful drain first so in-flight requests complete, then a hard
@@ -645,6 +646,7 @@ func (d *Deployment) startNodeWeb(n *Node) error {
 	// fresh inside the guest with SEV-SNP evidence binding its key, so a
 	// gateway dialing it proves — per handshake, under current policy —
 	// that the request terminates inside this measured VM.
+	//revelio:allow ctxfirst ServeWeb's exported signature predates ctx threading; minting is local and non-blocking
 	upstreamCert, err := ratls.CreateProviderCertificate(context.Background(),
 		snp.NewNodeProvider(n.VM, d.Verifier), d.cfg.Domain)
 	if err != nil {

@@ -361,7 +361,9 @@ func (f *Fleet) addNodeLocked(ctx context.Context) (int, error) {
 		return 0, err
 	}
 	if err := f.crash(CrashJoinAfterLaunch); err != nil {
-		_, _ = f.d.RemoveNode(context.Background(), idx)
+		// Rollback must complete even when the failure was ctx itself
+		// dying: a launched-but-unserving node must never survive a join.
+		_, _ = f.d.RemoveNode(context.WithoutCancel(ctx), idx)
 		return 0, err
 	}
 	node := f.d.Nodes[idx]
@@ -377,7 +379,7 @@ func (f *Fleet) addNodeLocked(ctx context.Context) (int, error) {
 		delete(f.states, node.ControlURL())
 		f.publishLocked()
 		f.memberMu.Unlock()
-		_, _ = f.d.RemoveNode(context.Background(), idx)
+		_, _ = f.d.RemoveNode(context.WithoutCancel(ctx), idx)
 	}
 	if err := f.d.SP.ProvisionNode(ctx, node.ControlURL(), leaderURL, certDER); err != nil {
 		abortJoin()
@@ -458,7 +460,7 @@ func (f *Fleet) removeNodeLocked(ctx context.Context, i int) error {
 	// Past the point of no return (leader re-elected, serving view
 	// updated): the deployment-level removal must complete even if the
 	// caller's ctx has since died, or fleet and deployment state diverge.
-	_, err := f.d.RemoveNode(context.Background(), i)
+	_, err := f.d.RemoveNode(context.WithoutCancel(ctx), i)
 	return err
 }
 
@@ -568,7 +570,7 @@ func (f *Fleet) StageFirmware(ctx context.Context, version string) (measure.Meas
 	if err := f.approveMeasurement(newGolden, "firmware "+version); err != nil {
 		// Leave the deployment on the firmware it was actually rolling:
 		// a half-staged switch would make every future join fail closed.
-		if _, restoreErr := f.d.SetFirmware(context.Background(), oldVersion); restoreErr != nil {
+		if _, restoreErr := f.d.SetFirmware(context.WithoutCancel(ctx), oldVersion); restoreErr != nil {
 			return measure.Measurement{}, errors.Join(err, restoreErr)
 		}
 		return measure.Measurement{}, err

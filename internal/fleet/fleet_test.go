@@ -43,7 +43,7 @@ func mustCleanTraffic(t *testing.T, tr *Traffic) (requests int64) {
 func TestScenarioDynamicMembership(t *testing.T) {
 	f := newTestFleet(t, 3)
 	ctx := context.Background()
-	tr := f.StartTraffic(4)
+	tr := f.StartTraffic(ctx, 4)
 
 	idx, err := f.AddNode(ctx)
 	if err != nil {
@@ -117,7 +117,7 @@ func TestScenarioCertificateRotation(t *testing.T) {
 	}
 
 	before := leafSerial(f.d.Nodes[0].WebAddr())
-	tr := f.StartTraffic(4)
+	tr := f.StartTraffic(ctx, 4)
 	if _, err := f.RotateCertificates(ctx); err != nil {
 		t.Fatalf("RotateCertificates: %v", err)
 	}
@@ -295,7 +295,7 @@ func TestScenarioMeasuredImageRollout(t *testing.T) {
 	f := newTestFleet(t, 3)
 	ctx := context.Background()
 	oldGolden := f.Golden()
-	tr := f.StartTraffic(4)
+	tr := f.StartTraffic(ctx, 4)
 
 	newGolden, err := f.StageFirmware(context.Background(), "2024.11")
 	if err != nil {
@@ -368,7 +368,7 @@ func TestScenarioMeasuredImageRollout(t *testing.T) {
 func TestRollOutConvenience(t *testing.T) {
 	f := newTestFleet(t, 2)
 	ctx := context.Background()
-	tr := f.StartTraffic(2)
+	tr := f.StartTraffic(ctx, 2)
 	newGolden, err := f.RollOut(ctx, "2025.01")
 	if err != nil {
 		t.Fatalf("RollOut: %v", err)

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
@@ -28,11 +29,11 @@ type Traffic struct {
 }
 
 // StartTraffic launches `clients` concurrent request loops against the
-// fleet's web tier. Each request is made under the fleet's membership
-// read lock, so lifecycle operations drain in-flight requests before
-// touching the node set — the mechanism behind the zero-failed-request
-// guarantee during churn.
-func (f *Fleet) StartTraffic(clients int) *Traffic {
+// fleet's web tier, carrying ctx into every request. Each request is
+// made under the fleet's membership read lock, so lifecycle operations
+// drain in-flight requests before touching the node set — the mechanism
+// behind the zero-failed-request guarantee during churn.
+func (f *Fleet) StartTraffic(ctx context.Context, clients int) *Traffic {
 	if clients <= 0 {
 		clients = 1
 	}
@@ -48,7 +49,7 @@ func (f *Fleet) StartTraffic(clients int) *Traffic {
 					return
 				default:
 				}
-				tr.one(client, i)
+				tr.one(ctx, client, i)
 			}
 		}(c)
 	}
@@ -56,7 +57,7 @@ func (f *Fleet) StartTraffic(clients int) *Traffic {
 }
 
 // one performs a single attested-TLS request against node (i mod size).
-func (tr *Traffic) one(client *http.Client, i int) {
+func (tr *Traffic) one(ctx context.Context, client *http.Client, i int) {
 	tr.f.memberMu.RLock()
 	defer tr.f.memberMu.RUnlock()
 	// Count the attempt before any failure path: every failure is also a
@@ -73,7 +74,13 @@ func (tr *Traffic) one(client *http.Client, i int) {
 		tr.fail(fmt.Errorf("fleet: node %d has no web front end", i%len(nodes)))
 		return
 	}
-	resp, err := client.Get("https://" + addr + certmgr.WellKnownPath)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"https://"+addr+certmgr.WellKnownPath, nil)
+	if err != nil {
+		tr.fail(err)
+		return
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		tr.fail(err)
 		return
@@ -110,7 +117,7 @@ func (tr *Traffic) Stop() (requests, failures int64, firstErr error) {
 // least one). The first failed request aborts the burst across all
 // clients — throughput numbers from a partially failing fleet would be
 // meaningless — and failed attempts are excluded from the served count.
-func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
+func (f *Fleet) ServeBurst(ctx context.Context, clients, requests int) (time.Duration, int, error) {
 	if clients <= 0 {
 		clients = 1
 	}
@@ -121,7 +128,7 @@ func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
 	var wg sync.WaitGroup
 	tr := &Traffic{f: f}
 	client := f.webClient()
-	start := time.Now()
+	start := time.Now() //revelio:allow timeseam throughput measurement reported to the operator; no scheduling or replay decision reads it
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -132,12 +139,12 @@ func (f *Fleet) ServeBurst(clients, requests int) (time.Duration, int, error) {
 				if tr.failures.Load() > 0 {
 					return
 				}
-				tr.one(client, c*perClient+i)
+				tr.one(ctx, client, c*perClient+i)
 			}
 		}(c)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //revelio:allow timeseam throughput measurement reported to the operator; no scheduling or replay decision reads it
 	tr.mu.Lock()
 	firstErr := tr.firstErr
 	tr.mu.Unlock()

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"strings"
@@ -16,7 +17,7 @@ import (
 func TestTrafficAccountingCountsEveryAttempt(t *testing.T) {
 	t.Run("no nodes", func(t *testing.T) {
 		tr := &Traffic{f: &Fleet{}}
-		tr.one(nil, 0)
+		tr.one(context.Background(), nil, 0)
 		if got := tr.requests.Load(); got != 1 {
 			t.Errorf("requests = %d, want 1", got)
 		}
@@ -29,7 +30,7 @@ func TestTrafficAccountingCountsEveryAttempt(t *testing.T) {
 	})
 	t.Run("no web front end", func(t *testing.T) {
 		tr := &Traffic{f: &Fleet{serving: []*core.Node{{}}}}
-		tr.one(nil, 0)
+		tr.one(context.Background(), nil, 0)
 		if got := tr.requests.Load(); got != 1 {
 			t.Errorf("requests = %d, want 1", got)
 		}
@@ -58,7 +59,7 @@ func TestServeBurstExcludesFailures(t *testing.T) {
 	f.webMu.Lock()
 	f.webShared = &http.Client{Transport: failingTransport{}}
 	f.webMu.Unlock()
-	_, served, err := f.ServeBurst(4, 64)
+	_, served, err := f.ServeBurst(context.Background(), 4, 64)
 	if err == nil {
 		t.Fatal("ServeBurst succeeded against a failing transport")
 	}

@@ -181,6 +181,9 @@ func (r Resilience) withDefaults() Resilience {
 	if r.MinDeadline <= 0 {
 		r.MinDeadline = 5 * time.Millisecond
 	}
+	if r.Now == nil {
+		r.Now = time.Now //revelio:allow timeseam the gateway clock seam's single real-time default
+	}
 	return r
 }
 
@@ -680,6 +683,7 @@ func shedResponse(w http.ResponseWriter) {
 
 // sleepCtx pauses for d, reporting false if ctx fires first.
 func sleepCtx(ctx context.Context, d time.Duration) bool {
+	//revelio:allow timeseam backoff must block in real time against a real ctx; an injected Now cannot fire a channel
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -752,7 +756,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
-		if time.Until(deadline) < g.res.MinDeadline {
+		if deadline.Sub(g.res.Now()) < g.res.MinDeadline {
 			break
 		}
 		up, saturated, denied := g.pick(d, excluded)
@@ -860,13 +864,14 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request, attempts
 	parent := r.Context()
 	perTry := g.res.PerTryTimeout
 	if dl, ok := parent.Deadline(); ok {
-		perTry = resilience.CarveTry(perTry, time.Until(dl), attemptsLeft)
+		perTry = resilience.CarveTry(perTry, dl.Sub(g.res.Now()), attemptsLeft)
 	}
 	// The per-try clock covers dial + request + response headers; once
 	// headers arrive the attempt has succeeded and the timer stops, so a
 	// slow client draining a long body is bounded by the request
 	// deadline and WriteTimeout, not mistaken for a stalled node.
 	tryCtx, cancel := context.WithCancel(parent)
+	//revelio:allow timeseam the per-try cancel must fire in real time to abort a real RoundTrip; the measured latency is on the seam
 	timer := time.AfterFunc(perTry, cancel)
 
 	outreq := r.Clone(tryCtx)
@@ -899,10 +904,14 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request, attempts
 		outreq.Header.Set("X-Forwarded-For", clientIP)
 	}
 
+	// The latency fed to the breaker must come off the same clock as the
+	// breaker's dwell (Resilience.Now): measuring it with the naked wall
+	// clock made SlowThreshold accounting invisible to injected clocks —
+	// chaos replays and tests saw breakers that never tripped on slowness.
 	up.pending.Add(1)
-	start := time.Now()
+	start := g.res.Now()
 	resp, err := g.transport.RoundTrip(outreq)
-	latency := time.Since(start)
+	latency := g.res.Now().Sub(start)
 	up.pending.Add(-1)
 	timer.Stop()
 	if parent.Err() == nil {
@@ -926,6 +935,7 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request, attempts
 // claimed upstreams concurrently.
 func (g *Gateway) probeLoop() {
 	defer g.watchWG.Done()
+	//revelio:allow timeseam probe pacing needs a real channel to select against probeStop; breaker dwell judgments stay on the seam
 	ticker := time.NewTicker(g.res.ProbeInterval)
 	defer ticker.Stop()
 	for {
@@ -957,6 +967,7 @@ func (g *Gateway) probeLoop() {
 // reports the outcome to its breaker. Probes ride the gateway's RA-TLS
 // transport, so a node whose attestation stopped verifying cannot pass.
 func (g *Gateway) probe(up *upstream, domain string) {
+	//revelio:allow ctxfirst probes are the gateway's own background process (stopped via probeStop); no caller context exists to thread
 	ctx, cancel := context.WithTimeout(context.Background(), g.res.PerTryTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
@@ -990,17 +1001,22 @@ func (g *Gateway) Start() error {
 	if g.cfg.GetCertificate == nil {
 		return errors.New("gateway: Start needs Config.GetCertificate")
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return ErrClosed
-	}
-	if g.listener != nil {
-		return errors.New("gateway: already started")
-	}
+	// Bind the port before taking g.mu: every request holds the serving
+	// view under that lock's neighbors, and a slow bind (exhausted
+	// ephemeral ports, LSM hooks) must not stall them.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fmt.Errorf("gateway: listen: %w", err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		_ = ln.Close()
+		return ErrClosed
+	}
+	if g.listener != nil {
+		_ = ln.Close()
+		return errors.New("gateway: already started")
 	}
 	tlsLn := tls.NewListener(ln, &tls.Config{
 		GetCertificate: func(*tls.ClientHelloInfo) (*tls.Certificate, error) {
@@ -1081,6 +1097,7 @@ func (g *Gateway) Close() {
 	}
 	g.watchWG.Wait()
 	if server != nil {
+		//revelio:allow ctxfirst Close is the end of the gateway's lifecycle — there is no caller context left to inherit, and the grace is bounded
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = server.Shutdown(ctx)
 		cancel()

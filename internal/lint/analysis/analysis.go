@@ -1,0 +1,63 @@
+// Package analysis is a self-contained, API-compatible subset of
+// golang.org/x/tools/go/analysis, carrying exactly the surface the
+// revelio-lint analyzers use: an Analyzer with a Run function over a
+// typed Pass that reports position-anchored Diagnostics.
+//
+// The repo vendors no third-party modules (the build environment is
+// offline), so the real x/tools framework is gated rather than
+// imported. The subset keeps the same field names and semantics as the
+// upstream package on purpose: lifting an analyzer onto the real
+// framework is an import-path change, not a rewrite, and the
+// analysistest-style fixture harness in internal/lint/linttest keeps
+// the same `// want "regexp"` contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Name is the identifier
+// used on the command line and in //revelio:allow directives; Doc is
+// the one-paragraph invariant statement shown by `revelio-lint -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run applies the analyzer to one package. It reports findings
+	// through pass.Report and returns an error only for internal
+	// failures (a broken pass, not a finding).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer's Run function, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Position resolves a diagnostic's position against a file set.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}

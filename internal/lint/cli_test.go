@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"revelio/internal/lint/load"
+)
+
+// capture runs the CLI with stdout/stderr redirected to temp files and
+// returns the exit code plus both streams.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	mk := func(name string) *os.File {
+		f, err := os.CreateTemp(t.TempDir(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	stdout, stderr := mk("stdout"), mk("stderr")
+	code := Main(args, stdout, stderr)
+	read := func(f *os.File) string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close()
+		return string(data)
+	}
+	return code, read(stdout), read(stderr)
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, a := range Suite() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	// cmd/go probes -V=full before trusting a vettool.
+	code, out, _ := capture(t, "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	if !strings.Contains(out, "revelio-lint version") {
+		t.Errorf("handshake output %q lacks the version banner", out)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := capture(t, "-run", "nosuch", "./...")
+	if code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "nosuch") {
+		t.Errorf("stderr %q does not name the bad analyzer", errOut)
+	}
+}
+
+// TestLintPackageClean is satellite coverage for "the suite is clean on
+// itself": direct-loader mode over internal/lint and this command.
+func TestLintPackageClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list -export")
+	}
+	code, out, errOut := capture(t, "./internal/lint/...", "./lint/...", "./cmd/revelio-lint/...")
+	if code != 0 {
+		t.Fatalf("revelio-lint on its own packages exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+// TestVettoolProtocol builds the binary and rides go vet's unitchecker
+// protocol over the lint packages themselves — the -V handshake, the
+// JSON .cfg, and the .vetx facts file all have to work for this to
+// exit 0.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool binary and runs go vet")
+	}
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "revelio-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/revelio-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/lint/...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"testing"
+
+	"revelio/internal/lint"
+	"revelio/internal/lint/linttest"
+	"revelio/internal/lint/load"
+)
+
+// The fixture packages under testdata/src each carry `// want` cases
+// that failed before the analyzer (or the fix it demanded) existed,
+// plus clean lines that act as false-positive guards: the harness
+// fails on any diagnostic without a want just as it fails on any want
+// without a diagnostic.
+
+func TestTaxonomyFixture(t *testing.T) {
+	linttest.Run(t, lint.Taxonomy, "revelio/internal/attest")
+}
+
+func TestTimeseamFixture(t *testing.T) {
+	linttest.Run(t, lint.Timeseam, "revelio/internal/chaos")
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	linttest.Run(t, lint.CtxFirst, "revelio/internal/ctxflow")
+}
+
+func TestPoolEscapeFixture(t *testing.T) {
+	linttest.Run(t, lint.PoolEscape, "poolfix")
+}
+
+func TestLockGuardFixture(t *testing.T) {
+	linttest.Run(t, lint.LockGuard, "lockfix")
+}
+
+// TestAllowAuditFixture drives the suppression audit through the
+// taxonomy analyzer: working suppressions in both placements, plus the
+// no-analyzer, unknown-analyzer, unexplained, and stale defects.
+func TestAllowAuditFixture(t *testing.T) {
+	linttest.Run(t, lint.Taxonomy, "revelio/internal/kds")
+}
+
+// TestSelect pins the suite roster and the unknown-name error.
+func TestSelect(t *testing.T) {
+	all, err := lint.Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"taxonomy", "timeseam", "ctxfirst", "poolescape", "lockguard"}
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+	if _, err := lint.Select([]string{"nosuch"}); err == nil {
+		t.Error("Select(nosuch) succeeded, want error")
+	}
+}
+
+// TestRepoClean runs the whole suite over the whole module — the
+// acceptance gate: every finding is either fixed or carries an audited
+// //revelio:allow, so the count here is zero.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full module via go list -export")
+	}
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, pkg := range pkgs {
+		findings, err := lint.Run(pkg, lint.Suite())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package linttest is the fixture harness for the revelio-lint
+// analyzers, keeping golang.org/x/tools/go/analysis/analysistest's
+// contract on the offline toolchain: fixture packages live under
+// testdata/src/<importpath>, and `// want "regexp"` comments assert the
+// diagnostics expected on their line. Every diagnostic must be wanted
+// and every want must fire, so fixtures double as false-positive
+// guards: a clean line with no want that starts firing fails the test
+// just as loudly as a regression that stops firing.
+//
+// Fixture packages may import each other by their testdata-relative
+// path (a fake revelio/attestation lives next to the fixtures that
+// wrap its sentinels); standard-library imports are type-checked from
+// GOROOT source, so the harness needs no network and no export data.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"revelio/internal/lint"
+	"revelio/internal/lint/analysis"
+	"revelio/internal/lint/load"
+)
+
+// fixtureImporter resolves fixture-local import paths against the
+// testdata root and everything else from standard-library source.
+type fixtureImporter struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func newFixtureImporter(root string, fset *token.FileSet) *fixtureImporter {
+	return &fixtureImporter{
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		files, err := parseDir(im.fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: im}
+		p, err := conf.Check(path, im.fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		im.pkgs[path] = p
+		return p, nil
+	}
+	return im.std.Import(path)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("linttest: no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe matches a want comment; the quoted patterns follow. Block
+// comments (`/* want "re" */`) work too — they are the only way to
+// attach an expectation to a line whose line comment is itself under
+// test, e.g. a malformed //revelio:allow directive.
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// parseWants extracts the `// want "re" ["re" ...]` expectations from a
+// file's comments. The comment applies to its own line.
+func parseWants(fset *token.FileSet, file *ast.File) ([]*want, error) {
+	var ws []*want
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(m[1]), "*/"))
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s:%d: malformed want pattern near %q", pos.Filename, pos.Line, rest)
+				}
+				lit, remainder, err := cutStringLit(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+				}
+				ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re})
+				rest = strings.TrimSpace(remainder)
+			}
+		}
+	}
+	return ws, nil
+}
+
+// cutStringLit splits one leading Go string literal off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if quote == '"' {
+				i++
+			}
+		case quote:
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad want literal %q: %v", s[:i+1], err)
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want literal %q", s)
+}
+
+// Run loads the fixture package at testdata/src/<pkgpath> (relative to
+// the calling test's directory), applies the analyzer through the same
+// driver pipeline the command uses — suppression directives and the
+// allow audit included — and matches the findings against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	im := newFixtureImporter(root, fset)
+
+	dir := filepath.Join(root, filepath.FromSlash(pkgpath))
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: im}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-checking fixture %s: %v", pkgpath, err)
+	}
+
+	findings, err := lint.Run(&load.Package{
+		PkgPath:   pkgpath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	var wants []*want
+	for _, f := range files {
+		ws, err := parseWants(fset, f)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"revelio/internal/lint/analysis"
+)
+
+// guardedRe matches the field annotation `guarded by <mu>` anywhere in
+// a field's doc or trailing comment.
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// LockGuard mechanizes the repo's mutex discipline, two rules:
+//
+//  1. A struct field annotated `// guarded by <mu>` may only be read or
+//     written through the receiver while <mu> is held in the same
+//     method — a lexically preceding recv.mu.Lock()/RLock() without an
+//     intervening Unlock — or from a method whose name ends in
+//     "Locked", the repo's caller-holds-the-lock convention.
+//  2. No lock is held across a blocking channel send or a network call
+//     (the opMu / serving-view discipline): between x.Lock() and
+//     x.Unlock(), and for the whole rest of the function after a
+//     `defer x.Unlock()`, a send on a channel (unless inside a select
+//     with a default — non-blocking by construction) or a call into
+//     net/net.http is a diagnostic.
+//
+// The analysis is lexical and per-function on purpose: the fleet's
+// Acquire/Release serving-view drain spans functions by design and is
+// out of scope; what this catches is the classic in-function hold
+// across I/O that deadlocks the control plane under churn.
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `guarded by <mu>` are only accessed with that mutex held " +
+		"(or from a *Locked method), and no lock is held across a network call or blocking channel send",
+	Run: runLockGuard,
+}
+
+func runLockGuard(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccess(pass, fn, guards)
+			checkHeldAcrossBlocking(pass, fn)
+		}
+	}
+	return nil
+}
+
+// guardKey identifies one annotated field on one struct type.
+type guardKey struct {
+	typ   types.Object // the named struct type's object
+	field string
+}
+
+// collectGuards finds every `guarded by <mu>` field annotation in the
+// package and maps it to the guarding mutex's field name. An annotation
+// only binds when <mu> names a sibling field of mutex type — prose like
+// "(guarded by TestFoo)" referring to a test stays prose.
+func collectGuards(pass *analysis.Pass) map[guardKey]string {
+	guards := make(map[guardKey]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			typObj := pass.TypesInfo.Defs[ts.Name]
+			if typObj == nil {
+				return true
+			}
+			mutexFields := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				t := pass.TypesInfo.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				s := t.String()
+				if s == "sync.Mutex" || s == "sync.RWMutex" || s == "*sync.Mutex" || s == "*sync.RWMutex" {
+					for _, name := range field.Names {
+						mutexFields[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += " " + field.Comment.Text()
+				}
+				m := guardedRe.FindStringSubmatch(text)
+				if m == nil || !mutexFields[m[1]] {
+					continue
+				}
+				for _, name := range field.Names {
+					guards[guardKey{typObj, name.Name}] = m[1]
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// recvTypeObj resolves a method's receiver base type object.
+func recvTypeObj(pass *analysis.Pass, fn *ast.FuncDecl) (types.Object, string) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil, ""
+	}
+	recvName := fn.Recv.List[0].Names[0].Name
+	t := pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return nil, ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return named.Obj(), recvName
+}
+
+// lockEvent is one Lock/Unlock call at a position, +1 or -1 on the
+// lexical hold depth of one mutex expression. read marks RLock/RUnlock:
+// read locks count for the guarded-access rule but deliberately do not
+// open a no-blocking region — the serving-view read lock held across a
+// request IS the fleet's documented drain mechanism.
+type lockEvent struct {
+	pos   token.Pos
+	delta int
+	read  bool
+}
+
+// mutexOps scans a function body for Lock/RLock/Unlock/RUnlock calls on
+// sync mutexes, keyed by the printed receiver expression ("g.mu").
+// Deferred Unlocks do not close the region: they run at function exit,
+// so the lock is held for the lexical remainder.
+func mutexOps(pass *analysis.Pass, body *ast.BlockStmt) map[string][]lockEvent {
+	ops := make(map[string][]lockEvent)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// A deferred Unlock runs at function exit: it must not
+			// close the lexical region. Deferred function literals are
+			// skipped wholesale for the same reason — their Lock/Unlock
+			// pairs execute at exit, not at their lexical position.
+			if key, _, _ := mutexOp(pass, d.Call); key != "" {
+				return false
+			}
+			if _, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				return false
+			}
+			return true
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			// A goroutine body runs concurrently: its Lock/Unlock pairs
+			// do not move the spawning function's lexical hold depth.
+			if _, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				return false
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, delta, read := mutexOp(pass, call)
+		if key != "" {
+			ops[key] = append(ops[key], lockEvent{call.Pos(), delta, read})
+		}
+		return true
+	})
+	for _, evs := range ops {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	}
+	return ops
+}
+
+// mutexOp classifies one call as a lock (+1) or unlock (-1) on a sync
+// mutex, returning the printed receiver expression as the key and
+// whether it is the read side of an RWMutex.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (string, int, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(*sync.Mutex).") && !strings.HasPrefix(full, "(*sync.RWMutex).") {
+		return "", 0, false
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return key, +1, false
+	case "RLock":
+		return key, +1, true
+	case "Unlock":
+		return key, -1, false
+	case "RUnlock":
+		return key, -1, true
+	}
+	return "", 0, false
+}
+
+// heldAt reports whether the mutex with the given event list is held at
+// pos, lexically. writeOnly restricts the judgment to exclusive locks.
+func heldAt(evs []lockEvent, pos token.Pos, writeOnly bool) bool {
+	depth := 0
+	for _, ev := range evs {
+		if ev.pos >= pos {
+			break
+		}
+		if writeOnly && ev.read {
+			continue
+		}
+		depth += ev.delta
+	}
+	return depth > 0
+}
+
+// checkGuardedAccess enforces rule 1 for one method.
+func checkGuardedAccess(pass *analysis.Pass, fn *ast.FuncDecl, guards map[guardKey]string) {
+	if len(guards) == 0 {
+		return
+	}
+	typObj, recvName := recvTypeObj(pass, fn)
+	if typObj == nil || strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	ops := mutexOps(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || base.Name != recvName {
+			return true
+		}
+		mu, guarded := guards[guardKey{typObj, sel.Sel.Name}]
+		if !guarded {
+			return true
+		}
+		if !heldAt(ops[recvName+"."+mu], sel.Pos(), false) {
+			pass.Reportf(sel.Pos(),
+				"%s.%s is guarded by %s but accessed without it held (lock it, or name the method *Locked if the caller holds it)",
+				recvName, sel.Sel.Name, mu)
+		}
+		return true
+	})
+}
+
+// blockingNetMethods maps a receiver type to the methods on it that
+// actually perform network I/O. Matching whole types is too blunt:
+// net.Listener.Addr and Transport.CloseIdleConnections are bookkeeping,
+// not I/O, and pure data types from the same packages (http.Header,
+// url.URL, net.IP) never appear here at all.
+var blockingNetMethods = map[string]map[string]bool{
+	"*net/http.Client": {
+		"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true,
+	},
+	"net/http.RoundTripper": {"RoundTrip": true},
+	"*net/http.Transport":   {"RoundTrip": true},
+	"*net/http.Server": {
+		"Serve": true, "ServeTLS": true, "ListenAndServe": true,
+		"ListenAndServeTLS": true, "Shutdown": true,
+	},
+	"net.Conn":     {"Read": true, "Write": true},
+	"net.Listener": {"Accept": true},
+	"*net.Dialer":  {"Dial": true, "DialContext": true},
+	"*net.Resolver": {
+		"LookupHost": true, "LookupIPAddr": true, "LookupAddr": true,
+		"LookupCNAME": true, "LookupTXT": true,
+	},
+}
+
+// blockingNetFuncs are the package-level functions that count.
+var blockingNetFuncs = map[string]bool{
+	"net/http.Get": true, "net/http.Head": true, "net/http.Post": true,
+	"net/http.PostForm": true, "net.Dial": true, "net.DialTimeout": true,
+	"net.Listen": true, "net.LookupHost": true,
+}
+
+// isBlockingNetCall classifies a resolved callee as network I/O.
+func isBlockingNetCall(pass *analysis.Pass, sel *ast.SelectorExpr, fn *types.Func) bool {
+	if blockingNetFuncs[fn.FullName()] {
+		return true
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	methods := blockingNetMethods[s.Recv().String()]
+	if methods == nil {
+		if p, ok := s.Recv().(*types.Pointer); ok {
+			methods = blockingNetMethods[p.Elem().String()]
+		}
+	}
+	return methods != nil && methods[fn.Name()]
+}
+
+// checkHeldAcrossBlocking enforces rule 2 for one function.
+func checkHeldAcrossBlocking(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ops := mutexOps(pass, fn.Body)
+	if len(ops) == 0 {
+		return
+	}
+	// Rule 2 judges exclusive locks only (writeOnly): a read lock held
+	// across a request is the serving-view drain pattern, by design.
+	anyHeld := func(pos token.Pos) string {
+		for key, evs := range ops {
+			if heldAt(evs, pos, true) {
+				return key
+			}
+		}
+		return ""
+	}
+	var nonBlockingSends map[*ast.SendStmt]bool
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			hasDefault := false
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, cl := range sel.Body.List {
+					cc, ok := cl.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if send, ok := cc.Comm.(*ast.SendStmt); ok {
+						if nonBlockingSends == nil {
+							nonBlockingSends = make(map[*ast.SendStmt]bool)
+						}
+						nonBlockingSends[send] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned body runs without the spawner's locks.
+			if _, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				return false
+			}
+		case *ast.SendStmt:
+			if nonBlockingSends[n] {
+				return true
+			}
+			if key := anyHeld(n.Pos()); key != "" {
+				pass.Reportf(n.Pos(),
+					"blocking channel send while %s is held: a stuck receiver wedges every path needing the lock", key)
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || !isBlockingNetCall(pass, sel, obj) {
+				return true
+			}
+			if key := anyHeld(n.Pos()); key != "" {
+				pass.Reportf(n.Pos(),
+					"network call %s while %s is held: I/O latency becomes lock hold time for everyone", obj.FullName(), key)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"revelio/internal/lint/analysis"
+)
+
+// PoolEscape enforces the sync.Pool scratch discipline from the PR-2
+// storage fast path: a value obtained from a pool stays function-local
+// and goes back. Concretely, for every `x := pool.Get()` (with or
+// without a type assertion):
+//
+//   - x must not be returned, stored into a struct field, map, slice,
+//     or package variable, or sent on a channel — all of those let the
+//     buffer outlive the call while a later Put hands it to someone
+//     else (aliasing corruption, the worst kind of heisenbug);
+//   - every return path after the Get must pass a Put: either a
+//     `defer pool.Put(x)` (covers all paths) or an explicit Put
+//     lexically between the Get and each return.
+//
+// The check is lexical within one function body, which is exactly the
+// discipline the repo's pools (dmcrypt sectors, dmverity blocks, xts
+// scratch) follow; cross-function custody transfers are escapes by
+// definition.
+var PoolEscape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "sync.Pool values must be Put on every return path and must not escape " +
+		"by return, field/map/global store, or channel send",
+	Run: runPoolEscape,
+}
+
+func runPoolEscape(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkPoolBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkPoolBody(pass, fn.Body)
+				return false // its body is handled; don't double-visit nested lits twice
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolGet is one tracked pool acquisition inside a function body.
+type poolGet struct {
+	obj      types.Object // the variable holding the pooled value
+	pos      token.Pos
+	deferred bool        // a defer Put(x) covers every path
+	puts     []token.Pos // explicit Put(x) positions
+	returns  []token.Pos // return statements after the Get
+	escaped  bool
+}
+
+// checkPoolBody runs the discipline over one function body. Nested
+// function literals are inspected as their own bodies (a Get in a
+// closure must be balanced in that closure).
+func checkPoolBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	gets := findPoolGets(pass, body)
+	if len(gets) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested closures are judged as their own bodies by
+			// runPoolEscape; attributing their returns or Puts to this
+			// frame's Gets would mis-score both.
+			return false
+		case *ast.DeferStmt:
+			if obj, arg := poolPutArg(pass, n.Call); obj != nil {
+				if g := lookupGet(gets, obj); g != nil && arg.Pos() > g.pos {
+					g.deferred = true
+				}
+			}
+		case *ast.CallExpr:
+			if obj, arg := poolPutArg(pass, n); obj != nil {
+				if g := lookupGet(gets, obj); g != nil && arg.Pos() > g.pos {
+					g.puts = append(g.puts, n.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, g := range gets {
+				if n.Pos() > g.pos {
+					g.returns = append(g.returns, n.Pos())
+				}
+			}
+			for _, res := range n.Results {
+				if g := escapingUse(pass, gets, res); g != nil {
+					pass.Reportf(res.Pos(),
+						"pooled value returned: a sync.Pool buffer must not outlive the function that Got it")
+					g.escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if g := escapingUse(pass, gets, n.Value); g != nil {
+				pass.Reportf(n.Value.Pos(),
+					"pooled value sent on a channel: the receiver would race a later Put for the buffer")
+				g.escaped = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if !storesBeyondLocal(pass, lhs) {
+					continue
+				}
+				if g := escapingUse(pass, gets, rhs); g != nil {
+					pass.Reportf(rhs.Pos(),
+						"pooled value stored in %s: a sync.Pool buffer must stay function-local", storeKind(lhs))
+					g.escaped = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if g.deferred || g.escaped {
+			continue
+		}
+		if len(g.puts) == 0 && len(g.returns) == 0 {
+			pass.Reportf(g.pos, "pooled value is never Put back: the pool drains and the fast path re-allocates")
+			continue
+		}
+		for _, ret := range g.returns {
+			covered := false
+			for _, put := range g.puts {
+				if put > g.pos && put < ret {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(ret, "return path misses Put for the pooled value from line %d: defer the Put or Put before every return",
+					pass.Fset.Position(g.pos).Line)
+			}
+		}
+	}
+}
+
+// findPoolGets collects `x := pool.Get()` / `x := pool.Get().(T)`
+// assignments directly in this body (not in nested function literals).
+func findPoolGets(pass *analysis.Pass, body *ast.BlockStmt) []*poolGet {
+	var gets []*poolGet
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(assign.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X)
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pass, call, "Get") {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			gets = append(gets, &poolGet{obj: obj, pos: assign.Pos()})
+		}
+		return true
+	})
+	return gets
+}
+
+// isPoolMethod reports whether call invokes the named method on a
+// sync.Pool (value or pointer, direct or through a struct field).
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync" && fn.FullName() == "(*sync.Pool)."+name
+}
+
+// poolPutArg returns the object passed to a (*sync.Pool).Put call, or
+// nil if call is not one (or passes something untracked).
+func poolPutArg(pass *analysis.Pass, call *ast.CallExpr) (types.Object, ast.Expr) {
+	if !isPoolMethod(pass, call, "Put") || len(call.Args) != 1 {
+		return nil, nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = ast.Unparen(u.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj, arg
+	}
+	return nil, nil
+}
+
+// lookupGet finds the tracked Get for obj, if any.
+func lookupGet(gets []*poolGet, obj types.Object) *poolGet {
+	for _, g := range gets {
+		if g.obj == obj {
+			return g
+		}
+	}
+	return nil
+}
+
+// escapingUse reports the tracked Get whose variable escapes through
+// expr: the bare identifier, a slice of it (aliases the backing array),
+// its address, or any of those nested in a composite literal. Call
+// expressions are boundaries — passing x to a function or converting it
+// copies or borrows within the call, which is the callee's contract,
+// not an escape this analyzer can judge.
+func escapingUse(pass *analysis.Pass, gets []*poolGet, expr ast.Expr) *poolGet {
+	var found *poolGet
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if found != nil || e == nil {
+			return
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				if g := lookupGet(gets, obj); g != nil {
+					found = g
+				}
+			}
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				walk(e.X)
+			}
+		case *ast.SliceExpr:
+			walk(e.X)
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					walk(kv.Value)
+					continue
+				}
+				walk(elt)
+			}
+		}
+	}
+	walk(expr)
+	return found
+}
+
+// storesBeyondLocal reports whether assigning to lhs publishes the
+// value beyond the local frame: a field, an index, a dereference, or a
+// package-level variable.
+func storesBeyondLocal(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[l]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[l]
+		}
+		v, ok := obj.(*types.Var)
+		return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	}
+	return false
+}
+
+// storeKind names the store target for the diagnostic.
+func storeKind(lhs ast.Expr) string {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.StarExpr:
+		return "a pointee"
+	default:
+		return "a package variable"
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowDirective is the suppression marker: `//revelio:allow <analyzer>
+// <reason>`. A directive silences diagnostics from that one analyzer on
+// the directive's own line and on the line directly below it (so it can
+// trail the offending statement or sit on its own line above it).
+//
+// Suppressions are audited, not free: a directive with no reason (the
+// reason must be at least two words — an actual explanation, not a
+// grunt), a directive naming an analyzer that does not exist, and a
+// directive that suppresses nothing all surface as diagnostics from the
+// pseudo-analyzer "allow". Unexplained suppressions therefore fail the
+// lint gate exactly like the violation they tried to hide.
+const AllowDirective = "//revelio:allow"
+
+// AllowName is the pseudo-analyzer that owns directive-audit findings.
+const AllowName = "allow"
+
+// directive is one parsed //revelio:allow comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseDirectives extracts every allow directive from a file, keeping
+// malformed ones (empty analyzer/reason) so the audit can flag them.
+func parseDirectives(fset *token.FileSet, file *ast.File) []*directive {
+	var ds []*directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, AllowDirective)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // some other //revelio: marker, not ours
+			}
+			fields := strings.Fields(rest)
+			d := &directive{pos: fset.Position(c.Pos())}
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// applySuppressions filters findings through the directives of the
+// files they live in and appends the directive audit: malformed,
+// unknown-analyzer, and unused directives become AllowName findings.
+// known is the set of legal analyzer names; ran is the subset that
+// actually executed, so staleness is only judged for directives whose
+// analyzer had a chance to fire.
+func applySuppressions(fset *token.FileSet, files []*ast.File, known, ran map[string]bool, findings []Finding) []Finding {
+	var directives []*directive
+	for _, f := range files {
+		directives = append(directives, parseDirectives(fset, f)...)
+	}
+	if len(directives) == 0 {
+		return findings
+	}
+
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.analyzer != f.Analyzer || d.pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if f.Pos.Line == d.pos.Line || f.Pos.Line == d.pos.Line+1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+
+	for _, d := range directives {
+		switch {
+		case d.analyzer == "":
+			kept = append(kept, Finding{Analyzer: AllowName, Pos: d.pos,
+				Message: "allow directive names no analyzer: want //revelio:allow <analyzer> <reason>"})
+		case !known[d.analyzer]:
+			kept = append(kept, Finding{Analyzer: AllowName, Pos: d.pos,
+				Message: "allow directive names unknown analyzer \"" + d.analyzer + "\""})
+		case len(strings.Fields(d.reason)) < 2:
+			kept = append(kept, Finding{Analyzer: AllowName, Pos: d.pos,
+				Message: "unexplained suppression: //revelio:allow " + d.analyzer + " needs a reason (two words or more)"})
+		case !d.used && ran[d.analyzer]:
+			kept = append(kept, Finding{Analyzer: AllowName, Pos: d.pos,
+				Message: "stale suppression: no " + d.analyzer + " diagnostic on this or the next line"})
+		}
+	}
+	return kept
+}

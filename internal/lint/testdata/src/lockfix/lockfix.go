@@ -1,0 +1,124 @@
+// Package lockfix exercises both lockguard rules: guarded-field access
+// and the no-blocking-under-lock discipline.
+package lockfix
+
+import (
+	"net/http"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	// n is guarded by mu.
+	n int
+	// free carries no annotation and may be touched lock-free.
+	free int
+}
+
+// bad reads the guarded field without the mutex.
+func (c *counter) bad() int {
+	return c.n // want `c.n is guarded by mu but accessed without it held`
+}
+
+// good reads it under the lock: clean (false-positive guard).
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpLocked follows the caller-holds-the-lock naming convention:
+// clean (false-positive guard).
+func (c *counter) bumpLocked() { c.n++ }
+
+// unguarded touches the unannotated field: clean (false-positive guard).
+func (c *counter) unguarded() int { return c.free }
+
+type store struct {
+	mu sync.RWMutex
+	// data is guarded by mu.
+	data map[string]int
+}
+
+// read holds the read side, which satisfies the guard: clean
+// (false-positive guard for the RLock path).
+func (s *store) read(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+type fetcher struct {
+	mu     sync.Mutex
+	client *http.Client
+	ch     chan int
+}
+
+// badIO performs network I/O with the exclusive lock held.
+func (f *fetcher) badIO(url string) {
+	f.mu.Lock()
+	resp, err := f.client.Get(url) // want `network call \(\*net/http\.Client\)\.Get while f\.mu is held`
+	if err == nil {
+		_ = resp.Body.Close()
+	}
+	f.mu.Unlock()
+}
+
+// badSend blocks on a channel send under a deferred unlock.
+func (f *fetcher) badSend(v int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ch <- v // want `blocking channel send while f\.mu is held`
+}
+
+// goodSend uses a select with default, non-blocking by construction:
+// clean (false-positive guard).
+func (f *fetcher) goodSend(v int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case f.ch <- v:
+	default:
+	}
+}
+
+// goodIO releases the lock before the request: clean (false-positive
+// guard).
+func (f *fetcher) goodIO(url string) {
+	f.mu.Lock()
+	f.mu.Unlock()
+	resp, err := f.client.Get(url)
+	if err == nil {
+		_ = resp.Body.Close()
+	}
+}
+
+// spawn starts a goroutine that does I/O; the spawned body runs
+// without the spawner's lock: clean (false-positive guard).
+func (f *fetcher) spawn(url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	go func() {
+		resp, err := f.client.Get(url)
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+	}()
+}
+
+type view struct {
+	mu     sync.RWMutex
+	client *http.Client
+}
+
+// servingDrain holds a read lock across a request — the documented
+// serving-view drain design, deliberately out of rule 2's scope: clean
+// (false-positive guard).
+func (v *view) servingDrain(url string) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	resp, err := v.client.Get(url)
+	if err == nil {
+		_ = resp.Body.Close()
+	}
+}

@@ -1,0 +1,80 @@
+// Package poolfix exercises the sync.Pool scratch discipline: a pooled
+// buffer is Put on every return path and never escapes the function
+// that Got it.
+package poolfix
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() interface{} { return make([]byte, 512) }}
+
+var errStub = errors.New("poolfix: stub failure")
+
+type holder struct{ scratch []byte }
+
+// leaks hands the pooled buffer to the caller.
+func leaks() []byte {
+	b := bufPool.Get().([]byte)
+	return b // want `pooled value returned`
+}
+
+// neverPut drops the buffer on the floor.
+func neverPut() {
+	b := bufPool.Get().([]byte) // want `pooled value is never Put back`
+	_ = b
+}
+
+// missesOnePath Puts on success but leaks on the error path.
+func missesOnePath(fail bool) error {
+	b := bufPool.Get().([]byte)
+	if fail {
+		return errStub // want `return path misses Put for the pooled value from line \d+`
+	}
+	bufPool.Put(b)
+	return nil
+}
+
+// stores publishes the buffer through a struct field.
+func stores(h *holder) {
+	b := bufPool.Get().([]byte)
+	h.scratch = b // want `pooled value stored in a struct field`
+}
+
+// sends hands the buffer to another goroutine.
+func sends(ch chan []byte) {
+	b := bufPool.Get().([]byte)
+	ch <- b // want `pooled value sent on a channel`
+}
+
+// balanced covers every path with a deferred Put: clean
+// (false-positive guard).
+func balanced() int {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	return len(b)
+}
+
+// explicitPut returns derived data, not the buffer, after an explicit
+// Put: clean (false-positive guard).
+func explicitPut(n int) int {
+	b := bufPool.Get().([]byte)
+	sum := n + len(b)
+	bufPool.Put(b)
+	return sum
+}
+
+// passesDown hands the buffer to a callee, which is a contract
+// boundary, not an escape this analyzer judges: clean.
+func passesDown() {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	fill(b)
+}
+
+func fill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,45 @@
+// Package attest is the taxonomy fixture: its import path puts it on
+// the verification-path allow-list, so every returned error must wrap
+// the sentinel taxonomy with %w.
+package attest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPolicyRejected is a sentinel definition: a package-level
+// errors.New is the taxonomy itself, not a violation (false-positive
+// guard — no want on this line).
+var ErrPolicyRejected = errors.New("attest: policy rejected")
+
+// verifyBare returns a sentinel-less error on the verification path.
+func verifyBare(ok bool) error {
+	if !ok {
+		return errors.New("measurement mismatch") // want `bare errors.New returned on a verification path`
+	}
+	return nil
+}
+
+// verifyOpaque formats the cause with %v, stranding errors.Is callers.
+func verifyOpaque(err error) error {
+	return fmt.Errorf("verify evidence: %v", err) // want `fmt.Errorf without %w returned on a verification path`
+}
+
+// verifySentinel wraps the taxonomy: clean (false-positive guard).
+func verifySentinel(detail string) error {
+	return fmt.Errorf("%w: %s", ErrPolicyRejected, detail)
+}
+
+// verifyCause wraps the underlying cause: clean (false-positive guard).
+func verifyCause(err error) error {
+	if err != nil {
+		return fmt.Errorf("verify evidence: %w", err)
+	}
+	return nil
+}
+
+// nonLiteralFormat cannot be judged mechanically: clean by design.
+func nonLiteralFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}

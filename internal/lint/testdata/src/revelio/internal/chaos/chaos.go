@@ -1,0 +1,42 @@
+// Package chaos is the timeseam fixture: its import path puts it in
+// the seam-governed set, so wall-clock reads and randomness must flow
+// through injected seams.
+package chaos
+
+import (
+	"math/rand" // want `math/rand imported in seam-governed package`
+	"time"
+)
+
+// clock is the injected seam a real seam-governed package would hold.
+type clock struct {
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// naked reads and schedules against the wall clock directly.
+func naked() time.Duration {
+	start := time.Now()          // want `naked time.Now in seam-governed package`
+	time.Sleep(time.Millisecond) // want `naked time.Sleep in seam-governed package`
+	return time.Since(start)     // want `naked time.Since in seam-governed package`
+}
+
+// seamed routes every read through the injected clock: clean
+// (false-positive guard — c.now is not the time package).
+func seamed(c *clock) time.Duration {
+	start := c.now()
+	c.sleep(time.Millisecond)
+	return c.now().Sub(start)
+}
+
+// arithmetic uses time.Time methods and Duration constants, which are
+// pure value arithmetic, not clock reads: clean (false-positive guard).
+func arithmetic(t time.Time) time.Time {
+	if t.After(t.Add(-time.Second)) {
+		return t.Round(time.Second)
+	}
+	return t.Add(5 * time.Second)
+}
+
+// use keeps the flagged import referenced.
+var use = rand.Int

@@ -1,0 +1,66 @@
+// Package ctxflow is the ctxfirst fixture: library code below the SDK
+// facade, where contexts come first, are never minted, and must reach
+// the blocking call.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// FetchLate takes its context second.
+func FetchLate(url string, ctx context.Context) error { // want `exported FetchLate takes context.Context at position 2`
+	_ = url
+	_ = ctx
+	return nil
+}
+
+// Fetch takes ctx first: clean (false-positive guard).
+func Fetch(ctx context.Context, url string) error {
+	_ = url
+	return ctx.Err()
+}
+
+// mint creates a root context below the facade.
+func mint() context.Context {
+	return context.Background() // want `context.Background in library code below the SDK facade`
+}
+
+// detach is the sanctioned escape hatch for cleanup that must outlive
+// the caller: clean (false-positive guard).
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+// fetchNoCtx blocks on the network with no way to thread a context.
+func fetchNoCtx(url string) error {
+	resp, err := http.Get(url) // want `net/http.Get blocks without a context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// fetchClientGet holds a ctx but drops it at the blocking call.
+func fetchClientGet(ctx context.Context, c *http.Client, url string) error {
+	_ = ctx
+	resp, err := c.Get(url) // want `\(\*net/http\.Client\)\.Get blocks without a context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// fetchThreaded carries the ctx all the way down: clean
+// (false-positive guard — NewRequestWithContext plus Do).
+func fetchThreaded(ctx context.Context, c *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

@@ -1,0 +1,45 @@
+// Package kds is the suppression-audit fixture: run under the taxonomy
+// analyzer (its import path is on the verification-path list), it
+// exercises every arm of the //revelio:allow audit — working
+// suppressions on both placements, and the four directive defects that
+// surface as pseudo-analyzer "allow" findings.
+package kds
+
+import "errors"
+
+// suppressedAbove is silenced by a directive on the line above the
+// offending return: the taxonomy finding disappears and the directive
+// counts as used (false-positive guard — no want anywhere here).
+func suppressedAbove() error {
+	//revelio:allow taxonomy fixture demonstrates a justified audited suppression
+	return errors.New("deliberate bare error under an audited allow")
+}
+
+// suppressedTrailing is silenced by a directive trailing the offending
+// line itself (false-positive guard).
+func suppressedTrailing() error {
+	return errors.New("also deliberate") //revelio:allow taxonomy trailing placement works too
+}
+
+// unknownAnalyzer names an analyzer that does not exist.
+func unknownAnalyzer() error {
+	return nil //revelio:allow nosuch this analyzer does not exist // want `unknown analyzer "nosuch"`
+}
+
+// unexplained gives a one-word grunt instead of a reason.
+func unexplained() error {
+	/* want `unexplained suppression` */ //revelio:allow taxonomy because
+	return nil
+}
+
+// stale suppresses a line that produces no taxonomy finding.
+func stale() error {
+	//revelio:allow taxonomy nothing on the next line ever fires // want `stale suppression`
+	return nil
+}
+
+// missingAnalyzer names nothing at all.
+func missingAnalyzer() error {
+	/* want `names no analyzer` */ //revelio:allow
+	return nil
+}

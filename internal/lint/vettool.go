@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"revelio/internal/lint/analysis"
+	"revelio/internal/lint/load"
+)
+
+// vetConfig is the package summary cmd/go writes for a vettool — the
+// unitchecker protocol. Only the fields this tool consumes are listed;
+// unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVettool executes the analyzers over one package described by a
+// cmd/go .cfg file: parse the listed sources, type-check against the
+// export data cmd/go already compiled (PackageFile), run, print
+// findings to stderr the way unitchecker does, and always write the
+// facts file cmd/go expects (empty — the suite exchanges no facts).
+func runVettool(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "revelio-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist even when there is nothing to say, or
+	// cmd/go treats the run as failed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("revelio-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("revelio-lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	pkg := &load.Package{
+		PkgPath:   cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s:%d:%d: [%s] %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -152,6 +152,7 @@ func ProviderPeerVerifier(v attestation.Verifier) func(rawCerts [][]byte, _ [][]
 		if err != nil {
 			return fmt.Errorf("ratls: parse peer certificate: %w", err)
 		}
+		//revelio:allow ctxfirst crypto/tls VerifyPeerCertificate callbacks carry no context; the handshake deadline bounds this
 		res, err := VerifyProviderCertificate(context.Background(), v, cert)
 		if err != nil {
 			return err

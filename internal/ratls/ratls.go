@@ -242,6 +242,7 @@ func PeerVerifier(verifier *attest.Verifier) func(rawCerts [][]byte, _ [][]*x509
 			return fmt.Errorf("ratls: parse peer certificate: %w", err)
 		}
 		rev := verifier.PolicyRevision()
+		//revelio:allow ctxfirst crypto/tls VerifyPeerCertificate callbacks carry no context; the handshake deadline bounds this
 		res, err := VerifyCertificate(context.Background(), verifier, cert)
 		if err != nil {
 			return err

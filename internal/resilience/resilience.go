@@ -17,7 +17,7 @@
 package resilience
 
 import (
-	"math/rand"
+	"math/rand" //revelio:allow timeseam RetryPolicy.Rand is the injection seam; this import only feeds its default
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +77,7 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 		c.OpenFor = 500 * time.Millisecond
 	}
 	if c.Now == nil {
+		//revelio:allow timeseam the resilience clock seam's single real-time default
 		c.Now = time.Now
 	}
 	return c

@@ -170,7 +170,7 @@ func TestCryptpadSurvivesNodeReplacement(t *testing.T) {
 	}
 
 	// Replace the leader under continuous traffic.
-	tr := f.StartTraffic(4)
+	tr := f.StartTraffic(ctx, 4)
 	leaderURL := f.LeaderURL()
 	leaderIdx := -1
 	for i, n := range d.Nodes {
@@ -284,7 +284,7 @@ func TestBoundaryNodeOverAttestedTLS(t *testing.T) {
 		},
 	}
 	sw := boundary.NewServiceWorker(subnet.PublicKey())
-	reply, err := sw.Call(tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", []byte("user"))
+	reply, err := sw.Call(context.Background(), tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", []byte("user"))
 	if err != nil {
 		t.Fatalf("worker call over TLS: %v", err)
 	}
@@ -295,7 +295,7 @@ func TestBoundaryNodeOverAttestedTLS(t *testing.T) {
 	// A malicious BN cannot tamper undetected even over the attested TLS
 	// channel — the subnet certificate is independent of the transport.
 	proxy.TamperReplies(true)
-	if _, err := sw.Call(tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", nil); !errors.Is(err, boundary.ErrTampered) {
+	if _, err := sw.Call(context.Background(), tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", nil); !errors.Is(err, boundary.ErrTampered) {
 		t.Errorf("tamper: err = %v, want ErrTampered", err)
 	}
 }
@@ -518,7 +518,7 @@ func TestBoundaryNodeBehindGateway(t *testing.T) {
 	}
 	t.Cleanup(tlsClient.CloseIdleConnections)
 	sw := boundary.NewServiceWorker(subnet.PublicKey())
-	reply, err := sw.Call(tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", []byte("user"))
+	reply, err := sw.Call(context.Background(), tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", []byte("user"))
 	if err != nil {
 		t.Fatalf("worker call through gateway: %v", err)
 	}
@@ -526,7 +526,7 @@ func TestBoundaryNodeBehindGateway(t *testing.T) {
 		t.Errorf("reply = %q", reply)
 	}
 	proxy.TamperReplies(true)
-	if _, err := sw.Call(tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", nil); !errors.Is(err, boundary.ErrTampered) {
+	if _, err := sw.Call(context.Background(), tlsClient, "https://"+domain, "greeter", ic.KindQuery, "hello", nil); !errors.Is(err, boundary.ErrTampered) {
 		t.Errorf("tamper through gateway: err = %v, want ErrTampered", err)
 	}
 }

@@ -149,7 +149,7 @@ func startPlainTLS(t *testing.T, d *core.Deployment) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	certDER, err := acme.NewClient(d.CA, d.Zone).ObtainCertificate("plain.example.org", csr)
+	certDER, err := acme.NewClient(d.CA, d.Zone).ObtainCertificate(context.Background(), "plain.example.org", csr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestRedirectAttackDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	certDER, err := acme.NewClient(d.CA, d.Zone).ObtainCertificate(domain, csr)
+	certDER, err := acme.NewClient(d.CA, d.Zone).ObtainCertificate(context.Background(), domain, csr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +353,7 @@ func TestReplayedBundleRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	certDER, err := acme.NewClient(d.CA, d.Zone).ObtainCertificate(domain, csr)
+	certDER, err := acme.NewClient(d.CA, d.Zone).ObtainCertificate(context.Background(), domain, csr)
 	if err != nil {
 		t.Fatal(err)
 	}

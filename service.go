@@ -491,8 +491,8 @@ func (s *Service) SetFirmware(ctx context.Context, version string) (Measurement,
 // domain's DNS has against a public CA. Demos use it to play the
 // attacker with a browser-valid certificate; Revelio's client-side
 // attestation is what still catches them.
-func (s *Service) ObtainCertificate(domain string, csrDER []byte) ([]byte, error) {
-	return acme.NewClient(s.d.CA, s.d.Zone).ObtainCertificate(domain, csrDER)
+func (s *Service) ObtainCertificate(ctx context.Context, domain string, csrDER []byte) ([]byte, error) {
+	return acme.NewClient(s.d.CA, s.d.Zone).ObtainCertificate(ctx, domain, csrDER)
 }
 
 // Close tears the service down — gateway first (stop admitting
