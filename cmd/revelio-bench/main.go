@@ -112,6 +112,9 @@ func run(args []string, stdout io.Writer) error {
 	chaosRouted := fs.Bool("chaos.routed", false, "install a context-aware routing policy and include the routing chaos faults (broken-canary rollouts, zone bursts)")
 	chaosOut := fs.String("chaos.out", "", "write every executed chaos schedule to this file")
 	chaosVerbose := fs.Bool("chaos.v", false, "log every injected chaos fault as it runs")
+	t6Clients := fs.Int("t6.clients", -1, "Table 6 high-concurrency client count (0 disables the cell; default 10000, or 256 with -quick)")
+	t6Duration := fs.Duration("t6.duration", 0, "Table 6 high-concurrency steady-state window (default 10s, or 3s with -quick)")
+	t6Profile := fs.String("t6.profile", "", "directory for Table 6 high-concurrency pprof CPU/heap profiles")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -250,8 +253,20 @@ func run(args []string, stdout io.Writer) error {
 				CanaryNodes:         2,
 				CanaryWeight:        25,
 				CanaryRequests:      200,
+				// The scaled-down high-concurrency cell: enough clients to
+				// exercise the multiplexed connection pool and the profile
+				// capture without the full 10k-goroutine footprint.
+				HCClients:  256,
+				HCDuration: 3 * time.Second,
 			}
 		}
+		if *t6Clients >= 0 {
+			cfg.HCClients = *t6Clients
+		}
+		if *t6Duration > 0 {
+			cfg.HCDuration = *t6Duration
+		}
+		cfg.HCProfileDir = *t6Profile
 		res, err := bench.RunGatewayThroughput(cfg)
 		if err != nil {
 			return err
@@ -440,6 +455,16 @@ func compareBaseline(current map[string]any, base map[string]any, tol float64) (
 		}
 		if cv, ok := c["canary_stray_after_rollback"].(float64); ok && cv != 0 {
 			fail("table6: %.0f requests reached the rolled-back canary measurement", cv)
+		}
+		// High-concurrency cell (when both runs include it): zero failed
+		// requests is machine-independent and strict, and proxy allocs/op
+		// is a property of the code, not the machine — a small additive
+		// slack absorbs Go-version and sampling noise.
+		if cv, ok := c["hc_failures"].(float64); ok && cv != 0 {
+			fail("table6: %.0f requests failed in the high-concurrency cell", cv)
+		}
+		if cv, bv, ok := floatPair(c["hc_proxy_allocs_per_op"], b["hc_proxy_allocs_per_op"]); ok && cv > bv*1.5+8 {
+			fail("table6: proxy allocs/op %.1f regressed past baseline %.1f·1.5+8", cv, bv)
 		}
 	}
 	return regressions, nil

@@ -87,9 +87,14 @@
 // deliberate shed — and the canary cell: a staged firmware rollout
 // whose canary serves errors, reporting the observed canary fraction,
 // the attempts and wall time until the router's auto-rollback, and a
-// strict zero requests reaching the canary afterwards (see DESIGN.md's
-// "Attested gateway", "Resilience layer", and "Context-aware
-// routing").
+// strict zero requests reaching the canary afterwards — and the
+// high-concurrency cell (-t6.clients, 10000 by default): that many
+// long-lived keep-alive clients held in flight for a timed
+// steady-state window, reporting req/s, p50/p99, a strict zero failed
+// requests, and allocs/op on the proxy path, with CPU and heap pprof
+// profiles of exactly that window written via -t6.profile (see
+// DESIGN.md's "Attested gateway", "Gateway hot path", "Resilience
+// layer", and "Context-aware routing").
 // revelio-bench -json emits every result as one machine-readable JSON
 // document for tracking across revisions, and -baseline (repeatable;
 // files merge per experiment) regresses a run against stored documents.

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// fdBudget on platforms without RLIMIT_NOFILE: assume descriptors are
+// not the constraint.
+func fdBudget(int) (int, uint64) { return 1 << 20, 0 }

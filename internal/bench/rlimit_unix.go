@@ -1,0 +1,41 @@
+//go:build unix
+
+package bench
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdBudget reports how many file descriptors the high-concurrency cell
+// may spend on client connections, after subtracting the descriptors
+// already open and a reserve for everything else the cell needs
+// (upstream pools, listeners, profile files). It first tries — best
+// effort; containers commonly refuse Setrlimit even for root — to raise
+// the soft RLIMIT_NOFILE to the hard limit. The second result is the
+// effective soft limit, for reporting.
+func fdBudget(reserve int) (avail int, limit uint64) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 1 << 20, 0
+	}
+	if rl.Cur < rl.Max {
+		raised := rl
+		raised.Cur = rl.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err == nil {
+			rl = raised
+		}
+	}
+	avail = int(rl.Cur) - openFDs() - reserve
+	return avail, uint64(rl.Cur)
+}
+
+// openFDs counts this process's open descriptors via /proc, falling
+// back to a conservative guess where /proc is absent (e.g. darwin).
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 64
+	}
+	return len(ents)
+}

@@ -65,14 +65,35 @@ type Table6Config struct {
 	CanaryNodes    int
 	CanaryWeight   uint
 	CanaryRequests int
+	// HCClients, when positive, enables the high-concurrency cell:
+	// HCClients long-lived keep-alive client goroutines drive an
+	// HCNodes fleet through the gateway for HCDuration of steady state,
+	// reporting req/s, p50/p99 latency, and allocs/op on the proxy path.
+	// The client goroutines multiplex over a connection pool sized to
+	// the process's file-descriptor budget (see fdBudget), so 10k
+	// clients run under an ordinary ulimit without failed requests.
+	HCClients int
+	// HCDuration is the timed steady-state window (default 10s).
+	HCDuration time.Duration
+	// HCNodes and HCNodeConcurrency size the fleet under the cell
+	// (defaults 4 nodes × 64 in-flight each): capacity comfortably above
+	// demand, so the cell measures the proxy path, not the app.
+	HCNodes           int
+	HCNodeConcurrency int
+	// HCProfileDir, when set, receives CPU and heap pprof profiles
+	// captured during the steady-state window (table6_hc_cpu.pprof,
+	// table6_hc_heap.pprof).
+	HCProfileDir string
 }
 
-// DefaultTable6Config sweeps to the paper-scale 64-node fleet.
+// DefaultTable6Config sweeps to the paper-scale 64-node fleet and runs
+// the 10k-client high-concurrency cell.
 func DefaultTable6Config() Table6Config {
 	return Table6Config{
 		NodeCounts: []int{1, 4, 16, 64},
 		Clients:    []int{16, 128},
 		Requests:   4096,
+		HCClients:  10000,
 	}
 }
 
@@ -118,6 +139,17 @@ func (c Table6Config) withDefaults() Table6Config {
 	}
 	if c.CanaryRequests <= 0 {
 		c.CanaryRequests = 400
+	}
+	if c.HCClients > 0 {
+		if c.HCDuration <= 0 {
+			c.HCDuration = 10 * time.Second
+		}
+		if c.HCNodes <= 0 {
+			c.HCNodes = 4
+		}
+		if c.HCNodeConcurrency <= 0 {
+			c.HCNodeConcurrency = 64
+		}
 	}
 	return c
 }
@@ -178,6 +210,28 @@ type Table6Result struct {
 	CanaryRollbackAttempts   int64         `json:"canary_rollback_attempts"`
 	CanaryRollbackLatency    time.Duration `json:"canary_rollback_latency_ns"`
 	CanaryStrayAfterRollback int64         `json:"canary_stray_after_rollback"`
+	// High-concurrency cell (populated when HCClients > 0): HCClients
+	// client goroutines multiplexed over HCConns keep-alive connections
+	// (the distinction is the file-descriptor budget under HCFDLimit, not
+	// a concurrency cap — every goroutine has a request in flight).
+	// Failures must be zero; sheds are deliberate refusals (503 +
+	// Retry-After) and are reported separately. HCProxyAllocsPerOp is the
+	// whole-path allocs per proxied request (gateway handler through the
+	// live RA-TLS transport), measured after the load window over warm
+	// pools.
+	HCClients          int           `json:"hc_clients,omitempty"`
+	HCConns            int           `json:"hc_conns,omitempty"`
+	HCFDLimit          uint64        `json:"hc_fd_limit,omitempty"`
+	HCElapsed          time.Duration `json:"hc_elapsed_ns,omitempty"`
+	HCRequests         int64         `json:"hc_requests,omitempty"`
+	HCFailures         int64         `json:"hc_failures,omitempty"`
+	HCShed             int64         `json:"hc_shed,omitempty"`
+	HCPerSec           float64       `json:"hc_requests_per_sec,omitempty"`
+	HCP50              time.Duration `json:"hc_p50_ns,omitempty"`
+	HCP99              time.Duration `json:"hc_p99_ns,omitempty"`
+	HCProxyAllocsPerOp float64       `json:"hc_proxy_allocs_per_op,omitempty"`
+	HCCPUProfile       string        `json:"hc_cpu_profile,omitempty"`
+	HCHeapProfile      string        `json:"hc_heap_profile,omitempty"`
 }
 
 // boundedApp builds the per-node capacity-limited handler.
@@ -193,6 +247,31 @@ func boundedApp(concurrency int, serviceTime time.Duration) func(*core.Node) htt
 			_, _ = w.Write([]byte("ok"))
 		})
 	}
+}
+
+// drainBufSize is the pooled drain chunk — bench responses are tiny, so
+// a small buffer keeps the pool cheap.
+const drainBufSize = 4096
+
+// drainBufPool recycles the body-drain buffers the client loops use to
+// make keep-alive connections reusable without allocating per response.
+var drainBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, drainBufSize)
+		return &b
+	},
+}
+
+// discardOnly masks io.Discard's ReadFrom so io.CopyBuffer actually
+// uses the pooled buffer instead of allocating its own.
+type discardOnly struct{ io.Writer }
+
+// drainBody reads a response body to EOF through the pooled buffer, so
+// the connection returns to the keep-alive pool.
+func drainBody(r io.Reader) {
+	bufp := drainBufPool.Get().(*[]byte)
+	_, _ = io.CopyBuffer(discardOnly{io.Discard}, r, *bufp)
+	drainBufPool.Put(bufp)
 }
 
 // webClient builds one pooled HTTPS client for a burst.
@@ -244,7 +323,7 @@ func burst(client *http.Client, url string, clients, requests int) (time.Duratio
 					fail(err)
 					return
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
+				drainBody(resp.Body)
 				_ = resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					fail(fmt.Errorf("status %d", resp.StatusCode))
@@ -282,6 +361,9 @@ func RunGatewayThroughput(cfg Table6Config) (*Table6Result, error) {
 	}
 	if err := table6Canary(ctx, cfg, res); err != nil {
 		return nil, fmt.Errorf("bench: table6 canary: %w", err)
+	}
+	if err := table6HighConcurrency(ctx, cfg, res); err != nil {
+		return nil, fmt.Errorf("bench: table6 high-concurrency: %w", err)
 	}
 	return res, nil
 }
@@ -413,7 +495,7 @@ func table6Churn(ctx context.Context, cfg Table6Config, res *Table6Result) error
 					failures.Add(1)
 					continue
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
+				drainBody(resp.Body)
 				_ = resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					failures.Add(1)
@@ -525,7 +607,7 @@ func table6Overload(ctx context.Context, cfg Table6Config, res *Table6Result) er
 						fail(err)
 						return
 					}
-					_, _ = io.Copy(io.Discard, resp.Body)
+					drainBody(resp.Body)
 					_ = resp.Body.Close()
 					if !timed {
 						continue
@@ -633,7 +715,7 @@ func table6Canary(ctx context.Context, cfg Table6Config, res *Table6Result) erro
 		if err != nil {
 			return 0, err
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
+		drainBody(resp.Body)
 		_ = resp.Body.Close()
 		return resp.StatusCode, nil
 	}
@@ -717,5 +799,15 @@ func (r *Table6Result) Render() string {
 		"Canary: weight %d%% observed %.1f%% over %d requests; broken canary rolled back after %d attempts in %s, %d stray requests after rollback\n",
 		r.CanaryWeight, r.CanaryObservedPct, r.CanaryRequests,
 		r.CanaryRollbackAttempts, r.CanaryRollbackLatency.Round(time.Millisecond), r.CanaryStrayAfterRollback)
+	if r.HCClients > 0 {
+		out += fmt.Sprintf(
+			"High concurrency: %d clients over %d conns (fd limit %d): %d requests at %.1f req/s, p50 %s p99 %s, %d failed, %d shed, %.1f allocs/op on the proxy path\n",
+			r.HCClients, r.HCConns, r.HCFDLimit, r.HCRequests, r.HCPerSec,
+			r.HCP50.Round(time.Microsecond), r.HCP99.Round(time.Microsecond),
+			r.HCFailures, r.HCShed, r.HCProxyAllocsPerOp)
+		if r.HCCPUProfile != "" {
+			out += fmt.Sprintf("High-concurrency profiles: cpu %s, heap %s\n", r.HCCPUProfile, r.HCHeapProfile)
+		}
+	}
 	return out
 }

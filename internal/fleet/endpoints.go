@@ -271,6 +271,9 @@ func (f *Fleet) Subscribe() (<-chan Snapshot, func()) {
 // traffic driver and the attested gateway alike.
 func (f *Fleet) Acquire() (Snapshot, func()) {
 	f.memberMu.RLock()
+	if f.releaseAdmission != nil {
+		return f.snap, f.releaseAdmission
+	}
 	return f.snap, f.memberMu.RUnlock
 }
 

@@ -125,6 +125,10 @@ type Fleet struct {
 	// half per request, lifecycle mutations take the write half — so
 	// acquiring it for writing *is* the connection drain.
 	memberMu sync.RWMutex
+	// releaseAdmission is memberMu.RUnlock bound once at construction:
+	// Acquire returns it instead of allocating a fresh method value per
+	// admitted request.
+	releaseAdmission func()
 
 	// serving is the load-balancer view: only nodes whose web front end
 	// is fully up. A joining node enters it strictly after provisioning
@@ -247,6 +251,7 @@ func New(ctx context.Context, cfg Config) (*Fleet, error) {
 	f := &Fleet{d: d, trust: trust, cfg: cfg, golden: d.Golden, fwVersion: cfg.FirmwareVersion,
 		mux:    attestation.NewMux(),
 		states: make(map[string]EndpointState)}
+	f.releaseAdmission = f.memberMu.RUnlock
 	f.mux.RegisterProvider(snp.NewProvider(d.Verifier))
 	if err := f.approveMeasurement(d.Golden, "firmware "+cfg.FirmwareVersion); err != nil {
 		d.Close()

@@ -50,6 +50,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -292,7 +293,15 @@ type Gateway struct {
 	retry     resilience.RetryPolicy
 	admission *resilience.Admission
 	transport *http.Transport
-	router    *router
+	// rt is the round-tripper the data plane calls — g.transport in
+	// production, a stub in the allocation-guard tests, so the guard
+	// measures the gateway's own path rather than net/http internals.
+	rt http.RoundTripper
+	// sessions caches upstream TLS sessions, fenced by the policy epoch:
+	// a resumed session must not outlive the policy it was verified
+	// under (see session.go).
+	sessions *epochSessionCache
+	router   *router
 
 	mu      sync.Mutex
 	ups     map[string]*upstream // by UpstreamAddr
@@ -325,7 +334,11 @@ type Gateway struct {
 	// flushedEpoch is the policy epoch the pools were last flushed at.
 	flushedEpoch atomic.Uint64
 
-	server    *http.Server
+	server *http.Server
+	// serverTLS is the downstream listener's TLS config (nil before
+	// Start); its session-ticket key rotates on every policy-epoch bump
+	// so outstanding tickets stop resuming (guarded by mu).
+	serverTLS *tls.Config
 	listener  net.Listener
 	unsub     func()
 	probeStop chan struct{}
@@ -378,6 +391,24 @@ func New(cfg Config) (*Gateway, error) {
 			// instead of pinning the client until WriteTimeout.
 			ResponseHeaderTimeout: res.PerTryTimeout,
 		},
+	}
+	g.rt = g.transport
+	// Upstream session resumption, fenced by the policy epoch: a cached
+	// session never resumes across an epoch bump (so a revocation bites
+	// through resumed sessions), and the resumptions that are allowed
+	// still re-judge the peer's saved evidence against current policy via
+	// VerifyConnection — resumed handshakes skip VerifyPeerCertificate.
+	g.sessions = newEpochSessionCache(g.flushedEpoch.Load, defaultSessionCacheSize)
+	tlsCfg.ClientSessionCache = g.sessions
+	verifyPeer := tlsCfg.VerifyPeerCertificate
+	tlsCfg.VerifyConnection = func(cs tls.ConnectionState) error {
+		if !cs.DidResume {
+			return nil // full handshake: VerifyPeerCertificate already ran
+		}
+		if len(cs.PeerCertificates) == 0 {
+			return ratls.ErrNoPeerCertificate
+		}
+		return verifyPeer([][]byte{cs.PeerCertificates[0].Raw}, nil)
 	}
 	g.revs = revisionSources(cfg.Verifier)
 	g.mu.Lock()
@@ -480,11 +511,20 @@ func (g *Gateway) checkPolicyEpoch() {
 	}
 	g.flushes.Add(1)
 	g.transport.CloseIdleConnections()
+	// Resumption state is policy state on both planes: drop the cached
+	// upstream sessions (the epoch fence already refuses them; flushing
+	// frees them promptly) and rotate the downstream ticket key so
+	// outstanding client tickets stop resuming past the old policy.
+	g.sessions.flush()
 	g.mu.Lock()
 	for _, up := range g.ups {
 		up.ejected.Store(false)
 	}
+	serverTLS := g.serverTLS
 	g.mu.Unlock()
+	if serverTLS != nil {
+		rotateTicketKey(serverTLS)
+	}
 }
 
 // sync reconciles the routing table with a snapshot, preserving pending
@@ -561,10 +601,10 @@ func (g *Gateway) sync(snap fleet.Snapshot) (removed bool) {
 // — worth a paced re-pick, unlike a genuinely empty rotation. denied
 // reports that serving endpoints existed but tier 1 excluded all of
 // them: the request must be refused as out of policy, not retried.
-func (g *Gateway) pick(d decision, excluded map[string]bool) (up *upstream, saturated, denied bool) {
+func (g *Gateway) pick(d decision, sc *proxyScratch) (up *upstream, saturated, denied bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	candidates := make([]*upstream, 0, len(g.ups))
+	candidates := sc.picks[:0]
 	serving, inPolicy := 0, 0
 	for _, u := range g.ups {
 		if u.ep.State != fleet.StateServing {
@@ -578,7 +618,7 @@ func (g *Gateway) pick(d decision, excluded map[string]bool) (up *upstream, satu
 			continue
 		}
 		inPolicy++
-		if u.ejected.Load() || excluded[u.ep.UpstreamAddr] {
+		if u.ejected.Load() || excludedHas(sc.excluded, u.ep.UpstreamAddr) {
 			continue
 		}
 		if !u.breaker.Allow() {
@@ -590,6 +630,9 @@ func (g *Gateway) pick(d decision, excluded map[string]bool) (up *upstream, satu
 		}
 		candidates = append(candidates, u)
 	}
+	// Park the grown workspace before preferCandidates narrows the view:
+	// the pooled slice must keep its full capacity for the next request.
+	sc.picks = candidates
 	if len(candidates) == 0 {
 		return nil, saturated, serving > 0 && inPolicy == 0
 	}
@@ -650,21 +693,66 @@ func isAttestationReject(err error) bool {
 		errors.Is(err, ratls.ErrNoPeerCertificate)
 }
 
-// hopByHop are the connection-scoped headers a proxy must not forward.
-var hopByHop = []string{
-	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
-	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+// isHopByHop reports the connection-scoped headers a proxy must not
+// forward, by canonical name. A switch on the canonical key replaces
+// the old slice walk of Del calls, so the hot path neither re-canonicalizes
+// nor allocates.
+func isHopByHop(k string) bool {
+	switch k {
+	case "Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+		"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade":
+		return true
+	}
+	return false
 }
 
-func stripHopByHop(h http.Header) {
-	for _, f := range strings.Split(h.Get("Connection"), ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			h.Del(f)
+// connectionNames calls fn for each header name listed in h's Connection
+// header (already canonicalized), walking the comma-separated list
+// without strings.Split's slice allocation. Connection-named headers are
+// rare, so the canonicalization inside stays off the common path.
+func connectionNames(h http.Header, fn func(name string)) {
+	for _, v := range h["Connection"] {
+		for v != "" {
+			f := v
+			if i := strings.IndexByte(v, ','); i >= 0 {
+				f, v = v[:i], v[i+1:]
+			} else {
+				v = ""
+			}
+			if f = strings.TrimSpace(f); f != "" {
+				fn(http.CanonicalHeaderKey(f))
+			}
 		}
 	}
-	for _, f := range hopByHop {
-		h.Del(f)
+}
+
+// stripHopByHop removes the hop-by-hop headers from h in place — used on
+// response headers, which the gateway mutates before copying out.
+func stripHopByHop(h http.Header) {
+	connectionNames(h, func(name string) { delete(h, name) })
+	for k := range h {
+		if isHopByHop(k) {
+			delete(h, k)
+		}
 	}
+}
+
+// copyOutboundHeaders fills dst (a pooled, cleared workspace) with the
+// forwardable subset of the inbound headers. Value slices are shared,
+// not copied — the transport only reads them — so the copy allocates
+// nothing beyond first-use map growth, which the pool amortizes. The
+// gateway-owned headers (DeadlineHeader, X-Forwarded-For) are skipped
+// here and written by forward from pooled scratch.
+func copyOutboundHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		if isHopByHop(k) || k == DeadlineHeader || k == "X-Forwarded-For" {
+			continue
+		}
+		dst[k] = vv
+	}
+	// Headers named by Connection are hop-by-hop too; drop any that the
+	// static set above let through.
+	connectionNames(src, func(name string) { delete(dst, name) })
 }
 
 // retryable reports whether a request can be re-sent to another node
@@ -720,9 +808,24 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		shedResponse(w)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-	r = r.WithContext(ctx)
+	// The request deadline is a time.Time compared against the resilience
+	// clock, not a context.WithTimeout: the per-attempt context in forward
+	// is the only context machinery on the path, which saves the
+	// timerCtx/stop-closure/request-clone allocations on every request.
+	// An inbound context deadline (from a fronting server or test) still
+	// wins when it is sooner.
+	ctx := r.Context()
+	deadline := g.res.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+
+	sc := scratchPool.Get().(*proxyScratch)
+	defer scratchPool.Put(sc)
+	// LIFO with the Put above: reset runs first, settling the in-flight
+	// attempt (also on the ErrAbortHandler panic path) and abandoning a
+	// tainted wire before the scratch re-enters the pool.
+	defer sc.reset()
 
 	snap, release := g.cfg.Source.Acquire()
 	defer release()
@@ -742,24 +845,26 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		d = g.router.decide(r.URL.Path)
 	}
 
-	deadline, _ := ctx.Deadline()
-	excluded := make(map[string]bool)
 	var lastErr error
 	forwards := 0
 	sawSaturation := false
 	policyDenied := false
 	for attempt := 0; attempt < g.res.RetryBudget; attempt++ {
 		if attempt > 0 {
-			// Pace the retry; give up if the request deadline fires
-			// mid-backoff.
-			if !sleepCtx(ctx, g.retry.Backoff(attempt)) {
+			// Pace the retry, clamped to the remaining deadline; give up
+			// if the client hangs up mid-backoff.
+			pause := g.retry.Backoff(attempt)
+			if rem := deadline.Sub(g.res.Now()); pause > rem {
+				pause = rem
+			}
+			if pause <= 0 || !sleepCtx(ctx, pause) {
 				break
 			}
 		}
 		if deadline.Sub(g.res.Now()) < g.res.MinDeadline {
 			break
 		}
-		up, saturated, denied := g.pick(d, excluded)
+		up, saturated, denied := g.pick(d, sc)
 		if up == nil {
 			if denied {
 				// Tier 1 excluded every serving endpoint: retrying
@@ -782,10 +887,11 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			g.retries.Add(1)
 		}
 		forwards++
-		resp, err := g.forward(up, snap.Domain, r, g.res.RetryBudget-attempt)
+		resp, err := g.forward(ctx, sc, up, snap.Domain, r, deadline, g.res.RetryBudget-attempt)
 		if err != nil {
 			lastErr = err
-			if r.Context().Err() == nil {
+			expired := ctx.Err() != nil || !g.res.Now().Before(deadline)
+			if !expired {
 				// Canary accounting mirrors the breaker's rule: outcomes
 				// the client's own deadline caused are nobody's failure.
 				g.router.recordCanary(up.ep.Measurement, true)
@@ -795,8 +901,8 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				// state; out of rotation until the policy moves again.
 				up.ejected.Store(true)
 			}
-			excluded[up.ep.UpstreamAddr] = true
-			if r.Context().Err() != nil || !retryable(r) {
+			sc.excluded = append(sc.excluded, up.ep.UpstreamAddr)
+			if expired || !retryable(r) {
 				break
 			}
 			continue
@@ -805,23 +911,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// retry served responses), but it counts against the canary:
 		// a failing canary image typically fails with clean 500s.
 		g.router.recordCanary(up.ep.Measurement, resp.StatusCode >= 500)
-		defer func() { _ = resp.Body.Close() }()
-		stripHopByHop(resp.Header)
-		for k, vv := range resp.Header {
-			for _, v := range vv {
-				w.Header().Add(k, v)
-			}
-		}
-		w.WriteHeader(resp.StatusCode)
-		if _, err := io.Copy(w, resp.Body); err != nil {
-			// Headers and part of the body are already on the wire, so
-			// the truncation cannot be turned into an error response.
-			// Abort the downstream connection instead of letting the
-			// server close out the encoding as if the body were complete
-			// — a silently truncated 200 is worse than a torn connection.
-			g.truncated.Add(1)
-			panic(http.ErrAbortHandler)
-		}
+		g.writeResponse(w, sc, resp)
 		return
 	}
 	switch {
@@ -843,66 +933,89 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// cancelBody releases an attempt's context when the proxied body is
-// closed; the context must outlive forward because the caller streams
-// the body after it returns.
-type cancelBody struct {
-	io.ReadCloser
-	cancel context.CancelFunc
-}
-
-func (b *cancelBody) Close() error {
-	err := b.ReadCloser.Close()
-	b.cancel()
-	return err
-}
-
 // forward sends one attempt to a node over RA-TLS. attemptsLeft (this
 // attempt included) shares the remaining request deadline between the
-// attempts still in budget.
-func (g *Gateway) forward(up *upstream, domain string, r *http.Request, attemptsLeft int) (*http.Response, error) {
-	parent := r.Context()
-	perTry := g.res.PerTryTimeout
-	if dl, ok := parent.Deadline(); ok {
-		perTry = resilience.CarveTry(perTry, dl.Sub(g.res.Now()), attemptsLeft)
-	}
+// attempts still in budget. The outbound request is assembled in sc's
+// pooled wire scratch instead of r.Clone, and the per-attempt timer and
+// cancel are parked in sc (settled by writeResponse on success or the
+// caller's deferred reset otherwise) instead of returned as a closure.
+func (g *Gateway) forward(parent context.Context, sc *proxyScratch, up *upstream, domain string, r *http.Request, deadline time.Time, attemptsLeft int) (*http.Response, error) {
+	perTry := resilience.CarveTry(g.res.PerTryTimeout, deadline.Sub(g.res.Now()), attemptsLeft)
 	// The per-try clock covers dial + request + response headers; once
-	// headers arrive the attempt has succeeded and the timer stops, so a
-	// slow client draining a long body is bounded by the request
-	// deadline and WriteTimeout, not mistaken for a stalled node.
+	// headers arrive the attempt has succeeded and the same timer is
+	// re-armed to the request deadline, so a slow client draining a long
+	// body is bounded by the deadline and WriteTimeout, not mistaken for
+	// a stalled node.
 	tryCtx, cancel := context.WithCancel(parent)
 	//revelio:allow timeseam the per-try cancel must fire in real time to abort a real RoundTrip; the measured latency is on the seam
 	timer := time.AfterFunc(perTry, cancel)
+	sc.tryTimer, sc.tryCancel = timer, cancel
 
-	outreq := r.Clone(tryCtx)
-	outreq.URL.Scheme = "https"
-	outreq.URL.Host = up.ep.UpstreamAddr
-	outreq.RequestURI = ""
-	outreq.Close = false
-	if domain != "" {
-		outreq.Host = domain
+	wire := sc.wire
+	if wire == nil {
+		wire = &wireScratch{hdr: make(http.Header, 16)}
+		sc.wire = wire
 	}
-	stripHopByHop(outreq.Header)
-	if r.GetBody != nil {
-		body, err := r.GetBody()
-		if err != nil {
-			timer.Stop()
-			cancel()
-			return nil, err
-		}
-		outreq.Body = body
-	}
+	copyOutboundHeaders(wire.hdr, r.Header)
 	// Rewrite — never forward — the client's deadline header: the node
 	// sees this attempt's carved budget, not whatever the client sent.
-	outreq.Header.Set(DeadlineHeader, strconv.FormatInt(int64(perTry/time.Millisecond), 10))
+	wire.dlVal[0] = wire.msText(int64(perTry / time.Millisecond))
+	wire.hdr[DeadlineHeader] = wire.dlVal[:1]
 	// The gateway terminates TLS for outside clients, so it is the trust
 	// boundary: any X-Forwarded-For the client sent is attacker-
 	// controlled and must not reach the nodes, where it would read as an
-	// upstream proxy's word on the client address. Replace, never append.
-	outreq.Header.Del("X-Forwarded-For")
+	// upstream proxy's word on the client address. Replace, never append
+	// (copyOutboundHeaders already dropped the inbound value).
 	if clientIP, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-		outreq.Header.Set("X-Forwarded-For", clientIP)
+		wire.xffVal[0] = clientIP
+		wire.hdr["X-Forwarded-For"] = wire.xffVal[:1]
 	}
+
+	wire.url = url.URL{
+		Scheme:     "https",
+		Opaque:     r.URL.Opaque,
+		User:       r.URL.User,
+		Host:       up.ep.UpstreamAddr,
+		Path:       r.URL.Path,
+		RawPath:    r.URL.RawPath,
+		ForceQuery: r.URL.ForceQuery,
+		RawQuery:   r.URL.RawQuery,
+	}
+	body := r.Body
+	if body == http.NoBody {
+		body = nil
+	}
+	if r.GetBody != nil {
+		b, err := r.GetBody()
+		if err != nil {
+			sc.finishAttempt()
+			return nil, err
+		}
+		body = b
+	}
+	host := r.Host
+	if domain != "" {
+		host = domain
+	}
+	wire.req = http.Request{
+		Method:           r.Method,
+		URL:              &wire.url,
+		Proto:            "HTTP/1.1",
+		ProtoMajor:       1,
+		ProtoMinor:       1,
+		Header:           wire.hdr,
+		Body:             body,
+		GetBody:          r.GetBody,
+		ContentLength:    r.ContentLength,
+		TransferEncoding: r.TransferEncoding,
+		Host:             host,
+	}
+	// WithContext's shallow copy is the one unavoidable allocation here:
+	// the transport mutates and retains the *Request it is handed, so a
+	// fresh shell per attempt it gets — but its URL, header map, and
+	// header value slices all point into the pooled wire scratch, which
+	// is why the wire carries the inFlight taint below.
+	outreq := wire.req.WithContext(tryCtx)
 
 	// The latency fed to the breaker must come off the same clock as the
 	// breaker's dwell (Resilience.Now): measuring it with the naked wall
@@ -910,11 +1023,11 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request, attempts
 	// chaos replays and tests saw breakers that never tripped on slowness.
 	up.pending.Add(1)
 	start := g.res.Now()
-	resp, err := g.transport.RoundTrip(outreq)
+	wire.inFlight = true
+	resp, err := g.rt.RoundTrip(outreq)
 	latency := g.res.Now().Sub(start)
 	up.pending.Add(-1)
-	timer.Stop()
-	if parent.Err() == nil {
+	if parent.Err() == nil && g.res.Now().Before(deadline) {
 		// Only outcomes the request deadline did not cause feed the
 		// breaker: a client hanging up is not the node's fault.
 		if up.breaker.Observe(latency, err != nil) {
@@ -922,11 +1035,53 @@ func (g *Gateway) forward(up *upstream, domain string, r *http.Request, attempts
 		}
 	}
 	if err != nil {
-		cancel()
+		// The transport's write loop may still reference the request
+		// memory after an error, so the wire stays tainted (inFlight) and
+		// reset will abandon it rather than re-pool it.
+		sc.finishAttempt()
 		return nil, err
 	}
-	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	// Headers arrived: the attempt has succeeded. Re-arm the per-try
+	// timer to the remaining request deadline to bound body streaming;
+	// writeResponse (or the deferred reset on abort) settles it.
+	if rem := deadline.Sub(g.res.Now()); rem > 0 {
+		timer.Reset(rem)
+	}
 	return resp, nil
+}
+
+// writeResponse streams one upstream response to the client through the
+// pooled copy buffer, then settles the attempt and — for bodyless
+// requests — marks the wire scratch clean for reuse.
+func (g *Gateway) writeResponse(w http.ResponseWriter, sc *proxyScratch, resp *http.Response) {
+	stripHopByHop(resp.Header)
+	wh := w.Header()
+	for k, vv := range resp.Header {
+		wh[k] = vv
+	}
+	w.WriteHeader(resp.StatusCode)
+	bufp := copyBufPool.Get().(*[]byte)
+	// writerOnly masks the ResponseWriter's ReaderFrom so the copy
+	// actually uses the pooled buffer; it lives in the scratch because a
+	// fresh interface wrapper per request is itself an allocation.
+	sc.wo.Writer = w
+	_, err := io.CopyBuffer(&sc.wo, resp.Body, *bufp)
+	sc.wo.Writer = nil
+	copyBufPool.Put(bufp)
+	if err != nil {
+		_ = resp.Body.Close()
+		// Headers and part of the body are already on the wire, so the
+		// truncation cannot be turned into an error response. Abort the
+		// downstream connection instead of letting the server close out
+		// the encoding as if the body were complete — a silently
+		// truncated 200 is worse than a torn connection. The deferred
+		// reset releases the try context.
+		g.truncated.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	_ = resp.Body.Close()
+	sc.finishAttempt()
+	sc.wireClean()
 }
 
 // probeLoop drives active health probing: every ProbeInterval it asks
@@ -980,10 +1135,14 @@ func (g *Gateway) probe(up *upstream, domain string) {
 	if domain != "" {
 		req.Host = domain
 	}
-	resp, err := g.transport.RoundTrip(req)
+	resp, err := g.rt.RoundTrip(req)
 	ok := err == nil && resp.StatusCode == http.StatusOK
 	if err == nil {
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		// Drain through the pooled copy buffer (writerOnly masks
+		// io.Discard's ReadFrom, which would otherwise bypass it).
+		bufp := copyBufPool.Get().(*[]byte)
+		_, _ = io.CopyBuffer(writerOnly{io.Discard}, io.LimitReader(resp.Body, 4096), *bufp)
+		copyBufPool.Put(bufp)
 		_ = resp.Body.Close()
 	}
 	if ok {
@@ -1018,11 +1177,17 @@ func (g *Gateway) Start() error {
 		_ = ln.Close()
 		return errors.New("gateway: already started")
 	}
-	tlsLn := tls.NewListener(ln, &tls.Config{
+	serverTLS := &tls.Config{
 		GetCertificate: func(*tls.ClientHelloInfo) (*tls.Certificate, error) {
 			return g.cfg.GetCertificate()
 		},
-	})
+	}
+	// Take ownership of the session-ticket key now (disabling crypto/tls's
+	// automatic rotation): the key is policy state, rotated on every
+	// epoch bump by checkPolicyEpoch so old tickets stop resuming.
+	rotateTicketKey(serverTLS)
+	tlsLn := tls.NewListener(ln, serverTLS)
+	g.serverTLS = serverTLS
 	g.listener = ln
 	g.server = &http.Server{
 		Handler:           g,

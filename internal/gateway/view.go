@@ -18,15 +18,20 @@ type View struct {
 	mu   sync.RWMutex
 	snap fleet.Snapshot
 	subs fleet.Subscribers
+	// release is the precomputed Acquire release func: the method value
+	// v.mu.RUnlock, bound once here instead of allocated per request.
+	release func()
 }
 
 var _ Source = (*View)(nil)
 
 // NewView creates a view with the given endpoints (version 1).
 func NewView(domain string, eps ...fleet.Endpoint) *View {
-	return &View{
+	v := &View{
 		snap: fleet.Snapshot{Version: 1, Domain: domain, Endpoints: eps},
 	}
+	v.release = v.mu.RUnlock
+	return v
 }
 
 // Set replaces the view's endpoints and notifies subscribers. It
@@ -64,6 +69,11 @@ func (v *View) SetRollout(golden measure.Measurement, prior *measure.Measurement
 // Acquire implements Source.
 func (v *View) Acquire() (fleet.Snapshot, func()) {
 	v.mu.RLock()
+	if v.release != nil {
+		return v.snap, v.release
+	}
+	// Zero-value View (no NewView): fall back to the per-call method
+	// value rather than racing to cache one under the read lock.
 	return v.snap, v.mu.RUnlock
 }
 
